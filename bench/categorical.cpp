@@ -1,0 +1,74 @@
+// Extension bench: the categorical analogue of the Fig. 2 trade-off —
+// weighted voting vs majority voting accuracy under user-sampled k-ary
+// randomized response, as the mean per-user epsilon shrinks.
+#include <iomanip>
+#include <iostream>
+
+#include "categorical/randomized_response.h"
+#include "categorical/synthetic.h"
+#include "categorical/voting.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+
+int main(int argc, char** argv) {
+  using namespace dptd;
+  using namespace dptd::categorical;
+
+  CliParser cli("Categorical extension: accuracy vs mean epsilon under k-RR");
+  cli.add_int("users", 150, "number of users");
+  cli.add_int("objects", 100, "number of objects");
+  cli.add_int("labels", 4, "number of labels");
+  cli.add_double("lambda-err", 8.0, "user error rate parameter");
+  cli.add_int("trials", 5, "repetitions per grid point");
+  cli.add_int("seed", 51, "root RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double mean_eps_grid[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+  std::cout << "== Categorical: accuracy vs mean eps (k-RR, "
+            << cli.get_int("labels") << " labels) ==\n";
+  std::cout << std::setw(12) << "mean eps" << std::setw(14) << "flip rate"
+            << std::setw(14) << "weighted" << std::setw(14) << "majority"
+            << std::setw(14) << "no-noise" << '\n';
+
+  for (double mean_eps : mean_eps_grid) {
+    RunningStats weighted_acc;
+    RunningStats majority_acc;
+    RunningStats clean_acc;
+    RunningStats flip_rate;
+    for (std::int64_t trial = 0; trial < cli.get_int("trials"); ++trial) {
+      CategoricalConfig config;
+      config.num_users = static_cast<std::size_t>(cli.get_int("users"));
+      config.num_objects = static_cast<std::size_t>(cli.get_int("objects"));
+      config.num_labels = static_cast<std::size_t>(cli.get_int("labels"));
+      config.lambda_err = cli.get_double("lambda-err");
+      config.seed = derive_seed(
+          static_cast<std::uint64_t>(cli.get_int("seed")), trial,
+          static_cast<std::uint64_t>(mean_eps * 100));
+      const LabelDataset dataset = generate_categorical(config);
+
+      clean_acc.add(label_accuracy(weighted_vote(dataset.claims).truths,
+                                   dataset.ground_truth));
+
+      const UserSampledRandomizedResponse mech(
+          {.lambda_rr = 1.0 / mean_eps,
+           .seed = derive_seed(config.seed, 0xbb)});
+      const RandomizedResponseOutcome outcome = mech.perturb(dataset.claims);
+      flip_rate.add(static_cast<double>(outcome.report.flipped_cells) /
+                    static_cast<double>(outcome.report.total_cells));
+      weighted_acc.add(label_accuracy(weighted_vote(outcome.perturbed).truths,
+                                      dataset.ground_truth));
+      majority_acc.add(label_accuracy(majority_vote(outcome.perturbed).truths,
+                                      dataset.ground_truth));
+    }
+    std::cout << std::setw(12) << std::setprecision(3) << mean_eps
+              << std::setw(14) << std::setprecision(3) << flip_rate.mean()
+              << std::setw(14) << weighted_acc.mean() << std::setw(14)
+              << majority_acc.mean() << std::setw(14) << clean_acc.mean()
+              << '\n';
+  }
+  std::cout << "\nWeighted voting holds accuracy as privacy tightens; the "
+               "same quality-aware story as the continuous mechanism.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 4 — effect of the number of users S at fixed lambda2:
+// (a) MAE vs S (falls), (b) average added noise vs S (flat — users act
+// independently, so the injected noise does not depend on S).
+#include <iostream>
+
+#include "common/cli.h"
+#include "eval/figures.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  dptd::CliParser cli("Fig. 4: effect of the number of users S");
+  cli.add_double("epsilon", 1.0, "privacy epsilon pinning lambda2");
+  cli.add_double("delta", 0.3, "privacy delta pinning lambda2");
+  cli.add_double("lambda1", 2.0, "error-variance rate");
+  cli.add_int("trials", 5, "repetitions per grid point");
+  cli.add_int("seed", 13, "root RNG seed");
+  cli.add_string("csv", "fig4_users.csv", "output CSV path (empty = none)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  dptd::eval::UsersConfig config;
+  config.epsilon = cli.get_double("epsilon");
+  config.delta = cli.get_double("delta");
+  config.lambda1 = cli.get_double("lambda1");
+  config.trials = static_cast<std::size_t>(cli.get_int("trials"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const dptd::eval::UsersResult result = dptd::eval::run_users_effect(config);
+  dptd::eval::print_users(std::cout, result);
+  if (!cli.get_string("csv").empty()) {
+    dptd::eval::write_users_csv(cli.get_string("csv"), result);
+    std::cout << "CSV written to " << cli.get_string("csv") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 8 — running time of truth discovery vs average added noise. The red
+// line (original data) and the dots (perturbed at several noise levels) must
+// sit close together and stay flat in the noise level.
+//
+// Also registers google-benchmark timings for the CRH iteration kernel so
+// the harness doubles as a microbenchmark of the aggregation path.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/mechanism.h"
+#include "data/synthetic.h"
+#include "eval/figures.h"
+#include "eval/report.h"
+#include "truth/crh.h"
+
+namespace {
+
+void BM_CrhOnOriginal(benchmark::State& state) {
+  dptd::data::SyntheticConfig config;
+  config.num_users = 247;
+  config.num_objects = static_cast<std::size_t>(state.range(0));
+  config.seed = 23;
+  const dptd::data::Dataset dataset = dptd::data::generate_synthetic(config);
+  const dptd::truth::Crh crh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crh.run(dataset.observations));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.num_objects));
+}
+BENCHMARK(BM_CrhOnOriginal)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_CrhOnPerturbed(benchmark::State& state) {
+  dptd::data::SyntheticConfig config;
+  config.num_users = 247;
+  config.num_objects = 2000;
+  config.seed = 23;
+  const dptd::data::Dataset dataset = dptd::data::generate_synthetic(config);
+  // range(0) is the target mean |noise| in hundredths.
+  const double noise = static_cast<double>(state.range(0)) / 100.0;
+  const dptd::core::UserSampledGaussianMechanism mech(
+      {.lambda2 = 1.0 / (2.0 * noise * noise), .seed = 5});
+  const auto perturbed = mech.perturb(dataset.observations).perturbed;
+  const dptd::truth::Crh crh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crh.run(perturbed));
+  }
+}
+BENCHMARK(BM_CrhOnPerturbed)->Arg(20)->Arg(60)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Print the paper-figure series first, then run the microbenchmarks.
+  dptd::eval::EfficiencyConfig config;
+  const dptd::eval::EfficiencyResult result =
+      dptd::eval::run_efficiency(config);
+  dptd::eval::print_efficiency(std::cout, result);
+  dptd::eval::write_efficiency_csv("fig8_efficiency.csv", result);
+  std::cout << "CSV written to fig8_efficiency.csv\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Theorem 4.9 table: the feasible noise window [c_min, c_max] across grids of
+// privacy/utility targets, plus a theory-vs-empirical check that the utility
+// probability bound (Thm 4.3) dominates the measured deviation probability.
+#include <iomanip>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/statistics.h"
+#include "core/accountant.h"
+#include "core/bounds.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+namespace {
+
+void print_window_table(double lambda1, std::size_t users) {
+  using namespace dptd::core;
+  std::cout << "== Theorem 4.9 — feasible noise window (lambda1 = " << lambda1
+            << ", S = " << users << ") ==\n";
+  std::cout << std::setw(8) << "eps" << std::setw(8) << "delta" << std::setw(8)
+            << "alpha" << std::setw(8) << "beta" << std::setw(12) << "c_min"
+            << std::setw(12) << "c_max" << std::setw(10) << "feasible"
+            << '\n';
+  const SensitivityParams sens{1.0, 0.5};
+  for (double eps : {0.25, 1.0, 3.0}) {
+    for (double delta : {0.2, 0.4}) {
+      for (double alpha : {0.25, 0.5, 1.0}) {
+        const double beta = 0.1;
+        const NoiseWindow window =
+            feasible_noise_window(UtilityTarget{alpha, beta},
+                                  PrivacyTarget{eps, delta}, lambda1, users,
+                                  sens);
+        std::cout << std::setw(8) << eps << std::setw(8) << delta
+                  << std::setw(8) << alpha << std::setw(8) << beta
+                  << std::setw(12) << std::setprecision(4) << window.c_min
+                  << std::setw(12) << std::setprecision(4) << window.c_max
+                  << std::setw(10) << (window.feasible ? "yes" : "no")
+                  << '\n';
+      }
+    }
+  }
+}
+
+void print_bound_vs_empirical(double lambda1, std::size_t users,
+                              std::size_t trials, std::uint64_t seed) {
+  using namespace dptd;
+  std::cout << "\n== Theorem 4.3 — bound vs measured deviation (lambda1 = "
+            << lambda1 << ", S = " << users << ", " << trials
+            << " trials) ==\n";
+  std::cout << std::setw(8) << "c" << std::setw(12) << "alpha" << std::setw(16)
+            << "Pr_bound" << std::setw(16) << "Pr_measured" << '\n';
+  for (double c : {0.25, 0.5, 1.0, 2.0}) {
+    const double lambda2 = lambda1 / c;
+    const double alpha =
+        1.2 * core::alpha_threshold(lambda1, c);  // just above threshold
+    std::size_t exceed = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      data::SyntheticConfig synth;
+      synth.num_users = users;
+      synth.num_objects = 30;
+      synth.lambda1 = lambda1;
+      synth.seed = derive_seed(seed, trial, static_cast<std::uint64_t>(c * 8));
+      const data::Dataset dataset = data::generate_synthetic(synth);
+      core::PipelineConfig pipeline;
+      pipeline.lambda2 = lambda2;
+      pipeline.seed = derive_seed(seed, trial, 0x77);
+      const core::PipelineResult run =
+          core::run_private_truth_discovery(dataset, pipeline);
+      if (run.utility_mae >= alpha) ++exceed;
+    }
+    const double measured =
+        static_cast<double>(exceed) / static_cast<double>(trials);
+    const double bound =
+        core::utility_probability_bound(alpha, lambda1, lambda2, users);
+    std::cout << std::setw(8) << c << std::setw(12) << std::setprecision(4)
+              << alpha << std::setw(16) << bound << std::setw(16) << measured
+              << (measured <= bound ? "   ok" : "   VIOLATION") << '\n';
+  }
+}
+
+/// Theorem A.1 (appendix, c = 1): Pr{mean aggregate shift >= alpha} -> 0 as
+/// S grows, at rate O(1/S^2). Tabulates the corrected bound vs measurement.
+void print_appendix_c1(double lambda1, std::size_t trials,
+                       std::uint64_t seed) {
+  using namespace dptd;
+  const double alpha = 1.2 * core::alpha_threshold_c1(lambda1);
+  std::cout << "\n== Theorem A.1 — c = 1 vanishing probability (alpha = "
+            << std::setprecision(4) << alpha << ", " << trials
+            << " trials) ==\n";
+  std::cout << std::setw(8) << "S" << std::setw(16) << "Pr_bound"
+            << std::setw(16) << "Pr_measured" << '\n';
+  for (std::size_t S : {25u, 50u, 100u, 200u, 400u}) {
+    std::size_t exceed = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      data::SyntheticConfig synth;
+      synth.num_users = S;
+      synth.num_objects = 30;
+      synth.lambda1 = lambda1;
+      synth.seed = derive_seed(seed, trial, S, 0xa1);
+      const data::Dataset dataset = data::generate_synthetic(synth);
+      core::PipelineConfig pipeline;
+      pipeline.lambda2 = lambda1;  // c = 1
+      pipeline.seed = derive_seed(seed, trial, S, 0xa2);
+      const core::PipelineResult run =
+          core::run_private_truth_discovery(dataset, pipeline);
+      if (run.utility_mae >= alpha) ++exceed;
+    }
+    const double measured =
+        static_cast<double>(exceed) / static_cast<double>(trials);
+    const double bound =
+        core::utility_probability_bound_c1(alpha, lambda1, S);
+    std::cout << std::setw(8) << S << std::setw(16) << std::setprecision(4)
+              << bound << std::setw(16) << measured
+              << (measured <= bound ? "   ok" : "   VIOLATION") << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dptd::CliParser cli("Theorem 4.3/4.8/4.9 bound tables");
+  cli.add_double("lambda1", 2.0, "error-variance rate");
+  cli.add_int("users", 150, "number of users S");
+  cli.add_int("trials", 30, "trials for the empirical check");
+  cli.add_int("seed", 41, "root RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double lambda1 = cli.get_double("lambda1");
+  const auto users = static_cast<std::size_t>(cli.get_int("users"));
+  print_window_table(lambda1, users);
+  print_bound_vs_empirical(lambda1, users,
+                           static_cast<std::size_t>(cli.get_int("trials")),
+                           static_cast<std::uint64_t>(cli.get_int("seed")));
+  print_appendix_c1(lambda1, static_cast<std::size_t>(cli.get_int("trials")),
+                    static_cast<std::uint64_t>(cli.get_int("seed")));
+  return 0;
+}

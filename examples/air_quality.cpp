@@ -1,0 +1,70 @@
+// Air-quality monitoring (one of the intro's motivating applications):
+// citizens with cheap PM2.5 sensors report neighbourhood readings. Sensor
+// quality varies wildly, a fraction of devices are miscalibrated spammers,
+// and readings are privacy-sensitive (they reveal where you live). This
+// example runs the private pipeline and contrasts CRH with naive averaging
+// under both adversaries and DP noise.
+#include <iomanip>
+#include <iostream>
+
+#include "dptd.h"
+
+int main(int argc, char** argv) {
+  using namespace dptd;
+
+  CliParser cli("Private PM2.5 aggregation with unreliable citizen sensors");
+  cli.add_int("sensors", 300, "number of citizen sensors");
+  cli.add_int("zones", 60, "number of city zones (objects)");
+  cli.add_double("spam-fraction", 0.1, "fraction of broken/spamming sensors");
+  cli.add_double("epsilon", 1.0, "privacy epsilon target");
+  cli.add_double("delta", 0.3, "privacy delta target");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // PM2.5 field: zone truths in ug/m^3, sensor error variance heterogeneous.
+  data::SyntheticConfig workload;
+  workload.num_users = static_cast<std::size_t>(cli.get_int("sensors"));
+  workload.num_objects = static_cast<std::size_t>(cli.get_int("zones"));
+  workload.truth_distribution = data::TruthDistribution::kGaussian;
+  workload.truth_mean = 35.0;
+  workload.truth_stddev = 12.0;
+  workload.lambda1 = 0.5;  // cheap sensors: mean error variance = 2
+  workload.adversary_fraction = cli.get_double("spam-fraction");
+  workload.adversary_kind = "spam";
+  workload.truth_lo = 0.0;
+  workload.truth_hi = 150.0;  // spam range
+  workload.missing_rate = 0.3;  // sensors only cover nearby zones
+  workload.seed = 7;
+  const data::Dataset dataset = data::generate_synthetic(workload);
+  std::cout << data::describe(dataset) << "\n";
+
+  // Noise calibrated to the privacy target given the sensor population.
+  const core::PrivacyTarget privacy{cli.get_double("epsilon"),
+                                    cli.get_double("delta")};
+  const core::SensitivityParams sensitivity{1.0, 0.5};
+  const double c =
+      core::min_noise_level_for_privacy(privacy, workload.lambda1, sensitivity);
+  const double lambda2 = core::lambda2_for_noise_level(c, workload.lambda1);
+  std::cout << "noise level c = " << std::setprecision(3) << c
+            << " -> lambda2 = " << lambda2 << "\n\n";
+
+  const core::UserSampledGaussianMechanism mechanism(
+      {.lambda2 = lambda2, .seed = 11});
+
+  std::cout << std::setw(10) << "method" << std::setw(18) << "MAE vs truth"
+            << std::setw(22) << "MAE vs unperturbed" << "\n";
+  for (const std::string& method_name : {"crh", "gtm", "catd", "mean",
+                                         "median"}) {
+    const auto method = truth::make_method(method_name);
+    const core::PipelineResult result =
+        core::run_private_truth_discovery(dataset, mechanism, *method);
+    std::cout << std::setw(10) << method_name << std::setw(18)
+              << std::setprecision(3) << result.truth_mae_perturbed
+              << std::setw(22) << result.utility_mae << "\n";
+  }
+
+  std::cout << "\nWeighted methods hold the zone map together despite "
+            << 100.0 * workload.adversary_fraction
+            << "% spam sensors AND local differential privacy noise; naive "
+               "mean does not.\n";
+  return 0;
+}

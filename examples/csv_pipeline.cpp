@@ -1,0 +1,96 @@
+// File-based pipeline for adopting dptd on your own data:
+//
+//   csv_pipeline --in observations.csv [--truth truth.csv]
+//                --lambda2 1.0 --method crh --out results.csv
+//
+// Reads a `user,object,value` CSV, runs Algorithm 2 (local perturbation +
+// truth discovery), and writes per-object aggregates before and after
+// perturbation plus per-user weights. With --no-perturb it runs plain truth
+// discovery (e.g. to compare pipelines).
+#include <fstream>
+#include <iostream>
+
+#include "dptd.h"
+
+int main(int argc, char** argv) {
+  using namespace dptd;
+
+  CliParser cli("Run private truth discovery on a CSV of observations");
+  cli.add_string("in", "", "input observations CSV (user,object,value)");
+  cli.add_string("truth", "", "optional ground truth CSV (object,truth)");
+  cli.add_string("out", "results.csv", "output CSV path");
+  cli.add_string("weights-out", "", "optional per-user weight CSV path");
+  cli.add_double("lambda2", 1.0, "noise hyper-parameter (Exp rate)");
+  cli.add_string("method", "crh", "crh|gtm|catd|mean|median");
+  cli.add_int("seed", 1, "mechanism seed");
+  cli.add_flag("no-perturb", "skip perturbation (plain truth discovery)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_string("in").empty()) {
+    std::cerr << "error: --in is required (see --help)\n";
+    return 1;
+  }
+
+  try {
+    const data::Dataset dataset =
+        data::load_dataset(cli.get_string("in"), cli.get_string("truth"));
+    dataset.validate();
+    std::cerr << data::describe(dataset) << "\n";
+
+    core::PipelineConfig config;
+    config.lambda2 = cli.get_double("lambda2");
+    config.method = cli.get_string("method");
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    truth::Result perturbed_result;
+    truth::Result original_result;
+    if (cli.flag("no-perturb")) {
+      const auto method = truth::make_method(config.method);
+      original_result = method->run(dataset.observations);
+      perturbed_result = original_result;
+    } else {
+      const core::PipelineResult run =
+          core::run_private_truth_discovery(dataset, config);
+      std::cerr << "avg |noise| = " << run.report.mean_absolute_noise
+                << ", MAE(A(D), A(M(D))) = " << run.utility_mae << "\n";
+      if (dataset.has_ground_truth()) {
+        std::cerr << "MAE vs truth: original = " << run.truth_mae_original
+                  << ", perturbed = " << run.truth_mae_perturbed << "\n";
+      }
+      original_result = run.original;
+      perturbed_result = run.perturbed;
+    }
+
+    {
+      std::ofstream out(cli.get_string("out"));
+      if (!out) throw std::runtime_error("cannot open " +
+                                         cli.get_string("out"));
+      CsvWriter csv(out);
+      csv.write_row({"object", "aggregate_original", "aggregate_perturbed"});
+      for (std::size_t n = 0; n < original_result.truths.size(); ++n) {
+        csv.write_row({std::to_string(n),
+                       CsvWriter::format_double(original_result.truths[n]),
+                       CsvWriter::format_double(perturbed_result.truths[n])});
+      }
+    }
+    std::cerr << "wrote " << cli.get_string("out") << "\n";
+
+    if (!cli.get_string("weights-out").empty()) {
+      std::ofstream out(cli.get_string("weights-out"));
+      if (!out) throw std::runtime_error("cannot open " +
+                                         cli.get_string("weights-out"));
+      CsvWriter csv(out);
+      csv.write_row({"user", "weight_original", "weight_perturbed"});
+      for (std::size_t s = 0; s < original_result.weights.size(); ++s) {
+        csv.write_row({std::to_string(s),
+                       CsvWriter::format_double(original_result.weights[s]),
+                       CsvWriter::format_double(perturbed_result.weights[s])});
+      }
+      std::cerr << "wrote " << cli.get_string("weights-out") << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

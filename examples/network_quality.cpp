@@ -1,0 +1,69 @@
+// Cellular network-quality measurement (intro application [21]): phones
+// report observed downlink latency per cell tower. Reports traverse the
+// simulated network with loss and stragglers; the carrier's server must
+// estimate per-tower latency without learning any phone's exact
+// measurements (which leak location and usage patterns).
+#include <iomanip>
+#include <iostream>
+
+#include "dptd.h"
+
+int main(int argc, char** argv) {
+  using namespace dptd;
+
+  CliParser cli("Private per-tower latency estimation from phone reports");
+  cli.add_int("phones", 400, "number of reporting phones");
+  cli.add_int("towers", 80, "number of cell towers (objects)");
+  cli.add_double("lambda2", 1.0, "noise hyper-parameter");
+  cli.add_double("dropout", 0.15, "fraction of phones that never report");
+  cli.add_double("drop", 0.05, "per-message network loss");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Tower latency truths ~ Uniform(20, 120) ms; phone measurement error
+  // variance heterogeneous (radio conditions, chipset quality).
+  data::SyntheticConfig workload;
+  workload.num_users = static_cast<std::size_t>(cli.get_int("phones"));
+  workload.num_objects = static_cast<std::size_t>(cli.get_int("towers"));
+  workload.truth_lo = 20.0;
+  workload.truth_hi = 120.0;
+  workload.lambda1 = 0.2;  // mean error variance 5 ms^2
+  workload.missing_rate = 0.5;  // phones only see towers they pass
+  workload.seed = 23;
+  const data::Dataset dataset = data::generate_synthetic(workload);
+  std::cout << data::describe(dataset) << "\n\n";
+
+  crowd::SessionConfig session;
+  session.lambda2 = cli.get_double("lambda2");
+  session.dropout_fraction = cli.get_double("dropout");
+  session.latency.base_seconds = 0.080;
+  session.latency.jitter_seconds = 0.120;
+  session.latency.drop_probability = cli.get_double("drop");
+  session.collection_window_seconds = 10.0;
+  session.mean_think_time_seconds = 1.5;
+  const crowd::SessionResult result = crowd::run_session(dataset, session);
+
+  std::cout << "Collected " << result.round.reports_received << "/"
+            << result.round.reports_expected
+            << " phone reports (dropouts + losses + stragglers)\n"
+            << "Uplink+downlink traffic: " << result.network.bytes_sent / 1024
+            << " KiB across " << result.network.messages_sent
+            << " messages\n\n";
+
+  if (result.round.result.truths.empty()) {
+    std::cout << "Too few reports to cover all towers this round.\n";
+    return 0;
+  }
+
+  const double mae = mean_absolute_error(result.round.result.truths,
+                                         dataset.ground_truth);
+  std::cout << "Per-tower latency MAE vs truth: " << std::setprecision(3)
+            << mae << " ms (tower latencies span 20-120 ms)\n";
+
+  std::cout << "\n tower   true(ms)   estimated(ms)\n";
+  for (std::size_t n = 0; n < 6; ++n) {
+    std::cout << std::setw(6) << n << std::setw(11) << std::fixed
+              << std::setprecision(1) << dataset.ground_truth[n]
+              << std::setw(14) << result.round.result.truths[n] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the whole library in ~60 lines.
+//
+//   1. Generate a synthetic crowd sensing workload (150 users, 30 objects).
+//   2. Pick a privacy target and let the accountant choose lambda2.
+//   3. Run Algorithm 2: each user perturbs locally, the server aggregates with
+//      CRH truth discovery.
+//   4. Compare aggregates before/after perturbation.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "dptd.h"
+
+int main() {
+  using namespace dptd;
+
+  // 1. A workload with heterogeneous user quality (sigma_s^2 ~ Exp(lambda1)).
+  data::SyntheticConfig workload;
+  workload.num_users = 150;
+  workload.num_objects = 30;
+  workload.lambda1 = 2.0;
+  workload.seed = 42;
+  const data::Dataset dataset = data::generate_synthetic(workload);
+  std::cout << data::describe(dataset) << "\n\n";
+
+  // 2. Privacy target -> noise level c -> lambda2 (Theorem 4.8).
+  const core::PrivacyTarget privacy{/*epsilon=*/1.0, /*delta=*/0.3};
+  const core::SensitivityParams sensitivity{/*b=*/1.0, /*eta=*/0.5};
+  const double c =
+      core::min_noise_level_for_privacy(privacy, workload.lambda1, sensitivity);
+  const double lambda2 = core::lambda2_for_noise_level(c, workload.lambda1);
+  std::cout << "privacy target: eps = " << privacy.epsilon
+            << ", delta = " << privacy.delta << "\n"
+            << "  -> noise level c = " << c << ", lambda2 = " << lambda2
+            << "\n\n";
+
+  // 3. Algorithm 2 end-to-end.
+  core::PipelineConfig pipeline;
+  pipeline.lambda2 = lambda2;
+  pipeline.method = "crh";
+  const core::PipelineResult result =
+      core::run_private_truth_discovery(dataset, pipeline);
+
+  // 4. What did privacy cost?
+  std::cout << "average |added noise|      : "
+            << result.report.mean_absolute_noise << "\n"
+            << "MAE(A(D), A(M(D)))         : " << result.utility_mae << "\n"
+            << "MAE vs ground truth before : " << result.truth_mae_original
+            << "\n"
+            << "MAE vs ground truth after  : " << result.truth_mae_perturbed
+            << "\n"
+            << "CRH iterations (perturbed) : " << result.perturbed.iterations
+            << "\n";
+
+  std::cout << "\nThe aggregate moved ~"
+            << 100.0 * result.utility_mae /
+                   result.report.mean_absolute_noise
+            << "% of the injected noise — quality-aware weighting absorbed "
+               "the rest.\n";
+  return 0;
+}

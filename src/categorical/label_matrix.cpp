@@ -1,0 +1,98 @@
+#include "categorical/label_matrix.h"
+
+#include "common/check.h"
+
+namespace dptd::categorical {
+
+LabelMatrix::LabelMatrix(std::size_t num_users, std::size_t num_objects,
+                         std::size_t num_labels)
+    : num_users_(num_users),
+      num_objects_(num_objects),
+      num_labels_(num_labels),
+      labels_(num_users * num_objects, 0),
+      present_(num_users * num_objects, 0) {
+  DPTD_REQUIRE(num_users > 0 && num_objects > 0,
+               "LabelMatrix: dimensions must be positive");
+  DPTD_REQUIRE(num_labels >= 2, "LabelMatrix: need at least 2 labels");
+}
+
+void LabelMatrix::check_bounds(std::size_t user, std::size_t object) const {
+  DPTD_REQUIRE(user < num_users_, "LabelMatrix: user out of range");
+  DPTD_REQUIRE(object < num_objects_, "LabelMatrix: object out of range");
+}
+
+bool LabelMatrix::present(std::size_t user, std::size_t object) const {
+  check_bounds(user, object);
+  return present_[index(user, object)] != 0;
+}
+
+Label LabelMatrix::label(std::size_t user, std::size_t object) const {
+  check_bounds(user, object);
+  DPTD_REQUIRE(present_[index(user, object)],
+               "LabelMatrix: reading a missing cell");
+  return labels_[index(user, object)];
+}
+
+std::optional<Label> LabelMatrix::get(std::size_t user,
+                                      std::size_t object) const {
+  check_bounds(user, object);
+  if (!present_[index(user, object)]) return std::nullopt;
+  return labels_[index(user, object)];
+}
+
+void LabelMatrix::set(std::size_t user, std::size_t object, Label label) {
+  check_bounds(user, object);
+  DPTD_REQUIRE(label < num_labels_, "LabelMatrix: label out of range");
+  labels_[index(user, object)] = label;
+  present_[index(user, object)] = 1;
+}
+
+void LabelMatrix::clear(std::size_t user, std::size_t object) {
+  check_bounds(user, object);
+  present_[index(user, object)] = 0;
+  labels_[index(user, object)] = 0;
+}
+
+std::size_t LabelMatrix::observation_count() const {
+  std::size_t count = 0;
+  for (std::uint8_t p : present_) count += p;
+  return count;
+}
+
+std::size_t LabelMatrix::object_observation_count(std::size_t object) const {
+  DPTD_REQUIRE(object < num_objects_, "LabelMatrix: object out of range");
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < num_users_; ++s) {
+    count += present_[index(s, object)];
+  }
+  return count;
+}
+
+void LabelDataset::validate() const {
+  DPTD_REQUIRE(claims.num_users() > 0, "LabelDataset: empty matrix");
+  if (!ground_truth.empty()) {
+    DPTD_REQUIRE(ground_truth.size() == claims.num_objects(),
+                 "LabelDataset: ground truth size != num objects");
+    for (Label truth : ground_truth) {
+      DPTD_REQUIRE(truth < claims.num_labels(),
+                   "LabelDataset: ground-truth label out of range");
+    }
+  }
+  for (std::size_t n = 0; n < claims.num_objects(); ++n) {
+    DPTD_REQUIRE(claims.object_observation_count(n) > 0,
+                 "LabelDataset: object with zero claims");
+  }
+}
+
+double label_accuracy(const std::vector<Label>& estimate,
+                      const std::vector<Label>& truth) {
+  DPTD_REQUIRE(estimate.size() == truth.size() && !estimate.empty(),
+               "label_accuracy: size mismatch or empty");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    if (estimate[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(estimate.size());
+}
+
+}  // namespace dptd::categorical

@@ -1,0 +1,78 @@
+// Categorical claims: a user x object matrix of label ids with a
+// missingness mask.
+//
+// EXTENSION (beyond the reproduced paper): the paper handles continuous
+// data and cites its companion work (Li et al., KDD 2018 [23]) for the
+// categorical case. This module provides the categorical analogue so the
+// library covers both data types; DESIGN.md lists it as an extension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dptd::categorical {
+
+using Label = std::uint32_t;
+
+class LabelMatrix {
+ public:
+  LabelMatrix() = default;
+  /// All cells start missing; labels must be < num_labels.
+  LabelMatrix(std::size_t num_users, std::size_t num_objects,
+              std::size_t num_labels);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_objects() const { return num_objects_; }
+  std::size_t num_labels() const { return num_labels_; }
+
+  bool present(std::size_t user, std::size_t object) const;
+  Label label(std::size_t user, std::size_t object) const;
+  std::optional<Label> get(std::size_t user, std::size_t object) const;
+
+  void set(std::size_t user, std::size_t object, Label label);
+  void clear(std::size_t user, std::size_t object);
+
+  std::size_t observation_count() const;
+  std::size_t object_observation_count(std::size_t object) const;
+
+  /// Applies f(user, object, label) to every present cell.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t s = 0; s < num_users_; ++s) {
+      for (std::size_t n = 0; n < num_objects_; ++n) {
+        if (present_[index(s, n)]) f(s, n, labels_[index(s, n)]);
+      }
+    }
+  }
+
+  bool operator==(const LabelMatrix& other) const = default;
+
+ private:
+  std::size_t index(std::size_t user, std::size_t object) const {
+    return user * num_objects_ + object;
+  }
+  void check_bounds(std::size_t user, std::size_t object) const;
+
+  std::size_t num_users_ = 0;
+  std::size_t num_objects_ = 0;
+  std::size_t num_labels_ = 0;
+  std::vector<Label> labels_;
+  std::vector<std::uint8_t> present_;
+};
+
+/// Categorical dataset with optional ground-truth labels.
+struct LabelDataset {
+  LabelMatrix claims;
+  std::vector<Label> ground_truth;  ///< empty if unknown
+
+  bool has_ground_truth() const { return !ground_truth.empty(); }
+  void validate() const;
+};
+
+/// Fraction of objects where `estimate` matches `truth` (accuracy metric of
+/// the categorical literature).
+double label_accuracy(const std::vector<Label>& estimate,
+                      const std::vector<Label>& truth);
+
+}  // namespace dptd::categorical

@@ -1,0 +1,87 @@
+#include "categorical/voting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dptd::categorical {
+namespace {
+
+/// Weighted plurality per object; ties break toward the smaller label.
+std::vector<Label> aggregate(const LabelMatrix& claims,
+                             const std::vector<double>& weights) {
+  const std::size_t N = claims.num_objects();
+  const std::size_t K = claims.num_labels();
+  std::vector<double> scores(N * K, 0.0);
+  claims.for_each([&](std::size_t s, std::size_t n, Label l) {
+    scores[n * K + l] += weights[s];
+  });
+  std::vector<Label> truths(N, 0);
+  for (std::size_t n = 0; n < N; ++n) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < K; ++k) {
+      if (scores[n * K + k] > scores[n * K + best]) best = k;
+    }
+    truths[n] = static_cast<Label>(best);
+  }
+  return truths;
+}
+
+}  // namespace
+
+VotingResult majority_vote(const LabelMatrix& claims) {
+  VotingResult result;
+  result.weights.assign(claims.num_users(), 1.0);
+  result.truths = aggregate(claims, result.weights);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+VotingResult weighted_vote(const LabelMatrix& claims,
+                           const WeightedVotingConfig& config) {
+  DPTD_REQUIRE(config.max_iterations > 0,
+               "weighted_vote: max_iterations must be positive");
+  DPTD_REQUIRE(config.min_disagreement_fraction > 0.0 &&
+                   config.min_disagreement_fraction < 1.0,
+               "weighted_vote: min_disagreement_fraction must be in (0,1)");
+
+  VotingResult result;
+  result.weights.assign(claims.num_users(), 1.0);
+  result.truths = aggregate(claims, result.weights);
+
+  for (std::size_t it = 1; it <= config.max_iterations; ++it) {
+    // Weight update: disagreement count per user, CRH Eq. (3) on 0/1 loss.
+    std::vector<double> disagreement(claims.num_users(), 0.0);
+    claims.for_each([&](std::size_t s, std::size_t n, Label l) {
+      if (l != result.truths[n]) disagreement[s] += 1.0;
+    });
+    double total = 0.0;
+    for (double d : disagreement) total += d;
+    if (total <= 0.0) {
+      // Unanimous agreement with the estimates: uniform weights, done.
+      std::fill(result.weights.begin(), result.weights.end(), 1.0);
+      result.iterations = it;
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t s = 0; s < claims.num_users(); ++s) {
+      const double fraction = std::max(disagreement[s] / total,
+                                       config.min_disagreement_fraction);
+      result.weights[s] = -std::log(fraction);
+    }
+
+    std::vector<Label> next = aggregate(claims, result.weights);
+    const bool unchanged = next == result.truths;
+    result.truths = std::move(next);
+    result.iterations = it;
+    if (unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dptd::categorical

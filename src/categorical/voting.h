@@ -1,0 +1,37 @@
+// Truth discovery for categorical claims (extension module).
+//
+//  - MajorityVoting: quality-blind plurality per object.
+//  - WeightedVoting: the CRH-style iteration on labels — weight users by
+//    -log of their share of total disagreement with the current estimates,
+//    then take the weighted plurality. Same two principles as Algorithm 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "categorical/label_matrix.h"
+
+namespace dptd::categorical {
+
+struct VotingResult {
+  std::vector<Label> truths;    ///< one label per object
+  std::vector<double> weights;  ///< one non-negative weight per user
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Plurality vote per object; ties break toward the smaller label id
+/// (deterministic).
+VotingResult majority_vote(const LabelMatrix& claims);
+
+struct WeightedVotingConfig {
+  std::size_t max_iterations = 50;
+  /// Stop when no object's estimate changed between iterations.
+  double min_disagreement_fraction = 1e-12;  ///< clamp before the log
+};
+
+/// CRH-style iterative weighted voting.
+VotingResult weighted_vote(const LabelMatrix& claims,
+                           const WeightedVotingConfig& config = {});
+
+}  // namespace dptd::categorical

@@ -1,0 +1,52 @@
+// Lightweight runtime-check macros and error types used across dptd.
+//
+// Conventions (per C++ Core Guidelines E.* / I.*):
+//  - Constructor/config misuse throws std::invalid_argument via DPTD_REQUIRE.
+//  - Internal invariant violations throw dptd::InternalError via DPTD_CHECK;
+//    these indicate a bug in dptd itself, not in the caller.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dptd {
+
+/// Thrown when an internal invariant is violated (a bug in dptd).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "DPTD_REQUIRE") throw std::invalid_argument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dptd
+
+/// Validates caller-supplied arguments; throws std::invalid_argument.
+#define DPTD_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dptd::detail::fail_check("DPTD_REQUIRE", #cond, __FILE__, __LINE__,  \
+                                 (msg));                                     \
+    }                                                                        \
+  } while (false)
+
+/// Validates internal invariants; throws dptd::InternalError.
+#define DPTD_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dptd::detail::fail_check("DPTD_CHECK", #cond, __FILE__, __LINE__,    \
+                                 (msg));                                     \
+    }                                                                        \
+  } while (false)

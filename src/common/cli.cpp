@@ -1,0 +1,184 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace dptd {
+namespace {
+
+bool parse_int(const std::string& s, std::int64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+CliParser& CliParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  DPTD_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  Option o;
+  o.kind = Kind::kFlag;
+  o.help = help;
+  options_[name] = o;
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::add_int(const std::string& name,
+                              std::int64_t default_value,
+                              const std::string& help) {
+  DPTD_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  Option o;
+  o.kind = Kind::kInt;
+  o.help = help;
+  o.int_value = default_value;
+  options_[name] = o;
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::add_double(const std::string& name, double default_value,
+                                 const std::string& help) {
+  DPTD_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  Option o;
+  o.kind = Kind::kDouble;
+  o.help = help;
+  o.double_value = default_value;
+  options_[name] = o;
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::add_string(const std::string& name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  DPTD_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  Option o;
+  o.kind = Kind::kString;
+  o.help = help;
+  o.string_value = default_value;
+  options_[name] = o;
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    DPTD_REQUIRE(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    DPTD_REQUIRE(it != options_.end(), "unknown option: --" + arg);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      DPTD_REQUIRE(!has_value, "flag --" + arg + " takes no value");
+      opt.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      DPTD_REQUIRE(i + 1 < argc, "option --" + arg + " requires a value");
+      value = argv[++i];
+    }
+    switch (opt.kind) {
+      case Kind::kInt:
+        DPTD_REQUIRE(parse_int(value, opt.int_value),
+                     "option --" + arg + ": expected integer, got " + value);
+        break;
+      case Kind::kDouble:
+        DPTD_REQUIRE(parse_double(value, opt.double_value),
+                     "option --" + arg + ": expected number, got " + value);
+        break;
+      case Kind::kString:
+        opt.string_value = value;
+        break;
+      case Kind::kFlag:
+        break;  // unreachable
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  DPTD_REQUIRE(it != options_.end(), "option not registered: " + name);
+  DPTD_REQUIRE(it->second.kind == kind, "option type mismatch: " + name);
+  return it->second;
+}
+
+CliParser::Option& CliParser::find(const std::string& name, Kind kind) {
+  return const_cast<Option&>(
+      static_cast<const CliParser*>(this)->find(name, kind));
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return find(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const std::string& name : order_) {
+    const Option& o = options_.at(name);
+    os << "  --" << name;
+    switch (o.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        os << "=<int> (default " << o.int_value << ")";
+        break;
+      case Kind::kDouble:
+        os << "=<num> (default " << o.double_value << ")";
+        break;
+      case Kind::kString:
+        os << "=<str> (default \"" << o.string_value << "\")";
+        break;
+    }
+    os << "\n      " << o.help << "\n";
+  }
+  os << "  --help\n      Print this message.\n";
+  return os.str();
+}
+
+}  // namespace dptd

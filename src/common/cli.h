@@ -1,0 +1,57 @@
+// Tiny declarative command-line parser for examples and benches.
+// Supports --flag, --key=value and --key value forms plus --help generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dptd {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registers an option with a default; returns *this for chaining.
+  CliParser& add_flag(const std::string& name, const std::string& help);
+  CliParser& add_int(const std::string& name, std::int64_t default_value,
+                     const std::string& help);
+  CliParser& add_double(const std::string& name, double default_value,
+                        const std::string& help);
+  CliParser& add_string(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed to
+  /// stdout). Throws std::invalid_argument on unknown/malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind = Kind::kFlag;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+  Option& find(const std::string& name, Kind kind);
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dptd

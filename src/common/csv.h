@@ -1,0 +1,38 @@
+// Small CSV reader/writer for dataset I/O and experiment output.
+// Supports quoting, embedded commas/quotes/newlines on write; the reader
+// handles quoted fields and CRLF.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dptd {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  void write_numeric_row(const std::vector<double>& values);
+
+  static std::string escape(const std::string& field);
+  static std::string format_double(double v);
+
+ private:
+  std::ostream* out_;
+};
+
+class CsvReader {
+ public:
+  /// Parses the full stream; throws std::invalid_argument on malformed input.
+  static std::vector<std::vector<std::string>> parse(std::istream& in);
+
+  /// Parses a single line (no embedded newlines).
+  static std::vector<std::string> parse_line(const std::string& line);
+};
+
+}  // namespace dptd

@@ -1,0 +1,140 @@
+#include "common/distributions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dptd {
+
+double uniform01(Rng& rng) {
+  // Top 53 bits -> [0, 1) with full double granularity.
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+double uniform01_open_left(Rng& rng) {
+  // (0, 1]: complement of [0,1) sample.
+  return 1.0 - uniform01(rng);
+}
+
+double uniform(Rng& rng, double lo, double hi) {
+  DPTD_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+std::uint64_t uniform_index(Rng& rng, std::uint64_t n) {
+  DPTD_REQUIRE(n > 0, "uniform_index: n must be positive");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = rng.next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double standard_normal(Rng& rng) {
+  // Marsaglia polar method; discards the spare for statelessness.
+  for (;;) {
+    const double u = 2.0 * uniform01(rng) - 1.0;
+    const double v = 2.0 * uniform01(rng) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double standard_normal_box_muller(Rng& rng) {
+  const double u1 = uniform01_open_left(rng);
+  const double u2 = uniform01(rng);
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double normal(Rng& rng, double mean, double stddev) {
+  DPTD_REQUIRE(stddev >= 0.0, "normal: stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return mean + stddev * standard_normal(rng);
+}
+
+double exponential(Rng& rng, double rate) {
+  DPTD_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+  return -std::log(uniform01_open_left(rng)) / rate;
+}
+
+double laplace(Rng& rng, double mu, double scale) {
+  DPTD_REQUIRE(scale > 0.0, "laplace: scale must be positive");
+  // Inversion: u ~ U(-1/2, 1/2), X = mu - b * sgn(u) * ln(1 - 2|u|).
+  const double u = uniform01(rng) - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return mu - scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double gamma(Rng& rng, double shape, double scale) {
+  DPTD_REQUIRE(shape > 0.0 && scale > 0.0,
+               "gamma: shape and scale must be positive");
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double u = uniform01_open_left(rng);
+    return gamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = standard_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform01_open_left(rng);
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool bernoulli(Rng& rng, double p) {
+  DPTD_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+  return uniform01(rng) < p;
+}
+
+std::size_t weighted_index(Rng& rng, const double* weights, std::size_t n) {
+  DPTD_REQUIRE(n > 0, "weighted_index: empty weights");
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DPTD_REQUIRE(weights[i] >= 0.0, "weighted_index: negative weight");
+    total += weights[i];
+  }
+  DPTD_REQUIRE(total > 0.0, "weighted_index: all weights are zero");
+  double target = uniform01(rng) * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return n - 1;  // Floating-point slack lands on the last bucket.
+}
+
+double GaussianSampler::operator()(double mean, double stddev) {
+  DPTD_REQUIRE(stddev >= 0.0, "GaussianSampler: stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  for (;;) {
+    const double u = 2.0 * uniform01(rng_) - 1.0;
+    const double v = 2.0 * uniform01(rng_) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double m = std::sqrt(-2.0 * std::log(s) / s);
+      spare_ = v * m;
+      has_spare_ = true;
+      return mean + stddev * (u * m);
+    }
+  }
+}
+
+}  // namespace dptd

@@ -1,0 +1,69 @@
+// Manual distribution samplers over dptd::Rng.
+//
+// The privacy mechanism's noise path must be reproducible bit-for-bit from a
+// seed, so every sampler here is implemented by hand (no <random>
+// distributions, whose algorithms are implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace dptd {
+
+/// Uniform double in [0, 1) with 53 random bits.
+double uniform01(Rng& rng);
+
+/// Uniform double in (0, 1]; never returns 0 (safe for log()).
+double uniform01_open_left(Rng& rng);
+
+/// Uniform double in [lo, hi).
+double uniform(Rng& rng, double lo, double hi);
+
+/// Uniform integer in [0, n). Unbiased (rejection on the tail).
+std::uint64_t uniform_index(Rng& rng, std::uint64_t n);
+
+/// Standard normal via Marsaglia polar method (default normal sampler).
+double standard_normal(Rng& rng);
+
+/// Standard normal via Box–Muller; retained for cross-validation tests.
+double standard_normal_box_muller(Rng& rng);
+
+/// N(mean, stddev^2). `stddev >= 0`; stddev == 0 returns `mean` exactly.
+double normal(Rng& rng, double mean, double stddev);
+
+/// Exponential with *rate* lambda (mean 1/lambda) via inversion.
+double exponential(Rng& rng, double rate);
+
+/// Laplace(mu, b) via inversion; the classical eps-LDP baseline noise.
+double laplace(Rng& rng, double mu, double scale);
+
+/// Gamma(shape k, scale theta) via Marsaglia–Tsang (k >= 1) with the usual
+/// boost for k < 1. Used to sample sums-of-exponentials in tests.
+double gamma(Rng& rng, double shape, double scale);
+
+/// Bernoulli(p).
+bool bernoulli(Rng& rng, double p);
+
+/// Samples an integer from {0,..,n-1} with the given (unnormalized,
+/// non-negative) weights. O(n); used in adversary/workload models.
+std::size_t weighted_index(Rng& rng, const double* weights, std::size_t n);
+
+/// Stateful Gaussian sampler that caches the spare variate from the polar
+/// method; exactly reproduces repeated standard_normal() calls is NOT the
+/// goal — this is the fast path for bulk noise generation.
+class GaussianSampler {
+ public:
+  explicit GaussianSampler(Rng rng) : rng_(rng) {}
+
+  double operator()(double mean, double stddev);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace dptd

@@ -1,0 +1,153 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dptd {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  DPTD_CHECK(stack_.empty() || stack_.back() == Scope::kArray,
+             "JSON: value inside an object requires key()");
+  DPTD_CHECK(!(stack_.empty() && wrote_root_), "JSON: multiple root values");
+  if (!stack_.empty()) {
+    if (!first_in_scope_.back()) *out_ << ',';
+    first_in_scope_.back() = false;
+  }
+  if (stack_.empty()) wrote_root_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  *out_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DPTD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+             "JSON: end_object without matching begin_object");
+  DPTD_CHECK(!expecting_value_, "JSON: key without value");
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  *out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  *out_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DPTD_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+             "JSON: end_array without matching begin_array");
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  DPTD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+             "JSON: key() outside an object");
+  DPTD_CHECK(!expecting_value_, "JSON: consecutive keys");
+  if (!first_in_scope_.back()) *out_ << ',';
+  first_in_scope_.back() = false;
+  *out_ << '"' << escape(k) << "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  *out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out_ << buf;
+  } else {
+    *out_ << "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  before_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  *out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *out_ << "null";
+  return *this;
+}
+
+bool JsonWriter::complete() const {
+  return stack_.empty() && wrote_root_ && !expecting_value_;
+}
+
+}  // namespace dptd

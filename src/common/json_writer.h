@@ -1,0 +1,47 @@
+// Minimal streaming JSON writer for experiment artifacts. Supports objects,
+// arrays, strings, numbers and booleans; validates nesting at runtime.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dptd {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Inside an object: writes the key; must be followed by exactly one value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True once all opened scopes are closed and at least one value written.
+  bool complete() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+
+  std::ostream* out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;  // set after key()
+  bool wrote_root_ = false;
+};
+
+}  // namespace dptd

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe, writes to stderr; level settable via
+// code or the DPTD_LOG_LEVEL environment variable (trace|debug|info|warn|
+// error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dptd {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "info" etc.; unknown strings map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// RAII line builder: LogLine(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace dptd
+
+#define DPTD_LOG_TRACE ::dptd::LogLine(::dptd::LogLevel::kTrace)
+#define DPTD_LOG_DEBUG ::dptd::LogLine(::dptd::LogLevel::kDebug)
+#define DPTD_LOG_INFO ::dptd::LogLine(::dptd::LogLevel::kInfo)
+#define DPTD_LOG_WARN ::dptd::LogLine(::dptd::LogLevel::kWarn)
+#define DPTD_LOG_ERROR ::dptd::LogLine(::dptd::LogLevel::kError)

@@ -1,0 +1,124 @@
+#include "common/quadrature.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dptd {
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, tol / 2.0, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, tol / 2.0, depth - 1);
+}
+
+// 16-point Gauss–Legendre nodes/weights on [-1, 1] (symmetric half listed).
+constexpr std::array<double, 8> kGl16X = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr std::array<double, 8> kGl16W = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+// 32-point rule.
+constexpr std::array<double, 16> kGl32X = {
+    0.0483076656877383, 0.1444719615827965, 0.2392873622521371,
+    0.3318686022821277, 0.4213512761306353, 0.5068999089322294,
+    0.5877157572407623, 0.6630442669302152, 0.7321821187402897,
+    0.7944837959679424, 0.8493676137325700, 0.8963211557660521,
+    0.9349060759377397, 0.9647622555875064, 0.9856115115452684,
+    0.9972638618494816};
+constexpr std::array<double, 16> kGl32W = {
+    0.0965400885147278, 0.0956387200792749, 0.0938443990808046,
+    0.0911738786957639, 0.0876520930044038, 0.0833119242269467,
+    0.0781938957870703, 0.0723457941088485, 0.0658222227763618,
+    0.0586840934785355, 0.0509980592623762, 0.0428358980222267,
+    0.0342738629130214, 0.0253920653092621, 0.0162743947309057,
+    0.0070186100094701};
+
+// 8-point rule.
+constexpr std::array<double, 4> kGl8X = {0.1834346424956498, 0.5255324099163290,
+                                         0.7966664774136267,
+                                         0.9602898564975363};
+constexpr std::array<double, 4> kGl8W = {0.3626837833783620, 0.3137066458778873,
+                                         0.2223810344533745,
+                                         0.1012285362903763};
+
+template <std::size_t K>
+double gl(const std::function<double(double)>& f, double a, double b,
+          const std::array<double, K>& xs, const std::array<double, K>& ws) {
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < K; ++i) {
+    sum += ws[i] * (f(c + h * xs[i]) + f(c - h * xs[i]));
+  }
+  return h * sum;
+}
+
+}  // namespace
+
+double integrate_adaptive_simpson(const std::function<double(double)>& f,
+                                  double a, double b, double tol,
+                                  int max_depth) {
+  DPTD_REQUIRE(a <= b, "integrate: a must be <= b");
+  DPTD_REQUIRE(tol > 0.0, "integrate: tol must be positive");
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double tol) {
+  // x = a + t/(1-t), dx = dt/(1-t)^2, t in [0,1).
+  const auto g = [&f, a](double t) {
+    const double om = 1.0 - t;
+    const double x = a + t / om;
+    return f(x) / (om * om);
+  };
+  // Stop slightly short of 1 (x_max ~ 1e7); the integrand must decay fast
+  // enough that the missing tail is below tol (true for the
+  // exponential-tailed densities this is used on).
+  return integrate_adaptive_simpson(g, 0.0, 1.0 - 1e-7, tol);
+}
+
+double integrate_gauss_legendre(const std::function<double(double)>& f,
+                                double a, double b, int order) {
+  DPTD_REQUIRE(a <= b, "integrate: a must be <= b");
+  switch (order) {
+    case 8:
+      return gl(f, a, b, kGl8X, kGl8W);
+    case 16:
+      return gl(f, a, b, kGl16X, kGl16W);
+    case 32:
+      return gl(f, a, b, kGl32X, kGl32W);
+    default:
+      DPTD_REQUIRE(false, "integrate_gauss_legendre: order must be 8/16/32");
+      return 0.0;
+  }
+}
+
+}  // namespace dptd

@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+namespace dptd {
+
+void Xoshiro256StarStar::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::split(std::uint64_t stream_id) const {
+  // Mix the current state with the stream id through SplitMix64 so distinct
+  // ids give statistically independent generators.
+  SplitMix64 sm(state_[0] ^ (state_[3] * 0x9e3779b97f4a7c15ULL) ^
+                (stream_id + 0x243f6a8885a308d3ULL));
+  Xoshiro256StarStar child(sm.next());
+  return child;
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  SplitMix64 sm(root);
+  std::uint64_t h = sm.next();
+  h ^= SplitMix64(a ^ 0x2545f4914f6cdd1dULL).next();
+  h = (h ^ (h >> 29)) * 0xff51afd7ed558ccdULL;
+  h ^= SplitMix64(b ^ 0x9e3779b97f4a7c15ULL).next();
+  h = (h ^ (h >> 32)) * 0xc4ceb9fe1a85ec53ULL;
+  h ^= SplitMix64(c ^ 0x452821e638d01377ULL).next();
+  return h ^ (h >> 31);
+}
+
+}  // namespace dptd

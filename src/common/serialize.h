@@ -1,0 +1,65 @@
+// Compact binary wire format for the simulated crowd sensing protocol:
+// little-endian fixed-width ints, LEB128 varints with zigzag for signed,
+// IEEE-754 doubles, length-prefixed strings/vectors.
+//
+// Decoding is defensive: malformed input throws DecodeError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dptd {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Encoder {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_varint(std::uint64_t v);
+  void write_signed_varint(std::int64_t v);  // zigzag
+  void write_double(double v);
+  void write_string(const std::string& s);
+  void write_doubles(std::span<const double> xs);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::uint64_t read_varint();
+  std::int64_t read_signed_varint();
+  double read_double();
+  std::string read_string();
+  std::vector<double> read_doubles();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dptd

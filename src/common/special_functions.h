@@ -1,0 +1,31 @@
+// Special functions needed by the theory module: normal CDF / quantile,
+// chi-squared quantile (for the CATD extension), and Gaussian tail bounds.
+#pragma once
+
+namespace dptd {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Standard normal CDF via erfc (double precision accurate).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF. Acklam's rational approximation refined by a
+/// single Halley step; |error| < 1e-12 on (0,1).
+double normal_quantile(double p);
+
+/// Upper-tail quantile of the chi-squared distribution with `dof` degrees of
+/// freedom at level `p` (i.e. returns x with P[X > x] = p) via the
+/// Wilson–Hilferty cube approximation + Newton polish on the regularized
+/// gamma CDF.
+double chi_squared_quantile(double p_upper, double dof);
+
+/// Regularized lower incomplete gamma P(a, x), by series / continued fraction
+/// (Numerical Recipes style). Needed for chi-squared CDF.
+double regularized_gamma_p(double a, double x);
+
+/// One-sided Gaussian tail bound used in Lemma 4.7:
+///   P[|Z| > b] <= 2 e^{-b^2/2} / b   for Z ~ N(0,1), b > 0.
+double gaussian_tail_bound(double b);
+
+}  // namespace dptd

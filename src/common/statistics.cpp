@@ -1,0 +1,196 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dptd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  DPTD_REQUIRE(n_ > 0, "RunningStats::mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  DPTD_REQUIRE(n_ > 0, "RunningStats::min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  DPTD_REQUIRE(n_ > 0, "RunningStats::max on empty accumulator");
+  return max_;
+}
+
+double mean(std::span<const double> xs) {
+  DPTD_REQUIRE(!xs.empty(), "mean: empty input");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.variance();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  DPTD_REQUIRE(!xs.empty(), "median: empty input");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  DPTD_REQUIRE(!xs.empty(), "quantile: empty input");
+  DPTD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  DPTD_REQUIRE(xs.size() == ws.size(), "weighted_mean: size mismatch");
+  DPTD_REQUIRE(!xs.empty(), "weighted_mean: empty input");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    DPTD_REQUIRE(ws[i] >= 0.0, "weighted_mean: negative weight");
+    num += ws[i] * xs[i];
+    den += ws[i];
+  }
+  DPTD_REQUIRE(den > 0.0, "weighted_mean: all weights are zero");
+  return num / den;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  DPTD_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+               "pearson: need >= 2 paired samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  DPTD_REQUIRE(sxx > 0.0 && syy > 0.0, "pearson: zero-variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    const double avg =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  DPTD_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+               "spearman: need >= 2 paired samples");
+  const std::vector<double> rx = average_ranks(xs);
+  const std::vector<double> ry = average_ranks(ys);
+  return pearson_correlation(rx, ry);
+}
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) {
+  DPTD_REQUIRE(a.size() == b.size() && !a.empty(),
+               "mean_absolute_error: size mismatch or empty");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double root_mean_squared_error(std::span<const double> a,
+                               std::span<const double> b) {
+  DPTD_REQUIRE(a.size() == b.size() && !a.empty(),
+               "root_mean_squared_error: size mismatch or empty");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double max_absolute_error(std::span<const double> a,
+                          std::span<const double> b) {
+  DPTD_REQUIRE(a.size() == b.size() && !a.empty(),
+               "max_absolute_error: size mismatch or empty");
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+}  // namespace dptd

@@ -1,0 +1,71 @@
+// Descriptive statistics used throughout data generation, truth discovery and
+// evaluation. All functions are missing-data agnostic: callers pass only the
+// present values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dptd {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance, n-1
+double stddev(std::span<const double> xs);
+
+/// Median by nth_element (copies the input).
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Weighted arithmetic mean; weights must be non-negative, not all zero.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Pearson correlation coefficient; requires |xs| == |ys| >= 2.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys);
+
+/// Mean absolute deviation between two equal-length vectors (the paper's MAE
+/// utility metric between aggregates on original vs perturbed data).
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Root mean squared error between two equal-length vectors.
+double root_mean_squared_error(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Maximum absolute componentwise difference.
+double max_absolute_error(std::span<const double> a,
+                          std::span<const double> b);
+
+/// Ranks with ties averaged, 1-based; helper exposed for tests.
+std::vector<double> average_ranks(std::span<const double> xs);
+
+}  // namespace dptd

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a parallel_for helper used by the experiment
+// sweeps. Exceptions thrown by tasks are captured and rethrown to the caller
+// of parallel_for (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dptd {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks may not touch the pool itself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs f(i) for i in [0, n) across the pool; rethrows the first exception.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& f);
+
+}  // namespace dptd

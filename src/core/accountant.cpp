@@ -1,0 +1,77 @@
+#include "core/accountant.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/bounds.h"
+
+namespace dptd::core {
+namespace {
+
+void check_privacy(const PrivacyTarget& target) {
+  DPTD_REQUIRE(target.epsilon > 0.0, "PrivacyTarget: epsilon must be positive");
+  DPTD_REQUIRE(target.delta > 0.0 && target.delta < 1.0,
+               "PrivacyTarget: delta must be in (0,1)");
+}
+
+}  // namespace
+
+double min_noise_level_for_privacy(const PrivacyTarget& target, double lambda1,
+                                   double sensitivity) {
+  check_privacy(target);
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(sensitivity > 0.0, "sensitivity must be positive");
+  const double log_term = std::log(1.0 / (1.0 - target.delta));
+  return lambda1 * sensitivity * sensitivity /
+         (2.0 * target.epsilon * log_term);
+}
+
+double min_noise_level_for_privacy(const PrivacyTarget& target, double lambda1,
+                                   const SensitivityParams& params) {
+  return min_noise_level_for_privacy(target, lambda1,
+                                     sensitivity_bound(lambda1, params));
+}
+
+double achieved_epsilon(double c, double lambda1, double sensitivity,
+                        double delta) {
+  DPTD_REQUIRE(c > 0.0, "c must be positive");
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(sensitivity > 0.0, "sensitivity must be positive");
+  DPTD_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double log_term = std::log(1.0 / (1.0 - delta));
+  return lambda1 * sensitivity * sensitivity / (2.0 * c * log_term);
+}
+
+double max_noise_level_for_utility(const UtilityTarget& target, double lambda1,
+                                   std::size_t num_users) {
+  DPTD_REQUIRE(target.alpha > 0.0, "UtilityTarget: alpha must be positive");
+  DPTD_REQUIRE(target.beta >= 0.0 && target.beta <= 1.0,
+               "UtilityTarget: beta must be in [0,1]");
+  return utility_noise_upper_bound(lambda1, target.alpha, target.beta,
+                                   num_users);
+}
+
+NoiseWindow feasible_noise_window(const UtilityTarget& utility,
+                                  const PrivacyTarget& privacy, double lambda1,
+                                  std::size_t num_users,
+                                  const SensitivityParams& params) {
+  NoiseWindow window;
+  window.c_min = min_noise_level_for_privacy(privacy, lambda1, params);
+  window.c_max = max_noise_level_for_utility(utility, lambda1, num_users);
+  window.feasible = window.c_max > 0.0 && window.c_min <= window.c_max;
+  return window;
+}
+
+double lambda2_for_noise_level(double c, double lambda1) {
+  DPTD_REQUIRE(c > 0.0, "c must be positive");
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  return lambda1 / c;
+}
+
+double noise_level_for_lambda2(double lambda2, double lambda1) {
+  DPTD_REQUIRE(lambda2 > 0.0, "lambda2 must be positive");
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  return lambda1 / lambda2;
+}
+
+}  // namespace dptd::core

@@ -1,0 +1,140 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/quadrature.h"
+
+namespace dptd::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSqrt2 = 1.41421356237309504880;
+
+void check_rates(double lambda1, double lambda2) {
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(lambda2 > 0.0, "lambda2 must be positive");
+}
+
+}  // namespace
+
+double sum_variance_pdf(double t, double lambda1, double lambda2) {
+  check_rates(lambda1, lambda2);
+  if (t < 0.0) return 0.0;
+  // Convolution of Gamma(2, 1/l1) with Exp(1/l2), a = l1 - l2. The textbook
+  // form e^{-l2 t}(1 - e^{-a t}(1 + a t))/a^2 overflows for a < 0 at large t
+  // and cancels catastrophically for small |a|; rewrite with both
+  // exponentials decaying:
+  //   f(t) = l1^2 l2 / a^2 * e^{-l1 t} * (expm1(a t) - a t),
+  // and use the Taylor series of (expm1(u) - u) = u^2/2 (1 + u/3 + u^2/12 +
+  // ...) when |u| is small (covers a -> 0, i.e. c -> 1, smoothly).
+  const double a = lambda1 - lambda2;
+  const double u = a * t;
+  const double decay = std::exp(-lambda1 * t);
+  double value = 0.0;
+  if (std::abs(u) < 1e-5) {
+    // (expm1(u) - u)/a^2 = t^2/2 * (1 + u/3 + u^2/12 + u^3/60).
+    const double series =
+        0.5 * t * t * (1.0 + u / 3.0 + u * u / 12.0 + u * u * u / 60.0);
+    value = lambda1 * lambda1 * lambda2 * decay * series;
+  } else if (u > 700.0) {
+    // expm1(u) would overflow; expand e^{-l1 t} expm1(u) = e^{-l2 t} -
+    // e^{-l1 t}, every term decaying.
+    value = lambda1 * lambda1 * lambda2 *
+            (std::exp(-lambda2 * t) - decay - u * decay) / (a * a);
+  } else {
+    value = lambda1 * lambda1 * lambda2 * decay * (std::expm1(u) - u) /
+            (a * a);
+  }
+  // Floating-point slack can produce tiny negatives near t = 0.
+  return std::max(value, 0.0);
+}
+
+double expected_y(double lambda1, double lambda2) {
+  check_rates(lambda1, lambda2);
+  const auto integrand = [lambda1, lambda2](double t) {
+    return std::sqrt(t) * sum_variance_pdf(t, lambda1, lambda2);
+  };
+  return integrate_to_infinity(integrand, 0.0, 1e-10);
+}
+
+double expected_y_squared(double lambda1, double lambda2) {
+  check_rates(lambda1, lambda2);
+  return (2.0 * lambda2 + lambda1) / (lambda1 * lambda2);
+}
+
+double variance_y(double lambda1, double lambda2) {
+  const double ey = expected_y(lambda1, lambda2);
+  return expected_y_squared(lambda1, lambda2) - ey * ey;
+}
+
+double expected_y_c1(double lambda1) {
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  return (15.0 / 16.0) * std::sqrt(kPi / lambda1);
+}
+
+double utility_probability_bound(double alpha, double lambda1, double lambda2,
+                                 std::size_t num_users) {
+  DPTD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  DPTD_REQUIRE(num_users > 0, "num_users must be positive");
+  check_rates(lambda1, lambda2);
+  const double s = static_cast<double>(num_users);
+  const double var_term = 16.0 * std::sqrt(2.0 / kPi) *
+                          variance_y(lambda1, lambda2) / (s * s * alpha * alpha);
+  const double mean_term =
+      std::sqrt(2.0 / kPi) * expected_y(lambda1, lambda2) >= alpha / 2.0 ? 1.0
+                                                                         : 0.0;
+  return std::min(1.0, var_term + mean_term);
+}
+
+double utility_noise_upper_bound(double lambda1, double alpha, double beta,
+                                 std::size_t num_users) {
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  DPTD_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
+  DPTD_REQUIRE(num_users > 0, "num_users must be positive");
+  const double s = static_cast<double>(num_users);
+  // Eq. (15).
+  return lambda1 * std::sqrt(kPi) *
+             (alpha * alpha * beta * s * s / (4.0 * kSqrt2) +
+              alpha * alpha * std::sqrt(kPi) / 8.0 + alpha +
+              2.0 / std::sqrt(kPi)) -
+         2.0;
+}
+
+double alpha_threshold(double lambda1, double c) {
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(c > 0.0, "c must be positive");
+  if (c < 1.0) {
+    // Paper's printed closed form (Theorem 4.3). Near c = 1 its bracketed
+    // factor goes negative (a symptom of the paper's E(Y) typo), which would
+    // make the threshold vacuous; fall through to the exact form then.
+    const double sc = std::sqrt(c);
+    const double printed = 2.0 * kSqrt2 / std::sqrt(lambda1 * (1.0 - c)) *
+                           (0.75 - c * (c + sc + 1.0) / (kSqrt2 * (1.0 + sc)));
+    if (printed > 0.0) return printed;
+  }
+  // Exact requirement from the proof: alpha > 2 sqrt(2/pi) * E(Y).
+  const double lambda2 = lambda1 / c;
+  return 2.0 * kSqrt2 / std::sqrt(kPi) * expected_y(lambda1, lambda2);
+}
+
+double alpha_threshold_c1(double lambda1) {
+  // 2 sqrt2/sqrt(pi) * (15/16) sqrt(pi/lambda1) = (15/8) sqrt(2/lambda1).
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  return (15.0 / 8.0) * std::sqrt(2.0 / lambda1);
+}
+
+double utility_probability_bound_c1(double alpha, double lambda1,
+                                    std::size_t num_users) {
+  DPTD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  DPTD_REQUIRE(lambda1 > 0.0, "lambda1 must be positive");
+  DPTD_REQUIRE(num_users > 0, "num_users must be positive");
+  const double s = static_cast<double>(num_users);
+  // Var(Y) at c = 1: E[Y^2] - E[Y]^2 = 3/l1 - (225 pi/256)/l1.
+  const double var_y = (3.0 - 225.0 * kPi / 256.0) / lambda1;
+  return std::min(1.0,
+                  16.0 * std::sqrt(2.0 / kPi) * var_y / (s * s * alpha * alpha));
+}
+
+}  // namespace dptd::core

@@ -1,0 +1,100 @@
+#include "core/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dptd::core {
+namespace {
+
+struct Histograms {
+  std::vector<double> p1;  // normalized bin masses for M(x1)
+  std::vector<double> p2;  // for M(x2)
+};
+
+Histograms build_histograms(const LocalMechanism& mechanism,
+                            const EmpiricalLdpConfig& config) {
+  DPTD_REQUIRE(config.samples > 1000,
+               "EmpiricalLdp: need at least 1000 samples");
+  DPTD_REQUIRE(config.bins >= 10, "EmpiricalLdp: need at least 10 bins");
+  DPTD_REQUIRE(config.x1 != config.x2, "EmpiricalLdp: inputs must differ");
+
+  Rng rng1(derive_seed(config.seed, 1));
+  Rng rng2(derive_seed(config.seed, 2));
+
+  std::vector<double> s1(config.samples);
+  std::vector<double> s2(config.samples);
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    s1[i] = mechanism.sample_fresh(config.x1, rng1);
+    s2[i] = mechanism.sample_fresh(config.x2, rng2);
+  }
+
+  const auto [lo1, hi1] = std::minmax_element(s1.begin(), s1.end());
+  const auto [lo2, hi2] = std::minmax_element(s2.begin(), s2.end());
+  const double lo = std::min(*lo1, *lo2);
+  const double hi = std::max(*hi1, *hi2);
+  const double width = (hi - lo) > 0 ? (hi - lo) : 1.0;
+
+  Histograms h;
+  h.p1.assign(config.bins, 0.0);
+  h.p2.assign(config.bins, 0.0);
+  const auto bin_of = [&](double x) {
+    auto b = static_cast<std::size_t>((x - lo) / width *
+                                      static_cast<double>(config.bins));
+    return std::min(b, config.bins - 1);
+  };
+  const double unit = 1.0 / static_cast<double>(config.samples);
+  for (double x : s1) h.p1[bin_of(x)] += unit;
+  for (double x : s2) h.p2[bin_of(x)] += unit;
+  return h;
+}
+
+double delta_for(const Histograms& h, double eps) {
+  const double boost = std::exp(eps);
+  double d12 = 0.0;
+  double d21 = 0.0;
+  for (std::size_t i = 0; i < h.p1.size(); ++i) {
+    d12 += std::max(0.0, h.p1[i] - boost * h.p2[i]);
+    d21 += std::max(0.0, h.p2[i] - boost * h.p1[i]);
+  }
+  return std::max(d12, d21);
+}
+
+}  // namespace
+
+std::vector<double> estimate_delta_curve(const LocalMechanism& mechanism,
+                                         std::span<const double> epsilons,
+                                         const EmpiricalLdpConfig& config) {
+  const Histograms h = build_histograms(mechanism, config);
+  std::vector<double> out;
+  out.reserve(epsilons.size());
+  for (double eps : epsilons) {
+    DPTD_REQUIRE(eps >= 0.0, "estimate_delta_curve: eps must be >= 0");
+    out.push_back(delta_for(h, eps));
+  }
+  return out;
+}
+
+double estimate_epsilon(const LocalMechanism& mechanism, double delta,
+                        const EmpiricalLdpConfig& config, double lo,
+                        double hi) {
+  DPTD_REQUIRE(delta > 0.0 && delta < 1.0,
+               "estimate_epsilon: delta must be in (0,1)");
+  DPTD_REQUIRE(lo > 0.0 && lo < hi, "estimate_epsilon: need 0 < lo < hi");
+  const Histograms h = build_histograms(mechanism, config);
+  if (delta_for(h, hi) > delta) return hi;
+  if (delta_for(h, lo) <= delta) return lo;
+  // delta_for is non-increasing in eps; bisect.
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (delta_for(h, mid) <= delta) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dptd::core

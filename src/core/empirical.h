@@ -1,0 +1,39 @@
+// Empirical (eps, delta)-LDP estimation by Monte-Carlo histogram comparison.
+//
+// For two inputs x1 != x2, Definition 4.5 requires
+//   Pr{M(x1) in S} <= e^eps Pr{M(x2) in S} + delta   for every S.
+// Over a binned output space the worst S is exactly the union of bins where
+// p1 > e^eps p2, so
+//   delta_hat(eps) = max over directions of  sum_bins max(0, p_a - e^eps p_b).
+// This is the standard estimator for perturbation mechanisms; it converges
+// from below as samples -> inf and bins -> inf.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mechanism.h"
+
+namespace dptd::core {
+
+struct EmpiricalLdpConfig {
+  double x1 = 0.0;                 ///< first input
+  double x2 = 1.0;                 ///< second input (|x1-x2| = sensitivity probed)
+  std::size_t samples = 200'000;   ///< Monte-Carlo draws per input
+  std::size_t bins = 400;          ///< histogram resolution
+  std::uint64_t seed = 99;
+};
+
+/// delta_hat(eps) for each eps in `epsilons` (same order).
+std::vector<double> estimate_delta_curve(const LocalMechanism& mechanism,
+                                         std::span<const double> epsilons,
+                                         const EmpiricalLdpConfig& config);
+
+/// Smallest eps (within [lo, hi], via bisection on the delta curve) whose
+/// estimated delta_hat is <= `delta`. Returns `hi` if even eps = hi fails.
+double estimate_epsilon(const LocalMechanism& mechanism, double delta,
+                        const EmpiricalLdpConfig& config, double lo = 1e-3,
+                        double hi = 20.0);
+
+}  // namespace dptd::core

@@ -1,0 +1,48 @@
+#include "core/pipeline.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "truth/registry.h"
+
+namespace dptd::core {
+
+PipelineResult run_private_truth_discovery(const data::Dataset& dataset,
+                                           const LocalMechanism& mechanism,
+                                           const truth::TruthDiscovery& method) {
+  dataset.validate();
+
+  PipelineResult result;
+  result.original = method.run(dataset.observations);
+
+  PerturbationOutcome outcome = mechanism.perturb(dataset.observations);
+  result.report = std::move(outcome.report);
+  result.perturbed = method.run(outcome.perturbed);
+
+  result.utility_mae =
+      mean_absolute_error(result.original.truths, result.perturbed.truths);
+  result.utility_rmse =
+      root_mean_squared_error(result.original.truths, result.perturbed.truths);
+
+  if (dataset.has_ground_truth()) {
+    result.truth_mae_original =
+        mean_absolute_error(result.original.truths, dataset.ground_truth);
+    result.truth_mae_perturbed =
+        mean_absolute_error(result.perturbed.truths, dataset.ground_truth);
+  } else {
+    result.truth_mae_original = std::numeric_limits<double>::quiet_NaN();
+    result.truth_mae_perturbed = std::numeric_limits<double>::quiet_NaN();
+  }
+  return result;
+}
+
+PipelineResult run_private_truth_discovery(const data::Dataset& dataset,
+                                           const PipelineConfig& config) {
+  const UserSampledGaussianMechanism mechanism(
+      {.lambda2 = config.lambda2, .seed = config.seed});
+  const auto method = truth::make_method(config.method, config.convergence);
+  return run_private_truth_discovery(dataset, mechanism, *method);
+}
+
+}  // namespace dptd::core

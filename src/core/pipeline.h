@@ -1,0 +1,51 @@
+// End-to-end Algorithm 2: perturb a dataset with a local mechanism, run a
+// truth-discovery method on both the original and the perturbed data, and
+// report the paper's utility metric MAE( A(D), A(M(D)) ) plus ground-truth
+// errors when available.
+//
+// This is the single-process reference implementation; the message-passing
+// version over the simulated crowd sensing system lives in dptd::crowd.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mechanism.h"
+#include "data/dataset.h"
+#include "truth/interface.h"
+
+namespace dptd::core {
+
+struct PipelineConfig {
+  /// Server-released hyper-parameter of the mechanism (Algorithm 2, line 3).
+  double lambda2 = 1.0;
+  /// Truth-discovery method name understood by truth::make_method.
+  std::string method = "crh";
+  truth::ConvergenceCriteria convergence;
+  std::uint64_t seed = 7;
+};
+
+struct PipelineResult {
+  truth::Result original;       ///< A(D)
+  truth::Result perturbed;      ///< A(M(D))
+  PerturbationReport report;    ///< what noise was injected
+
+  /// The paper's utility metric: (1/N) sum_n |x*_n - xhat*_n|.
+  double utility_mae = 0.0;
+  double utility_rmse = 0.0;
+
+  /// Errors vs ground truth (NaN when the dataset has none).
+  double truth_mae_original = 0.0;
+  double truth_mae_perturbed = 0.0;
+};
+
+/// Runs Algorithm 2 with the paper's user-sampled Gaussian mechanism.
+PipelineResult run_private_truth_discovery(const data::Dataset& dataset,
+                                           const PipelineConfig& config);
+
+/// Same, with an explicit mechanism and method (for ablations).
+PipelineResult run_private_truth_discovery(
+    const data::Dataset& dataset, const LocalMechanism& mechanism,
+    const truth::TruthDiscovery& method);
+
+}  // namespace dptd::core

@@ -1,0 +1,58 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/special_functions.h"
+
+namespace dptd::core {
+
+double gamma_s(const SensitivityParams& params) {
+  DPTD_REQUIRE(params.b > 0.0, "SensitivityParams: b must be positive");
+  DPTD_REQUIRE(params.eta > 0.0 && params.eta < 1.0,
+               "SensitivityParams: eta must be in (0,1)");
+  return params.b * std::sqrt(2.0 * std::log(1.0 / (1.0 - params.eta)));
+}
+
+double sensitivity_bound(double lambda1, const SensitivityParams& params) {
+  DPTD_REQUIRE(lambda1 > 0.0, "sensitivity_bound: lambda1 must be positive");
+  return gamma_s(params) / lambda1;
+}
+
+double sensitivity_bound_confidence(const SensitivityParams& params) {
+  DPTD_REQUIRE(params.b > 0.0, "SensitivityParams: b must be positive");
+  DPTD_REQUIRE(params.eta > 0.0 && params.eta < 1.0,
+               "SensitivityParams: eta must be in (0,1)");
+  const double tail = gaussian_tail_bound(params.b);
+  return params.eta * std::max(0.0, 1.0 - tail);
+}
+
+std::vector<double> empirical_sensitivity(const data::ObservationMatrix& obs) {
+  std::vector<double> lo(obs.num_users(), 0.0);
+  std::vector<double> hi(obs.num_users(), 0.0);
+  std::vector<std::size_t> counts(obs.num_users(), 0);
+  obs.for_each([&](std::size_t s, std::size_t, double v) {
+    if (counts[s] == 0) {
+      lo[s] = hi[s] = v;
+    } else {
+      lo[s] = std::min(lo[s], v);
+      hi[s] = std::max(hi[s], v);
+    }
+    ++counts[s];
+  });
+  std::vector<double> out(obs.num_users(), 0.0);
+  for (std::size_t s = 0; s < obs.num_users(); ++s) {
+    if (counts[s] >= 2) out[s] = hi[s] - lo[s];
+  }
+  return out;
+}
+
+double max_empirical_sensitivity(const data::ObservationMatrix& obs) {
+  const std::vector<double> all = empirical_sensitivity(obs);
+  double mx = 0.0;
+  for (double d : all) mx = std::max(mx, d);
+  return mx;
+}
+
+}  // namespace dptd::core

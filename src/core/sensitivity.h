@@ -1,0 +1,43 @@
+// Sensitive information (paper Definition 4.6) and its high-probability bound
+// in terms of lambda1 (Lemma 4.7).
+//
+//   Delta_s = max_{x1,x2 claimed by user s for the same object} |x1 - x2|
+//
+// Lemma 4.7: with gamma_s = b * sqrt(2 ln(1/(1-eta))),
+//   Delta_s <= gamma_s / lambda1 with probability >= eta (1 - 2 e^{-b^2/2}/b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dptd::core {
+
+/// Lemma 4.7 parameters. Defaults (b = 3, eta = 0.95) give a ~98.7% Gaussian
+/// tail capture and a 95% variance cap — reasonable for experiments.
+struct SensitivityParams {
+  double b = 3.0;
+  double eta = 0.95;
+};
+
+/// gamma_s = b * sqrt(2 ln(1/(1 - eta))).
+double gamma_s(const SensitivityParams& params);
+
+/// Lemma 4.7 upper bound on Delta_s: gamma_s / lambda1.
+double sensitivity_bound(double lambda1, const SensitivityParams& params);
+
+/// The probability with which the Lemma 4.7 bound holds:
+/// eta * (1 - 2 e^{-b^2/2} / b).
+double sensitivity_bound_confidence(const SensitivityParams& params);
+
+/// Empirical per-user sensitivity from data: the range (max - min) of the
+/// values the user claimed. Matches Definition 4.6 when each user makes one
+/// claim per object: the worst-case pair of claims the user could swap.
+/// Users with < 2 claims get 0.
+std::vector<double> empirical_sensitivity(const data::ObservationMatrix& obs);
+
+/// Largest empirical per-user sensitivity over all users.
+double max_empirical_sensitivity(const data::ObservationMatrix& obs);
+
+}  // namespace dptd::core

@@ -1,0 +1,82 @@
+#include "crowd/campaign.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "common/statistics.h"
+#include "truth/registry.h"
+
+namespace dptd::crowd {
+
+double CampaignResult::mean_mae_vs_truth() const {
+  RunningStats stats;
+  for (const RoundRecord& record : rounds) {
+    if (std::isfinite(record.mae_vs_truth)) stats.add(record.mae_vs_truth);
+  }
+  return stats.count() > 0 ? stats.mean()
+                           : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::size_t CampaignResult::total_reports() const {
+  std::size_t total = 0;
+  for (const RoundRecord& record : rounds) total += record.reports_received;
+  return total;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  DPTD_REQUIRE(config.num_rounds > 0, "run_campaign: need >= 1 round");
+  DPTD_REQUIRE(config.churn_probability >= 0.0 &&
+                   config.churn_probability < 1.0,
+               "run_campaign: churn_probability must be in [0,1)");
+
+  CampaignResult result;
+  Rng churn_rng(derive_seed(config.seed, 0xc4u));
+
+  for (std::size_t round = 0; round < config.num_rounds; ++round) {
+    // Fresh objects each round, same device population statistics.
+    data::SyntheticConfig workload = config.workload;
+    workload.seed = derive_seed(config.seed, round, 0xda7a);
+    const data::Dataset dataset = data::generate_synthetic(workload);
+
+    SessionConfig session = config.session;
+    session.seed = derive_seed(config.seed, round, 0x5e55);
+    // Churn: bump this round's dropout fraction stochastically.
+    if (config.churn_probability > 0.0) {
+      double churned = 0.0;
+      for (std::size_t s = 0; s < dataset.num_users(); ++s) {
+        if (bernoulli(churn_rng, config.churn_probability)) churned += 1.0;
+      }
+      session.dropout_fraction = std::min(
+          0.9, session.dropout_fraction +
+                   churned / static_cast<double>(dataset.num_users()));
+    }
+
+    const SessionResult session_result = run_session(dataset, session);
+
+    RoundRecord record;
+    record.round = round;
+    record.reports_received = session_result.round.reports_received;
+    record.reports_expected = session_result.round.reports_expected;
+    record.network = session_result.network;
+
+    if (!session_result.round.result.truths.empty()) {
+      record.mae_vs_truth = mean_absolute_error(
+          session_result.round.result.truths, dataset.ground_truth);
+      // No-noise reference aggregation on the same data and method.
+      const auto method =
+          truth::make_method(session.method, session.convergence);
+      const truth::Result reference = method->run(dataset.observations);
+      record.mae_vs_unperturbed = mean_absolute_error(
+          session_result.round.result.truths, reference.truths);
+    } else {
+      record.mae_vs_truth = std::numeric_limits<double>::quiet_NaN();
+      record.mae_vs_unperturbed = std::numeric_limits<double>::quiet_NaN();
+    }
+    result.rounds.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace dptd::crowd

@@ -1,0 +1,46 @@
+// Multi-round sensing campaigns: the same device fleet serves a sequence of
+// task rounds (fresh objects each round), with per-round dropout churn.
+// Models a deployed crowd sensing service rather than a one-shot experiment;
+// used by the efficiency/robustness extensions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/session.h"
+#include "data/synthetic.h"
+
+namespace dptd::crowd {
+
+struct CampaignConfig {
+  std::size_t num_rounds = 5;
+  /// Workload template for each round (a fresh dataset is generated per
+  /// round from `workload` with a round-derived seed).
+  data::SyntheticConfig workload;
+  SessionConfig session;
+  /// Per-round probability that a previously-honest device sits this round
+  /// out (on top of session.dropout_fraction, which is static).
+  double churn_probability = 0.0;
+  std::uint64_t seed = 101;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  std::size_t reports_received = 0;
+  std::size_t reports_expected = 0;
+  double mae_vs_truth = 0.0;        ///< NaN if the round failed coverage
+  double mae_vs_unperturbed = 0.0;  ///< vs same-round no-noise aggregation
+  net::NetworkStats network;
+};
+
+struct CampaignResult {
+  std::vector<RoundRecord> rounds;
+
+  double mean_mae_vs_truth() const;
+  std::size_t total_reports() const;
+};
+
+/// Runs `num_rounds` independent rounds. Deterministic in `config.seed`.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace dptd::crowd

@@ -1,0 +1,66 @@
+// A simulated user device: holds the user's private readings, and on a task
+// announcement samples its private noise variance delta_s^2 ~ Exp(lambda2),
+// perturbs every reading, and uploads a single report after a think-time
+// delay. Supports dropout and adversarial behaviours for robustness tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "crowd/protocol.h"
+#include "net/network.h"
+
+namespace dptd::crowd {
+
+/// Behaviour of a device when reporting.
+enum class DeviceBehavior {
+  kHonest,        ///< Algorithm 2: perturb own readings, upload
+  kDropout,       ///< never responds
+  kConstantLiar,  ///< reports a fixed value for every object (no noise)
+  kSpammer,       ///< reports uniform noise over [spam_lo, spam_hi]
+};
+
+struct DeviceConfig {
+  net::NodeId id = 0;         ///< also the user index in the matrix
+  net::NodeId server_id = 0;
+  DeviceBehavior behavior = DeviceBehavior::kHonest;
+  double think_time_seconds = 0.5;   ///< delay before uploading
+  double constant_value = 0.0;       ///< kConstantLiar payload
+  double spam_lo = 0.0;
+  double spam_hi = 10.0;
+  std::uint64_t seed = 1;
+};
+
+class UserDevice final : public net::Node {
+ public:
+  /// `objects[i]`/`readings[i]` are the device's private observations.
+  UserDevice(DeviceConfig config, std::vector<std::uint64_t> objects,
+             std::vector<double> readings, net::Network& network);
+
+  void on_message(const net::Message& message) override;
+
+  /// The variance the device sampled for the most recent round, if any.
+  std::optional<double> sampled_variance() const { return sampled_variance_; }
+
+  /// Truths the device received back from the server (empty until publish).
+  const std::vector<double>& published_truths() const {
+    return published_truths_;
+  }
+
+  const DeviceConfig& config() const { return config_; }
+
+ private:
+  void handle_task(const TaskAnnounce& task);
+
+  DeviceConfig config_;
+  std::vector<std::uint64_t> objects_;
+  std::vector<double> readings_;
+  net::Network* network_;
+  Rng rng_;
+  std::optional<double> sampled_variance_;
+  std::vector<double> published_truths_;
+};
+
+}  // namespace dptd::crowd

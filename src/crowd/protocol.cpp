@@ -1,0 +1,83 @@
+#include "crowd/protocol.h"
+
+#include "common/check.h"
+
+namespace dptd::crowd {
+
+std::vector<std::uint8_t> TaskAnnounce::encode() const {
+  Encoder enc;
+  enc.write_varint(round);
+  enc.write_double(lambda2);
+  enc.write_varint(num_objects);
+  return enc.take();
+}
+
+TaskAnnounce TaskAnnounce::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  TaskAnnounce msg;
+  msg.round = dec.read_varint();
+  msg.lambda2 = dec.read_double();
+  msg.num_objects = dec.read_varint();
+  if (!dec.done()) throw DecodeError("TaskAnnounce: trailing bytes");
+  return msg;
+}
+
+std::vector<std::uint8_t> Report::encode() const {
+  DPTD_REQUIRE(objects.size() == values.size(),
+               "Report: objects/values size mismatch");
+  Encoder enc;
+  enc.write_varint(round);
+  enc.write_varint(user_id);
+  enc.write_varint(objects.size());
+  for (std::uint64_t object : objects) enc.write_varint(object);
+  for (double value : values) enc.write_double(value);
+  return enc.take();
+}
+
+Report Report::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  Report msg;
+  msg.round = dec.read_varint();
+  msg.user_id = dec.read_varint();
+  const std::uint64_t count = dec.read_varint();
+  if (count > (1u << 26)) throw DecodeError("Report: implausible claim count");
+  msg.objects.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    msg.objects.push_back(dec.read_varint());
+  }
+  msg.values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    msg.values.push_back(dec.read_double());
+  }
+  if (!dec.done()) throw DecodeError("Report: trailing bytes");
+  return msg;
+}
+
+std::vector<std::uint8_t> ResultPublish::encode() const {
+  Encoder enc;
+  enc.write_varint(round);
+  enc.write_doubles(truths);
+  return enc.take();
+}
+
+ResultPublish ResultPublish::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  ResultPublish msg;
+  msg.round = dec.read_varint();
+  msg.truths = dec.read_doubles();
+  if (!dec.done()) throw DecodeError("ResultPublish: trailing bytes");
+  return msg;
+}
+
+net::Message make_message(net::NodeId source, net::NodeId destination,
+                          MessageType type,
+                          std::vector<std::uint8_t> payload) {
+  net::Message msg;
+  msg.source = source;
+  msg.destination = destination;
+  msg.type = static_cast<std::uint32_t>(type);
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+}  // namespace dptd::crowd

@@ -1,0 +1,57 @@
+// Wire protocol of the simulated crowd sensing system (paper Fig. 1 /
+// Algorithm 2, distributed form):
+//
+//   server --TaskAnnounce{round, lambda2, objects}--> every user
+//   user   --Report{round, user, (object, value)*}--> server      (one upload)
+//   server --ResultPublish{round, truths}--> every user
+//
+// The protocol is deliberately non-interactive per user: one downlink and one
+// uplink message — the efficiency property §5.3 relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "net/network.h"
+
+namespace dptd::crowd {
+
+enum class MessageType : std::uint32_t {
+  kTaskAnnounce = 1,
+  kReport = 2,
+  kResultPublish = 3,
+};
+
+struct TaskAnnounce {
+  std::uint64_t round = 0;
+  double lambda2 = 1.0;       ///< server-released hyper-parameter
+  std::uint64_t num_objects = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static TaskAnnounce decode(std::span<const std::uint8_t> bytes);
+};
+
+struct Report {
+  std::uint64_t round = 0;
+  std::uint64_t user_id = 0;
+  std::vector<std::uint64_t> objects;  ///< parallel arrays
+  std::vector<double> values;          ///< perturbed readings
+
+  std::vector<std::uint8_t> encode() const;
+  static Report decode(std::span<const std::uint8_t> bytes);
+};
+
+struct ResultPublish {
+  std::uint64_t round = 0;
+  std::vector<double> truths;
+
+  std::vector<std::uint8_t> encode() const;
+  static ResultPublish decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Wraps an encoded payload in a routed message.
+net::Message make_message(net::NodeId source, net::NodeId destination,
+                          MessageType type, std::vector<std::uint8_t> payload);
+
+}  // namespace dptd::crowd

@@ -1,0 +1,123 @@
+#include "crowd/server.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace dptd::crowd {
+
+CrowdServer::CrowdServer(ServerConfig config,
+                         std::unique_ptr<truth::TruthDiscovery> method,
+                         net::Network& network)
+    : config_(config), method_(std::move(method)), network_(&network) {
+  DPTD_REQUIRE(method_ != nullptr, "CrowdServer: null truth-discovery method");
+  DPTD_REQUIRE(config_.lambda2 > 0.0, "CrowdServer: lambda2 must be positive");
+  DPTD_REQUIRE(config_.collection_window_seconds > 0.0,
+               "CrowdServer: collection window must be positive");
+  DPTD_REQUIRE(config_.num_objects > 0,
+               "CrowdServer: num_objects must be positive");
+  network_->attach(config_.id, *this);
+}
+
+void CrowdServer::start_round(std::uint64_t round,
+                              const std::vector<net::NodeId>& user_ids) {
+  DPTD_REQUIRE(!round_open_, "CrowdServer: a round is already open");
+  DPTD_REQUIRE(!user_ids.empty(), "CrowdServer: no participants");
+  current_round_ = round;
+  round_open_ = true;
+  participants_ = user_ids;
+  reports_.clear();
+
+  TaskAnnounce task;
+  task.round = round;
+  task.lambda2 = config_.lambda2;
+  task.num_objects = config_.num_objects;
+  const std::vector<std::uint8_t> payload = task.encode();
+  for (net::NodeId user : user_ids) {
+    network_->send(make_message(config_.id, user, MessageType::kTaskAnnounce,
+                                payload));
+  }
+
+  network_->simulator().schedule(config_.collection_window_seconds,
+                                 [this] { finish_round(); });
+}
+
+void CrowdServer::on_message(const net::Message& message) {
+  if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
+  if (!round_open_) return;  // straggler after deadline
+  Report report = Report::decode(message.payload);
+  if (report.round != current_round_) return;
+  reports_.push_back(std::move(report));
+  if (reports_.size() == participants_.size()) {
+    // Everyone answered; no need to wait out the window. The deadline event
+    // still fires but becomes a no-op because round_open_ is false.
+    finish_round();
+  }
+}
+
+void CrowdServer::finish_round() {
+  if (!round_open_) return;
+  round_open_ = false;
+
+  RoundOutcome outcome;
+  outcome.round = current_round_;
+  outcome.reports_expected = participants_.size();
+  outcome.reports_received = reports_.size();
+
+  if (reports_.empty()) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
+    outcomes_.push_back(std::move(outcome));
+    return;
+  }
+
+  // Assemble the observation matrix from the perturbed reports. User ids map
+  // 1:1 onto matrix rows; duplicate reports from a user keep the first.
+  data::ObservationMatrix obs(participants_.size(), config_.num_objects);
+  std::unordered_set<std::uint64_t> seen;
+  for (const Report& report : reports_) {
+    if (!seen.insert(report.user_id).second) continue;
+    DPTD_CHECK(report.user_id < participants_.size(),
+               "CrowdServer: report from unknown user id");
+    for (std::size_t i = 0; i < report.objects.size(); ++i) {
+      const std::uint64_t object = report.objects[i];
+      if (object >= config_.num_objects) continue;  // malformed claim
+      obs.set(report.user_id, object, report.values[i]);
+    }
+  }
+
+  // Objects nobody reported on cannot be aggregated; drop them from this
+  // round by giving them a single sentinel claim of 0 weight is wrong —
+  // instead require coverage (the session layer guarantees it for honest
+  // workloads) and skip aggregation gracefully when violated.
+  bool full_coverage = true;
+  for (std::size_t n = 0; n < config_.num_objects; ++n) {
+    if (obs.object_observation_count(n) == 0) {
+      full_coverage = false;
+      break;
+    }
+  }
+  if (!full_coverage) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": uncovered objects, skipping aggregation";
+    outcomes_.push_back(std::move(outcome));
+    return;
+  }
+
+  Stopwatch timer;
+  outcome.result = method_->run(obs);
+  outcome.aggregation_seconds = timer.elapsed_seconds();
+
+  ResultPublish publish;
+  publish.round = current_round_;
+  publish.truths = outcome.result.truths;
+  const std::vector<std::uint8_t> payload = publish.encode();
+  for (net::NodeId user : participants_) {
+    network_->send(
+        make_message(config_.id, user, MessageType::kResultPublish, payload));
+  }
+  outcomes_.push_back(std::move(outcome));
+}
+
+}  // namespace dptd::crowd

@@ -1,0 +1,67 @@
+// The untrusted aggregation server: announces tasks with the lambda2
+// hyper-parameter, collects perturbed reports until a deadline, runs a
+// truth-discovery method over whatever arrived, and publishes results.
+//
+// The server never sees raw readings or per-user variances — only perturbed
+// reports — matching the paper's threat model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crowd/protocol.h"
+#include "data/dataset.h"
+#include "net/network.h"
+#include "truth/interface.h"
+
+namespace dptd::crowd {
+
+struct ServerConfig {
+  net::NodeId id = 1'000'000;  ///< out of the user-id range
+  double lambda2 = 1.0;
+  /// Collection window after the announcement; reports arriving later are
+  /// ignored (stragglers).
+  double collection_window_seconds = 30.0;
+  std::size_t num_objects = 0;
+};
+
+struct RoundOutcome {
+  std::uint64_t round = 0;
+  std::size_t reports_received = 0;
+  std::size_t reports_expected = 0;
+  truth::Result result;
+  double aggregation_seconds = 0.0;  ///< wall-clock spent in truth discovery
+};
+
+class CrowdServer final : public net::Node {
+ public:
+  CrowdServer(ServerConfig config, std::unique_ptr<truth::TruthDiscovery> method,
+              net::Network& network);
+
+  void on_message(const net::Message& message) override;
+
+  /// Announces round `round` to `user_ids` and schedules the aggregation
+  /// deadline. Results are available from `outcomes()` after the simulator
+  /// drains.
+  void start_round(std::uint64_t round,
+                   const std::vector<net::NodeId>& user_ids);
+
+  const std::vector<RoundOutcome>& outcomes() const { return outcomes_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void finish_round();
+
+  ServerConfig config_;
+  std::unique_ptr<truth::TruthDiscovery> method_;
+  net::Network* network_;
+
+  std::uint64_t current_round_ = 0;
+  bool round_open_ = false;
+  std::vector<net::NodeId> participants_;
+  std::vector<Report> reports_;
+  std::vector<RoundOutcome> outcomes_;
+};
+
+}  // namespace dptd::crowd

@@ -1,0 +1,148 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dptd::data {
+
+ObservationMatrix::ObservationMatrix(std::size_t num_users,
+                                     std::size_t num_objects)
+    : num_users_(num_users),
+      num_objects_(num_objects),
+      values_(num_users * num_objects, 0.0),
+      present_(num_users * num_objects, 0) {
+  DPTD_REQUIRE(num_users > 0 && num_objects > 0,
+               "ObservationMatrix: dimensions must be positive");
+}
+
+void ObservationMatrix::check_bounds(std::size_t user,
+                                     std::size_t object) const {
+  DPTD_REQUIRE(user < num_users_, "ObservationMatrix: user out of range");
+  DPTD_REQUIRE(object < num_objects_, "ObservationMatrix: object out of range");
+}
+
+bool ObservationMatrix::present(std::size_t user, std::size_t object) const {
+  check_bounds(user, object);
+  return present_[index(user, object)] != 0;
+}
+
+double ObservationMatrix::value(std::size_t user, std::size_t object) const {
+  check_bounds(user, object);
+  DPTD_REQUIRE(present_[index(user, object)],
+               "ObservationMatrix: reading a missing cell");
+  return values_[index(user, object)];
+}
+
+std::optional<double> ObservationMatrix::get(std::size_t user,
+                                             std::size_t object) const {
+  check_bounds(user, object);
+  if (!present_[index(user, object)]) return std::nullopt;
+  return values_[index(user, object)];
+}
+
+void ObservationMatrix::set(std::size_t user, std::size_t object,
+                            double value) {
+  check_bounds(user, object);
+  DPTD_REQUIRE(std::isfinite(value), "ObservationMatrix: non-finite value");
+  values_[index(user, object)] = value;
+  present_[index(user, object)] = 1;
+}
+
+void ObservationMatrix::clear(std::size_t user, std::size_t object) {
+  check_bounds(user, object);
+  present_[index(user, object)] = 0;
+  values_[index(user, object)] = 0.0;
+}
+
+std::size_t ObservationMatrix::observation_count() const {
+  std::size_t count = 0;
+  for (std::uint8_t p : present_) count += p;
+  return count;
+}
+
+std::size_t ObservationMatrix::user_observation_count(std::size_t user) const {
+  DPTD_REQUIRE(user < num_users_, "user out of range");
+  std::size_t count = 0;
+  for (std::size_t n = 0; n < num_objects_; ++n) {
+    count += present_[index(user, n)];
+  }
+  return count;
+}
+
+std::size_t ObservationMatrix::object_observation_count(
+    std::size_t object) const {
+  DPTD_REQUIRE(object < num_objects_, "object out of range");
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < num_users_; ++s) {
+    count += present_[index(s, object)];
+  }
+  return count;
+}
+
+std::vector<double> ObservationMatrix::object_values(std::size_t object) const {
+  DPTD_REQUIRE(object < num_objects_, "object out of range");
+  std::vector<double> out;
+  out.reserve(num_users_);
+  for (std::size_t s = 0; s < num_users_; ++s) {
+    if (present_[index(s, object)]) out.push_back(values_[index(s, object)]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ObservationMatrix::object_users(
+    std::size_t object) const {
+  DPTD_REQUIRE(object < num_objects_, "object out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < num_users_; ++s) {
+    if (present_[index(s, object)]) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<double> ObservationMatrix::user_values(std::size_t user) const {
+  DPTD_REQUIRE(user < num_users_, "user out of range");
+  std::vector<double> out;
+  out.reserve(num_objects_);
+  for (std::size_t n = 0; n < num_objects_; ++n) {
+    if (present_[index(user, n)]) out.push_back(values_[index(user, n)]);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  DPTD_REQUIRE(observations.num_users() > 0 && observations.num_objects() > 0,
+               "Dataset: empty observation matrix");
+  if (!ground_truth.empty()) {
+    DPTD_REQUIRE(ground_truth.size() == observations.num_objects(),
+                 "Dataset: ground truth size != num objects");
+    for (double t : ground_truth) {
+      DPTD_REQUIRE(std::isfinite(t), "Dataset: non-finite ground truth");
+    }
+  }
+  if (!provenance.empty()) {
+    DPTD_REQUIRE(provenance.size() == observations.num_users(),
+                 "Dataset: provenance size != num users");
+  }
+  for (std::size_t n = 0; n < observations.num_objects(); ++n) {
+    DPTD_REQUIRE(observations.object_observation_count(n) > 0,
+                 "Dataset: object with zero observations");
+  }
+}
+
+std::string describe(const Dataset& dataset) {
+  std::ostringstream os;
+  const auto& obs = dataset.observations;
+  const std::size_t cells = obs.num_users() * obs.num_objects();
+  os << "Dataset: " << obs.num_users() << " users x " << obs.num_objects()
+     << " objects, " << obs.observation_count() << "/" << cells
+     << " observations ("
+     << (100.0 * static_cast<double>(obs.observation_count()) /
+         static_cast<double>(cells))
+     << "% coverage), ground truth: "
+     << (dataset.has_ground_truth() ? "yes" : "no");
+  return os.str();
+}
+
+}  // namespace dptd::data

@@ -1,0 +1,107 @@
+// Core data model: a user × object matrix of continuous claims with a
+// missingness mask, plus optional ground truth and generator provenance.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dptd::data {
+
+/// Dense S×N matrix of continuous observations with per-cell presence.
+///
+/// Rows are users (sources), columns are objects (micro-tasks). Crowd sensing
+/// matrices are usually dense-ish, so dense-with-mask beats a sparse map for
+/// the workloads reproduced here.
+class ObservationMatrix {
+ public:
+  ObservationMatrix() = default;
+  ObservationMatrix(std::size_t num_users, std::size_t num_objects);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_objects() const { return num_objects_; }
+
+  bool present(std::size_t user, std::size_t object) const;
+  double value(std::size_t user, std::size_t object) const;
+  std::optional<double> get(std::size_t user, std::size_t object) const;
+
+  void set(std::size_t user, std::size_t object, double value);
+  void clear(std::size_t user, std::size_t object);
+
+  /// Number of present cells.
+  std::size_t observation_count() const;
+  std::size_t user_observation_count(std::size_t user) const;
+  std::size_t object_observation_count(std::size_t object) const;
+
+  /// Present values claimed for `object` (ordered by user id), paired with
+  /// the contributing user ids.
+  std::vector<double> object_values(std::size_t object) const;
+  std::vector<std::size_t> object_users(std::size_t object) const;
+
+  /// Present values claimed by `user` (ordered by object id).
+  std::vector<double> user_values(std::size_t user) const;
+
+  /// Applies f(user, object, value) to every present cell.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t s = 0; s < num_users_; ++s) {
+      for (std::size_t n = 0; n < num_objects_; ++n) {
+        if (present_[index(s, n)]) f(s, n, values_[index(s, n)]);
+      }
+    }
+  }
+
+  /// Returns a copy with `fn(user, object, value)` applied to every present
+  /// cell (used by perturbation mechanisms).
+  template <typename F>
+  ObservationMatrix transformed(F&& fn) const {
+    ObservationMatrix out(num_users_, num_objects_);
+    for_each([&](std::size_t s, std::size_t n, double v) {
+      out.set(s, n, fn(s, n, v));
+    });
+    return out;
+  }
+
+  bool operator==(const ObservationMatrix& other) const = default;
+
+ private:
+  std::size_t index(std::size_t user, std::size_t object) const {
+    return user * num_objects_ + object;
+  }
+  void check_bounds(std::size_t user, std::size_t object) const;
+
+  std::size_t num_users_ = 0;
+  std::size_t num_objects_ = 0;
+  std::vector<double> values_;
+  std::vector<std::uint8_t> present_;
+};
+
+/// Per-user provenance recorded by the synthetic generator; absent for real
+/// or loaded data. Useful for computing *true* weights (Fig. 7).
+struct UserProvenance {
+  double error_variance = 0.0;       ///< sigma_s^2 drawn from Exp(lambda1)
+  bool adversarial = false;          ///< true if replaced by an adversary
+  std::string adversary_kind;        ///< "", "bias", "spam", "constant"
+};
+
+/// A dataset: observations plus (optionally) ground truth and provenance.
+struct Dataset {
+  ObservationMatrix observations;
+  std::vector<double> ground_truth;       ///< empty if unknown
+  std::vector<UserProvenance> provenance; ///< empty if unknown
+
+  std::size_t num_users() const { return observations.num_users(); }
+  std::size_t num_objects() const { return observations.num_objects(); }
+  bool has_ground_truth() const { return !ground_truth.empty(); }
+
+  /// Throws std::invalid_argument if shapes are inconsistent, any value is
+  /// non-finite, or any object has zero observations.
+  void validate() const;
+};
+
+/// Human-readable shape/coverage summary (for logs and examples).
+std::string describe(const Dataset& dataset);
+
+}  // namespace dptd::data

@@ -1,0 +1,136 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace dptd::data {
+namespace {
+
+std::size_t parse_index(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    DPTD_REQUIRE(pos == s.size() && v >= 0, std::string(what) + ": bad index");
+    return static_cast<std::size_t>(v);
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + ": bad index '" + s + "'");
+  }
+}
+
+double parse_value(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    DPTD_REQUIRE(pos == s.size(), std::string(what) + ": bad value");
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + ": bad value '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_observations_csv(std::ostream& out, const ObservationMatrix& obs) {
+  CsvWriter writer(out);
+  writer.write_row({"user", "object", "value"});
+  obs.for_each([&writer](std::size_t s, std::size_t n, double v) {
+    writer.write_row({std::to_string(s), std::to_string(n),
+                      CsvWriter::format_double(v)});
+  });
+}
+
+void write_ground_truth_csv(std::ostream& out,
+                            const std::vector<double>& truth) {
+  CsvWriter writer(out);
+  writer.write_row({"object", "truth"});
+  for (std::size_t n = 0; n < truth.size(); ++n) {
+    writer.write_row({std::to_string(n), CsvWriter::format_double(truth[n])});
+  }
+}
+
+ObservationMatrix read_observations_csv(std::istream& in) {
+  const auto rows = CsvReader::parse(in);
+  DPTD_REQUIRE(!rows.empty(), "observations CSV: empty file");
+  DPTD_REQUIRE(rows[0].size() == 3 && rows[0][0] == "user",
+               "observations CSV: expected header user,object,value");
+
+  std::size_t max_user = 0;
+  std::size_t max_object = 0;
+  struct Cell {
+    std::size_t user, object;
+    double value;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    DPTD_REQUIRE(row.size() == 3, "observations CSV: row with != 3 fields");
+    Cell cell{parse_index(row[0], "user"), parse_index(row[1], "object"),
+              parse_value(row[2], "value")};
+    max_user = std::max(max_user, cell.user);
+    max_object = std::max(max_object, cell.object);
+    cells.push_back(cell);
+  }
+  DPTD_REQUIRE(!cells.empty(), "observations CSV: no data rows");
+
+  ObservationMatrix obs(max_user + 1, max_object + 1);
+  for (const Cell& cell : cells) obs.set(cell.user, cell.object, cell.value);
+  return obs;
+}
+
+std::vector<double> read_ground_truth_csv(std::istream& in) {
+  const auto rows = CsvReader::parse(in);
+  DPTD_REQUIRE(!rows.empty(), "truth CSV: empty file");
+  DPTD_REQUIRE(rows[0].size() == 2 && rows[0][0] == "object",
+               "truth CSV: expected header object,truth");
+  std::vector<std::pair<std::size_t, double>> entries;
+  std::size_t max_object = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    DPTD_REQUIRE(rows[i].size() == 2, "truth CSV: row with != 2 fields");
+    const std::size_t object = parse_index(rows[i][0], "object");
+    max_object = std::max(max_object, object);
+    entries.emplace_back(object, parse_value(rows[i][1], "truth"));
+  }
+  std::vector<double> truth(max_object + 1, 0.0);
+  for (const auto& [object, value] : entries) truth[object] = value;
+  return truth;
+}
+
+void save_dataset(const Dataset& dataset, const std::string& observations_path,
+                  const std::string& truth_path) {
+  {
+    std::ofstream out(observations_path);
+    if (!out) throw std::runtime_error("cannot open " + observations_path);
+    write_observations_csv(out, dataset.observations);
+  }
+  if (!truth_path.empty() && dataset.has_ground_truth()) {
+    std::ofstream out(truth_path);
+    if (!out) throw std::runtime_error("cannot open " + truth_path);
+    write_ground_truth_csv(out, dataset.ground_truth);
+  }
+}
+
+Dataset load_dataset(const std::string& observations_path,
+                     const std::string& truth_path) {
+  Dataset dataset;
+  {
+    std::ifstream in(observations_path);
+    if (!in) throw std::runtime_error("cannot open " + observations_path);
+    dataset.observations = read_observations_csv(in);
+  }
+  if (!truth_path.empty()) {
+    std::ifstream in(truth_path);
+    if (!in) throw std::runtime_error("cannot open " + truth_path);
+    dataset.ground_truth = read_ground_truth_csv(in);
+  }
+  return dataset;
+}
+
+}  // namespace dptd::data

@@ -1,0 +1,30 @@
+// CSV persistence for datasets.
+//
+// Observation format: header "user,object,value", one row per present cell.
+// Ground-truth format: header "object,truth".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace dptd::data {
+
+void write_observations_csv(std::ostream& out, const ObservationMatrix& obs);
+void write_ground_truth_csv(std::ostream& out,
+                            const std::vector<double>& truth);
+
+/// Reads observations; infers matrix dimensions from the max ids seen.
+/// Throws std::invalid_argument on malformed rows.
+ObservationMatrix read_observations_csv(std::istream& in);
+
+std::vector<double> read_ground_truth_csv(std::istream& in);
+
+/// File-path conveniences (throw std::runtime_error on I/O failure).
+void save_dataset(const Dataset& dataset, const std::string& observations_path,
+                  const std::string& truth_path);
+Dataset load_dataset(const std::string& observations_path,
+                     const std::string& truth_path = "");
+
+}  // namespace dptd::data

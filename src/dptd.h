@@ -1,0 +1,51 @@
+// Umbrella header for the dptd library: differentially private truth
+// discovery for crowd sensing systems (Li et al., ICDCS 2020).
+//
+// Quick tour:
+//   data::generate_synthetic / floorplan::generate_floorplan_scenario — data
+//   core::UserSampledGaussianMechanism — Algorithm 2's local perturbation
+//   truth::make_method("crh" | "gtm" | "catd" | "mean" | "median")
+//   core::run_private_truth_discovery — perturb + aggregate, one call
+//   core::feasible_noise_window — Theorem 4.9's utility/privacy window
+//   crowd::run_session — the same protocol over a simulated network
+#pragma once
+
+#include "common/check.h"          // IWYU pragma: export
+#include "common/cli.h"            // IWYU pragma: export
+#include "common/csv.h"            // IWYU pragma: export
+#include "common/distributions.h"  // IWYU pragma: export
+#include "common/json_writer.h"    // IWYU pragma: export
+#include "common/logging.h"        // IWYU pragma: export
+#include "common/quadrature.h"     // IWYU pragma: export
+#include "common/rng.h"            // IWYU pragma: export
+#include "common/serialize.h"      // IWYU pragma: export
+#include "common/special_functions.h"  // IWYU pragma: export
+#include "common/statistics.h"     // IWYU pragma: export
+#include "common/stopwatch.h"      // IWYU pragma: export
+#include "common/thread_pool.h"    // IWYU pragma: export
+#include "core/accountant.h"       // IWYU pragma: export
+#include "core/bounds.h"           // IWYU pragma: export
+#include "core/empirical.h"        // IWYU pragma: export
+#include "core/mechanism.h"        // IWYU pragma: export
+#include "core/pipeline.h"         // IWYU pragma: export
+#include "core/sensitivity.h"      // IWYU pragma: export
+#include "crowd/device.h"          // IWYU pragma: export
+#include "crowd/protocol.h"        // IWYU pragma: export
+#include "crowd/server.h"          // IWYU pragma: export
+#include "crowd/session.h"         // IWYU pragma: export
+#include "data/dataset.h"          // IWYU pragma: export
+#include "data/io.h"               // IWYU pragma: export
+#include "data/synthetic.h"        // IWYU pragma: export
+#include "eval/figures.h"          // IWYU pragma: export
+#include "eval/metrics.h"          // IWYU pragma: export
+#include "eval/report.h"           // IWYU pragma: export
+#include "floorplan/hallway.h"     // IWYU pragma: export
+#include "floorplan/walker.h"      // IWYU pragma: export
+#include "net/network.h"           // IWYU pragma: export
+#include "net/simulator.h"         // IWYU pragma: export
+#include "truth/baselines.h"       // IWYU pragma: export
+#include "truth/catd.h"            // IWYU pragma: export
+#include "truth/crh.h"             // IWYU pragma: export
+#include "truth/gtm.h"             // IWYU pragma: export
+#include "truth/interface.h"       // IWYU pragma: export
+#include "truth/registry.h"        // IWYU pragma: export

@@ -1,0 +1,405 @@
+#include "eval/figures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "floorplan/walker.h"
+#include "truth/crh.h"
+#include "truth/registry.h"
+
+namespace dptd::eval {
+namespace {
+
+/// Builds the workload dataset for one trial.
+data::Dataset make_dataset(const WorkloadConfig& workload, double lambda1,
+                           std::uint64_t seed) {
+  if (workload.kind == Workload::kSynthetic) {
+    data::SyntheticConfig config;
+    config.num_users = workload.num_users;
+    config.num_objects = workload.num_objects;
+    config.lambda1 = lambda1;
+    config.seed = seed;
+    return generate_synthetic(config);
+  }
+  floorplan::FloorplanScenarioConfig config;
+  config.num_users = workload.num_users;
+  config.num_segments = workload.num_objects;
+  config.seed = seed;
+  return generate_floorplan_scenario(config).dataset;
+}
+
+/// lambda2 implied by a privacy target via Theorem 4.8 (epsilon-restored
+/// form) and Lemma 4.7 sensitivity.
+double lambda2_for_target(double epsilon, double delta, double lambda1,
+                          const core::SensitivityParams& sensitivity) {
+  const core::PrivacyTarget target{epsilon, delta};
+  const double c =
+      core::min_noise_level_for_privacy(target, lambda1, sensitivity);
+  return core::lambda2_for_noise_level(c, lambda1);
+}
+
+/// Mean |noise| of the user-sampled mechanism: E|xi| = 1/sqrt(2 lambda2)
+/// (Exp-mixed Gaussian). Inverted to pick lambda2 for a target noise.
+double lambda2_for_mean_noise(double target_noise) {
+  DPTD_REQUIRE(target_noise > 0.0, "target noise must be positive");
+  return 1.0 / (2.0 * target_noise * target_noise);
+}
+
+}  // namespace
+
+double estimate_lambda1(const data::Dataset& dataset) {
+  DPTD_REQUIRE(dataset.has_ground_truth(),
+               "estimate_lambda1: dataset has no ground truth");
+  RunningStats user_variances;
+  for (std::size_t s = 0; s < dataset.num_users(); ++s) {
+    RunningStats sq;
+    for (std::size_t n = 0; n < dataset.num_objects(); ++n) {
+      if (const auto v = dataset.observations.get(s, n)) {
+        const double d = *v - dataset.ground_truth[n];
+        sq.add(d * d);
+      }
+    }
+    if (sq.count() > 0) user_variances.add(sq.mean());
+  }
+  DPTD_REQUIRE(user_variances.count() > 0, "estimate_lambda1: no users");
+  const double mean_variance = user_variances.mean();
+  DPTD_REQUIRE(mean_variance > 0.0,
+               "estimate_lambda1: zero mean error variance");
+  return 1.0 / mean_variance;
+}
+
+TradeoffResult run_tradeoff(const TradeoffConfig& config) {
+  DPTD_REQUIRE(!config.epsilons.empty() && !config.deltas.empty(),
+               "run_tradeoff: empty grids");
+  DPTD_REQUIRE(config.trials > 0, "run_tradeoff: need >= 1 trial");
+
+  TradeoffResult result;
+  for (double delta : config.deltas) {
+    TradeoffSeries series;
+    series.delta = delta;
+    for (std::size_t ei = 0; ei < config.epsilons.size(); ++ei) {
+      const double epsilon = config.epsilons[ei];
+      TradeoffPoint point;
+      point.epsilon = epsilon;
+
+      RunningStats mae_stats;
+      RunningStats noise_stats;
+      for (std::size_t trial = 0; trial < config.trials; ++trial) {
+        const std::uint64_t dataset_seed =
+            derive_seed(config.seed, trial, 0xda7a);
+        const data::Dataset dataset =
+            make_dataset(config.workload, config.workload.lambda1,
+                         dataset_seed);
+        const double lambda1 = config.workload.kind == Workload::kSynthetic
+                                   ? config.workload.lambda1
+                                   : estimate_lambda1(dataset);
+        point.lambda2 =
+            lambda2_for_target(epsilon, delta, lambda1, config.sensitivity);
+        point.noise_level_c =
+            core::noise_level_for_lambda2(point.lambda2, lambda1);
+
+        core::PipelineConfig pipeline;
+        pipeline.lambda2 = point.lambda2;
+        pipeline.method = config.method;
+        pipeline.seed = derive_seed(config.seed, trial, ei,
+                                    static_cast<std::uint64_t>(delta * 1000));
+        const core::PipelineResult run =
+            run_private_truth_discovery(dataset, pipeline);
+        mae_stats.add(run.utility_mae);
+        noise_stats.add(run.report.mean_absolute_noise);
+      }
+      point.mae = summarize(mae_stats);
+      point.avg_noise = summarize(noise_stats);
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+Lambda1Result run_lambda1_effect(const Lambda1Config& config) {
+  DPTD_REQUIRE(!config.lambda1s.empty(), "run_lambda1_effect: empty grid");
+  Lambda1Result result;
+  for (std::size_t li = 0; li < config.lambda1s.size(); ++li) {
+    const double lambda1 = config.lambda1s[li];
+    Lambda1Point point;
+    point.lambda1 = lambda1;
+    point.lambda2 = lambda2_for_target(config.epsilon, config.delta, lambda1,
+                                       config.sensitivity);
+    RunningStats mae_stats;
+    RunningStats noise_stats;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      data::SyntheticConfig synth;
+      synth.num_users = config.num_users;
+      synth.num_objects = config.num_objects;
+      synth.lambda1 = lambda1;
+      synth.seed = derive_seed(config.seed, trial, li);
+      const data::Dataset dataset = generate_synthetic(synth);
+
+      core::PipelineConfig pipeline;
+      pipeline.lambda2 = point.lambda2;
+      pipeline.method = config.method;
+      pipeline.seed = derive_seed(config.seed, trial, li, 0x9);
+      const core::PipelineResult run =
+          run_private_truth_discovery(dataset, pipeline);
+      mae_stats.add(run.utility_mae);
+      noise_stats.add(run.report.mean_absolute_noise);
+    }
+    point.mae = summarize(mae_stats);
+    point.avg_noise = summarize(noise_stats);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+UsersResult run_users_effect(const UsersConfig& config) {
+  DPTD_REQUIRE(!config.user_counts.empty(), "run_users_effect: empty grid");
+  UsersResult result;
+  // Noise is pinned by the privacy target once; S only affects aggregation.
+  result.lambda2 = lambda2_for_target(config.epsilon, config.delta,
+                                      config.lambda1, config.sensitivity);
+  for (std::size_t si = 0; si < config.user_counts.size(); ++si) {
+    UsersPoint point;
+    point.num_users = config.user_counts[si];
+    RunningStats mae_stats;
+    RunningStats noise_stats;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      data::SyntheticConfig synth;
+      synth.num_users = point.num_users;
+      synth.num_objects = config.num_objects;
+      synth.lambda1 = config.lambda1;
+      synth.seed = derive_seed(config.seed, trial, si);
+      const data::Dataset dataset = generate_synthetic(synth);
+
+      core::PipelineConfig pipeline;
+      pipeline.lambda2 = result.lambda2;
+      pipeline.method = config.method;
+      pipeline.seed = derive_seed(config.seed, trial, si, 0x5);
+      const core::PipelineResult run =
+          run_private_truth_discovery(dataset, pipeline);
+      mae_stats.add(run.utility_mae);
+      noise_stats.add(run.report.mean_absolute_noise);
+    }
+    point.mae = summarize(mae_stats);
+    point.avg_noise = summarize(noise_stats);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+WeightComparisonResult run_weight_comparison(
+    const WeightComparisonConfig& config) {
+  DPTD_REQUIRE(config.num_selected_users >= 2,
+               "run_weight_comparison: select >= 2 users");
+
+  floorplan::FloorplanScenarioConfig scenario_config;
+  scenario_config.num_users = config.num_users;
+  scenario_config.num_segments = config.num_segments;
+  scenario_config.seed = config.seed;
+  const floorplan::FloorplanScenario scenario =
+      generate_floorplan_scenario(scenario_config);
+  const data::Dataset& dataset = scenario.dataset;
+
+  const double lambda1 = estimate_lambda1(dataset);
+  const double lambda2 = lambda2_for_target(config.epsilon, config.delta,
+                                            lambda1, config.sensitivity);
+
+  const truth::Crh crh;
+  const truth::Result original = crh.run(dataset.observations);
+
+  const core::UserSampledGaussianMechanism mechanism(
+      {.lambda2 = lambda2, .seed = derive_seed(config.seed, 0x7)});
+  core::PerturbationOutcome outcome = mechanism.perturb(dataset.observations);
+  const truth::Result perturbed = crh.run(outcome.perturbed);
+
+  const std::vector<double> true_original =
+      true_weights_from_ground_truth(dataset.observations,
+                                     dataset.ground_truth);
+  const std::vector<double> true_perturbed =
+      true_weights_from_ground_truth(outcome.perturbed, dataset.ground_truth);
+
+  WeightComparisonResult result;
+  result.pearson_original =
+      pearson_correlation(true_original, original.weights);
+  result.pearson_perturbed =
+      pearson_correlation(true_perturbed, perturbed.weights);
+
+  // Normalize all four weight vectors to mean 1 so they share a scale.
+  const auto normalize = [](std::vector<double> w) {
+    const double m = mean(w);
+    if (m > 0.0) {
+      for (double& x : w) x /= m;
+    }
+    return w;
+  };
+  const std::vector<double> norm_true_orig = normalize(true_original);
+  const std::vector<double> norm_est_orig = normalize(original.weights);
+  const std::vector<double> norm_true_pert = normalize(true_perturbed);
+  const std::vector<double> norm_est_pert = normalize(perturbed.weights);
+
+  // Select users spread across the quality spectrum (deterministic): sort by
+  // true original weight and take evenly spaced quantiles.
+  const std::size_t S = dataset.num_users();
+  std::vector<std::size_t> order(S);
+  for (std::size_t s = 0; s < S; ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return norm_true_orig[a] < norm_true_orig[b];
+  });
+  const std::size_t k = std::min(config.num_selected_users, S);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t pos = (i * (S - 1)) / (k - 1 == 0 ? 1 : k - 1);
+    result.user_ids.push_back(order[pos]);
+  }
+
+  double max_noise_var = -1.0;
+  for (std::size_t i = 0; i < result.user_ids.size(); ++i) {
+    const std::size_t s = result.user_ids[i];
+    result.true_weight_original.push_back(norm_true_orig[s]);
+    result.estimated_weight_original.push_back(norm_est_orig[s]);
+    result.true_weight_perturbed.push_back(norm_true_pert[s]);
+    result.estimated_weight_perturbed.push_back(norm_est_pert[s]);
+    const double noise_var = outcome.report.noise_variances[s];
+    if (noise_var > max_noise_var) {
+      max_noise_var = noise_var;
+      result.largest_noise_selected_index = i;
+    }
+  }
+  return result;
+}
+
+EfficiencyResult run_efficiency(const EfficiencyConfig& config) {
+  DPTD_REQUIRE(!config.target_noises.empty(), "run_efficiency: empty grid");
+  EfficiencyResult result;
+
+  const auto method = truth::make_method(config.method);
+
+  RunningStats original_seconds;
+  RunningStats original_iterations;
+  std::vector<RunningStats> seconds(config.target_noises.size());
+  std::vector<RunningStats> iterations(config.target_noises.size());
+  std::vector<RunningStats> noises(config.target_noises.size());
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    data::SyntheticConfig synth;
+    synth.num_users = config.num_users;
+    synth.num_objects = config.num_objects;
+    synth.lambda1 = config.lambda1;
+    synth.seed = derive_seed(config.seed, trial);
+    const data::Dataset dataset = generate_synthetic(synth);
+
+    Stopwatch timer;
+    const truth::Result base = method->run(dataset.observations);
+    original_seconds.add(timer.elapsed_seconds());
+    original_iterations.add(static_cast<double>(base.iterations));
+
+    for (std::size_t ti = 0; ti < config.target_noises.size(); ++ti) {
+      const core::UserSampledGaussianMechanism mechanism(
+          {.lambda2 = lambda2_for_mean_noise(config.target_noises[ti]),
+           .seed = derive_seed(config.seed, trial, ti)});
+      const core::PerturbationOutcome outcome =
+          mechanism.perturb(dataset.observations);
+      noises[ti].add(outcome.report.mean_absolute_noise);
+
+      timer.reset();
+      const truth::Result run = method->run(outcome.perturbed);
+      seconds[ti].add(timer.elapsed_seconds());
+      iterations[ti].add(static_cast<double>(run.iterations));
+    }
+  }
+
+  result.original_seconds = summarize(original_seconds);
+  result.original_iterations = summarize(original_iterations);
+  for (std::size_t ti = 0; ti < config.target_noises.size(); ++ti) {
+    EfficiencyPoint point;
+    point.avg_noise = noises[ti].mean();
+    point.seconds = summarize(seconds[ti]);
+    point.iterations = summarize(iterations[ti]);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+AblationResult run_ablation(const AblationConfig& config) {
+  DPTD_REQUIRE(!config.methods.empty() && !config.mechanisms.empty() &&
+                   !config.target_noises.empty(),
+               "run_ablation: empty grids");
+  AblationResult result;
+
+  RunningStats unperturbed;
+  std::vector<AblationCell> cells;
+  for (const std::string& method_name : config.methods) {
+    for (const std::string& mechanism_name : config.mechanisms) {
+      for (double target : config.target_noises) {
+        AblationCell cell;
+        cell.method = method_name;
+        cell.mechanism = mechanism_name;
+        cell.target_noise = target;
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  std::vector<RunningStats> mae_orig(cells.size());
+  std::vector<RunningStats> mae_truth(cells.size());
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const data::Dataset dataset =
+        make_dataset(config.workload, config.workload.lambda1,
+                     derive_seed(config.seed, trial));
+    {
+      const auto mean_method = truth::make_method("mean");
+      const truth::Result r = mean_method->run(dataset.observations);
+      unperturbed.add(mean_absolute_error(r.truths, dataset.ground_truth));
+    }
+
+    std::size_t cell_index = 0;
+    for (const std::string& method_name : config.methods) {
+      const auto method = truth::make_method(method_name);
+      for (const std::string& mechanism_name : config.mechanisms) {
+        for (std::size_t ti = 0; ti < config.target_noises.size(); ++ti) {
+          const double target = config.target_noises[ti];
+          const std::uint64_t seed =
+              derive_seed(config.seed, trial, cell_index);
+          std::unique_ptr<core::LocalMechanism> mechanism;
+          if (mechanism_name == "user-sampled-gaussian") {
+            mechanism = std::make_unique<core::UserSampledGaussianMechanism>(
+                core::UserSampledGaussianMechanism::Config{
+                    lambda2_for_mean_noise(target), seed});
+          } else if (mechanism_name == "fixed-gaussian") {
+            // E|N(0, sigma)| = sigma sqrt(2/pi) == target.
+            mechanism = std::make_unique<core::FixedGaussianMechanism>(
+                core::FixedGaussianMechanism::Config{
+                    target * std::sqrt(3.14159265358979323846 / 2.0), seed});
+          } else if (mechanism_name == "laplace") {
+            // E|Laplace(b)| = b == target (epsilon 1, sensitivity target).
+            mechanism = std::make_unique<core::LaplaceMechanism>(
+                core::LaplaceMechanism::Config{1.0, target, seed});
+          } else {
+            DPTD_REQUIRE(false, "unknown mechanism: " + mechanism_name);
+          }
+
+          const core::PipelineResult run =
+              run_private_truth_discovery(dataset, *mechanism, *method);
+          mae_orig[cell_index].add(run.utility_mae);
+          mae_truth[cell_index].add(run.truth_mae_perturbed);
+          ++cell_index;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].mae_vs_original = summarize(mae_orig[i]);
+    cells[i].mae_vs_ground_truth = summarize(mae_truth[i]);
+  }
+  result.unperturbed_truth_mae_mean = summarize(unperturbed);
+  result.cells = std::move(cells);
+  return result;
+}
+
+}  // namespace dptd::eval

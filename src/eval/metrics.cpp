@@ -1,0 +1,41 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+#include "truth/crh.h"
+
+namespace dptd::eval {
+
+std::vector<double> true_weights_from_ground_truth(
+    const data::ObservationMatrix& observations,
+    const std::vector<double>& ground_truth) {
+  DPTD_REQUIRE(ground_truth.size() == observations.num_objects(),
+               "true_weights: ground truth size != num objects");
+  const truth::Crh crh;
+  return crh.estimate_weights(observations, ground_truth);
+}
+
+WeightComparison compare_weights(const data::ObservationMatrix& observations,
+                                 const std::vector<double>& ground_truth,
+                                 const std::vector<double>& estimated_weights) {
+  DPTD_REQUIRE(estimated_weights.size() == observations.num_users(),
+               "compare_weights: estimated weights size != num users");
+  WeightComparison cmp;
+  cmp.true_weights =
+      true_weights_from_ground_truth(observations, ground_truth);
+  cmp.estimated_weights = estimated_weights;
+  cmp.pearson = pearson_correlation(cmp.true_weights, cmp.estimated_weights);
+  cmp.spearman = spearman_correlation(cmp.true_weights, cmp.estimated_weights);
+  return cmp;
+}
+
+Summary summarize(const RunningStats& stats) {
+  Summary s;
+  s.count = stats.count();
+  if (s.count > 0) {
+    s.mean = stats.mean();
+    s.stddev = stats.stddev();
+  }
+  return s;
+}
+
+}  // namespace dptd::eval

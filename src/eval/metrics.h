@@ -1,0 +1,42 @@
+// Evaluation metrics beyond the basic vector errors in common/statistics:
+// weight-quality comparison against ground truth (Fig. 7) and summary
+// aggregates for repeated trials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statistics.h"
+#include "data/dataset.h"
+
+namespace dptd::eval {
+
+/// "True" user weights derived from ground truth with the CRH weight formula
+/// (Eq. 3 evaluated against the real truths instead of estimated ones) —
+/// exactly how the paper derives the black curves in Fig. 7.
+std::vector<double> true_weights_from_ground_truth(
+    const data::ObservationMatrix& observations,
+    const std::vector<double>& ground_truth);
+
+struct WeightComparison {
+  std::vector<double> true_weights;
+  std::vector<double> estimated_weights;
+  double pearson = 0.0;
+  double spearman = 0.0;
+};
+
+/// Pairs the true weights with estimates from a truth-discovery run.
+WeightComparison compare_weights(const data::ObservationMatrix& observations,
+                                 const std::vector<double>& ground_truth,
+                                 const std::vector<double>& estimated_weights);
+
+/// Mean/stddev summary of a repeated-trial measurement.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const RunningStats& stats);
+
+}  // namespace dptd::eval

@@ -1,0 +1,205 @@
+#include "eval/report.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace dptd::eval {
+namespace {
+
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void print_tradeoff(std::ostream& out, const TradeoffResult& result,
+                    const std::string& title) {
+  out << "== " << title << " ==\n";
+  for (const TradeoffSeries& series : result.series) {
+    out << "-- privacy delta = " << series.delta << " --\n";
+    out << std::setw(8) << "eps" << std::setw(10) << "c" << std::setw(12)
+        << "lambda2" << std::setw(12) << "MAE" << std::setw(10) << "+-"
+        << std::setw(12) << "avg|noise|" << std::setw(10) << "+-" << '\n';
+    for (const TradeoffPoint& p : series.points) {
+      out << std::setw(8) << std::setprecision(3) << p.epsilon << std::setw(10)
+          << std::setprecision(3) << p.noise_level_c << std::setw(12)
+          << std::setprecision(4) << p.lambda2 << std::setw(12)
+          << std::setprecision(4) << p.mae.mean << std::setw(10)
+          << std::setprecision(2) << p.mae.stddev << std::setw(12)
+          << std::setprecision(4) << p.avg_noise.mean << std::setw(10)
+          << std::setprecision(2) << p.avg_noise.stddev << '\n';
+    }
+  }
+}
+
+void write_tradeoff_csv(const std::string& path,
+                        const TradeoffResult& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"delta", "epsilon", "noise_level_c", "lambda2", "mae_mean",
+                 "mae_stddev", "noise_mean", "noise_stddev"});
+  for (const TradeoffSeries& series : result.series) {
+    for (const TradeoffPoint& p : series.points) {
+      csv.write_numeric_row({series.delta, p.epsilon, p.noise_level_c,
+                             p.lambda2, p.mae.mean, p.mae.stddev,
+                             p.avg_noise.mean, p.avg_noise.stddev});
+    }
+  }
+}
+
+void print_lambda1(std::ostream& out, const Lambda1Result& result) {
+  out << "== Fig. 3 — effect of lambda1 (error-variance rate) ==\n";
+  out << std::setw(10) << "lambda1" << std::setw(12) << "lambda2"
+      << std::setw(12) << "MAE" << std::setw(10) << "+-" << std::setw(12)
+      << "avg|noise|" << std::setw(10) << "+-" << '\n';
+  for (const Lambda1Point& p : result.points) {
+    out << std::setw(10) << std::setprecision(3) << p.lambda1 << std::setw(12)
+        << std::setprecision(4) << p.lambda2 << std::setw(12)
+        << std::setprecision(4) << p.mae.mean << std::setw(10)
+        << std::setprecision(2) << p.mae.stddev << std::setw(12)
+        << std::setprecision(4) << p.avg_noise.mean << std::setw(10)
+        << std::setprecision(2) << p.avg_noise.stddev << '\n';
+  }
+}
+
+void write_lambda1_csv(const std::string& path, const Lambda1Result& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"lambda1", "lambda2", "mae_mean", "mae_stddev", "noise_mean",
+                 "noise_stddev"});
+  for (const Lambda1Point& p : result.points) {
+    csv.write_numeric_row({p.lambda1, p.lambda2, p.mae.mean, p.mae.stddev,
+                           p.avg_noise.mean, p.avg_noise.stddev});
+  }
+}
+
+void print_users(std::ostream& out, const UsersResult& result) {
+  out << "== Fig. 4 — effect of S (number of users); lambda2 = "
+      << result.lambda2 << " ==\n";
+  out << std::setw(8) << "S" << std::setw(12) << "MAE" << std::setw(10)
+      << "+-" << std::setw(12) << "avg|noise|" << std::setw(10) << "+-"
+      << '\n';
+  for (const UsersPoint& p : result.points) {
+    out << std::setw(8) << p.num_users << std::setw(12) << std::setprecision(4)
+        << p.mae.mean << std::setw(10) << std::setprecision(2) << p.mae.stddev
+        << std::setw(12) << std::setprecision(4) << p.avg_noise.mean
+        << std::setw(10) << std::setprecision(2) << p.avg_noise.stddev << '\n';
+  }
+}
+
+void write_users_csv(const std::string& path, const UsersResult& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"num_users", "lambda2", "mae_mean", "mae_stddev",
+                 "noise_mean", "noise_stddev"});
+  for (const UsersPoint& p : result.points) {
+    csv.write_numeric_row({static_cast<double>(p.num_users), result.lambda2,
+                           p.mae.mean, p.mae.stddev, p.avg_noise.mean,
+                           p.avg_noise.stddev});
+  }
+}
+
+void print_weight_comparison(std::ostream& out,
+                             const WeightComparisonResult& result) {
+  out << "== Fig. 7 — true vs estimated user weights (CRH, floorplan) ==\n";
+  out << "(weights normalized to mean 1 across all users)\n";
+  out << std::setw(6) << "user" << std::setw(14) << "true(orig)"
+      << std::setw(14) << "est(orig)" << std::setw(14) << "true(pert)"
+      << std::setw(14) << "est(pert)" << '\n';
+  for (std::size_t i = 0; i < result.user_ids.size(); ++i) {
+    out << std::setw(6) << result.user_ids[i] << std::setw(14)
+        << std::setprecision(4) << result.true_weight_original[i]
+        << std::setw(14) << result.estimated_weight_original[i]
+        << std::setw(14) << result.true_weight_perturbed[i] << std::setw(14)
+        << result.estimated_weight_perturbed[i]
+        << (i == result.largest_noise_selected_index ? "   <- largest noise"
+                                                     : "")
+        << '\n';
+  }
+  out << "Pearson(true, estimated): original = " << std::setprecision(4)
+      << result.pearson_original
+      << ", perturbed = " << result.pearson_perturbed << '\n';
+}
+
+void write_weight_comparison_csv(const std::string& path,
+                                 const WeightComparisonResult& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"user", "true_original", "estimated_original",
+                 "true_perturbed", "estimated_perturbed", "largest_noise"});
+  for (std::size_t i = 0; i < result.user_ids.size(); ++i) {
+    csv.write_row({std::to_string(result.user_ids[i]),
+                   CsvWriter::format_double(result.true_weight_original[i]),
+                   CsvWriter::format_double(result.estimated_weight_original[i]),
+                   CsvWriter::format_double(result.true_weight_perturbed[i]),
+                   CsvWriter::format_double(result.estimated_weight_perturbed[i]),
+                   i == result.largest_noise_selected_index ? "1" : "0"});
+  }
+}
+
+void print_efficiency(std::ostream& out, const EfficiencyResult& result) {
+  out << "== Fig. 8 — truth-discovery running time vs added noise ==\n";
+  out << "original data: " << std::setprecision(4)
+      << result.original_seconds.mean * 1e3 << " ms ("
+      << result.original_iterations.mean << " iterations)\n";
+  out << std::setw(14) << "avg|noise|" << std::setw(14) << "time(ms)"
+      << std::setw(10) << "+-" << std::setw(12) << "iters" << '\n';
+  for (const EfficiencyPoint& p : result.points) {
+    out << std::setw(14) << std::setprecision(4) << p.avg_noise
+        << std::setw(14) << p.seconds.mean * 1e3 << std::setw(10)
+        << std::setprecision(2) << p.seconds.stddev * 1e3 << std::setw(12)
+        << std::setprecision(3) << p.iterations.mean << '\n';
+  }
+}
+
+void write_efficiency_csv(const std::string& path,
+                          const EfficiencyResult& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"avg_noise", "seconds_mean", "seconds_stddev",
+                 "iterations_mean", "original_seconds_mean"});
+  for (const EfficiencyPoint& p : result.points) {
+    csv.write_numeric_row({p.avg_noise, p.seconds.mean, p.seconds.stddev,
+                           p.iterations.mean, result.original_seconds.mean});
+  }
+}
+
+void print_ablation(std::ostream& out, const AblationResult& result) {
+  out << "== Ablation — mechanisms x aggregation methods ==\n";
+  out << "unperturbed mean-aggregation MAE vs truth: " << std::setprecision(4)
+      << result.unperturbed_truth_mae_mean.mean << '\n';
+  out << std::setw(10) << "method" << std::setw(24) << "mechanism"
+      << std::setw(14) << "target|n|" << std::setw(16) << "MAE vs A(D)"
+      << std::setw(16) << "MAE vs truth" << '\n';
+  for (const AblationCell& cell : result.cells) {
+    out << std::setw(10) << cell.method << std::setw(24) << cell.mechanism
+        << std::setw(14) << std::setprecision(3) << cell.target_noise
+        << std::setw(16) << std::setprecision(4) << cell.mae_vs_original.mean
+        << std::setw(16) << cell.mae_vs_ground_truth.mean << '\n';
+  }
+}
+
+void write_ablation_csv(const std::string& path,
+                        const AblationResult& result) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.write_row({"method", "mechanism", "target_noise", "mae_vs_original",
+                 "mae_vs_original_stddev", "mae_vs_truth",
+                 "mae_vs_truth_stddev"});
+  for (const AblationCell& cell : result.cells) {
+    csv.write_row({cell.method, cell.mechanism,
+                   CsvWriter::format_double(cell.target_noise),
+                   CsvWriter::format_double(cell.mae_vs_original.mean),
+                   CsvWriter::format_double(cell.mae_vs_original.stddev),
+                   CsvWriter::format_double(cell.mae_vs_ground_truth.mean),
+                   CsvWriter::format_double(cell.mae_vs_ground_truth.stddev)});
+  }
+}
+
+}  // namespace dptd::eval

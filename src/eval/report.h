@@ -1,0 +1,34 @@
+// Console/CSV reporters for the figure runners: every bench binary prints the
+// same rows/series the paper's figures show, plus an optional CSV artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/figures.h"
+
+namespace dptd::eval {
+
+void print_tradeoff(std::ostream& out, const TradeoffResult& result,
+                    const std::string& title);
+void write_tradeoff_csv(const std::string& path, const TradeoffResult& result);
+
+void print_lambda1(std::ostream& out, const Lambda1Result& result);
+void write_lambda1_csv(const std::string& path, const Lambda1Result& result);
+
+void print_users(std::ostream& out, const UsersResult& result);
+void write_users_csv(const std::string& path, const UsersResult& result);
+
+void print_weight_comparison(std::ostream& out,
+                             const WeightComparisonResult& result);
+void write_weight_comparison_csv(const std::string& path,
+                                 const WeightComparisonResult& result);
+
+void print_efficiency(std::ostream& out, const EfficiencyResult& result);
+void write_efficiency_csv(const std::string& path,
+                          const EfficiencyResult& result);
+
+void print_ablation(std::ostream& out, const AblationResult& result);
+void write_ablation_csv(const std::string& path, const AblationResult& result);
+
+}  // namespace dptd::eval

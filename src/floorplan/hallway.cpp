@@ -1,0 +1,119 @@
+#include "floorplan/hallway.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace dptd::floorplan {
+
+HallwayMap::HallwayMap(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  DPTD_REQUIRE(!segments_.empty(), "HallwayMap: no segments");
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    DPTD_REQUIRE(segments_[i].id == i, "HallwayMap: ids must be 0..n-1");
+    DPTD_REQUIRE(segments_[i].length_m > 0.0,
+                 "HallwayMap: non-positive segment length");
+  }
+}
+
+const Segment& HallwayMap::segment(std::size_t id) const {
+  DPTD_REQUIRE(id < segments_.size(), "HallwayMap: segment id out of range");
+  return segments_[id];
+}
+
+std::vector<double> HallwayMap::lengths() const {
+  std::vector<double> out(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    out[i] = segments_[i].length_m;
+  }
+  return out;
+}
+
+double HallwayMap::total_length() const {
+  double total = 0.0;
+  for (const Segment& s : segments_) total += s.length_m;
+  return total;
+}
+
+std::string HallwayMap::ascii_sketch(std::size_t max_width) const {
+  // Render the corridor grid onto a character raster, scaled to max_width.
+  double max_x = 1.0;
+  double max_y = 1.0;
+  for (const Segment& s : segments_) {
+    max_x = std::max({max_x, s.x0, s.x1});
+    max_y = std::max({max_y, s.y0, s.y1});
+  }
+  const std::size_t width = std::min<std::size_t>(max_width, 100);
+  const auto height =
+      static_cast<std::size_t>(std::max(4.0, max_y / max_x *
+                                                 static_cast<double>(width) /
+                                                 2.0)) +
+      1;
+  std::vector<std::string> raster(height, std::string(width + 1, ' '));
+  const auto plot = [&](double x, double y, char c) {
+    const auto cx = static_cast<std::size_t>(x / max_x *
+                                             static_cast<double>(width - 1));
+    const auto cy = static_cast<std::size_t>(y / max_y *
+                                             static_cast<double>(height - 1));
+    raster[std::min(cy, height - 1)][std::min(cx, width - 1)] = c;
+  };
+  for (const Segment& s : segments_) {
+    const bool horizontal = std::abs(s.x1 - s.x0) >= std::abs(s.y1 - s.y0);
+    const int steps = 24;
+    for (int i = 0; i <= steps; ++i) {
+      const double t = static_cast<double>(i) / steps;
+      plot(s.x0 + t * (s.x1 - s.x0), s.y0 + t * (s.y1 - s.y0),
+           horizontal ? '-' : '|');
+    }
+    plot(s.x0, s.y0, '+');
+    plot(s.x1, s.y1, '+');
+  }
+  std::ostringstream os;
+  for (auto it = raster.rbegin(); it != raster.rend(); ++it) os << *it << '\n';
+  return os.str();
+}
+
+HallwayMap generate_hallways(std::size_t num_segments, double min_length_m,
+                             double max_length_m, std::uint64_t seed) {
+  DPTD_REQUIRE(num_segments > 0, "generate_hallways: need >= 1 segment");
+  DPTD_REQUIRE(0.0 < min_length_m && min_length_m <= max_length_m,
+               "generate_hallways: bad length range");
+  Rng rng(seed);
+  std::vector<Segment> segments;
+  segments.reserve(num_segments);
+
+  // Lay segments along a boustrophedon corridor path: alternating horizontal
+  // runs connected by short vertical links, which looks like office floors.
+  double x = 0.0;
+  double y = 0.0;
+  int direction = 1;
+  for (std::size_t i = 0; i < num_segments; ++i) {
+    Segment s;
+    s.id = i;
+    s.length_m = uniform(rng, min_length_m, max_length_m);
+    const bool vertical = (i % 7 == 6);  // every 7th segment turns a corner
+    s.x0 = x;
+    s.y0 = y;
+    if (vertical) {
+      y += s.length_m;
+      direction = -direction;
+    } else {
+      x += direction * s.length_m;
+    }
+    s.x1 = x;
+    s.y1 = y;
+    // Keep coordinates non-negative for the raster.
+    if (x < 0.0) {
+      x = 0.0;
+      s.x1 = 0.0;
+    }
+    segments.push_back(s);
+  }
+  return HallwayMap(std::move(segments));
+}
+
+}  // namespace dptd::floorplan

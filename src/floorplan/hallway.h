@@ -1,0 +1,49 @@
+// Indoor floorplan model used by the §5.2 experiments: a set of straight
+// hallway segments with ground-truth lengths, laid out on a simple
+// corridor-grid graph so examples can render a plausible building.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dptd::floorplan {
+
+struct Segment {
+  std::size_t id = 0;
+  double length_m = 0.0;  ///< ground-truth length in meters
+  /// Grid endpoints (for visualization / adjacency only; aggregation uses
+  /// lengths alone, exactly like the paper's task).
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+};
+
+class HallwayMap {
+ public:
+  explicit HallwayMap(std::vector<Segment> segments);
+
+  std::size_t num_segments() const { return segments_.size(); }
+  const Segment& segment(std::size_t id) const;
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Ground-truth lengths ordered by segment id.
+  std::vector<double> lengths() const;
+
+  /// Total corridor length of the building.
+  double total_length() const;
+
+  /// ASCII sketch of the corridor grid (examples/demo output).
+  std::string ascii_sketch(std::size_t max_width = 72) const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Generates a corridor grid with `num_segments` hallway segments whose
+/// lengths are uniform in [min_length_m, max_length_m]. Deterministic in
+/// `seed`. Defaults mirror the paper's scenario scale (129 segments).
+HallwayMap generate_hallways(std::size_t num_segments = 129,
+                             double min_length_m = 5.0,
+                             double max_length_m = 40.0,
+                             std::uint64_t seed = 2020);
+
+}  // namespace dptd::floorplan

@@ -1,0 +1,103 @@
+#include "floorplan/walker.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace dptd::floorplan {
+
+WalkerProfile sample_profile(const WalkerPopulation& population, Rng& rng,
+                             bool outlier) {
+  DPTD_REQUIRE(population.mean_step_m > 0.0,
+               "WalkerPopulation: mean step must be positive");
+  WalkerProfile profile;
+  profile.true_step_m = std::max(
+      0.3, normal(rng, population.mean_step_m, population.step_spread_m));
+  const double calibration_spread = outlier
+                                        ? population.outlier_calibration_stddev
+                                        : population.calibration_stddev;
+  const double relative_bias = normal(rng, 0.0, calibration_spread);
+  profile.calibrated_step_m =
+      std::max(0.2, profile.true_step_m * (1.0 + relative_bias));
+  profile.stride_stddev_m = population.stride_stddev_m;
+  profile.miscount_rate = population.miscount_rate;
+  return profile;
+}
+
+double walk_segment(const WalkerProfile& profile, double length_m, Rng& rng) {
+  DPTD_REQUIRE(length_m > 0.0, "walk_segment: non-positive length");
+  // Number of actual strides: accumulate noisy strides until the segment is
+  // covered. Approximated in closed form: k = round(L / stride +- noise).
+  const double noisy_stride =
+      std::max(0.2, profile.true_step_m +
+                        normal(rng, 0.0, profile.stride_stddev_m /
+                                             std::sqrt(length_m)));
+  double steps = std::round(length_m / noisy_stride);
+  // Miscounting: each step independently missed/doubled with small
+  // probability; net effect is binomial, approximated by its Gaussian limit.
+  if (profile.miscount_rate > 0.0) {
+    const double sd = std::sqrt(steps * profile.miscount_rate);
+    steps = std::round(steps + normal(rng, 0.0, sd));
+  }
+  steps = std::max(1.0, steps);
+  return steps * profile.calibrated_step_m;
+}
+
+FloorplanScenario generate_floorplan_scenario(
+    const FloorplanScenarioConfig& config) {
+  DPTD_REQUIRE(config.num_users > 0, "scenario: need users");
+  DPTD_REQUIRE(config.num_segments > 0, "scenario: need segments");
+  DPTD_REQUIRE(config.coverage > 0.0 && config.coverage <= 1.0,
+               "scenario: coverage must be in (0,1]");
+  DPTD_REQUIRE(config.population.outlier_fraction >= 0.0 &&
+                   config.population.outlier_fraction <= 1.0,
+               "scenario: outlier_fraction must be in [0,1]");
+
+  HallwayMap map = generate_hallways(config.num_segments, config.min_length_m,
+                                     config.max_length_m,
+                                     derive_seed(config.seed, 1));
+
+  Rng rng(derive_seed(config.seed, 2));
+  Rng coverage_rng(derive_seed(config.seed, 3));
+
+  std::vector<WalkerProfile> profiles;
+  profiles.reserve(config.num_users);
+  const auto num_outliers = static_cast<std::size_t>(
+      std::floor(config.population.outlier_fraction *
+                 static_cast<double>(config.num_users)));
+  for (std::size_t s = 0; s < config.num_users; ++s) {
+    profiles.push_back(
+        sample_profile(config.population, rng, s < num_outliers));
+  }
+
+  data::ObservationMatrix obs(config.num_users, config.num_segments);
+  for (std::size_t s = 0; s < config.num_users; ++s) {
+    Rng walk_rng(derive_seed(config.seed, 4, s));
+    for (std::size_t n = 0; n < config.num_segments; ++n) {
+      if (config.coverage < 1.0 && !bernoulli(coverage_rng, config.coverage)) {
+        continue;
+      }
+      obs.set(s, n, walk_segment(profiles[s], map.segment(n).length_m,
+                                 walk_rng));
+    }
+  }
+  // Guarantee every segment has at least one traversal.
+  for (std::size_t n = 0; n < config.num_segments; ++n) {
+    if (obs.object_observation_count(n) == 0) {
+      const auto s = static_cast<std::size_t>(
+          uniform_index(coverage_rng, config.num_users));
+      Rng walk_rng(derive_seed(config.seed, 5, n));
+      obs.set(s, n, walk_segment(profiles[s], map.segment(n).length_m,
+                                 walk_rng));
+    }
+  }
+
+  FloorplanScenario scenario{std::move(map), {}, std::move(profiles)};
+  scenario.dataset.observations = std::move(obs);
+  scenario.dataset.ground_truth = scenario.map.lengths();
+  scenario.dataset.validate();
+  return scenario;
+}
+
+}  // namespace dptd::floorplan

@@ -1,0 +1,71 @@
+// Walking model substituting for the paper's Android data collection (§5.2):
+// a user traverses a hallway segment counting steps; the reported distance is
+// step_count x calibrated_step_length. Error enters through
+//   - step-length miscalibration (per-user multiplicative bias),
+//   - stride variability (per-step randomness),
+//   - miscounted steps (integer noise).
+// Per-user quality is heterogeneous, giving exactly the "different walking
+// patterns and in-phone sensor quality" spread the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "floorplan/hallway.h"
+
+namespace dptd::floorplan {
+
+/// A user's gait/sensor profile.
+struct WalkerProfile {
+  double true_step_m = 0.7;        ///< actual average stride length
+  double calibrated_step_m = 0.7;  ///< what the app believes the stride is
+  double stride_stddev_m = 0.03;   ///< per-step variability
+  double miscount_rate = 0.02;     ///< probability a step is missed/doubled
+};
+
+/// Population parameters for sampling user profiles.
+struct WalkerPopulation {
+  double mean_step_m = 0.7;
+  double step_spread_m = 0.06;       ///< inter-user stride spread
+  double calibration_stddev = 0.05;  ///< relative miscalibration spread
+  double stride_stddev_m = 0.03;
+  double miscount_rate = 0.02;
+  /// Fraction of users with badly calibrated devices (Fig. 7's outliers).
+  double outlier_fraction = 0.05;
+  double outlier_calibration_stddev = 0.25;
+};
+
+/// Samples a profile; `outlier` forces a badly calibrated user.
+WalkerProfile sample_profile(const WalkerPopulation& population, Rng& rng,
+                             bool outlier);
+
+/// Simulates one traversal of a segment of `length_m`; returns the distance
+/// the app reports.
+double walk_segment(const WalkerProfile& profile, double length_m, Rng& rng);
+
+/// Scenario configuration matching the paper: 247 users x 129 segments.
+struct FloorplanScenarioConfig {
+  std::size_t num_users = 247;
+  std::size_t num_segments = 129;
+  /// Probability a user walked any given segment (the app only records
+  /// traversed hallways). 1.0 = everyone walked everything.
+  double coverage = 1.0;
+  WalkerPopulation population;
+  double min_length_m = 5.0;
+  double max_length_m = 40.0;
+  std::uint64_t seed = 2020;
+};
+
+struct FloorplanScenario {
+  HallwayMap map;
+  data::Dataset dataset;  ///< observations = reported distances, truth = lengths
+  std::vector<WalkerProfile> profiles;
+};
+
+/// Builds the full crowd-sensed distance dataset. Every segment is guaranteed
+/// at least one traversal.
+FloorplanScenario generate_floorplan_scenario(
+    const FloorplanScenarioConfig& config);
+
+}  // namespace dptd::floorplan

@@ -1,0 +1,60 @@
+#include "net/network.h"
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace dptd::net {
+
+void LatencyModel::validate() const {
+  DPTD_REQUIRE(base_seconds >= 0.0, "LatencyModel: negative base latency");
+  DPTD_REQUIRE(jitter_seconds >= 0.0, "LatencyModel: negative jitter");
+  DPTD_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
+               "LatencyModel: drop probability must be in [0,1)");
+}
+
+Network::Network(Simulator& sim, LatencyModel latency, std::uint64_t seed)
+    : sim_(&sim), latency_(latency), rng_(seed) {
+  latency_.validate();
+}
+
+void Network::attach(NodeId id, Node& node) {
+  DPTD_REQUIRE(!nodes_.count(id), "Network::attach: id already attached");
+  nodes_[id] = &node;
+}
+
+void Network::detach(NodeId id) { nodes_.erase(id); }
+
+bool Network::attached(NodeId id) const { return nodes_.count(id) != 0; }
+
+void Network::send(Message message) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += message.payload.size();
+
+  if (latency_.drop_probability > 0.0 &&
+      bernoulli(rng_, latency_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const auto it = nodes_.find(message.destination);
+  if (it == nodes_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const double delay =
+      latency_.base_seconds +
+      (latency_.jitter_seconds > 0.0 ? uniform(rng_, 0.0, latency_.jitter_seconds)
+                                     : 0.0);
+  Node* target = it->second;
+  sim_->schedule(delay, [this, target,
+                         msg = std::move(message)]() mutable {
+    // Destination may have detached between send and delivery.
+    if (!attached(msg.destination)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    target->on_message(msg);
+  });
+}
+
+}  // namespace dptd::net

@@ -1,0 +1,73 @@
+// Message-passing layer over the discrete-event simulator: registered nodes,
+// per-link latency with jitter, probabilistic drops, and traffic accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/simulator.h"
+
+namespace dptd::net {
+
+using NodeId = std::uint64_t;
+
+/// A wire message: opaque payload plus routing metadata.
+struct Message {
+  NodeId source = 0;
+  NodeId destination = 0;
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Anything attached to the network: receives delivered messages.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_message(const Message& message) = 0;
+};
+
+/// Link model: fixed base latency + uniform jitter, i.i.d. drop probability.
+struct LatencyModel {
+  double base_seconds = 0.010;    ///< e.g. 10 ms cellular one-way
+  double jitter_seconds = 0.005;  ///< uniform in [0, jitter]
+  double drop_probability = 0.0;  ///< per-message loss
+
+  void validate() const;
+};
+
+struct NetworkStats {
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, LatencyModel latency, std::uint64_t seed = 1);
+
+  /// Registers a node under `id`; the node must outlive the network.
+  void attach(NodeId id, Node& node);
+  void detach(NodeId id);
+  bool attached(NodeId id) const;
+
+  /// Sends a message; delivery is scheduled on the simulator (or dropped).
+  /// Sending to an unknown destination counts as a drop.
+  void send(Message message);
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator& simulator() { return *sim_; }
+
+ private:
+  Simulator* sim_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace dptd::net

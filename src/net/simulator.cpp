@@ -1,0 +1,40 @@
+#include "net/simulator.h"
+
+#include "common/check.h"
+
+namespace dptd::net {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  DPTD_REQUIRE(delay >= 0.0, "Simulator::schedule: negative delay");
+  DPTD_REQUIRE(fn != nullptr, "Simulator::schedule: null event");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the handler is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace dptd::net

@@ -1,0 +1,50 @@
+// Discrete-event simulator: a virtual clock plus an event queue with
+// deterministic FIFO tie-breaking. Substrate for the simulated crowd sensing
+// system (DESIGN.md substitution for real mobile devices).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dptd::net {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  /// Events at equal times fire in scheduling order.
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Runs events until the queue empties. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; leaves later events queued.
+  std::size_t run_until(SimTime deadline);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO among equal times
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dptd::net

@@ -1,0 +1,31 @@
+#include "truth/baselines.h"
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace dptd::truth {
+
+Result MeanAggregator::run(const data::ObservationMatrix& obs) const {
+  Result result;
+  result.weights.assign(obs.num_users(), 1.0);
+  result.truths = weighted_aggregate(obs, result.weights);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+Result MedianAggregator::run(const data::ObservationMatrix& obs) const {
+  Result result;
+  result.weights.assign(obs.num_users(), 1.0);
+  result.truths.resize(obs.num_objects());
+  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
+    const std::vector<double> values = obs.object_values(n);
+    DPTD_REQUIRE(!values.empty(), "MedianAggregator: object with no claims");
+    result.truths[n] = median(values);
+  }
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace dptd::truth

@@ -1,0 +1,21 @@
+// Naive aggregation baselines the paper compares against (mean, median):
+// quality-blind, single-pass, uniform weights.
+#pragma once
+
+#include "truth/interface.h"
+
+namespace dptd::truth {
+
+class MeanAggregator final : public TruthDiscovery {
+ public:
+  Result run(const data::ObservationMatrix& observations) const override;
+  std::string name() const override { return "mean"; }
+};
+
+class MedianAggregator final : public TruthDiscovery {
+ public:
+  Result run(const data::ObservationMatrix& observations) const override;
+  std::string name() const override { return "median"; }
+};
+
+}  // namespace dptd::truth

@@ -1,0 +1,73 @@
+#include "truth/catd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/special_functions.h"
+#include "common/statistics.h"
+
+namespace dptd::truth {
+
+Catd::Catd(CatdConfig config) : config_(config) {
+  DPTD_REQUIRE(config_.significance > 0.0 && config_.significance < 1.0,
+               "Catd: significance must be in (0,1)");
+  DPTD_REQUIRE(config_.convergence.max_iterations > 0,
+               "Catd: max_iterations must be positive");
+  DPTD_REQUIRE(config_.min_residual > 0.0,
+               "Catd: min_residual must be positive");
+}
+
+Result Catd::run(const data::ObservationMatrix& obs) const {
+  const std::size_t S = obs.num_users();
+  const std::size_t N = obs.num_objects();
+  DPTD_REQUIRE(S > 0 && N > 0, "Catd::run: empty observation matrix");
+
+  Result result;
+  // Initialize truths at per-object medians (the CATD paper's robust start).
+  result.truths.resize(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    result.truths[n] = median(obs.object_values(n));
+  }
+
+  // Chi-squared quantiles depend only on each user's claim count; cache them.
+  std::vector<std::size_t> counts(S, 0);
+  obs.for_each([&counts](std::size_t s, std::size_t, double) { ++counts[s]; });
+  std::vector<double> chi2(S, 0.0);
+  for (std::size_t s = 0; s < S; ++s) {
+    if (counts[s] > 0) {
+      // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
+      chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
+                                     static_cast<double>(counts[s]));
+    }
+  }
+
+  result.weights.assign(S, 0.0);
+  for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
+    // Weight update: w_s = chi2_s / sum of squared residuals.
+    std::vector<double> residual(S, 0.0);
+    obs.for_each([&](std::size_t s, std::size_t n, double v) {
+      const double d = v - result.truths[n];
+      residual[s] += d * d;
+    });
+    for (std::size_t s = 0; s < S; ++s) {
+      if (counts[s] == 0) {
+        result.weights[s] = 0.0;
+        continue;
+      }
+      result.weights[s] = chi2[s] / std::max(residual[s], config_.min_residual);
+    }
+
+    std::vector<double> next = weighted_aggregate(obs, result.weights);
+    const double change = truth_change(result.truths, next);
+    result.truths = std::move(next);
+    result.iterations = it;
+    if (change < config_.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dptd::truth

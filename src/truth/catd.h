@@ -1,0 +1,37 @@
+// CATD — Confidence-Aware Truth Discovery (Li et al., VLDB 2015).
+//
+// Beyond-paper extension: a third continuous-data truth-discovery method used
+// to demonstrate that the perturbation mechanism is method-agnostic
+// (DESIGN.md §4). CATD weights each user by the upper bound of the
+// chi-squared confidence interval on their error variance, which makes it
+// robust for long-tail users with few claims:
+//
+//   w_s = chi^2_{alpha/2, N_s} / sum_n (x_s_n - truth_n)^2
+#pragma once
+
+#include "truth/interface.h"
+
+namespace dptd::truth {
+
+struct CatdConfig {
+  /// Significance level of the confidence interval (0.05 in the CATD paper).
+  double significance = 0.05;
+  ConvergenceCriteria convergence;
+  /// Floor on a user's summed squared residual to avoid infinite weight.
+  double min_residual = 1e-12;
+};
+
+class Catd final : public TruthDiscovery {
+ public:
+  explicit Catd(CatdConfig config = {});
+
+  Result run(const data::ObservationMatrix& observations) const override;
+  std::string name() const override { return "catd"; }
+
+  const CatdConfig& config() const { return config_; }
+
+ private:
+  CatdConfig config_;
+};
+
+}  // namespace dptd::truth

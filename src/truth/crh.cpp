@@ -1,0 +1,105 @@
+#include "truth/crh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace dptd::truth {
+namespace {
+
+/// Per-object claim standard deviations for the normalized loss; zero-spread
+/// objects get 1.0 so they contribute raw squared distance.
+std::vector<double> object_stddevs(const data::ObservationMatrix& obs) {
+  std::vector<double> out(obs.num_objects(), 1.0);
+  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
+    const std::vector<double> values = obs.object_values(n);
+    if (values.size() >= 2) {
+      const double sd = stddev(values);
+      if (sd > 0.0) out[n] = sd;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Crh::Crh(CrhConfig config) : config_(config) {
+  DPTD_REQUIRE(config_.convergence.tolerance > 0.0,
+               "Crh: tolerance must be positive");
+  DPTD_REQUIRE(config_.convergence.max_iterations > 0,
+               "Crh: max_iterations must be positive");
+  DPTD_REQUIRE(config_.min_loss_fraction > 0.0 &&
+                   config_.min_loss_fraction < 1.0,
+               "Crh: min_loss_fraction must be in (0,1)");
+}
+
+std::vector<double> Crh::estimate_weights(
+    const data::ObservationMatrix& obs,
+    const std::vector<double>& truths) const {
+  DPTD_REQUIRE(truths.size() == obs.num_objects(),
+               "Crh::estimate_weights: truths size != num objects");
+  const std::vector<double> stddevs =
+      config_.loss == CrhLoss::kNormalizedSquared
+          ? object_stddevs(obs)
+          : std::vector<double>(obs.num_objects(), 1.0);
+
+  std::vector<double> losses(obs.num_users(), 0.0);
+  obs.for_each([&](std::size_t s, std::size_t n, double v) {
+    const double diff = v - truths[n];
+    switch (config_.loss) {
+      case CrhLoss::kNormalizedSquared:
+        losses[s] += diff * diff / stddevs[n];
+        break;
+      case CrhLoss::kSquared:
+        losses[s] += diff * diff;
+        break;
+      case CrhLoss::kAbsolute:
+        losses[s] += std::abs(diff);
+        break;
+    }
+  });
+
+  double total = 0.0;
+  for (double l : losses) total += l;
+
+  std::vector<double> weights(obs.num_users(), 0.0);
+  if (total <= 0.0) {
+    // All users agree exactly with the truths: equal (unit) weights.
+    std::fill(weights.begin(), weights.end(), 1.0);
+    return weights;
+  }
+  for (std::size_t s = 0; s < obs.num_users(); ++s) {
+    const double fraction =
+        std::max(losses[s] / total, config_.min_loss_fraction);
+    // Eq. (3): w_s = -log(loss_s / total); non-negative since fraction <= 1.
+    weights[s] = -std::log(fraction);
+  }
+  return weights;
+}
+
+Result Crh::run(const data::ObservationMatrix& obs) const {
+  DPTD_REQUIRE(obs.num_users() > 0 && obs.num_objects() > 0,
+               "Crh::run: empty observation matrix");
+
+  Result result;
+  // Algorithm 1 line 1: uniform weight initialization.
+  result.weights.assign(obs.num_users(), 1.0);
+  result.truths = weighted_aggregate(obs, result.weights);
+
+  for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
+    result.weights = estimate_weights(obs, result.truths);
+    std::vector<double> next = weighted_aggregate(obs, result.weights);
+    const double change = truth_change(result.truths, next);
+    result.truths = std::move(next);
+    result.iterations = it;
+    if (change < config_.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dptd::truth

@@ -1,0 +1,49 @@
+// CRH — Conflict Resolution on Heterogeneous data (Li et al., SIGMOD 2014),
+// the truth-discovery method the paper instantiates in Eq. (3).
+//
+// Iterates:
+//   truths  <- weighted mean of claims               (paper Eq. 1)
+//   w_s     <- -log( loss_s / sum_{s'} loss_{s'} )   (paper Eq. 3)
+// where loss_s = sum_n d(x_s_n, truth_n) over the user's present claims.
+#pragma once
+
+#include "truth/interface.h"
+
+namespace dptd::truth {
+
+/// Distance function d(.) in the weight update (paper Eq. 2/3).
+enum class CrhLoss {
+  /// (x - t)^2 / stddev_n — CRH's continuous loss, scale-invariant across
+  /// objects (stddev_n = std of the claims on object n). Default.
+  kNormalizedSquared,
+  kSquared,   ///< (x - t)^2
+  kAbsolute,  ///< |x - t|
+};
+
+struct CrhConfig {
+  CrhLoss loss = CrhLoss::kNormalizedSquared;
+  ConvergenceCriteria convergence;
+  /// Lower clamp on a user's share of total loss before the log, preventing
+  /// infinite weight for a user whose claims coincide exactly with truths.
+  double min_loss_fraction = 1e-12;
+};
+
+class Crh final : public TruthDiscovery {
+ public:
+  explicit Crh(CrhConfig config = {});
+
+  Result run(const data::ObservationMatrix& observations) const override;
+  std::string name() const override { return "crh"; }
+
+  const CrhConfig& config() const { return config_; }
+
+  /// One weight-estimation step given current truths (exposed for tests and
+  /// for the Fig. 7 weight-comparison experiment).
+  std::vector<double> estimate_weights(const data::ObservationMatrix& obs,
+                                       const std::vector<double>& truths) const;
+
+ private:
+  CrhConfig config_;
+};
+
+}  // namespace dptd::truth

@@ -1,0 +1,115 @@
+#include "truth/gtm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace dptd::truth {
+
+Gtm::Gtm(GtmConfig config) : config_(config) {
+  DPTD_REQUIRE(config_.truth_prior_variance > 0.0,
+               "Gtm: truth prior variance must be positive");
+  DPTD_REQUIRE(config_.quality_prior_alpha > 0.0 &&
+                   config_.quality_prior_beta > 0.0,
+               "Gtm: inverse-Gamma prior parameters must be positive");
+  DPTD_REQUIRE(config_.convergence.max_iterations > 0,
+               "Gtm: max_iterations must be positive");
+  DPTD_REQUIRE(config_.min_variance > 0.0, "Gtm: min_variance must be positive");
+}
+
+Result Gtm::run(const data::ObservationMatrix& obs) const {
+  const std::size_t S = obs.num_users();
+  const std::size_t N = obs.num_objects();
+  DPTD_REQUIRE(S > 0 && N > 0, "Gtm::run: empty observation matrix");
+
+  // Per-object standardization: z = (x - mean_n) / sd_n.
+  std::vector<double> shift(N, 0.0);
+  std::vector<double> scale(N, 1.0);
+  if (config_.standardize) {
+    for (std::size_t n = 0; n < N; ++n) {
+      const std::vector<double> values = obs.object_values(n);
+      DPTD_REQUIRE(!values.empty(), "Gtm::run: object with no claims");
+      shift[n] = mean(values);
+      if (values.size() >= 2) {
+        const double sd = stddev(values);
+        if (sd > 0.0) scale[n] = sd;
+      }
+    }
+  }
+  const auto standardized = [&](std::size_t n, double v) {
+    return (v - shift[n]) / scale[n];
+  };
+
+  // Initialize truths at the per-object median (robust start), in
+  // standardized space.
+  std::vector<double> truth_mean(N, 0.0);
+  std::vector<double> truth_var(N, 0.0);
+  for (std::size_t n = 0; n < N; ++n) {
+    std::vector<double> values = obs.object_values(n);
+    for (double& v : values) v = standardized(n, v);
+    truth_mean[n] = median(values);
+  }
+
+  std::vector<double> quality(S, 1.0);  // sigma_s^2 in standardized space
+  std::vector<double> prev_truths = truth_mean;
+
+  Result result;
+  for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
+    // M-step: MAP variance per user given current truth posteriors.
+    //   sigma_s^2 = (beta + 0.5 sum_n [(z - m_n)^2 + v_n]) / (alpha + 1 + N_s/2)
+    std::vector<double> resid(S, 0.0);
+    std::vector<std::size_t> counts(S, 0);
+    obs.for_each([&](std::size_t s, std::size_t n, double v) {
+      const double z = standardized(n, v);
+      const double d = z - truth_mean[n];
+      resid[s] += d * d + truth_var[n];
+      ++counts[s];
+    });
+    for (std::size_t s = 0; s < S; ++s) {
+      if (counts[s] == 0) {
+        quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
+        continue;
+      }
+      const double numerator = config_.quality_prior_beta + 0.5 * resid[s];
+      const double denominator = config_.quality_prior_alpha + 1.0 +
+                                 0.5 * static_cast<double>(counts[s]);
+      quality[s] = std::max(numerator / denominator, config_.min_variance);
+    }
+
+    // E-step: Gaussian posterior of each truth.
+    std::vector<double> precision(N, 1.0 / config_.truth_prior_variance);
+    std::vector<double> weighted_sum(
+        N, config_.truth_prior_mean / config_.truth_prior_variance);
+    obs.for_each([&](std::size_t s, std::size_t n, double v) {
+      const double z = standardized(n, v);
+      const double p = 1.0 / quality[s];
+      precision[n] += p;
+      weighted_sum[n] += p * z;
+    });
+    for (std::size_t n = 0; n < N; ++n) {
+      truth_mean[n] = weighted_sum[n] / precision[n];
+      truth_var[n] = 1.0 / precision[n];
+    }
+
+    result.iterations = it;
+    const double change = truth_change(prev_truths, truth_mean);
+    prev_truths = truth_mean;
+    if (change < config_.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // De-standardize truths; expose precisions as weights.
+  result.truths.resize(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    result.truths[n] = truth_mean[n] * scale[n] + shift[n];
+  }
+  result.weights.resize(S);
+  for (std::size_t s = 0; s < S; ++s) result.weights[s] = 1.0 / quality[s];
+  return result;
+}
+
+}  // namespace dptd::truth

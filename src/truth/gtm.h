@@ -1,0 +1,43 @@
+// GTM — Gaussian Truth Model (Zhao & Han, QDB 2012), the second
+// truth-discovery method evaluated in the paper (Fig. 5).
+//
+// Generative model:
+//   truth_n     ~ N(mu0, sigma0^2)
+//   quality     sigma_s^2 with inverse-Gamma(alpha, beta) prior
+//   claim x_s_n ~ N(truth_n, sigma_s^2)
+//
+// EM: the E-step computes the Gaussian posterior of each truth given current
+// qualities; the M-step is the MAP update of each user's variance.
+// Claims are standardized per object before inference (as in the GTM paper)
+// and truths are de-standardized on output.
+#pragma once
+
+#include "truth/interface.h"
+
+namespace dptd::truth {
+
+struct GtmConfig {
+  double truth_prior_mean = 0.0;      ///< mu0 (in standardized space)
+  double truth_prior_variance = 1.0;  ///< sigma0^2
+  double quality_prior_alpha = 2.0;   ///< inverse-Gamma alpha
+  double quality_prior_beta = 1.0;    ///< inverse-Gamma beta
+  bool standardize = true;            ///< per-object z-scoring of claims
+  ConvergenceCriteria convergence;
+  /// Floor for user variances to keep precisions finite.
+  double min_variance = 1e-9;
+};
+
+class Gtm final : public TruthDiscovery {
+ public:
+  explicit Gtm(GtmConfig config = {});
+
+  Result run(const data::ObservationMatrix& observations) const override;
+  std::string name() const override { return "gtm"; }
+
+  const GtmConfig& config() const { return config_; }
+
+ private:
+  GtmConfig config_;
+};
+
+}  // namespace dptd::truth

@@ -1,0 +1,60 @@
+#include "truth/interface.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dptd::truth {
+
+std::vector<double> Result::normalized_weights() const {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<double> out(weights.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t s = 0; s < weights.size(); ++s) out[s] = weights[s] / total;
+  return out;
+}
+
+std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
+                                       const std::vector<double>& weights) {
+  DPTD_REQUIRE(weights.size() == obs.num_users(),
+               "weighted_aggregate: weight vector size != num users");
+  for (double w : weights) {
+    DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
+                 "weighted_aggregate: weights must be finite and >= 0");
+  }
+  std::vector<double> truths(obs.num_objects(), 0.0);
+  std::vector<double> weight_sums(obs.num_objects(), 0.0);
+  std::vector<double> plain_sums(obs.num_objects(), 0.0);
+  std::vector<std::size_t> counts(obs.num_objects(), 0);
+
+  obs.for_each([&](std::size_t s, std::size_t n, double v) {
+    truths[n] += weights[s] * v;
+    weight_sums[n] += weights[s];
+    plain_sums[n] += v;
+    ++counts[n];
+  });
+
+  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
+    DPTD_REQUIRE(counts[n] > 0, "weighted_aggregate: object with no claims");
+    if (weight_sums[n] > 0.0) {
+      truths[n] /= weight_sums[n];
+    } else {
+      // Every claimant has zero weight; fall back to the unweighted mean so
+      // the object still gets a defined estimate.
+      truths[n] = plain_sums[n] / static_cast<double>(counts[n]);
+    }
+  }
+  return truths;
+}
+
+double truth_change(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  DPTD_REQUIRE(a.size() == b.size() && !a.empty(),
+               "truth_change: size mismatch or empty");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace dptd::truth

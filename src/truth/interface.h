@@ -1,0 +1,56 @@
+// Common interface for truth-discovery algorithms over continuous data.
+//
+// All methods follow the two-principle template the paper summarizes in
+// Algorithm 1: iterate (a) weighted aggregation of claims into truths and
+// (b) re-estimation of user weights from distance-to-truths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dptd::truth {
+
+/// Convergence control shared by iterative methods.
+struct ConvergenceCriteria {
+  /// Stop when the mean absolute change of the aggregated results between two
+  /// consecutive iterations falls below this threshold (paper §3.1 / §5.3).
+  double tolerance = 1e-6;
+  std::size_t max_iterations = 100;
+};
+
+struct Result {
+  std::vector<double> truths;   ///< one aggregated value per object
+  std::vector<double> weights;  ///< one non-negative weight per user
+  std::size_t iterations = 0;   ///< iterations actually executed
+  bool converged = false;       ///< true if tolerance was reached
+
+  /// Weights rescaled to sum to 1 (convenience for comparisons/plots).
+  std::vector<double> normalized_weights() const;
+};
+
+class TruthDiscovery {
+ public:
+  virtual ~TruthDiscovery() = default;
+
+  /// Runs the method on an observation matrix. Every object must have at
+  /// least one present observation; throws std::invalid_argument otherwise.
+  virtual Result run(const data::ObservationMatrix& observations) const = 0;
+
+  /// Stable identifier ("crh", "gtm", "catd", "mean", "median").
+  virtual std::string name() const = 0;
+};
+
+/// Weighted aggregation step shared by all methods (paper Eq. 1):
+/// truths[n] = sum_s w_s x_s_n / sum_s w_s over present cells.
+/// Users with zero weight are kept (contribute nothing unless every weight on
+/// an object is zero, in which case the unweighted mean is used).
+std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
+                                       const std::vector<double>& weights);
+
+/// Mean absolute change between two truth vectors (convergence metric).
+double truth_change(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace dptd::truth

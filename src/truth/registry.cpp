@@ -1,0 +1,38 @@
+#include "truth/registry.h"
+
+#include "common/check.h"
+#include "truth/baselines.h"
+#include "truth/catd.h"
+#include "truth/crh.h"
+#include "truth/gtm.h"
+
+namespace dptd::truth {
+
+std::unique_ptr<TruthDiscovery> make_method(
+    const std::string& name, const ConvergenceCriteria& convergence) {
+  if (name == "crh") {
+    CrhConfig config;
+    config.convergence = convergence;
+    return std::make_unique<Crh>(config);
+  }
+  if (name == "gtm") {
+    GtmConfig config;
+    config.convergence = convergence;
+    return std::make_unique<Gtm>(config);
+  }
+  if (name == "catd") {
+    CatdConfig config;
+    config.convergence = convergence;
+    return std::make_unique<Catd>(config);
+  }
+  if (name == "mean") return std::make_unique<MeanAggregator>();
+  if (name == "median") return std::make_unique<MedianAggregator>();
+  DPTD_REQUIRE(false, "unknown truth-discovery method: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> method_names() {
+  return {"crh", "gtm", "catd", "mean", "median"};
+}
+
+}  // namespace dptd::truth

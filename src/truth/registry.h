@@ -1,0 +1,22 @@
+// Factory for truth-discovery methods by name, used by examples/benches to
+// switch methods from the command line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "truth/interface.h"
+
+namespace dptd::truth {
+
+/// Builds "crh", "gtm", "catd", "mean" or "median" with the given
+/// convergence criteria (ignored by single-pass baselines).
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<TruthDiscovery> make_method(
+    const std::string& name, const ConvergenceCriteria& convergence = {});
+
+/// Names accepted by make_method, in display order.
+std::vector<std::string> method_names();
+
+}  // namespace dptd::truth

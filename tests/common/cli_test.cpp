@@ -1,0 +1,125 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test tool");
+  parser.add_flag("verbose", "enable verbose output")
+      .add_int("users", 150, "number of users")
+      .add_double("lambda2", 1.0, "noise hyper-parameter")
+      .add_string("method", "crh", "truth discovery method");
+  return parser;
+}
+
+TEST(CliParser, DefaultsApplyWithoutArguments) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(parser.parse(1, argv));
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_EQ(parser.get_int("users"), 150);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda2"), 1.0);
+  EXPECT_EQ(parser.get_string("method"), "crh");
+}
+
+TEST(CliParser, EqualsForm) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--users=300", "--lambda2=0.5",
+                        "--method=gtm", "--verbose"};
+  EXPECT_TRUE(parser.parse(5, argv));
+  EXPECT_TRUE(parser.flag("verbose"));
+  EXPECT_EQ(parser.get_int("users"), 300);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda2"), 0.5);
+  EXPECT_EQ(parser.get_string("method"), "gtm");
+}
+
+TEST(CliParser, SpaceSeparatedForm) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--users", "42", "--method", "median"};
+  EXPECT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("users"), 42);
+  EXPECT_EQ(parser.get_string("method"), "median");
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, BadIntegerThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--users=abc"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, BadDoubleThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--lambda2=1.2.3"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--users"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, PositionalArgumentThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(CliParser, HelpTextMentionsEveryOption) {
+  const CliParser parser = make_parser();
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--users"), std::string::npos);
+  EXPECT_NE(help.find("--lambda2"), std::string::npos);
+  EXPECT_NE(help.find("--method"), std::string::npos);
+  EXPECT_NE(help.find("default \"crh\""), std::string::npos);
+}
+
+TEST(CliParser, TypeMismatchOnAccessThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get_int("method"), std::invalid_argument);
+  EXPECT_THROW(parser.flag("users"), std::invalid_argument);
+  EXPECT_THROW(parser.get_double("nope"), std::invalid_argument);
+}
+
+TEST(CliParser, DuplicateRegistrationThrows) {
+  CliParser parser("dup");
+  parser.add_int("x", 0, "first");
+  EXPECT_THROW(parser.add_double("x", 1.0, "second"), std::invalid_argument);
+}
+
+TEST(CliParser, NegativeNumbersParse) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--users=-5", "--lambda2=-2.5"};
+  EXPECT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("users"), -5);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda2"), -2.5);
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,112 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dptd {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, NumericRowRoundTripsDoubles) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_numeric_row({0.1, 1e-300, 12345.6789});
+  std::istringstream is(os.str());
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 0.1);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), 1e-300);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][2]), 12345.6789);
+}
+
+TEST(CsvReader, ParsesSimpleRows) {
+  std::istringstream is("a,b\n1,2\n");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReader, HandlesQuotedFields) {
+  std::istringstream is("\"a,b\",\"say \"\"hi\"\"\",plain\n");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST(CsvReader, HandlesEmbeddedNewlineInQuotes) {
+  std::istringstream is("\"two\nlines\",x\n");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+}
+
+TEST(CsvReader, ToleratesCrLf) {
+  std::istringstream is("a,b\r\nc,d\r\n");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(CsvReader, LastLineWithoutNewline) {
+  std::istringstream is("a,b\nc,d");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, EmptyFieldsPreserved) {
+  std::istringstream is(",,\n");
+  const auto rows = CsvReader::parse(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  for (const auto& f : rows[0]) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvReader, UnterminatedQuoteThrows) {
+  std::istringstream is("\"oops\n");
+  EXPECT_THROW(CsvReader::parse(is), std::invalid_argument);
+}
+
+TEST(CsvReader, ParseLineMatchesParse) {
+  const auto fields = CsvReader::parse_line("x,\"a,b\",z");
+  EXPECT_EQ(fields, (std::vector<std::string>{"x", "a,b", "z"}));
+}
+
+TEST(CsvReader, ParseLineRejectsNewline) {
+  EXPECT_THROW(CsvReader::parse_line("a,b\nc"), std::invalid_argument);
+}
+
+TEST(CsvRoundTrip, WriterThenReaderIsIdentity) {
+  const std::vector<std::vector<std::string>> original = {
+      {"name", "value"},
+      {"with,comma", "with\"quote"},
+      {"multi\nline", ""},
+  };
+  std::ostringstream os;
+  CsvWriter writer(os);
+  for (const auto& row : original) writer.write_row(row);
+  std::istringstream is(os.str());
+  EXPECT_EQ(CsvReader::parse(is), original);
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,257 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace dptd {
+namespace {
+
+constexpr std::size_t kSamples = 200'000;
+constexpr double kMomentTol = 0.03;  // generous for 200k samples
+
+TEST(Uniform01, StaysInHalfOpenUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanAndVarianceMatchTheory) {
+  Rng rng(2);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(uniform01(rng));
+  EXPECT_NEAR(stats.mean(), 0.5, kMomentTol);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, kMomentTol);
+}
+
+TEST(Uniform01OpenLeft, NeverReturnsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100'000; ++i) EXPECT_GT(uniform01_open_left(rng), 0.0);
+}
+
+TEST(Uniform, RespectsRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform(rng, -3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Uniform, RejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(uniform(rng, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(UniformIndex, CoversAllBucketsRoughlyEvenly) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[uniform_index(rng, 10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(UniformIndex, RejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(uniform_index(rng, 0), std::invalid_argument);
+}
+
+TEST(StandardNormal, MomentsMatchTheory) {
+  Rng rng(8);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, kMomentTol);
+  EXPECT_NEAR(stats.variance(), 1.0, kMomentTol);
+}
+
+TEST(StandardNormal, BoxMullerMomentsMatchTheory) {
+  Rng rng(9);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    stats.add(standard_normal_box_muller(rng));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, kMomentTol);
+  EXPECT_NEAR(stats.variance(), 1.0, kMomentTol);
+}
+
+TEST(StandardNormal, TailMassMatchesTheory) {
+  Rng rng(10);
+  int beyond2 = 0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    if (std::abs(standard_normal(rng)) > 2.0) ++beyond2;
+  }
+  // P(|Z| > 2) = 0.0455.
+  EXPECT_NEAR(static_cast<double>(beyond2) / kSamples, 0.0455, 0.005);
+}
+
+TEST(Normal, ZeroStddevReturnsMeanExactly) {
+  Rng rng(11);
+  EXPECT_EQ(normal(rng, 3.25, 0.0), 3.25);
+}
+
+TEST(Normal, RejectsNegativeStddev) {
+  Rng rng(12);
+  EXPECT_THROW(normal(rng, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(exponential(rng, 2.5));
+  EXPECT_NEAR(stats.mean(), 1.0 / 2.5, kMomentTol);
+  EXPECT_NEAR(stats.variance(), 1.0 / (2.5 * 2.5), kMomentTol);
+}
+
+TEST(Exponential, AlwaysNonNegative) {
+  Rng rng(14);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(exponential(rng, 0.3), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng rng(15);
+  EXPECT_THROW(exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(exponential(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Laplace, MomentsMatchTheory) {
+  Rng rng(16);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(laplace(rng, 1.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 2.0 * 2.0 * 2.0, 0.3);  // 2 b^2
+}
+
+TEST(Laplace, MeanAbsoluteDeviationEqualsScale) {
+  Rng rng(17);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    stats.add(std::abs(laplace(rng, 0.0, 0.7)));
+  }
+  EXPECT_NEAR(stats.mean(), 0.7, 0.02);
+}
+
+TEST(Gamma, MomentsMatchTheoryShapeAboveOne) {
+  Rng rng(18);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(gamma(rng, 3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 6.0, 0.1);       // k * theta
+  EXPECT_NEAR(stats.variance(), 12.0, 0.5);  // k * theta^2
+}
+
+TEST(Gamma, MomentsMatchTheoryShapeBelowOne) {
+  Rng rng(19);
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(gamma(rng, 0.5, 1.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.variance(), 0.5, 0.05);
+}
+
+TEST(Gamma, SumOfExponentialsMatchesGammaTwo) {
+  // Exp(rate l) + Exp(rate l) ~ Gamma(2, 1/l): verify equality of moments.
+  Rng rng(20);
+  RunningStats sum_stats;
+  RunningStats gamma_stats;
+  const double rate = 1.7;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    sum_stats.add(exponential(rng, rate) + exponential(rng, rate));
+    gamma_stats.add(gamma(rng, 2.0, 1.0 / rate));
+  }
+  EXPECT_NEAR(sum_stats.mean(), gamma_stats.mean(), 0.02);
+  EXPECT_NEAR(sum_stats.variance(), gamma_stats.variance(), 0.05);
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Rng rng(21);
+  int hits = 0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    if (bernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Bernoulli, DegenerateProbabilities) {
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+  }
+}
+
+TEST(WeightedIndex, MatchesWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[weighted_index(rng, weights.data(), weights.size())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(WeightedIndex, RejectsAllZeroAndNegative) {
+  Rng rng(24);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(weighted_index(rng, zeros.data(), zeros.size()),
+               std::invalid_argument);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(weighted_index(rng, negative.data(), negative.size()),
+               std::invalid_argument);
+}
+
+TEST(GaussianSampler, MomentsMatchTheory) {
+  GaussianSampler sampler{Rng(25)};
+  RunningStats stats;
+  for (std::size_t i = 0; i < kSamples; ++i) stats.add(sampler(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(GaussianSampler, ZeroStddevExact) {
+  GaussianSampler sampler{Rng(26)};
+  EXPECT_EQ(sampler(-1.5, 0.0), -1.5);
+}
+
+/// Property sweep: exponential inversion sampling matches its rate across a
+/// grid of rates.
+class ExponentialRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialRateSweep, MeanIsOneOverRate) {
+  const double rate = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rate * 1000) + 1);
+  RunningStats stats;
+  for (std::size_t i = 0; i < 100'000; ++i) stats.add(exponential(rng, rate));
+  EXPECT_NEAR(stats.mean() * rate, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialRateSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0));
+
+/// Property sweep: normal sampler across (mean, stddev) combinations.
+class NormalMomentSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(NormalMomentSweep, MomentsMatch) {
+  const auto [mu, sigma] = GetParam();
+  Rng rng(77);
+  RunningStats stats;
+  for (std::size_t i = 0; i < 100'000; ++i) stats.add(normal(rng, mu, sigma));
+  EXPECT_NEAR(stats.mean(), mu, 0.05 * (1.0 + sigma));
+  EXPECT_NEAR(stats.stddev(), sigma, 0.05 * (1.0 + sigma));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, NormalMomentSweep,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{5.0, 0.1},
+                      std::pair{-3.0, 2.0}, std::pair{100.0, 10.0}));
+
+}  // namespace
+}  // namespace dptd

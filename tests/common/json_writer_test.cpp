@@ -1,0 +1,116 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dptd {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .key("name")
+      .value("dptd")
+      .key("version")
+      .value(std::int64_t{1})
+      .key("ready")
+      .value(true)
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"name":"dptd","version":1,"ready":true})");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .key("series")
+      .begin_array()
+      .value(1.5)
+      .value(2.5)
+      .end_array()
+      .key("meta")
+      .begin_object()
+      .key("n")
+      .value(std::size_t{2})
+      .end_object()
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"series":[1.5,2.5],"meta":{"n":2}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.value(std::string("line\nquote\"back\\slash\ttab"));
+  EXPECT_EQ(os.str(), "\"line\\nquote\\\"back\\\\slash\\ttab\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.0)
+      .end_array();
+  EXPECT_EQ(os.str(), "[null,null,1]");
+}
+
+TEST(JsonWriter, NullValue) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object().key("x").null().end_object();
+  EXPECT_EQ(os.str(), R"({"x":null})");
+}
+
+TEST(JsonWriter, ValueInObjectWithoutKeyThrows) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  EXPECT_THROW(json.value(1.0), InternalError);
+}
+
+TEST(JsonWriter, KeyOutsideObjectThrows) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  EXPECT_THROW(json.key("k"), InternalError);
+}
+
+TEST(JsonWriter, MismatchedCloseThrows) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  EXPECT_THROW(json.end_array(), InternalError);
+}
+
+TEST(JsonWriter, DanglingKeyOnCloseThrows) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object().key("orphan");
+  EXPECT_THROW(json.end_object(), InternalError);
+}
+
+TEST(JsonWriter, MultipleRootsThrow) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.value(1.0);
+  EXPECT_THROW(json.value(2.0), InternalError);
+}
+
+TEST(JsonWriter, CompleteReflectsState) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  EXPECT_FALSE(json.complete());
+  json.begin_array();
+  EXPECT_FALSE(json.complete());
+  json.end_array();
+  EXPECT_TRUE(json.complete());
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dptd {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Logging, SetAndGetRoundTrip) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST(Logging, MacrosDoNotCrashAtAnyLevel) {
+  const LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kWarn, LogLevel::kOff}) {
+    set_log_level(level);
+    DPTD_LOG_TRACE << "trace " << 1;
+    DPTD_LOG_DEBUG << "debug " << 2.5;
+    DPTD_LOG_INFO << "info " << "text";
+    DPTD_LOG_WARN << "warn";
+    DPTD_LOG_ERROR << "error";
+  }
+  SUCCEED();
+}
+
+TEST(Logging, OffSuppressesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing observable to assert on stderr portably; exercise the path.
+  DPTD_LOG_ERROR << "should be suppressed";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dptd

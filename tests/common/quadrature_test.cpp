@@ -1,0 +1,104 @@
+#include "common/quadrature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dptd {
+namespace {
+
+TEST(AdaptiveSimpson, ExactOnCubics) {
+  const auto f = [](double x) { return 3.0 * x * x * x - x + 2.0; };
+  // Antiderivative: (3/4)x^4 - x^2/2 + 2x.
+  const double expected = 0.75 * 16.0 - 2.0 + 4.0;
+  EXPECT_NEAR(integrate_adaptive_simpson(f, 0.0, 2.0), expected, 1e-12);
+}
+
+TEST(AdaptiveSimpson, SineOverFullPeriodIsZero) {
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  EXPECT_NEAR(integrate_adaptive_simpson([](double x) { return std::sin(x); },
+                                         0.0, two_pi),
+              0.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, GaussianMassOverWideInterval) {
+  const auto f = [](double x) {
+    return std::exp(-x * x / 2.0) / std::sqrt(2.0 * 3.14159265358979323846);
+  };
+  EXPECT_NEAR(integrate_adaptive_simpson(f, -10.0, 10.0), 1.0, 1e-9);
+}
+
+TEST(AdaptiveSimpson, EmptyIntervalIsZero) {
+  EXPECT_EQ(integrate_adaptive_simpson([](double) { return 42.0; }, 1.0, 1.0),
+            0.0);
+}
+
+TEST(AdaptiveSimpson, RejectsBadArguments) {
+  EXPECT_THROW(
+      integrate_adaptive_simpson([](double) { return 0.0; }, 1.0, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      integrate_adaptive_simpson([](double) { return 0.0; }, 0.0, 1.0, -1.0),
+      std::invalid_argument);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  // int_0^inf e^{-x} dx = 1.
+  EXPECT_NEAR(integrate_to_infinity([](double x) { return std::exp(-x); }, 0.0),
+              1.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, ShiftedLowerLimit) {
+  // int_2^inf e^{-x} dx = e^{-2}.
+  EXPECT_NEAR(integrate_to_infinity([](double x) { return std::exp(-x); }, 2.0),
+              std::exp(-2.0), 1e-8);
+}
+
+TEST(IntegrateToInfinity, GammaThreeMass) {
+  // Gamma(3, 1) density integrates to 1.
+  const auto f = [](double x) { return 0.5 * x * x * std::exp(-x); };
+  EXPECT_NEAR(integrate_to_infinity(f, 0.0), 1.0, 1e-7);
+}
+
+TEST(IntegrateToInfinity, FirstMomentOfExponential) {
+  // int_0^inf x l e^{-lx} dx = 1/l.
+  const double rate = 3.0;
+  const auto f = [rate](double x) { return x * rate * std::exp(-rate * x); };
+  EXPECT_NEAR(integrate_to_infinity(f, 0.0), 1.0 / rate, 1e-8);
+}
+
+TEST(GaussLegendre, ExactForPolynomialsUpToOrder) {
+  // Order-8 GL is exact for polynomials of degree <= 15.
+  const auto f = [](double x) { return std::pow(x, 9) + x * x; };
+  const double expected = (std::pow(2.0, 10) / 10.0) + (8.0 / 3.0);
+  EXPECT_NEAR(integrate_gauss_legendre(f, 0.0, 2.0, 8), expected, 1e-9);
+}
+
+TEST(GaussLegendre, AllOrdersAgreeOnSmoothIntegrand) {
+  const auto f = [](double x) { return std::exp(-x) * std::cos(x); };
+  const double v8 = integrate_gauss_legendre(f, 0.0, 3.0, 8);
+  const double v16 = integrate_gauss_legendre(f, 0.0, 3.0, 16);
+  const double v32 = integrate_gauss_legendre(f, 0.0, 3.0, 32);
+  EXPECT_NEAR(v8, v16, 1e-8);
+  EXPECT_NEAR(v16, v32, 1e-10);
+  // Analytic: [e^{-x}(sin x - cos x)/2] from 0 to 3.
+  const double exact =
+      (std::exp(-3.0) * (std::sin(3.0) - std::cos(3.0)) + 1.0) / 2.0;
+  EXPECT_NEAR(v32, exact, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsUnsupportedOrder) {
+  EXPECT_THROW(
+      integrate_gauss_legendre([](double) { return 0.0; }, 0.0, 1.0, 7),
+      std::invalid_argument);
+}
+
+TEST(GaussLegendre, AgreesWithAdaptiveSimpson) {
+  const auto f = [](double x) { return 1.0 / (1.0 + x * x); };
+  EXPECT_NEAR(integrate_gauss_legendre(f, -1.0, 1.0, 32),
+              integrate_adaptive_simpson(f, -1.0, 1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVectorSeedZero) {
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, MatchesReferenceVectorSeed1234567) {
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 0x599ed017fb08fc85ULL);
+  EXPECT_EQ(sm.next(), 0x2c73f08458540fa5ULL);
+  EXPECT_EQ(sm.next(), 0x883ebce5a3f27c77ULL);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Rng a(7);
+  Rng b(7);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.count(b.next()));
+}
+
+TEST(Xoshiro, SplitIsDeterministic) {
+  const Rng root(99);
+  Rng a = root.split(5);
+  Rng b = root.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, SplitStreamsAreDistinct) {
+  const Rng root(99);
+  Rng a = root.split(1);
+  Rng b = root.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(DeriveSeed, SensitiveToEveryArgument) {
+  const std::uint64_t base = derive_seed(1, 2, 3, 4);
+  EXPECT_NE(base, derive_seed(9, 2, 3, 4));
+  EXPECT_NE(base, derive_seed(1, 9, 3, 4));
+  EXPECT_NE(base, derive_seed(1, 2, 9, 4));
+  EXPECT_NE(base, derive_seed(1, 2, 3, 9));
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(10, 20, 30, 40), derive_seed(10, 20, 30, 40));
+}
+
+TEST(DeriveSeed, NoObviousCollisionsOverGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 30; ++a) {
+    for (std::uint64_t b = 0; b < 30; ++b) {
+      seen.insert(derive_seed(123, a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 900u);
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,161 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.write_u8(0xab);
+  enc.write_u32(0xdeadbeef);
+  enc.write_u64(0x0123456789abcdefULL);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_u8(), 0xab);
+  EXPECT_EQ(dec.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Serialize, VarintRoundTripEdgeValues) {
+  const std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384, 0xffffffffULL,
+      std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (auto v : values) enc.write_varint(v);
+  Decoder dec(enc.bytes());
+  for (auto v : values) EXPECT_EQ(dec.read_varint(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Serialize, VarintCompactness) {
+  Encoder enc;
+  enc.write_varint(5);
+  EXPECT_EQ(enc.size(), 1u);
+  Encoder enc2;
+  enc2.write_varint(300);
+  EXPECT_EQ(enc2.size(), 2u);
+}
+
+TEST(Serialize, SignedVarintZigzagRoundTrip) {
+  const std::vector<std::int64_t> values = {
+      0,  -1, 1,  -2, 2,  63, -64, 64,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  Encoder enc;
+  for (auto v : values) enc.write_signed_varint(v);
+  Decoder dec(enc.bytes());
+  for (auto v : values) EXPECT_EQ(dec.read_signed_varint(), v);
+}
+
+TEST(Serialize, SmallMagnitudeSignedValuesAreCompact) {
+  Encoder enc;
+  enc.write_signed_varint(-1);
+  EXPECT_EQ(enc.size(), 1u);  // zigzag maps -1 -> 1
+}
+
+TEST(Serialize, DoubleRoundTripIncludingSpecials) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.5, -3.25e-300, 1e308,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+  Encoder enc;
+  for (double v : values) enc.write_double(v);
+  Decoder dec(enc.bytes());
+  for (double v : values) {
+    const double got = dec.read_double();
+    EXPECT_EQ(std::signbit(got), std::signbit(v));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Serialize, NaNRoundTripsAsNaN) {
+  Encoder enc;
+  enc.write_double(std::numeric_limits<double>::quiet_NaN());
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(std::isnan(dec.read_double()));
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Encoder enc;
+  enc.write_string("");
+  enc.write_string("hello");
+  enc.write_string(std::string("emb\0edded", 9));
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_string(), "");
+  EXPECT_EQ(dec.read_string(), "hello");
+  EXPECT_EQ(dec.read_string(), std::string("emb\0edded", 9));
+}
+
+TEST(Serialize, DoubleVectorRoundTrip) {
+  const std::vector<double> xs = {1.0, -2.5, 3e10};
+  Encoder enc;
+  enc.write_doubles(xs);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_doubles(), xs);
+}
+
+TEST(Serialize, EmptyVectorRoundTrip) {
+  Encoder enc;
+  enc.write_doubles({});
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.read_doubles().empty());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Decode, TruncatedFixedWidthThrows) {
+  Encoder enc;
+  enc.write_u32(42);
+  std::vector<std::uint8_t> bytes = enc.bytes();
+  bytes.pop_back();
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.read_u32(), DecodeError);
+}
+
+TEST(Decode, TruncatedVarintThrows) {
+  const std::vector<std::uint8_t> bytes = {0x80, 0x80};  // continuation, no end
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.read_varint(), DecodeError);
+}
+
+TEST(Decode, OverlongVarintThrows) {
+  const std::vector<std::uint8_t> bytes(11, 0x80);
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.read_varint(), DecodeError);
+}
+
+TEST(Decode, StringLengthBeyondBufferThrows) {
+  Encoder enc;
+  enc.write_varint(1000);  // claims 1000 bytes follow
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.read_string(), DecodeError);
+}
+
+TEST(Decode, RemainingTracksPosition) {
+  Encoder enc;
+  enc.write_u8(1);
+  enc.write_u8(2);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.remaining(), 2u);
+  dec.read_u8();
+  EXPECT_EQ(dec.remaining(), 1u);
+  dec.read_u8();
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  const std::vector<std::uint8_t> blob = {0x00, 0xff, 0x7f, 0x80};
+  Encoder enc;
+  enc.write_bytes(blob);
+  Decoder dec(enc.bytes());
+  const std::uint64_t len = dec.read_varint();
+  EXPECT_EQ(len, blob.size());
+  for (std::uint8_t b : blob) EXPECT_EQ(dec.read_u8(), b);
+}
+
+}  // namespace
+}  // namespace dptd

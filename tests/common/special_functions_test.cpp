@@ -1,0 +1,121 @@
+#include "common/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dptd {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x = -4.0; x <= 4.0; x += 0.37) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-8);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+/// Round-trip property over a grid of probabilities.
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 1e-3, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.999, 1 - 1e-6));
+
+TEST(RegularizedGammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_p(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_NEAR(regularized_gamma_p(0.5, 4.0), std::erf(2.0), 1e-10);
+}
+
+TEST(RegularizedGammaP, BoundaryBehaviour) {
+  EXPECT_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaP, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double p = regularized_gamma_p(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ChiSquaredQuantile, MatchesStandardTables) {
+  // Classic upper-tail 5% critical values.
+  EXPECT_NEAR(chi_squared_quantile(0.05, 1.0), 3.841, 2e-3);
+  EXPECT_NEAR(chi_squared_quantile(0.05, 5.0), 11.070, 2e-3);
+  EXPECT_NEAR(chi_squared_quantile(0.05, 10.0), 18.307, 2e-3);
+  EXPECT_NEAR(chi_squared_quantile(0.05, 30.0), 43.773, 2e-3);
+  // 1% critical values.
+  EXPECT_NEAR(chi_squared_quantile(0.01, 1.0), 6.635, 2e-3);
+  EXPECT_NEAR(chi_squared_quantile(0.01, 10.0), 23.209, 2e-3);
+  // Upper-tail 97.5% (lower critical values).
+  EXPECT_NEAR(chi_squared_quantile(0.975, 10.0), 3.247, 2e-3);
+}
+
+TEST(ChiSquaredQuantile, RoundTripsThroughGammaCdf) {
+  for (double dof : {1.0, 2.0, 7.0, 20.0, 100.0}) {
+    for (double p : {0.01, 0.05, 0.5, 0.95}) {
+      const double x = chi_squared_quantile(p, dof);
+      EXPECT_NEAR(regularized_gamma_p(dof / 2.0, x / 2.0), 1.0 - p, 1e-8)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantile, RejectsBadArguments) {
+  EXPECT_THROW(chi_squared_quantile(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(chi_squared_quantile(1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(chi_squared_quantile(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(GaussianTailBound, DominatesExactTail) {
+  // 2 e^{-b^2/2} / b >= P(|Z| > b) = 2 (1 - Phi(b)).
+  for (double b = 0.5; b <= 5.0; b += 0.25) {
+    const double exact = 2.0 * (1.0 - normal_cdf(b));
+    EXPECT_GE(gaussian_tail_bound(b), exact) << "b=" << b;
+  }
+}
+
+TEST(GaussianTailBound, RejectsNonPositiveB) {
+  EXPECT_THROW(gaussian_tail_bound(0.0), std::invalid_argument);
+  EXPECT_THROW(gaussian_tail_bound(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dptd

@@ -1,0 +1,176 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_NEAR(stats.variance(), 12.5, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+}
+
+TEST(RunningStats, SingleElementHasZeroVariance) {
+  RunningStats stats;
+  stats.add(7.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, EmptyThrowsOnMean) {
+  const RunningStats stats;
+  EXPECT_THROW(stats.mean(), std::invalid_argument);
+  EXPECT_THROW(stats.min(), std::invalid_argument);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoOp) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  const RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Mean, BasicAndErrors) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Median, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0}), 5.0);
+}
+
+TEST(Median, RobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.625), 2.5);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(WeightedMean, MatchesHandComputation) {
+  const std::vector<double> xs = {1.0, 10.0};
+  const std::vector<double> ws = {9.0, 1.0};
+  EXPECT_NEAR(weighted_mean(xs, ws), 1.9, 1e-12);
+}
+
+TEST(WeightedMean, UniformWeightsEqualPlainMean) {
+  const std::vector<double> xs = {3.0, 5.0, 7.0};
+  const std::vector<double> ws = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), mean(xs));
+}
+
+TEST(WeightedMean, Errors) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, RejectsZeroVariance) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson_correlation(xs, ys), std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // monotone, nonlinear
+  EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesViaAverageRanks) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ranks = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(ErrorMetrics, KnownValues) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(max_absolute_error(a, b), 2.0);
+  EXPECT_NEAR(root_mean_squared_error(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(ErrorMetrics, IdenticalVectorsAreZero) {
+  const std::vector<double> a = {1.0, -2.0, 3.5};
+  EXPECT_EQ(mean_absolute_error(a, a), 0.0);
+  EXPECT_EQ(root_mean_squared_error(a, a), 0.0);
+  EXPECT_EQ(max_absolute_error(a, a), 0.0);
+}
+
+TEST(ErrorMetrics, RmseDominatesMae) {
+  const std::vector<double> a = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> b = {0.0, 0.0, 0.0, 4.0};
+  EXPECT_GE(root_mean_squared_error(a, b), mean_absolute_error(a, b));
+}
+
+TEST(Variance, AgreesWithRunningStats) {
+  const std::vector<double> xs = {1.0, 4.0, 9.0, 16.0, 25.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_NEAR(variance(xs), stats.variance(), 1e-12);
+  EXPECT_NEAR(stddev(xs), stats.stddev(), 1e-12);
+}
+
+}  // namespace
+}  // namespace dptd

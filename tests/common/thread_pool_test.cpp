@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  const ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  const ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(pool, n, [&visits](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, ComputesCorrectAggregate) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<double> out(n, 0.0);
+  parallel_for(pool, n, [&out](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    parallel_for(pool, 10,
+                 [](std::size_t) { throw std::runtime_error("boom"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> counter{0};
+  parallel_for(pool, 50, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, MoreWorkThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 500, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 500);
+}
+
+}  // namespace
+}  // namespace dptd

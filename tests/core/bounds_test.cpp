@@ -1,0 +1,264 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/quadrature.h"
+#include "common/statistics.h"
+
+namespace dptd::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SumVariancePdf, IntegratesToOneGeneralCase) {
+  for (const auto [l1, l2] : {std::pair{2.0, 1.0}, std::pair{1.0, 3.0},
+                              std::pair{0.5, 0.7}}) {
+    const double mass = integrate_to_infinity(
+        [l1 = l1, l2 = l2](double t) { return sum_variance_pdf(t, l1, l2); },
+        0.0);
+    EXPECT_NEAR(mass, 1.0, 1e-6) << "l1=" << l1 << " l2=" << l2;
+  }
+}
+
+TEST(SumVariancePdf, IntegratesToOneEqualRates) {
+  const double mass = integrate_to_infinity(
+      [](double t) { return sum_variance_pdf(t, 2.0, 2.0); }, 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+}
+
+TEST(SumVariancePdf, NonNegativeEverywhere) {
+  for (double t = 0.0; t < 20.0; t += 0.1) {
+    EXPECT_GE(sum_variance_pdf(t, 2.0, 0.5), 0.0);
+    EXPECT_GE(sum_variance_pdf(t, 1.0, 1.0), 0.0);
+  }
+  EXPECT_EQ(sum_variance_pdf(-1.0, 1.0, 1.0), 0.0);
+}
+
+TEST(SumVariancePdf, MatchesMonteCarloHistogram) {
+  // Compare the analytic density's CDF at a few points with Monte Carlo.
+  const double l1 = 2.0;
+  const double l2 = 0.8;
+  Rng rng(42);
+  const int n = 200'000;
+  const double checkpoints[] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<int> below(4, 0);
+  for (int i = 0; i < n; ++i) {
+    const double t = exponential(rng, l1) + exponential(rng, l1) +
+                     exponential(rng, l2);
+    for (int k = 0; k < 4; ++k) {
+      if (t <= checkpoints[k]) ++below[k];
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    const double analytic = integrate_adaptive_simpson(
+        [l1, l2](double t) { return sum_variance_pdf(t, l1, l2); }, 0.0,
+        checkpoints[k], 1e-9);
+    EXPECT_NEAR(static_cast<double>(below[k]) / n, analytic, 0.005)
+        << "checkpoint " << checkpoints[k];
+  }
+}
+
+TEST(ExpectedYSquared, MatchesPaperFormula) {
+  // E[Y^2] = (2 l2 + l1)/(l1 l2); also verify by quadrature over the pdf.
+  const double l1 = 2.0;
+  const double l2 = 0.5;
+  EXPECT_DOUBLE_EQ(expected_y_squared(l1, l2), (2 * l2 + l1) / (l1 * l2));
+  const double numeric = integrate_to_infinity(
+      [l1, l2](double t) { return t * sum_variance_pdf(t, l1, l2); }, 0.0);
+  EXPECT_NEAR(numeric, expected_y_squared(l1, l2), 1e-5);
+}
+
+TEST(ExpectedY, MatchesMonteCarlo) {
+  const double l1 = 2.0;
+  const double l2 = 0.7;
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 400'000; ++i) {
+    stats.add(std::sqrt(exponential(rng, l1) + exponential(rng, l1) +
+                        exponential(rng, l2)));
+  }
+  EXPECT_NEAR(expected_y(l1, l2), stats.mean(), 0.01);
+}
+
+TEST(ExpectedY, EqualRatesMatchesClosedForm) {
+  // c = 1: E[Y] = (15/16) sqrt(pi / lambda).
+  for (double lambda : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(expected_y(lambda, lambda), expected_y_c1(lambda), 1e-5)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(ExpectedY, ContinuousAcrossCEqualsOne) {
+  // The quadrature must not jump between the general branch and the
+  // Gamma(3) branch.
+  const double l1 = 2.0;
+  EXPECT_NEAR(expected_y(l1, l1 * (1.0 + 1e-6)), expected_y(l1, l1), 1e-4);
+  EXPECT_NEAR(expected_y(l1, l1 * (1.0 - 1e-6)), expected_y(l1, l1), 1e-4);
+}
+
+TEST(VarianceY, PositiveAndMatchesMonteCarlo) {
+  const double l1 = 2.0;
+  const double l2 = 0.7;
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 400'000; ++i) {
+    stats.add(std::sqrt(exponential(rng, l1) + exponential(rng, l1) +
+                        exponential(rng, l2)));
+  }
+  EXPECT_GT(variance_y(l1, l2), 0.0);
+  EXPECT_NEAR(variance_y(l1, l2), stats.variance(), 0.02);
+}
+
+TEST(UtilityProbabilityBound, DecreasesWithMoreUsers) {
+  const double alpha = 2.0;
+  const double l1 = 2.0;
+  const double l2 = 2.0;
+  const double at10 = utility_probability_bound(alpha, l1, l2, 10);
+  const double at100 = utility_probability_bound(alpha, l1, l2, 100);
+  const double at1000 = utility_probability_bound(alpha, l1, l2, 1000);
+  EXPECT_GE(at10, at100);
+  EXPECT_GE(at100, at1000);
+}
+
+TEST(UtilityProbabilityBound, DecreasesWithLargerAlpha) {
+  const double l1 = 2.0;
+  const double l2 = 2.0;
+  // Above the mean-term threshold the bound shrinks like 1/alpha^2.
+  const double threshold = alpha_threshold_c1(l1);
+  const double lo = utility_probability_bound(threshold * 1.1, l1, l2, 50);
+  const double hi = utility_probability_bound(threshold * 3.0, l1, l2, 50);
+  EXPECT_GE(lo, hi);
+}
+
+TEST(UtilityProbabilityBound, SaturatesAtOneBelowMeanThreshold) {
+  // For alpha below 2 sqrt(2/pi) E(Y) the indicator term forces bound = 1.
+  const double l1 = 2.0;
+  const double l2 = 2.0;
+  const double tiny_alpha = 0.01;
+  EXPECT_DOUBLE_EQ(utility_probability_bound(tiny_alpha, l1, l2, 1000), 1.0);
+}
+
+TEST(UtilityNoiseUpperBound, MatchesEquation15ByHand) {
+  const double l1 = 2.0;
+  const double alpha = 1.0;
+  const double beta = 0.1;
+  const std::size_t S = 100;
+  const double s = 100.0;
+  const double expected =
+      l1 * std::sqrt(kPi) *
+          (alpha * alpha * beta * s * s / (4.0 * std::sqrt(2.0)) +
+           alpha * alpha * std::sqrt(kPi) / 8.0 + alpha +
+           2.0 / std::sqrt(kPi)) -
+      2.0;
+  EXPECT_NEAR(utility_noise_upper_bound(l1, alpha, beta, S), expected, 1e-9);
+}
+
+TEST(UtilityNoiseUpperBound, MonotoneInEveryArgument) {
+  const double base = utility_noise_upper_bound(2.0, 1.0, 0.1, 100);
+  EXPECT_GT(utility_noise_upper_bound(4.0, 1.0, 0.1, 100), base);  // lambda1
+  EXPECT_GT(utility_noise_upper_bound(2.0, 2.0, 0.1, 100), base);  // alpha
+  EXPECT_GT(utility_noise_upper_bound(2.0, 1.0, 0.2, 100), base);  // beta
+  EXPECT_GT(utility_noise_upper_bound(2.0, 1.0, 0.1, 200), base);  // S
+}
+
+TEST(AlphaThreshold, PaperFormulaForSmallC) {
+  // Hand evaluation at c = 0.25, lambda1 = 2.
+  const double c = 0.25;
+  const double l1 = 2.0;
+  const double sc = std::sqrt(c);
+  const double expected = 2.0 * std::sqrt(2.0) / std::sqrt(l1 * (1.0 - c)) *
+                          (0.75 - c * (c + sc + 1.0) /
+                                      (std::sqrt(2.0) * (1.0 + sc)));
+  EXPECT_NEAR(alpha_threshold(l1, c), expected, 1e-12);
+}
+
+TEST(AlphaThreshold, FallsBackToExactFormAboveOne) {
+  // For c >= 1 the implementation returns 2 sqrt2/sqrt(pi) E(Y).
+  const double l1 = 2.0;
+  const double c = 2.0;
+  const double expected =
+      2.0 * std::sqrt(2.0 / kPi) * expected_y(l1, l1 / c);
+  EXPECT_NEAR(alpha_threshold(l1, c), expected, 1e-8);
+}
+
+TEST(AlphaThreshold, AlwaysPositiveEvenNearCEqualsOne) {
+  // The paper's printed closed form goes negative as c -> 1; the
+  // implementation must fall back to the exact positive threshold.
+  for (double c : {0.9, 0.97, 0.999}) {
+    EXPECT_GT(alpha_threshold(2.0, c), 0.0) << "c=" << c;
+  }
+}
+
+TEST(AlphaThresholdC1, MatchesCorrectedConstant) {
+  // alpha > (15/8) sqrt(2/lambda1).
+  EXPECT_NEAR(alpha_threshold_c1(2.0), (15.0 / 8.0) * std::sqrt(1.0), 1e-12);
+  EXPECT_NEAR(alpha_threshold_c1(8.0), (15.0 / 8.0) * 0.5, 1e-12);
+}
+
+TEST(AlphaThresholdC1, ConsistentWithExactMeanTerm) {
+  // (15/8) sqrt(2/l1) == 2 sqrt(2/pi) * E(Y at c=1).
+  const double l1 = 3.0;
+  EXPECT_NEAR(alpha_threshold_c1(l1),
+              2.0 * std::sqrt(2.0 / kPi) * expected_y_c1(l1), 1e-10);
+}
+
+TEST(UtilityProbabilityBoundC1, VanishesAsSGrows) {
+  const double l1 = 2.0;
+  const double alpha = alpha_threshold_c1(l1) * 1.2;
+  double prev = 1.0;
+  for (std::size_t S : {10u, 100u, 1000u, 10000u}) {
+    const double bound = utility_probability_bound_c1(alpha, l1, S);
+    EXPECT_LE(bound, prev);
+    prev = bound;
+  }
+  EXPECT_LT(prev, 1e-6);  // Theorem A.1: limit is 0
+}
+
+TEST(UtilityProbabilityBoundC1, AgreesWithGeneralBoundVarTerm) {
+  // At c = 1 and alpha above the mean threshold, the general bound's
+  // variance term equals the specialised c = 1 bound.
+  const double l1 = 2.0;
+  const double alpha = alpha_threshold_c1(l1) * 1.5;
+  const std::size_t S = 200;
+  EXPECT_NEAR(utility_probability_bound(alpha, l1, l1, S),
+              utility_probability_bound_c1(alpha, l1, S), 1e-4);
+}
+
+TEST(Bounds, RejectBadArguments) {
+  EXPECT_THROW(expected_y(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(expected_y(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(utility_probability_bound(0.0, 1.0, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(utility_probability_bound(1.0, 1.0, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(utility_noise_upper_bound(1.0, 1.0, 1.5, 10),
+               std::invalid_argument);
+  EXPECT_THROW(alpha_threshold(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(alpha_threshold_c1(0.0), std::invalid_argument);
+}
+
+/// Sweep: Var(Y) from quadrature matches Monte Carlo across the c spectrum.
+class MomentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MomentSweep, QuadratureMatchesMonteCarlo) {
+  const double c = GetParam();
+  const double l1 = 2.0;
+  const double l2 = l1 / c;
+  Rng rng(static_cast<std::uint64_t>(c * 100.0) + 3);
+  RunningStats stats;
+  for (int i = 0; i < 150'000; ++i) {
+    stats.add(std::sqrt(exponential(rng, l1) + exponential(rng, l1) +
+                        exponential(rng, l2)));
+  }
+  EXPECT_NEAR(expected_y(l1, l2), stats.mean(), 0.015);
+  EXPECT_NEAR(variance_y(l1, l2), stats.variance(), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MomentSweep,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 5.0));
+
+}  // namespace
+}  // namespace dptd::core

@@ -1,0 +1,130 @@
+#include "core/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dptd::core {
+namespace {
+
+EmpiricalLdpConfig fast_config() {
+  EmpiricalLdpConfig config;
+  config.samples = 120'000;
+  config.bins = 200;
+  config.seed = 7;
+  return config;
+}
+
+TEST(EmpiricalLdp, DeltaCurveIsNonIncreasingInEpsilon) {
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 1});
+  const std::vector<double> epsilons = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> curve =
+      estimate_delta_curve(mech, epsilons, fast_config());
+  ASSERT_EQ(curve.size(), epsilons.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+  }
+  for (double d : curve) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(EmpiricalLdp, PureLaplaceMechanismMatchesTheory) {
+  // Laplace(sensitivity/eps) is exactly (eps, 0)-LDP for inputs at distance
+  // sensitivity: delta_hat at the theoretical eps must be ~0, and it must be
+  // clearly positive at eps/3.
+  const double eps_theory = 1.0;
+  const LaplaceMechanism mech(
+      {.epsilon = eps_theory, .sensitivity = 1.0, .seed = 2});
+  EmpiricalLdpConfig config = fast_config();
+  config.x1 = 0.0;
+  config.x2 = 1.0;  // distance == sensitivity
+  const std::vector<double> eps = {eps_theory / 3.0, eps_theory * 1.05};
+  const std::vector<double> curve = estimate_delta_curve(mech, eps, config);
+  EXPECT_GT(curve[0], 0.05);
+  EXPECT_LT(curve[1], 0.01);
+}
+
+TEST(EmpiricalLdp, EstimatedEpsilonTracksLaplaceTheory) {
+  const LaplaceMechanism mech({.epsilon = 2.0, .sensitivity = 1.0, .seed = 3});
+  EmpiricalLdpConfig config = fast_config();
+  const double eps_hat = estimate_epsilon(mech, 0.01, config);
+  // Histogram estimation has slack; it must land in the right neighbourhood.
+  EXPECT_GT(eps_hat, 1.0);
+  EXPECT_LT(eps_hat, 3.0);
+}
+
+TEST(EmpiricalLdp, MoreNoiseGivesSmallerEpsilon) {
+  EmpiricalLdpConfig config = fast_config();
+  const UserSampledGaussianMechanism low_noise({.lambda2 = 8.0, .seed = 4});
+  const UserSampledGaussianMechanism high_noise({.lambda2 = 0.25, .seed = 4});
+  const double eps_low_noise = estimate_epsilon(low_noise, 0.05, config);
+  const double eps_high_noise = estimate_epsilon(high_noise, 0.05, config);
+  EXPECT_LT(eps_high_noise, eps_low_noise);
+}
+
+TEST(EmpiricalLdp, CloserInputsAreHarderToDistinguish) {
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 5});
+  EmpiricalLdpConfig near = fast_config();
+  near.x1 = 0.0;
+  near.x2 = 0.2;
+  EmpiricalLdpConfig far = fast_config();
+  far.x1 = 0.0;
+  far.x2 = 3.0;
+  EXPECT_LT(estimate_epsilon(mech, 0.05, near),
+            estimate_epsilon(mech, 0.05, far));
+}
+
+TEST(EmpiricalLdp, FixedGaussianHasHeavierTailsThanItsLaplaceMatch) {
+  // At matched mean |noise|, the user-sampled mechanism (Laplace marginal)
+  // protects distant inputs better than the fixed Gaussian: for a
+  // substantial input gap the Gaussian's delta_hat at moderate eps is
+  // larger.
+  const double target_noise = 0.5;
+  const UserSampledGaussianMechanism mixed(
+      {.lambda2 = 1.0 / (2.0 * target_noise * target_noise), .seed = 6});
+  const FixedGaussianMechanism fixed(
+      {.sigma = target_noise * std::sqrt(3.14159265358979 / 2.0), .seed = 6});
+  EmpiricalLdpConfig config = fast_config();
+  config.x1 = 0.0;
+  config.x2 = 2.5;
+  const std::vector<double> eps = {2.0};
+  const double delta_mixed = estimate_delta_curve(mixed, eps, config)[0];
+  const double delta_fixed = estimate_delta_curve(fixed, eps, config)[0];
+  EXPECT_LT(delta_mixed, delta_fixed);
+}
+
+TEST(EmpiricalLdp, RejectsBadConfigs) {
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 1});
+  EmpiricalLdpConfig config = fast_config();
+  config.samples = 10;
+  EXPECT_THROW(estimate_delta_curve(mech, std::vector<double>{1.0}, config),
+               std::invalid_argument);
+  config = fast_config();
+  config.bins = 2;
+  EXPECT_THROW(estimate_delta_curve(mech, std::vector<double>{1.0}, config),
+               std::invalid_argument);
+  config = fast_config();
+  config.x2 = config.x1;
+  EXPECT_THROW(estimate_delta_curve(mech, std::vector<double>{1.0}, config),
+               std::invalid_argument);
+  config = fast_config();
+  EXPECT_THROW(estimate_delta_curve(mech, std::vector<double>{-1.0}, config),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_epsilon(mech, 0.0, config), std::invalid_argument);
+  EXPECT_THROW(estimate_epsilon(mech, 0.05, config, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalLdp, DeterministicInSeed) {
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 1});
+  const std::vector<double> eps = {0.5, 1.0};
+  const auto a = estimate_delta_curve(mech, eps, fast_config());
+  const auto b = estimate_delta_curve(mech, eps, fast_config());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dptd::core

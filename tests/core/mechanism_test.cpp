@@ -1,0 +1,204 @@
+#include "core/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/synthetic.h"
+
+namespace dptd::core {
+namespace {
+
+data::ObservationMatrix big_matrix(std::size_t users = 200,
+                                   std::size_t objects = 50) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.seed = 5;
+  return data::generate_synthetic(config).observations;
+}
+
+TEST(UserSampledGaussian, DeterministicInSeed) {
+  const auto obs = big_matrix(20, 10);
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 7});
+  const PerturbationOutcome a = mech.perturb(obs);
+  const PerturbationOutcome b = mech.perturb(obs);
+  EXPECT_EQ(a.perturbed, b.perturbed);
+  EXPECT_EQ(a.report.noise_variances, b.report.noise_variances);
+}
+
+TEST(UserSampledGaussian, DifferentSeedsDiffer) {
+  const auto obs = big_matrix(20, 10);
+  const UserSampledGaussianMechanism a({.lambda2 = 1.0, .seed = 7});
+  const UserSampledGaussianMechanism b({.lambda2 = 1.0, .seed = 8});
+  EXPECT_NE(a.perturb(obs).perturbed, b.perturb(obs).perturbed);
+}
+
+TEST(UserSampledGaussian, PreservesMissingCells) {
+  data::ObservationMatrix obs(3, 3);
+  obs.set(0, 0, 1.0);
+  obs.set(2, 2, 5.0);
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 1});
+  const PerturbationOutcome out = mech.perturb(obs);
+  EXPECT_EQ(out.perturbed.observation_count(), 2u);
+  EXPECT_TRUE(out.perturbed.present(0, 0));
+  EXPECT_TRUE(out.perturbed.present(2, 2));
+  EXPECT_FALSE(out.perturbed.present(1, 1));
+  EXPECT_EQ(out.report.perturbed_cells, 2u);
+}
+
+TEST(UserSampledGaussian, VarianceSamplesFollowExponential) {
+  const auto obs = big_matrix(20'000, 1);
+  const UserSampledGaussianMechanism mech({.lambda2 = 2.0, .seed = 3});
+  const PerturbationOutcome out = mech.perturb(obs);
+  RunningStats stats;
+  for (double v : out.report.noise_variances) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);       // mean = 1/lambda2
+  EXPECT_NEAR(stats.variance(), 0.25, 0.03);  // var = 1/lambda2^2
+}
+
+TEST(UserSampledGaussian, MeanAbsoluteNoiseMatchesClosedForm) {
+  // E|noise| = 1/sqrt(2 lambda2) for the exponential-mixed Gaussian.
+  const auto obs = big_matrix(500, 100);
+  for (double lambda2 : {0.5, 1.0, 4.0}) {
+    const UserSampledGaussianMechanism mech({.lambda2 = lambda2, .seed = 11});
+    const PerturbationOutcome out = mech.perturb(obs);
+    EXPECT_NEAR(out.report.mean_absolute_noise,
+                1.0 / std::sqrt(2.0 * lambda2), 0.12 / std::sqrt(lambda2))
+        << "lambda2=" << lambda2;
+  }
+}
+
+TEST(UserSampledGaussian, RmsNoiseMatchesVariance) {
+  // E[noise^2] = E[delta^2] = 1/lambda2 -> rms = 1/sqrt(lambda2).
+  const auto obs = big_matrix(500, 100);
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 13});
+  const PerturbationOutcome out = mech.perturb(obs);
+  EXPECT_NEAR(out.report.rms_noise, 1.0, 0.1);
+}
+
+TEST(UserSampledGaussian, UserVarianceIsStablePerSeed) {
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 21});
+  const double v0 = mech.user_noise_variance(0);
+  EXPECT_DOUBLE_EQ(mech.user_noise_variance(0), v0);
+  EXPECT_NE(mech.user_noise_variance(1), v0);
+}
+
+TEST(UserSampledGaussian, PerturbUsesPerUserVariance) {
+  // The per-user noise magnitude should track that user's sampled variance.
+  const auto obs = big_matrix(50, 2000);
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 17});
+  const PerturbationOutcome out = mech.perturb(obs);
+  for (std::size_t s = 0; s < 50; s += 10) {
+    RunningStats noise;
+    for (std::size_t n = 0; n < 2000; ++n) {
+      if (obs.present(s, n)) {
+        noise.add(out.perturbed.value(s, n) - obs.value(s, n));
+      }
+    }
+    const double sampled_sd = std::sqrt(out.report.noise_variances[s]);
+    EXPECT_NEAR(noise.stddev(), sampled_sd, 0.12 * sampled_sd + 0.02)
+        << "user " << s;
+  }
+}
+
+TEST(UserSampledGaussian, MarginalFreshSamplesAreLaplace) {
+  // Exponential-mixture-of-Gaussians == Laplace(1/sqrt(2 lambda2)): check
+  // variance (2b^2) and the Laplace-specific tail mass.
+  const UserSampledGaussianMechanism mech({.lambda2 = 2.0, .seed = 1});
+  Rng rng(123);
+  const double b = 1.0 / std::sqrt(2.0 * 2.0);
+  RunningStats stats;
+  int beyond = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = mech.sample_fresh(0.0, rng);
+    stats.add(x);
+    if (std::abs(x) > 2.0 * b) ++beyond;
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 2.0 * b * b, 0.02);
+  // Laplace: P(|X| > 2b) = e^{-2} = 0.1353; a Gaussian with the same
+  // variance would give 0.157. The sample must match the Laplace value.
+  EXPECT_NEAR(static_cast<double>(beyond) / n, std::exp(-2.0), 0.01);
+}
+
+TEST(UserSampledGaussian, RejectsBadLambda2) {
+  EXPECT_THROW(UserSampledGaussianMechanism({.lambda2 = 0.0, .seed = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(UserSampledGaussianMechanism({.lambda2 = -1.0, .seed = 1}),
+               std::invalid_argument);
+}
+
+TEST(FixedGaussian, NoiseHasConfiguredSigma) {
+  const auto obs = big_matrix(300, 100);
+  const FixedGaussianMechanism mech({.sigma = 2.0, .seed = 9});
+  const PerturbationOutcome out = mech.perturb(obs);
+  EXPECT_NEAR(out.report.rms_noise, 2.0, 0.05);
+  // E|N(0,2)| = 2 sqrt(2/pi).
+  EXPECT_NEAR(out.report.mean_absolute_noise,
+              2.0 * std::sqrt(2.0 / 3.14159265358979), 0.05);
+  for (double v : out.report.noise_variances) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(FixedGaussian, SigmaZeroIsIdentity) {
+  const auto obs = big_matrix(10, 10);
+  const FixedGaussianMechanism mech({.sigma = 0.0, .seed = 9});
+  const PerturbationOutcome out = mech.perturb(obs);
+  EXPECT_EQ(out.perturbed, obs);
+  EXPECT_EQ(out.report.mean_absolute_noise, 0.0);
+}
+
+TEST(Laplace, NoiseScaleMatchesSensitivityOverEpsilon) {
+  const auto obs = big_matrix(300, 100);
+  const LaplaceMechanism mech({.epsilon = 2.0, .sensitivity = 1.0, .seed = 4});
+  EXPECT_DOUBLE_EQ(mech.scale(), 0.5);
+  const PerturbationOutcome out = mech.perturb(obs);
+  EXPECT_NEAR(out.report.mean_absolute_noise, 0.5, 0.02);  // E|Lap(b)| = b
+  EXPECT_TRUE(out.report.noise_variances.empty());
+}
+
+TEST(Laplace, RejectsBadConfig) {
+  EXPECT_THROW(LaplaceMechanism({.epsilon = 0.0, .sensitivity = 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LaplaceMechanism({.epsilon = 1.0, .sensitivity = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Mechanisms, NamesAreStable) {
+  EXPECT_EQ(UserSampledGaussianMechanism({.lambda2 = 1.0}).name(),
+            "user-sampled-gaussian");
+  EXPECT_EQ(FixedGaussianMechanism({.sigma = 1.0}).name(), "fixed-gaussian");
+  EXPECT_EQ(LaplaceMechanism({}).name(), "laplace");
+}
+
+TEST(Mechanisms, PerturbValueAddsNoiseAroundInput) {
+  Rng rng(2);
+  const UserSampledGaussianMechanism mech({.lambda2 = 1.0, .seed = 5});
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) {
+    stats.add(mech.perturb_value(3, 10.0, rng));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.variance(), mech.user_noise_variance(3),
+              0.05 * mech.user_noise_variance(3) + 0.01);
+}
+
+/// Mean-noise sweep over lambda2 grid (paper's "average of added noise").
+class NoiseMagnitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseMagnitudeSweep, MatchesClosedForm) {
+  const double lambda2 = GetParam();
+  const auto obs = big_matrix(400, 50);
+  const UserSampledGaussianMechanism mech({.lambda2 = lambda2, .seed = 31});
+  const PerturbationOutcome out = mech.perturb(obs);
+  const double expected = 1.0 / std::sqrt(2.0 * lambda2);
+  EXPECT_NEAR(out.report.mean_absolute_noise, expected, 0.15 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambda2Grid, NoiseMagnitudeSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace dptd::core

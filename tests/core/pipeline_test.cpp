@@ -1,0 +1,147 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "truth/registry.h"
+
+namespace dptd::core {
+namespace {
+
+data::Dataset paper_dataset(std::uint64_t seed = 42) {
+  data::SyntheticConfig config;  // 150 users x 30 objects
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+TEST(Pipeline, SmallNoiseBarelyMovesAggregates) {
+  PipelineConfig config;
+  config.lambda2 = 200.0;  // E|noise| = 0.05
+  const PipelineResult result =
+      run_private_truth_discovery(paper_dataset(), config);
+  EXPECT_LT(result.utility_mae, 0.05);
+  EXPECT_GT(result.report.mean_absolute_noise, 0.0);
+}
+
+TEST(Pipeline, UtilityLossIsSmallFractionOfInjectedNoise) {
+  // The paper's headline: at avg noise ~1, utility loss is ~1/10 of it.
+  PipelineConfig config;
+  config.lambda2 = 0.5;  // E|noise| = 1.0
+  const PipelineResult result =
+      run_private_truth_discovery(paper_dataset(), config);
+  EXPECT_NEAR(result.report.mean_absolute_noise, 1.0, 0.15);
+  EXPECT_LT(result.utility_mae, 0.35 * result.report.mean_absolute_noise);
+}
+
+TEST(Pipeline, ReportsGroundTruthErrors) {
+  PipelineConfig config;
+  config.lambda2 = 2.0;
+  const PipelineResult result =
+      run_private_truth_discovery(paper_dataset(), config);
+  EXPECT_TRUE(std::isfinite(result.truth_mae_original));
+  EXPECT_TRUE(std::isfinite(result.truth_mae_perturbed));
+  EXPECT_GE(result.truth_mae_perturbed, 0.0);
+}
+
+TEST(Pipeline, GroundTruthErrorsNaNWithoutTruth) {
+  data::Dataset dataset = paper_dataset();
+  dataset.ground_truth.clear();
+  PipelineConfig config;
+  const PipelineResult result = run_private_truth_discovery(dataset, config);
+  EXPECT_TRUE(std::isnan(result.truth_mae_original));
+  EXPECT_TRUE(std::isnan(result.truth_mae_perturbed));
+}
+
+TEST(Pipeline, RmseAtLeastMae) {
+  PipelineConfig config;
+  config.lambda2 = 1.0;
+  const PipelineResult result =
+      run_private_truth_discovery(paper_dataset(), config);
+  EXPECT_GE(result.utility_rmse, result.utility_mae);
+}
+
+TEST(Pipeline, DeterministicInSeed) {
+  PipelineConfig config;
+  config.lambda2 = 1.0;
+  config.seed = 99;
+  const data::Dataset dataset = paper_dataset();
+  const PipelineResult a = run_private_truth_discovery(dataset, config);
+  const PipelineResult b = run_private_truth_discovery(dataset, config);
+  EXPECT_EQ(a.utility_mae, b.utility_mae);
+  EXPECT_EQ(a.perturbed.truths, b.perturbed.truths);
+}
+
+TEST(Pipeline, WorksWithEveryRegisteredMethod) {
+  const data::Dataset dataset = paper_dataset();
+  for (const std::string& method : truth::method_names()) {
+    PipelineConfig config;
+    config.method = method;
+    config.lambda2 = 2.0;
+    const PipelineResult result =
+        run_private_truth_discovery(dataset, config);
+    EXPECT_EQ(result.perturbed.truths.size(), dataset.num_objects()) << method;
+    EXPECT_TRUE(std::isfinite(result.utility_mae)) << method;
+  }
+}
+
+TEST(Pipeline, ExplicitMechanismOverloadMatchesConfigPath) {
+  const data::Dataset dataset = paper_dataset();
+  PipelineConfig config;
+  config.lambda2 = 1.5;
+  config.seed = 7;
+  const PipelineResult via_config =
+      run_private_truth_discovery(dataset, config);
+
+  const UserSampledGaussianMechanism mechanism(
+      {.lambda2 = 1.5, .seed = 7});
+  const auto method = truth::make_method("crh", config.convergence);
+  const PipelineResult via_objects =
+      run_private_truth_discovery(dataset, mechanism, *method);
+  EXPECT_EQ(via_config.utility_mae, via_objects.utility_mae);
+}
+
+TEST(Pipeline, WeightedMethodBeatsMeanUnderHeavyNoise) {
+  // The mechanism's central claim: quality-aware aggregation absorbs noise.
+  const data::Dataset dataset = paper_dataset(7);
+  const UserSampledGaussianMechanism mechanism({.lambda2 = 0.5, .seed = 3});
+
+  const auto crh = truth::make_method("crh");
+  const auto mean_method = truth::make_method("mean");
+  const PipelineResult weighted =
+      run_private_truth_discovery(dataset, mechanism, *crh);
+  const PipelineResult unweighted =
+      run_private_truth_discovery(dataset, mechanism, *mean_method);
+  EXPECT_LT(weighted.utility_mae, unweighted.utility_mae);
+}
+
+TEST(Pipeline, ValidatesDataset) {
+  data::Dataset broken;
+  broken.observations = data::ObservationMatrix(2, 2);
+  broken.observations.set(0, 0, 1.0);  // object 1 uncovered
+  PipelineConfig config;
+  EXPECT_THROW(run_private_truth_discovery(broken, config),
+               std::invalid_argument);
+}
+
+/// Noise sweep: utility degradation must be graceful (MAE well below the
+/// injected noise at every level — the Fig. 2 story).
+class PipelineNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipelineNoiseSweep, MaeStaysWellBelowNoise) {
+  const double lambda2 = GetParam();
+  PipelineConfig config;
+  config.lambda2 = lambda2;
+  const PipelineResult result =
+      run_private_truth_discovery(paper_dataset(11), config);
+  EXPECT_LT(result.utility_mae, 0.5 * result.report.mean_absolute_noise)
+      << "lambda2=" << lambda2
+      << " noise=" << result.report.mean_absolute_noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambda2Grid, PipelineNoiseSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace dptd::core

@@ -1,0 +1,84 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dptd::core {
+namespace {
+
+TEST(GammaS, MatchesClosedForm) {
+  const SensitivityParams params{3.0, 0.95};
+  EXPECT_NEAR(gamma_s(params), 3.0 * std::sqrt(2.0 * std::log(20.0)), 1e-12);
+}
+
+TEST(GammaS, GrowsWithBAndEta) {
+  EXPECT_LT(gamma_s({1.0, 0.5}), gamma_s({2.0, 0.5}));
+  EXPECT_LT(gamma_s({1.0, 0.5}), gamma_s({1.0, 0.9}));
+}
+
+TEST(GammaS, RejectsBadParams) {
+  EXPECT_THROW(gamma_s({0.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(gamma_s({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(gamma_s({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(SensitivityBound, InverselyProportionalToLambda1) {
+  const SensitivityParams params{2.0, 0.9};
+  const double at1 = sensitivity_bound(1.0, params);
+  const double at2 = sensitivity_bound(2.0, params);
+  const double at4 = sensitivity_bound(4.0, params);
+  EXPECT_NEAR(at1 / at2, 2.0, 1e-12);
+  EXPECT_NEAR(at2 / at4, 2.0, 1e-12);
+}
+
+TEST(SensitivityBound, EqualsGammaOverLambda) {
+  const SensitivityParams params{1.5, 0.8};
+  EXPECT_DOUBLE_EQ(sensitivity_bound(3.0, params), gamma_s(params) / 3.0);
+}
+
+TEST(SensitivityBoundConfidence, InUnitIntervalAndMonotoneInB) {
+  for (double b : {1.0, 2.0, 3.0, 5.0}) {
+    const double conf = sensitivity_bound_confidence({b, 0.9});
+    EXPECT_GE(conf, 0.0);
+    EXPECT_LE(conf, 1.0);
+  }
+  EXPECT_LT(sensitivity_bound_confidence({1.0, 0.9}),
+            sensitivity_bound_confidence({3.0, 0.9}));
+}
+
+TEST(SensitivityBoundConfidence, ApproachesEtaForLargeB) {
+  EXPECT_NEAR(sensitivity_bound_confidence({8.0, 0.95}), 0.95, 1e-10);
+}
+
+TEST(EmpiricalSensitivity, RangePerUser) {
+  data::ObservationMatrix obs(3, 3);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 4.0);
+  obs.set(0, 2, 2.0);
+  obs.set(1, 0, 5.0);  // single claim -> 0
+  obs.set(2, 0, -1.0);
+  obs.set(2, 1, 1.0);
+  const std::vector<double> sens = empirical_sensitivity(obs);
+  EXPECT_DOUBLE_EQ(sens[0], 3.0);
+  EXPECT_DOUBLE_EQ(sens[1], 0.0);
+  EXPECT_DOUBLE_EQ(sens[2], 2.0);
+  EXPECT_DOUBLE_EQ(max_empirical_sensitivity(obs), 3.0);
+}
+
+TEST(EmpiricalSensitivity, EmptyUsersAreZero) {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 7.0);
+  obs.set(0, 1, 7.0);
+  const std::vector<double> sens = empirical_sensitivity(obs);
+  EXPECT_DOUBLE_EQ(sens[0], 0.0);  // identical claims -> zero range
+  EXPECT_DOUBLE_EQ(sens[1], 0.0);  // no claims
+}
+
+TEST(SensitivityBound, RejectsBadLambda) {
+  EXPECT_THROW(sensitivity_bound(0.0, {}), std::invalid_argument);
+  EXPECT_THROW(sensitivity_bound(-2.0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dptd::core

@@ -1,0 +1,84 @@
+#include "crowd/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dptd::crowd {
+namespace {
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.num_rounds = 3;
+  config.workload.num_users = 30;
+  config.workload.num_objects = 8;
+  config.session.lambda2 = 5.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Campaign, RunsEveryRound) {
+  const CampaignResult result = run_campaign(small_campaign());
+  ASSERT_EQ(result.rounds.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(result.rounds[r].round, r);
+    EXPECT_EQ(result.rounds[r].reports_expected, 30u);
+    EXPECT_EQ(result.rounds[r].reports_received, 30u);
+  }
+}
+
+TEST(Campaign, RoundsSeeFreshData) {
+  // Different rounds draw different datasets, so their errors differ.
+  const CampaignResult result = run_campaign(small_campaign());
+  EXPECT_NE(result.rounds[0].mae_vs_truth, result.rounds[1].mae_vs_truth);
+}
+
+TEST(Campaign, AccuracyIsReasonableEveryRound) {
+  const CampaignResult result = run_campaign(small_campaign());
+  for (const RoundRecord& record : result.rounds) {
+    EXPECT_TRUE(std::isfinite(record.mae_vs_truth));
+    EXPECT_LT(record.mae_vs_truth, 1.0);
+    EXPECT_LT(record.mae_vs_unperturbed, 1.0);
+  }
+  EXPECT_TRUE(std::isfinite(result.mean_mae_vs_truth()));
+}
+
+TEST(Campaign, DeterministicInSeed) {
+  const CampaignResult a = run_campaign(small_campaign());
+  const CampaignResult b = run_campaign(small_campaign());
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].mae_vs_truth, b.rounds[r].mae_vs_truth);
+  }
+}
+
+TEST(Campaign, ChurnReducesReports) {
+  CampaignConfig config = small_campaign();
+  config.num_rounds = 4;
+  config.churn_probability = 0.4;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_LT(result.total_reports(), 4u * 30u);
+}
+
+TEST(Campaign, TotalReportsAccumulate) {
+  const CampaignResult result = run_campaign(small_campaign());
+  EXPECT_EQ(result.total_reports(), 90u);
+}
+
+TEST(Campaign, RejectsBadConfig) {
+  CampaignConfig config = small_campaign();
+  config.num_rounds = 0;
+  EXPECT_THROW(run_campaign(config), std::invalid_argument);
+  config = small_campaign();
+  config.churn_probability = 1.0;
+  EXPECT_THROW(run_campaign(config), std::invalid_argument);
+}
+
+TEST(Campaign, EmptyResultHelpersBehave) {
+  const CampaignResult empty;
+  EXPECT_TRUE(std::isnan(empty.mean_mae_vs_truth()));
+  EXPECT_EQ(empty.total_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace dptd::crowd

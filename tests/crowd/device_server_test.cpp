@@ -1,0 +1,235 @@
+// Unit tests for UserDevice and CrowdServer in isolation (run_session covers
+// them end-to-end; these pin down the protocol behaviours individually).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crowd/device.h"
+#include "crowd/server.h"
+#include "truth/registry.h"
+
+namespace dptd::crowd {
+namespace {
+
+constexpr net::NodeId kServerId = 1000;
+
+struct Harness {
+  net::Simulator sim;
+  net::Network network{sim, net::LatencyModel{0.01, 0.0, 0.0}, 5};
+};
+
+DeviceConfig device_config(net::NodeId id) {
+  DeviceConfig config;
+  config.id = id;
+  config.server_id = kServerId;
+  config.think_time_seconds = 0.1;
+  config.seed = 42 + id;
+  return config;
+}
+
+TaskAnnounce announce(double lambda2 = 1.0, std::uint64_t objects = 3) {
+  TaskAnnounce task;
+  task.round = 1;
+  task.lambda2 = lambda2;
+  task.num_objects = objects;
+  return task;
+}
+
+/// Captures whatever reaches the server id.
+class CapturingServer final : public net::Node {
+ public:
+  explicit CapturingServer(net::Network& network) { network.attach(kServerId, *this); }
+  void on_message(const net::Message& message) override {
+    if (static_cast<MessageType>(message.type) == MessageType::kReport) {
+      reports.push_back(Report::decode(message.payload));
+    }
+  }
+  std::vector<Report> reports;
+};
+
+TEST(UserDevice, HonestDevicePerturbsAndUploads) {
+  Harness h;
+  CapturingServer server(h.network);
+  UserDevice device(device_config(0), {0, 1, 2}, {10.0, 20.0, 30.0},
+                    h.network);
+
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce(1.0).encode()));
+  h.sim.run();
+
+  ASSERT_EQ(server.reports.size(), 1u);
+  const Report& report = server.reports[0];
+  EXPECT_EQ(report.user_id, 0u);
+  EXPECT_EQ(report.objects, (std::vector<std::uint64_t>{0, 1, 2}));
+  ASSERT_EQ(report.values.size(), 3u);
+  ASSERT_TRUE(device.sampled_variance().has_value());
+  // Perturbed values differ from the raw readings (noise was added)…
+  bool any_different = false;
+  const double raw[] = {10.0, 20.0, 30.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (std::abs(report.values[i] - raw[i]) > 1e-12) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(UserDevice, DropoutNeverReports) {
+  Harness h;
+  CapturingServer server(h.network);
+  DeviceConfig config = device_config(0);
+  config.behavior = DeviceBehavior::kDropout;
+  UserDevice device(config, {0}, {1.0}, h.network);
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce().encode()));
+  h.sim.run();
+  EXPECT_TRUE(server.reports.empty());
+  EXPECT_FALSE(device.sampled_variance().has_value());
+}
+
+TEST(UserDevice, ConstantLiarSendsConstant) {
+  Harness h;
+  CapturingServer server(h.network);
+  DeviceConfig config = device_config(0);
+  config.behavior = DeviceBehavior::kConstantLiar;
+  config.constant_value = 7.5;
+  UserDevice device(config, {0, 1}, {1.0, 2.0}, h.network);
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce().encode()));
+  h.sim.run();
+  ASSERT_EQ(server.reports.size(), 1u);
+  for (double v : server.reports[0].values) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(UserDevice, SpammerStaysInRange) {
+  Harness h;
+  CapturingServer server(h.network);
+  DeviceConfig config = device_config(0);
+  config.behavior = DeviceBehavior::kSpammer;
+  config.spam_lo = 5.0;
+  config.spam_hi = 6.0;
+  UserDevice device(config, {0, 1, 2, 3}, {0.0, 0.0, 0.0, 0.0}, h.network);
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce().encode()));
+  h.sim.run();
+  ASSERT_EQ(server.reports.size(), 1u);
+  for (double v : server.reports[0].values) {
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(UserDevice, StoresPublishedTruths) {
+  Harness h;
+  UserDevice device(device_config(3), {0}, {1.0}, h.network);
+  ResultPublish publish;
+  publish.round = 1;
+  publish.truths = {4.5, 6.5};
+  h.network.send(make_message(kServerId, 3, MessageType::kResultPublish,
+                              publish.encode()));
+  h.sim.run();
+  EXPECT_EQ(device.published_truths(), (std::vector<double>{4.5, 6.5}));
+}
+
+TEST(UserDevice, RejectsMismatchedReadings) {
+  Harness h;
+  EXPECT_THROW(
+      UserDevice(device_config(0), {0, 1}, {1.0}, h.network),
+      std::invalid_argument);
+}
+
+TEST(CrowdServer, AggregatesAndPublishes) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.lambda2 = 5.0;
+  config.num_objects = 2;
+  config.collection_window_seconds = 10.0;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  std::vector<std::unique_ptr<UserDevice>> devices;
+  std::vector<net::NodeId> ids;
+  for (net::NodeId id = 0; id < 3; ++id) {
+    devices.push_back(std::make_unique<UserDevice>(
+        device_config(id), std::vector<std::uint64_t>{0, 1},
+        std::vector<double>{static_cast<double>(id),
+                            static_cast<double>(id) + 10.0},
+        h.network));
+    ids.push_back(id);
+  }
+  server.start_round(1, ids);
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  const RoundOutcome& outcome = server.outcomes()[0];
+  EXPECT_EQ(outcome.reports_received, 3u);
+  ASSERT_EQ(outcome.result.truths.size(), 2u);
+  // Mean of {0,1,2} + noise; lambda2 = 5 keeps noise small.
+  EXPECT_NEAR(outcome.result.truths[0], 1.0, 1.5);
+  EXPECT_NEAR(outcome.result.truths[1], 11.0, 1.5);
+  // All devices received the published truths.
+  for (const auto& device : devices) {
+    EXPECT_EQ(device->published_truths().size(), 2u);
+  }
+}
+
+TEST(CrowdServer, LateReportsAreIgnored) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  config.collection_window_seconds = 0.05;  // closes before think time
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  DeviceConfig slow = device_config(0);
+  slow.think_time_seconds = 1.0;
+  UserDevice device(slow, {0}, {5.0}, h.network);
+  server.start_round(1, {0});
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  EXPECT_EQ(server.outcomes()[0].reports_received, 0u);
+}
+
+TEST(CrowdServer, SecondRoundAfterFirstCompletes) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  config.collection_window_seconds = 5.0;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  UserDevice device(device_config(0), {0}, {5.0}, h.network);
+  server.start_round(1, {0});
+  h.sim.run();
+  server.start_round(2, {0});
+  h.sim.run();
+  EXPECT_EQ(server.outcomes().size(), 2u);
+  EXPECT_EQ(server.outcomes()[1].round, 2u);
+}
+
+TEST(CrowdServer, OpenRoundRejectsSecondStart) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+  UserDevice device(device_config(0), {0}, {1.0}, h.network);
+  server.start_round(1, {0});
+  EXPECT_THROW(server.start_round(2, {0}), std::invalid_argument);
+}
+
+TEST(CrowdServer, ValidatesConfiguration) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 0;
+  EXPECT_THROW(CrowdServer(config, truth::make_method("mean"), h.network),
+               std::invalid_argument);
+  ServerConfig config2;
+  config2.id = kServerId;
+  config2.num_objects = 1;
+  EXPECT_THROW(CrowdServer(config2, nullptr, h.network),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dptd::crowd

@@ -1,0 +1,107 @@
+#include "crowd/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace dptd::crowd {
+namespace {
+
+TEST(Protocol, TaskAnnounceRoundTrip) {
+  TaskAnnounce msg;
+  msg.round = 42;
+  msg.lambda2 = 0.625;
+  msg.num_objects = 129;
+  const TaskAnnounce decoded = TaskAnnounce::decode(msg.encode());
+  EXPECT_EQ(decoded.round, 42u);
+  EXPECT_DOUBLE_EQ(decoded.lambda2, 0.625);
+  EXPECT_EQ(decoded.num_objects, 129u);
+}
+
+TEST(Protocol, ReportRoundTrip) {
+  Report msg;
+  msg.round = 3;
+  msg.user_id = 17;
+  msg.objects = {0, 5, 128};
+  msg.values = {1.5, -2.25, 1e-9};
+  const Report decoded = Report::decode(msg.encode());
+  EXPECT_EQ(decoded.round, 3u);
+  EXPECT_EQ(decoded.user_id, 17u);
+  EXPECT_EQ(decoded.objects, msg.objects);
+  EXPECT_EQ(decoded.values, msg.values);
+}
+
+TEST(Protocol, EmptyReportRoundTrip) {
+  Report msg;
+  msg.round = 1;
+  msg.user_id = 2;
+  const Report decoded = Report::decode(msg.encode());
+  EXPECT_TRUE(decoded.objects.empty());
+  EXPECT_TRUE(decoded.values.empty());
+}
+
+TEST(Protocol, ResultPublishRoundTrip) {
+  ResultPublish msg;
+  msg.round = 9;
+  msg.truths = {10.0, 20.5, 30.25};
+  const ResultPublish decoded = ResultPublish::decode(msg.encode());
+  EXPECT_EQ(decoded.round, 9u);
+  EXPECT_EQ(decoded.truths, msg.truths);
+}
+
+TEST(Protocol, ReportRejectsMismatchedArrays) {
+  Report msg;
+  msg.objects = {1, 2};
+  msg.values = {1.0};
+  EXPECT_THROW(msg.encode(), std::invalid_argument);
+}
+
+TEST(Protocol, DecodeRejectsTruncatedPayload) {
+  Report msg;
+  msg.round = 1;
+  msg.user_id = 2;
+  msg.objects = {3};
+  msg.values = {4.0};
+  std::vector<std::uint8_t> bytes = msg.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(Report::decode(bytes), DecodeError);
+}
+
+TEST(Protocol, DecodeRejectsTrailingBytes) {
+  TaskAnnounce msg;
+  std::vector<std::uint8_t> bytes = msg.encode();
+  bytes.push_back(0x00);
+  EXPECT_THROW(TaskAnnounce::decode(bytes), DecodeError);
+}
+
+TEST(Protocol, DecodeRejectsImplausibleClaimCount) {
+  Encoder enc;
+  enc.write_varint(1);                   // round
+  enc.write_varint(2);                   // user
+  enc.write_varint(1ull << 40);          // absurd claim count
+  EXPECT_THROW(Report::decode(enc.bytes()), DecodeError);
+}
+
+TEST(Protocol, MakeMessageSetsRouting) {
+  const net::Message msg =
+      make_message(3, 9, MessageType::kReport, {0xaa, 0xbb});
+  EXPECT_EQ(msg.source, 3u);
+  EXPECT_EQ(msg.destination, 9u);
+  EXPECT_EQ(msg.type, static_cast<std::uint32_t>(MessageType::kReport));
+  EXPECT_EQ(msg.payload, (std::vector<std::uint8_t>{0xaa, 0xbb}));
+}
+
+TEST(Protocol, WireSizeIsCompact) {
+  // A 129-claim report must stay near 8 bytes/value + small overhead —
+  // the non-interactive protocol's single-upload efficiency claim.
+  Report msg;
+  msg.round = 1;
+  msg.user_id = 246;
+  for (std::uint64_t n = 0; n < 129; ++n) {
+    msg.objects.push_back(n);
+    msg.values.push_back(static_cast<double>(n) * 1.5);
+  }
+  const std::size_t size = msg.encode().size();
+  EXPECT_LT(size, 129 * 8 + 129 * 2 + 16);
+}
+
+}  // namespace
+}  // namespace dptd::crowd

@@ -1,0 +1,159 @@
+#include "crowd/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/synthetic.h"
+
+namespace dptd::crowd {
+namespace {
+
+data::Dataset small_dataset(std::uint64_t seed = 3) {
+  data::SyntheticConfig config;
+  config.num_users = 40;
+  config.num_objects = 12;
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+TEST(Session, AllHonestUsersReport) {
+  const SessionConfig config;
+  const SessionResult result = run_session(small_dataset(), config);
+  EXPECT_EQ(result.round.reports_expected, 40u);
+  EXPECT_EQ(result.round.reports_received, 40u);
+  EXPECT_EQ(result.round.result.truths.size(), 12u);
+}
+
+TEST(Session, RecoversTruthApproximately) {
+  const data::Dataset dataset = small_dataset();
+  SessionConfig config;
+  config.lambda2 = 50.0;  // tiny noise
+  const SessionResult result = run_session(dataset, config);
+  EXPECT_LT(mean_absolute_error(result.round.result.truths,
+                                dataset.ground_truth),
+            0.5);
+}
+
+TEST(Session, MessageAccountingMatchesProtocol) {
+  // 1 announce per user + 1 report per user + 1 publish per user.
+  const SessionConfig config;
+  const SessionResult result = run_session(small_dataset(), config);
+  EXPECT_EQ(result.network.messages_sent, 3u * 40u);
+  EXPECT_EQ(result.network.messages_delivered, 3u * 40u);
+  EXPECT_EQ(result.network.messages_dropped, 0u);
+  EXPECT_GT(result.network.bytes_sent, 0u);
+}
+
+TEST(Session, HonestDevicesRecordSampledVariances) {
+  const SessionConfig config;
+  const SessionResult result = run_session(small_dataset(), config);
+  ASSERT_EQ(result.sampled_variances.size(), 40u);
+  RunningStats stats;
+  for (double v : result.sampled_variances) {
+    EXPECT_FALSE(std::isnan(v));
+    stats.add(v);
+  }
+  // Variances come from Exp(lambda2 = 1): mean near 1 (loose for 40 draws).
+  EXPECT_NEAR(stats.mean(), 1.0, 0.8);
+}
+
+TEST(Session, DropoutsReduceReports) {
+  SessionConfig config;
+  config.dropout_fraction = 0.25;  // 10 of 40
+  const SessionResult result = run_session(small_dataset(), config);
+  EXPECT_EQ(result.round.reports_received, 30u);
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_TRUE(std::isnan(result.sampled_variances[s])) << s;
+  }
+}
+
+TEST(Session, AggregationStillWorksWithDropouts) {
+  const data::Dataset dataset = small_dataset();
+  SessionConfig config;
+  config.dropout_fraction = 0.3;
+  config.lambda2 = 50.0;
+  const SessionResult result = run_session(dataset, config);
+  EXPECT_FALSE(result.round.result.truths.empty());
+  EXPECT_LT(mean_absolute_error(result.round.result.truths,
+                                dataset.ground_truth),
+            1.0);
+}
+
+TEST(Session, AdversariesGetLowWeights) {
+  SessionConfig config;
+  config.adversary_fraction = 0.2;  // users 0..7 lie constantly
+  config.adversary_behavior = DeviceBehavior::kConstantLiar;
+  config.lambda2 = 50.0;
+  const SessionResult result = run_session(small_dataset(), config);
+  const std::vector<double>& weights = result.round.result.weights;
+  ASSERT_EQ(weights.size(), 40u);
+  RunningStats adversary_weight;
+  RunningStats honest_weight;
+  for (std::size_t s = 0; s < 40; ++s) {
+    (s < 8 ? adversary_weight : honest_weight).add(weights[s]);
+  }
+  EXPECT_LT(adversary_weight.mean(), honest_weight.mean());
+}
+
+TEST(Session, DeterministicInSeed) {
+  const data::Dataset dataset = small_dataset();
+  SessionConfig config;
+  config.seed = 77;
+  const SessionResult a = run_session(dataset, config);
+  const SessionResult b = run_session(dataset, config);
+  EXPECT_EQ(a.round.result.truths, b.round.result.truths);
+  EXPECT_EQ(a.network.messages_sent, b.network.messages_sent);
+}
+
+TEST(Session, LossyNetworkStillCompletes) {
+  SessionConfig config;
+  config.latency.drop_probability = 0.2;
+  config.collection_window_seconds = 60.0;
+  const SessionResult result = run_session(small_dataset(), config);
+  // Some reports may be lost, but the round must close with the remainder.
+  EXPECT_GT(result.round.reports_received, 10u);
+  EXPECT_LE(result.round.reports_received, 40u);
+}
+
+TEST(Session, CollectionWindowCutsOffStragglers) {
+  SessionConfig config;
+  config.mean_think_time_seconds = 10.0;   // slow users
+  config.collection_window_seconds = 0.05; // tiny window
+  const SessionResult result = run_session(small_dataset(), config);
+  EXPECT_LT(result.round.reports_received, 40u);
+}
+
+TEST(Session, SimulatedTimeAdvances) {
+  const SessionConfig config;
+  const SessionResult result = run_session(small_dataset(), config);
+  EXPECT_GT(result.sim_duration_seconds, 0.0);
+}
+
+TEST(Session, RejectsInvalidFractions) {
+  SessionConfig config;
+  config.dropout_fraction = 0.6;
+  config.adversary_fraction = 0.6;
+  EXPECT_THROW(run_session(small_dataset(), config), std::invalid_argument);
+}
+
+TEST(Session, PerturbationProtectsRawValues) {
+  // With substantial noise, the server-side aggregate differs from the
+  // no-noise aggregate — i.e. devices really do not upload raw readings.
+  const data::Dataset dataset = small_dataset();
+  SessionConfig noisy;
+  noisy.lambda2 = 0.25;
+  noisy.seed = 5;
+  SessionConfig clean;
+  clean.lambda2 = 1e9;
+  clean.seed = 5;
+  const SessionResult a = run_session(dataset, noisy);
+  const SessionResult b = run_session(dataset, clean);
+  EXPECT_GT(mean_absolute_error(a.round.result.truths,
+                                b.round.result.truths),
+            1e-4);
+}
+
+}  // namespace
+}  // namespace dptd::crowd

@@ -1,0 +1,195 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.h"
+
+namespace dptd::data {
+namespace {
+
+TEST(Synthetic, ProducesRequestedShape) {
+  SyntheticConfig config;
+  config.num_users = 20;
+  config.num_objects = 7;
+  const Dataset dataset = generate_synthetic(config);
+  EXPECT_EQ(dataset.num_users(), 20u);
+  EXPECT_EQ(dataset.num_objects(), 7u);
+  EXPECT_EQ(dataset.ground_truth.size(), 7u);
+  EXPECT_EQ(dataset.provenance.size(), 20u);
+  EXPECT_EQ(dataset.observations.observation_count(), 140u);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticConfig config;
+  config.seed = 123;
+  const Dataset a = generate_synthetic(config);
+  const Dataset b = generate_synthetic(config);
+  EXPECT_EQ(a.observations, b.observations);
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentData) {
+  SyntheticConfig config;
+  config.seed = 1;
+  const Dataset a = generate_synthetic(config);
+  config.seed = 2;
+  const Dataset b = generate_synthetic(config);
+  EXPECT_NE(a.observations, b.observations);
+}
+
+TEST(Synthetic, UniformTruthsStayInRange) {
+  SyntheticConfig config;
+  config.truth_lo = 2.0;
+  config.truth_hi = 8.0;
+  const Dataset dataset = generate_synthetic(config);
+  for (double t : dataset.ground_truth) {
+    EXPECT_GE(t, 2.0);
+    EXPECT_LT(t, 8.0);
+  }
+}
+
+TEST(Synthetic, GaussianTruthDistributionUsed) {
+  SyntheticConfig config;
+  config.truth_distribution = TruthDistribution::kGaussian;
+  config.truth_mean = 100.0;
+  config.truth_stddev = 1.0;
+  config.num_objects = 200;
+  const Dataset dataset = generate_synthetic(config);
+  EXPECT_NEAR(mean(dataset.ground_truth), 100.0, 0.5);
+}
+
+TEST(Synthetic, ErrorVariancesFollowExponentialMean) {
+  Rng rng(5);
+  const std::vector<double> variances =
+      sample_error_variances(50'000, 2.0, rng);
+  RunningStats stats;
+  for (double v : variances) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);  // mean = 1/lambda1
+}
+
+TEST(Synthetic, LargerLambda1GivesLowerError) {
+  SyntheticConfig low;
+  low.lambda1 = 0.5;
+  low.num_users = 200;
+  low.num_objects = 50;
+  SyntheticConfig high = low;
+  high.lambda1 = 10.0;
+
+  const Dataset noisy = generate_synthetic(low);
+  const Dataset clean = generate_synthetic(high);
+
+  const auto mean_abs_error = [](const Dataset& d) {
+    RunningStats stats;
+    d.observations.for_each([&](std::size_t, std::size_t n, double v) {
+      stats.add(std::abs(v - d.ground_truth[n]));
+    });
+    return stats.mean();
+  };
+  EXPECT_GT(mean_abs_error(noisy), 2.0 * mean_abs_error(clean));
+}
+
+TEST(Synthetic, ProvenanceRecordsVariances) {
+  SyntheticConfig config;
+  const Dataset dataset = generate_synthetic(config);
+  for (const UserProvenance& p : dataset.provenance) {
+    EXPECT_GE(p.error_variance, 0.0);
+    EXPECT_FALSE(p.adversarial);
+  }
+}
+
+TEST(Synthetic, MissingRateReducesCoverage) {
+  SyntheticConfig config;
+  config.num_users = 100;
+  config.num_objects = 50;
+  config.missing_rate = 0.4;
+  const Dataset dataset = generate_synthetic(config);
+  const double coverage =
+      static_cast<double>(dataset.observations.observation_count()) /
+      (100.0 * 50.0);
+  EXPECT_NEAR(coverage, 0.6, 0.05);
+  EXPECT_NO_THROW(dataset.validate());  // every object still covered
+}
+
+TEST(Synthetic, HighMissingRateStillCoversEveryObject) {
+  SyntheticConfig config;
+  config.num_users = 10;
+  config.num_objects = 40;
+  config.missing_rate = 0.97;
+  const Dataset dataset = generate_synthetic(config);
+  for (std::size_t n = 0; n < dataset.num_objects(); ++n) {
+    EXPECT_GE(dataset.observations.object_observation_count(n), 1u);
+  }
+}
+
+TEST(Synthetic, BiasAdversariesAreMarkedAndBiased) {
+  SyntheticConfig config;
+  config.num_users = 100;
+  config.num_objects = 50;
+  config.adversary_fraction = 0.2;
+  config.adversary_kind = "bias";
+  config.adversary_bias = 50.0;
+  const Dataset dataset = generate_synthetic(config);
+
+  std::size_t adversaries = 0;
+  for (const UserProvenance& p : dataset.provenance) {
+    if (p.adversarial) {
+      ++adversaries;
+      EXPECT_EQ(p.adversary_kind, "bias");
+    }
+  }
+  EXPECT_EQ(adversaries, 20u);
+
+  // Adversarial rows should sit far from the truth.
+  RunningStats adv_err;
+  RunningStats honest_err;
+  dataset.observations.for_each([&](std::size_t s, std::size_t n, double v) {
+    const double err = std::abs(v - dataset.ground_truth[n]);
+    (dataset.provenance[s].adversarial ? adv_err : honest_err).add(err);
+  });
+  EXPECT_GT(adv_err.mean(), 10.0 * honest_err.mean());
+}
+
+TEST(Synthetic, ConstantAdversariesRepeatOneValue) {
+  SyntheticConfig config;
+  config.num_users = 10;
+  config.num_objects = 20;
+  config.adversary_fraction = 0.1;  // exactly user 0
+  config.adversary_kind = "constant";
+  const Dataset dataset = generate_synthetic(config);
+  const std::vector<double> row = dataset.observations.user_values(0);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, row.front());
+}
+
+TEST(Synthetic, RejectsInvalidConfigs) {
+  SyntheticConfig config;
+  config.lambda1 = 0.0;
+  EXPECT_THROW(generate_synthetic(config), std::invalid_argument);
+  config = {};
+  config.missing_rate = 1.0;
+  EXPECT_THROW(generate_synthetic(config), std::invalid_argument);
+  config = {};
+  config.adversary_kind = "nonsense";
+  EXPECT_THROW(generate_synthetic(config), std::invalid_argument);
+}
+
+/// Paper-default sweep: the §5.1 configuration must validate for a range of
+/// lambda1 values.
+class SyntheticLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticLambdaSweep, PaperShapeValidates) {
+  SyntheticConfig config;  // 150 x 30 defaults
+  config.lambda1 = GetParam();
+  const Dataset dataset = generate_synthetic(config);
+  EXPECT_EQ(dataset.num_users(), 150u);
+  EXPECT_EQ(dataset.num_objects(), 30u);
+  EXPECT_NO_THROW(dataset.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SyntheticLambdaSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace dptd::data

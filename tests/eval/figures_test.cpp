@@ -1,0 +1,213 @@
+// Smoke + shape tests for the figure runners: tiny configurations, but the
+// qualitative claims of each paper figure must already hold.
+#include "eval/figures.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/report.h"
+
+#include <sstream>
+
+namespace dptd::eval {
+namespace {
+
+TradeoffConfig tiny_tradeoff() {
+  TradeoffConfig config;
+  config.epsilons = {0.5, 1.0, 2.0};
+  config.deltas = {0.2, 0.5};
+  config.trials = 2;
+  config.workload.num_users = 60;
+  config.workload.num_objects = 15;
+  return config;
+}
+
+TEST(Fig2, NoiseDecreasesAsEpsilonGrows) {
+  const TradeoffResult result = run_tradeoff(tiny_tradeoff());
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const TradeoffSeries& series : result.series) {
+    ASSERT_EQ(series.points.size(), 3u);
+    for (std::size_t i = 1; i < series.points.size(); ++i) {
+      EXPECT_LT(series.points[i].avg_noise.mean,
+                series.points[i - 1].avg_noise.mean)
+          << "delta=" << series.delta;
+    }
+  }
+}
+
+TEST(Fig2, SmallerDeltaNeedsMoreNoise) {
+  const TradeoffResult result = run_tradeoff(tiny_tradeoff());
+  // series[0] is delta = 0.2 (stronger privacy) — more noise at equal eps.
+  for (std::size_t i = 0; i < result.series[0].points.size(); ++i) {
+    EXPECT_GT(result.series[0].points[i].avg_noise.mean,
+              result.series[1].points[i].avg_noise.mean);
+  }
+}
+
+TEST(Fig2, MaeStaysWellBelowNoise) {
+  const TradeoffResult result = run_tradeoff(tiny_tradeoff());
+  for (const TradeoffSeries& series : result.series) {
+    for (const TradeoffPoint& p : series.points) {
+      EXPECT_LT(p.mae.mean, 0.6 * p.avg_noise.mean)
+          << "eps=" << p.epsilon << " delta=" << series.delta;
+    }
+  }
+}
+
+TEST(Fig2, GtmMethodWorksToo) {
+  TradeoffConfig config = tiny_tradeoff();
+  config.method = "gtm";
+  config.epsilons = {0.5, 2.0};
+  config.deltas = {0.3};
+  const TradeoffResult result = run_tradeoff(config);
+  for (const TradeoffPoint& p : result.series[0].points) {
+    EXPECT_TRUE(std::isfinite(p.mae.mean));
+    EXPECT_LT(p.mae.mean, p.avg_noise.mean);
+  }
+}
+
+TEST(Fig3, NoiseAndMaeShrinkWithLambda1) {
+  Lambda1Config config;
+  config.lambda1s = {0.5, 2.0, 8.0};
+  config.trials = 2;
+  config.num_users = 60;
+  config.num_objects = 15;
+  const Lambda1Result result = run_lambda1_effect(config);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_GT(result.points[0].avg_noise.mean, result.points[1].avg_noise.mean);
+  EXPECT_GT(result.points[1].avg_noise.mean, result.points[2].avg_noise.mean);
+  EXPECT_GT(result.points[0].mae.mean, result.points[2].mae.mean);
+}
+
+TEST(Fig4, NoiseFlatMaeFallsWithUsers) {
+  UsersConfig config;
+  config.user_counts = {50, 200, 800};
+  config.trials = 3;
+  const UsersResult result = run_users_effect(config);
+  ASSERT_EQ(result.points.size(), 3u);
+  // Noise is independent of S (same lambda2 everywhere).
+  const double noise0 = result.points[0].avg_noise.mean;
+  for (const UsersPoint& p : result.points) {
+    EXPECT_NEAR(p.avg_noise.mean, noise0, 0.15 * noise0);
+  }
+  // MAE falls substantially from S=50 to S=800.
+  EXPECT_LT(result.points[2].mae.mean, result.points[0].mae.mean);
+}
+
+TEST(Fig7, WeightComparisonTracksTruth) {
+  WeightComparisonConfig config;
+  config.num_users = 60;
+  config.num_segments = 40;
+  config.num_selected_users = 7;
+  const WeightComparisonResult result = run_weight_comparison(config);
+  EXPECT_EQ(result.user_ids.size(), 7u);
+  EXPECT_EQ(result.true_weight_original.size(), 7u);
+  EXPECT_GT(result.pearson_original, 0.3);
+  EXPECT_GT(result.pearson_perturbed, 0.2);
+  EXPECT_LT(result.largest_noise_selected_index, 7u);
+}
+
+TEST(Fig7, SelectedUsersSpanQualitySpectrum) {
+  WeightComparisonConfig config;
+  config.num_users = 60;
+  config.num_segments = 40;
+  const WeightComparisonResult result = run_weight_comparison(config);
+  // Selection sorts by true original weight, so the vector is non-decreasing.
+  for (std::size_t i = 1; i < result.true_weight_original.size(); ++i) {
+    EXPECT_GE(result.true_weight_original[i],
+              result.true_weight_original[i - 1] - 1e-9);
+  }
+  // And it spans a non-trivial range.
+  EXPECT_GT(result.true_weight_original.back(),
+            result.true_weight_original.front());
+}
+
+TEST(Fig8, RuntimeFlatAcrossNoiseLevels) {
+  EfficiencyConfig config;
+  config.num_users = 60;
+  config.num_objects = 300;
+  config.target_noises = {0.2, 0.6, 1.0};
+  config.trials = 2;
+  const EfficiencyResult result = run_efficiency(config);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_GT(result.original_seconds.mean, 0.0);
+  // Noise grid is respected.
+  EXPECT_LT(result.points[0].avg_noise, result.points[2].avg_noise);
+  // Runtime within 5x of original across all noise levels (the paper shows
+  // "slightly bigger", flat in noise).
+  for (const EfficiencyPoint& p : result.points) {
+    EXPECT_LT(p.seconds.mean, 5.0 * result.original_seconds.mean + 0.05);
+    EXPECT_GT(p.iterations.mean, 0.0);
+  }
+}
+
+TEST(Ablation, WeightedMethodsBeatMeanUnderNoise) {
+  AblationConfig config;
+  config.workload.num_users = 80;
+  config.workload.num_objects = 20;
+  config.methods = {"crh", "mean"};
+  config.mechanisms = {"user-sampled-gaussian"};
+  config.target_noises = {1.0};
+  config.trials = 3;
+  const AblationResult result = run_ablation(config);
+  ASSERT_EQ(result.cells.size(), 2u);
+  const AblationCell& crh = result.cells[0];
+  const AblationCell& mean_cell = result.cells[1];
+  EXPECT_EQ(crh.method, "crh");
+  EXPECT_LT(crh.mae_vs_original.mean, mean_cell.mae_vs_original.mean);
+}
+
+TEST(Ablation, AllMechanismsProduceComparableNoiseScale) {
+  AblationConfig config;
+  config.workload.num_users = 40;
+  config.workload.num_objects = 10;
+  config.methods = {"crh"};
+  config.target_noises = {0.5};
+  config.trials = 2;
+  const AblationResult result = run_ablation(config);
+  ASSERT_EQ(result.cells.size(), 3u);  // three mechanisms
+  for (const AblationCell& cell : result.cells) {
+    EXPECT_TRUE(std::isfinite(cell.mae_vs_original.mean)) << cell.mechanism;
+    EXPECT_TRUE(std::isfinite(cell.mae_vs_ground_truth.mean))
+        << cell.mechanism;
+  }
+}
+
+TEST(EstimateLambda1, RecoversSyntheticRate) {
+  data::SyntheticConfig config;
+  config.num_users = 2000;
+  config.num_objects = 30;
+  config.lambda1 = 2.0;
+  config.seed = 9;
+  const data::Dataset dataset = data::generate_synthetic(config);
+  // mean error variance = 1/lambda1 -> estimate near lambda1.
+  EXPECT_NEAR(estimate_lambda1(dataset), 2.0, 0.3);
+}
+
+TEST(EstimateLambda1, RequiresGroundTruth) {
+  data::Dataset dataset;
+  dataset.observations = data::ObservationMatrix(2, 2);
+  dataset.observations.set(0, 0, 1.0);
+  EXPECT_THROW(estimate_lambda1(dataset), std::invalid_argument);
+}
+
+TEST(Reports, PrintersProduceTables) {
+  const TradeoffResult tradeoff = run_tradeoff([] {
+    TradeoffConfig config;
+    config.epsilons = {1.0};
+    config.deltas = {0.3};
+    config.trials = 1;
+    config.workload.num_users = 30;
+    config.workload.num_objects = 8;
+    return config;
+  }());
+  std::ostringstream os;
+  print_tradeoff(os, tradeoff, "Fig. 2 test");
+  EXPECT_NE(os.str().find("privacy delta"), std::string::npos);
+  EXPECT_NE(os.str().find("MAE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dptd::eval

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "data/synthetic.h"
+#include "truth/crh.h"
+
+namespace dptd::eval {
+namespace {
+
+TEST(TrueWeights, BetterUsersGetHigherTrueWeights) {
+  data::ObservationMatrix obs(3, 20);
+  Rng rng(1);
+  std::vector<double> truth(20);
+  for (std::size_t n = 0; n < 20; ++n) {
+    truth[n] = static_cast<double>(n);
+    obs.set(0, n, truth[n] + normal(rng, 0.0, 0.05));
+    obs.set(1, n, truth[n] + normal(rng, 0.0, 0.5));
+    obs.set(2, n, truth[n] + normal(rng, 0.0, 3.0));
+  }
+  const std::vector<double> weights =
+      true_weights_from_ground_truth(obs, truth);
+  EXPECT_GT(weights[0], weights[1]);
+  EXPECT_GT(weights[1], weights[2]);
+}
+
+TEST(TrueWeights, SizeMismatchThrows) {
+  data::ObservationMatrix obs(2, 3);
+  obs.set(0, 0, 1.0);
+  EXPECT_THROW(true_weights_from_ground_truth(obs, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(CompareWeights, EstimatesCorrelateOnCleanData) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.num_objects = 40;
+  config.lambda1 = 1.0;
+  config.seed = 5;
+  const data::Dataset dataset = data::generate_synthetic(config);
+  const truth::Crh crh;
+  const truth::Result result = crh.run(dataset.observations);
+  const WeightComparison cmp = compare_weights(
+      dataset.observations, dataset.ground_truth, result.weights);
+  EXPECT_GT(cmp.pearson, 0.6);
+  EXPECT_GT(cmp.spearman, 0.6);
+  EXPECT_EQ(cmp.true_weights.size(), 80u);
+  EXPECT_EQ(cmp.estimated_weights.size(), 80u);
+}
+
+TEST(CompareWeights, MismatchedEstimateSizeThrows) {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 1.0);
+  obs.set(1, 0, 1.5);
+  obs.set(1, 1, 1.5);
+  EXPECT_THROW(compare_weights(obs, {1.0, 1.0}, {0.5}),
+               std::invalid_argument);
+}
+
+TEST(Summarize, ReflectsRunningStats) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  const Summary s = summarize(stats);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summarize, EmptyStatsGiveZeroSummary) {
+  const RunningStats stats;
+  const Summary s = summarize(stats);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace dptd::eval

@@ -1,0 +1,85 @@
+#include "floorplan/hallway.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dptd::floorplan {
+namespace {
+
+TEST(Hallways, GeneratesRequestedSegmentCount) {
+  const HallwayMap map = generate_hallways(129);
+  EXPECT_EQ(map.num_segments(), 129u);
+}
+
+TEST(Hallways, LengthsRespectConfiguredRange) {
+  const HallwayMap map = generate_hallways(200, 3.0, 12.0, 9);
+  for (const Segment& s : map.segments()) {
+    EXPECT_GE(s.length_m, 3.0);
+    EXPECT_LT(s.length_m, 12.0);
+  }
+}
+
+TEST(Hallways, DeterministicInSeed) {
+  const HallwayMap a = generate_hallways(50, 5.0, 40.0, 123);
+  const HallwayMap b = generate_hallways(50, 5.0, 40.0, 123);
+  EXPECT_EQ(a.lengths(), b.lengths());
+}
+
+TEST(Hallways, DifferentSeedsDiffer) {
+  const HallwayMap a = generate_hallways(50, 5.0, 40.0, 1);
+  const HallwayMap b = generate_hallways(50, 5.0, 40.0, 2);
+  EXPECT_NE(a.lengths(), b.lengths());
+}
+
+TEST(Hallways, IdsAreSequential) {
+  const HallwayMap map = generate_hallways(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(map.segment(i).id, i);
+  }
+}
+
+TEST(Hallways, TotalLengthIsSumOfSegments) {
+  const HallwayMap map = generate_hallways(20);
+  double sum = 0.0;
+  for (double l : map.lengths()) sum += l;
+  EXPECT_DOUBLE_EQ(map.total_length(), sum);
+}
+
+TEST(Hallways, SegmentLookupOutOfRangeThrows) {
+  const HallwayMap map = generate_hallways(5);
+  EXPECT_THROW(map.segment(5), std::invalid_argument);
+}
+
+TEST(Hallways, RejectsBadParameters) {
+  EXPECT_THROW(generate_hallways(0), std::invalid_argument);
+  EXPECT_THROW(generate_hallways(10, 0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(generate_hallways(10, 6.0, 5.0), std::invalid_argument);
+}
+
+TEST(Hallways, ConstructorValidatesSegments) {
+  std::vector<Segment> bad_ids(2);
+  bad_ids[0].id = 0;
+  bad_ids[0].length_m = 1.0;
+  bad_ids[1].id = 5;  // not sequential
+  bad_ids[1].length_m = 1.0;
+  EXPECT_THROW(HallwayMap{bad_ids}, std::invalid_argument);
+
+  std::vector<Segment> bad_length(1);
+  bad_length[0].id = 0;
+  bad_length[0].length_m = 0.0;
+  EXPECT_THROW(HallwayMap{bad_length}, std::invalid_argument);
+
+  EXPECT_THROW(HallwayMap{std::vector<Segment>{}}, std::invalid_argument);
+}
+
+TEST(Hallways, AsciiSketchIsNonTrivial) {
+  const HallwayMap map = generate_hallways(30);
+  const std::string sketch = map.ascii_sketch();
+  EXPECT_GT(sketch.size(), 50u);
+  EXPECT_NE(sketch.find('-'), std::string::npos);
+  EXPECT_NE(sketch.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dptd::floorplan

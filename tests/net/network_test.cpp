@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dptd::net {
+namespace {
+
+class RecordingNode final : public Node {
+ public:
+  void on_message(const Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<Message> received;
+};
+
+Message make(NodeId from, NodeId to, std::uint32_t type = 1) {
+  Message m;
+  m.source = from;
+  m.destination = to;
+  m.type = type;
+  m.payload = {1, 2, 3};
+  return m;
+}
+
+TEST(Network, DeliversToAttachedNode) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.01, 0.0, 0.0});
+  RecordingNode node;
+  net.attach(7, node);
+  net.send(make(1, 7, 42));
+  sim.run();
+  ASSERT_EQ(node.received.size(), 1u);
+  EXPECT_EQ(node.received[0].type, 42u);
+  EXPECT_EQ(node.received[0].source, 1u);
+  EXPECT_EQ(node.received[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, DeliveryHappensAfterBaseLatency) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.25, 0.0, 0.0});
+  RecordingNode node;
+  net.attach(1, node);
+  double delivered_at = -1.0;
+  net.send(make(0, 1));
+  sim.run();
+  delivered_at = sim.now();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.25);
+}
+
+TEST(Network, JitterStaysWithinConfiguredRange) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.1, 0.05, 0.0}, 3);
+  RecordingNode node;
+  net.attach(1, node);
+  for (int i = 0; i < 50; ++i) net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(node.received.size(), 50u);
+  EXPECT_LE(sim.now(), 0.15);
+  EXPECT_GE(sim.now(), 0.1);
+}
+
+TEST(Network, UnknownDestinationCountsAsDrop) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.01, 0.0, 0.0});
+  net.send(make(0, 99));
+  sim.run();
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(Network, DropProbabilityLosesRoughlyThatFraction) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.001, 0.0, 0.3}, 11);
+  RecordingNode node;
+  net.attach(1, node);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) net.send(make(0, 1));
+  sim.run();
+  const double delivered_fraction =
+      static_cast<double>(net.stats().messages_delivered) / n;
+  EXPECT_NEAR(delivered_fraction, 0.7, 0.03);
+  EXPECT_EQ(net.stats().messages_delivered + net.stats().messages_dropped,
+            static_cast<std::size_t>(n));
+}
+
+TEST(Network, StatsCountBytes) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.0, 0.0, 0.0});
+  RecordingNode node;
+  net.attach(1, node);
+  net.send(make(0, 1));  // 3-byte payload
+  net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(net.stats().bytes_sent, 6u);
+}
+
+TEST(Network, DetachedNodeDropsInFlightMessages) {
+  Simulator sim;
+  Network net(sim, LatencyModel{1.0, 0.0, 0.0});
+  RecordingNode node;
+  net.attach(1, node);
+  net.send(make(0, 1));
+  net.detach(1);  // before delivery fires
+  sim.run();
+  EXPECT_TRUE(node.received.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, DuplicateAttachThrows) {
+  Simulator sim;
+  Network net(sim, LatencyModel{});
+  RecordingNode a;
+  RecordingNode b;
+  net.attach(1, a);
+  EXPECT_THROW(net.attach(1, b), std::invalid_argument);
+}
+
+TEST(Network, AttachedQuery) {
+  Simulator sim;
+  Network net(sim, LatencyModel{});
+  RecordingNode node;
+  EXPECT_FALSE(net.attached(5));
+  net.attach(5, node);
+  EXPECT_TRUE(net.attached(5));
+  net.detach(5);
+  EXPECT_FALSE(net.attached(5));
+}
+
+TEST(LatencyModel, ValidatesParameters) {
+  EXPECT_THROW((LatencyModel{-0.1, 0.0, 0.0}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((LatencyModel{0.0, -0.1, 0.0}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((LatencyModel{0.0, 0.0, 1.0}).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((LatencyModel{0.0, 0.0, 0.0}).validate());
+}
+
+TEST(Network, ManyNodesRouteIndependently) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.01, 0.0, 0.0});
+  std::vector<RecordingNode> nodes(20);
+  for (std::size_t i = 0; i < nodes.size(); ++i) net.attach(i, nodes[i]);
+  for (std::size_t i = 0; i < nodes.size(); ++i) net.send(make(99, i));
+  sim.run();
+  for (const RecordingNode& node : nodes) {
+    EXPECT_EQ(node.received.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dptd::net

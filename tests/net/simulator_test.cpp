@@ -1,0 +1,103 @@
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dptd::net {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  const Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&order] { order.push_back(3); });
+  sim.schedule(1.0, [&order] { order.push_back(1); });
+  sim.schedule(2.0, [&order] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EqualTimesFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(5.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&fired] { ++fired; });
+  sim.schedule(10.0, [&fired] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(2.0, [&] {
+    sim.schedule(0.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(Simulator, RejectsNegativeDelayAndNullEvent) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, RunOnEmptyQueueIsNoOp) {
+  Simulator sim;
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ManyEventsAllExecute) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    sim.schedule(static_cast<double>(i % 100), [&count] { ++count; });
+  }
+  EXPECT_EQ(sim.run(), 10'000u);
+  EXPECT_EQ(count, 10'000);
+}
+
+}  // namespace
+}  // namespace dptd::net

@@ -1,0 +1,75 @@
+#include "truth/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace dptd::truth {
+namespace {
+
+data::ObservationMatrix simple_matrix() {
+  data::ObservationMatrix obs(3, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 2.0);
+  obs.set(2, 0, 6.0);
+  obs.set(0, 1, 10.0);
+  obs.set(1, 1, 20.0);
+  obs.set(2, 1, 90.0);
+  return obs;
+}
+
+TEST(MeanAggregator, ComputesPerObjectMeans) {
+  const MeanAggregator agg;
+  const Result result = agg.run(simple_matrix());
+  EXPECT_DOUBLE_EQ(result.truths[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.truths[1], 40.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(MeanAggregator, UniformWeights) {
+  const MeanAggregator agg;
+  const Result result = agg.run(simple_matrix());
+  for (double w : result.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(MedianAggregator, ComputesPerObjectMedians) {
+  const MedianAggregator agg;
+  const Result result = agg.run(simple_matrix());
+  EXPECT_DOUBLE_EQ(result.truths[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.truths[1], 20.0);
+}
+
+TEST(MedianAggregator, RobustToSingleOutlier) {
+  data::ObservationMatrix obs(3, 1);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 1.2);
+  obs.set(2, 0, 1e9);
+  const MedianAggregator agg;
+  EXPECT_DOUBLE_EQ(agg.run(obs).truths[0], 1.2);
+}
+
+TEST(MedianAggregator, EvenCountInterpolates) {
+  data::ObservationMatrix obs(4, 1);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 2.0);
+  obs.set(2, 0, 3.0);
+  obs.set(3, 0, 4.0);
+  const MedianAggregator agg;
+  EXPECT_DOUBLE_EQ(agg.run(obs).truths[0], 2.5);
+}
+
+TEST(Baselines, HandleMissingData) {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 4.0);
+  obs.set(1, 0, 6.0);
+  obs.set(1, 1, 9.0);
+  EXPECT_DOUBLE_EQ(MeanAggregator().run(obs).truths[1], 9.0);
+  EXPECT_DOUBLE_EQ(MedianAggregator().run(obs).truths[1], 9.0);
+}
+
+TEST(Baselines, NamesAreStable) {
+  EXPECT_EQ(MeanAggregator().name(), "mean");
+  EXPECT_EQ(MedianAggregator().name(), "median");
+}
+
+}  // namespace
+}  // namespace dptd::truth

@@ -1,0 +1,120 @@
+#include "truth/catd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/synthetic.h"
+
+namespace dptd::truth {
+namespace {
+
+data::ObservationMatrix outlier_matrix() {
+  data::ObservationMatrix obs(4, 4);
+  const double truths[] = {10.0, 20.0, 30.0, 40.0};
+  const double offsets[] = {-0.1, 0.0, 0.1};
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t n = 0; n < 4; ++n) obs.set(s, n, truths[n] + offsets[s]);
+  }
+  for (std::size_t n = 0; n < 4; ++n) obs.set(3, n, truths[n] + 25.0);
+  return obs;
+}
+
+TEST(Catd, DownweightsOutlierUser) {
+  const Catd catd;
+  const Result result = catd.run(outlier_matrix());
+  EXPECT_LT(result.weights[3], result.weights[0]);
+}
+
+TEST(Catd, BeatsPlainMeanWithOutlier) {
+  const auto obs = outlier_matrix();
+  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  const Catd catd;
+  const Result result = catd.run(obs);
+  const std::vector<double> means =
+      weighted_aggregate(obs, std::vector<double>(obs.num_users(), 1.0));
+  EXPECT_LT(mean_absolute_error(result.truths, truths),
+            mean_absolute_error(means, truths));
+}
+
+TEST(Catd, RecoversTruthOnSyntheticData) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_objects = 40;
+  config.seed = 21;
+  const data::Dataset dataset = generate_synthetic(config);
+  const Catd catd;
+  const Result result = catd.run(dataset.observations);
+  EXPECT_LT(mean_absolute_error(result.truths, dataset.ground_truth), 0.2);
+}
+
+TEST(Catd, LongTailUserWithFewClaimsIsNotOverTrusted) {
+  // User 2 has a single lucky claim exactly on the truth; CATD's confidence
+  // interval must keep their weight bounded relative to a consistent user
+  // with many claims.
+  data::ObservationMatrix obs(3, 6);
+  for (std::size_t n = 0; n < 6; ++n) {
+    obs.set(0, n, 10.0 * static_cast<double>(n) + 0.05);
+    obs.set(1, n, 10.0 * static_cast<double>(n) - 0.05);
+  }
+  obs.set(2, 0, 0.0499);  // single claim, very close to the aggregate
+  const Catd catd;
+  const Result result = catd.run(obs);
+  // chi2 quantile with 1 dof is much smaller than with 6 dof, so the lucky
+  // single-claim user cannot dominate: weight within ~100x of the steady
+  // users rather than unbounded.
+  EXPECT_LT(result.weights[2], 200.0 * result.weights[0]);
+}
+
+TEST(Catd, WeightsNonNegativeFinite) {
+  const Catd catd;
+  const Result result = catd.run(outlier_matrix());
+  for (double w : result.weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(Catd, ExactAgreementIsClampedNotInfinite) {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 2.0);
+  obs.set(1, 0, 1.0);
+  obs.set(1, 1, 2.0);
+  const Catd catd;
+  const Result result = catd.run(obs);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_DOUBLE_EQ(result.truths[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.truths[1], 2.0);
+}
+
+TEST(Catd, RejectsInvalidConfig) {
+  CatdConfig config;
+  config.significance = 0.0;
+  EXPECT_THROW(Catd{config}, std::invalid_argument);
+  config = {};
+  config.significance = 1.0;
+  EXPECT_THROW(Catd{config}, std::invalid_argument);
+  config = {};
+  config.min_residual = 0.0;
+  EXPECT_THROW(Catd{config}, std::invalid_argument);
+}
+
+TEST(Catd, NameIsStable) { EXPECT_EQ(Catd().name(), "catd"); }
+
+TEST(Catd, HandlesMissingData) {
+  data::ObservationMatrix obs(3, 3);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 2.0);
+  obs.set(1, 1, 2.2);
+  obs.set(1, 2, 3.0);
+  obs.set(2, 0, 1.1);
+  obs.set(2, 2, 3.1);
+  const Catd catd;
+  const Result result = catd.run(obs);
+  for (double t : result.truths) EXPECT_TRUE(std::isfinite(t));
+}
+
+}  // namespace
+}  // namespace dptd::truth

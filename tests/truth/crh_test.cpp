@@ -1,0 +1,195 @@
+#include "truth/crh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/synthetic.h"
+
+namespace dptd::truth {
+namespace {
+
+/// 3 reliable users + 1 wildly wrong user over 4 objects.
+data::ObservationMatrix outlier_matrix() {
+  data::ObservationMatrix obs(4, 4);
+  const double truths[] = {10.0, 20.0, 30.0, 40.0};
+  const double offsets[] = {-0.1, 0.0, 0.1};
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t n = 0; n < 4; ++n) obs.set(s, n, truths[n] + offsets[s]);
+  }
+  for (std::size_t n = 0; n < 4; ++n) obs.set(3, n, truths[n] + 25.0);
+  return obs;
+}
+
+TEST(Crh, DownweightsOutlierUser) {
+  const Crh crh;
+  const Result result = crh.run(outlier_matrix());
+  EXPECT_LT(result.weights[3], result.weights[0]);
+  EXPECT_LT(result.weights[3], result.weights[1]);
+  EXPECT_LT(result.weights[3], result.weights[2]);
+}
+
+TEST(Crh, BeatsPlainMeanWithOutlier) {
+  const auto obs = outlier_matrix();
+  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+
+  const Crh crh;
+  const Result result = crh.run(obs);
+  const std::vector<double> means = weighted_aggregate(
+      obs, std::vector<double>(obs.num_users(), 1.0));
+
+  EXPECT_LT(mean_absolute_error(result.truths, truths),
+            mean_absolute_error(means, truths));
+}
+
+TEST(Crh, ConvergesOnWellBehavedData) {
+  const Crh crh;
+  const Result result = crh.run(outlier_matrix());
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 100u);
+}
+
+TEST(Crh, PerfectAgreementGivesEqualWeights) {
+  data::ObservationMatrix obs(3, 2);
+  for (std::size_t s = 0; s < 3; ++s) {
+    obs.set(s, 0, 5.0);
+    obs.set(s, 1, 7.0);
+  }
+  const Crh crh;
+  const Result result = crh.run(obs);
+  EXPECT_DOUBLE_EQ(result.truths[0], 5.0);
+  EXPECT_DOUBLE_EQ(result.truths[1], 7.0);
+  EXPECT_DOUBLE_EQ(result.weights[0], result.weights[1]);
+  EXPECT_DOUBLE_EQ(result.weights[1], result.weights[2]);
+}
+
+TEST(Crh, WeightsAreNonNegativeAndFinite) {
+  const Crh crh;
+  const Result result = crh.run(outlier_matrix());
+  for (double w : result.weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(Crh, ExactUserDoesNotGetInfiniteWeight) {
+  // One user claims exactly the converged truths (it is the only claimant of
+  // nothing, but dominates) — the min_loss_fraction clamp must keep the
+  // weight finite.
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 2.0);
+  obs.set(1, 0, 1.0);
+  obs.set(1, 1, 2.0 + 1e-9);
+  const Crh crh;
+  const Result result = crh.run(obs);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(Crh, HandlesMissingData) {
+  data::ObservationMatrix obs(3, 3);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 2.0);
+  obs.set(1, 1, 2.2);
+  obs.set(1, 2, 3.0);
+  obs.set(2, 0, 1.1);
+  obs.set(2, 2, 3.1);
+  const Crh crh;
+  const Result result = crh.run(obs);
+  EXPECT_EQ(result.truths.size(), 3u);
+  for (double t : result.truths) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Crh, SingleUserReturnsTheirClaims) {
+  data::ObservationMatrix obs(1, 2);
+  obs.set(0, 0, 4.0);
+  obs.set(0, 1, 8.0);
+  const Crh crh;
+  const Result result = crh.run(obs);
+  EXPECT_DOUBLE_EQ(result.truths[0], 4.0);
+  EXPECT_DOUBLE_EQ(result.truths[1], 8.0);
+}
+
+TEST(Crh, EstimateWeightsMatchesEquationThree) {
+  // Hand-check Eq. (3) with the squared loss on a tiny example.
+  data::ObservationMatrix obs(2, 1);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 3.0);
+  CrhConfig config;
+  config.loss = CrhLoss::kSquared;
+  const Crh crh(config);
+  const std::vector<double> weights =
+      crh.estimate_weights(obs, std::vector<double>{2.0});
+  // Both losses are 1.0, total 2.0 -> each weight = -log(0.5) = log 2.
+  EXPECT_NEAR(weights[0], std::log(2.0), 1e-12);
+  EXPECT_NEAR(weights[1], std::log(2.0), 1e-12);
+}
+
+TEST(Crh, CloserUserGetsHigherWeight) {
+  data::ObservationMatrix obs(2, 1);
+  obs.set(0, 0, 2.1);
+  obs.set(1, 0, 5.0);
+  const Crh crh;
+  const std::vector<double> weights =
+      crh.estimate_weights(obs, std::vector<double>{2.0});
+  EXPECT_GT(weights[0], weights[1]);
+}
+
+TEST(Crh, RecoversTruthOnSyntheticData) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_objects = 40;
+  config.lambda1 = 2.0;
+  config.seed = 99;
+  const data::Dataset dataset = generate_synthetic(config);
+  const Crh crh;
+  const Result result = crh.run(dataset.observations);
+  EXPECT_LT(mean_absolute_error(result.truths, dataset.ground_truth), 0.2);
+}
+
+TEST(Crh, RespectsMaxIterations) {
+  CrhConfig config;
+  config.convergence.max_iterations = 2;
+  config.convergence.tolerance = 1e-300;  // unreachable
+  const Crh crh(config);
+  const Result result = crh.run(outlier_matrix());
+  EXPECT_EQ(result.iterations, 2u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Crh, RejectsInvalidConfig) {
+  CrhConfig config;
+  config.convergence.tolerance = 0.0;
+  EXPECT_THROW(Crh{config}, std::invalid_argument);
+  config = {};
+  config.convergence.max_iterations = 0;
+  EXPECT_THROW(Crh{config}, std::invalid_argument);
+  config = {};
+  config.min_loss_fraction = 0.0;
+  EXPECT_THROW(Crh{config}, std::invalid_argument);
+}
+
+TEST(Crh, NameIsStable) { EXPECT_EQ(Crh().name(), "crh"); }
+
+/// All three loss functions must solve the outlier scenario.
+class CrhLossSweep : public ::testing::TestWithParam<CrhLoss> {};
+
+TEST_P(CrhLossSweep, DownweightsOutlier) {
+  CrhConfig config;
+  config.loss = GetParam();
+  const Crh crh(config);
+  const Result result = crh.run(outlier_matrix());
+  EXPECT_LT(result.weights[3], result.weights[0]);
+  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_LT(mean_absolute_error(result.truths, truths), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, CrhLossSweep,
+                         ::testing::Values(CrhLoss::kNormalizedSquared,
+                                           CrhLoss::kSquared,
+                                           CrhLoss::kAbsolute));
+
+}  // namespace
+}  // namespace dptd::truth

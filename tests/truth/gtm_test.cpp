@@ -1,0 +1,141 @@
+#include "truth/gtm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/synthetic.h"
+
+namespace dptd::truth {
+namespace {
+
+data::ObservationMatrix outlier_matrix() {
+  data::ObservationMatrix obs(4, 4);
+  const double truths[] = {10.0, 20.0, 30.0, 40.0};
+  const double offsets[] = {-0.1, 0.0, 0.1};
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t n = 0; n < 4; ++n) obs.set(s, n, truths[n] + offsets[s]);
+  }
+  for (std::size_t n = 0; n < 4; ++n) obs.set(3, n, truths[n] + 25.0);
+  return obs;
+}
+
+TEST(Gtm, DownweightsOutlierUser) {
+  const Gtm gtm;
+  const Result result = gtm.run(outlier_matrix());
+  EXPECT_LT(result.weights[3], result.weights[0]);
+  EXPECT_LT(result.weights[3], result.weights[1]);
+}
+
+TEST(Gtm, BeatsPlainMeanWithOutlier) {
+  const auto obs = outlier_matrix();
+  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  const Gtm gtm;
+  const Result result = gtm.run(obs);
+  const std::vector<double> means =
+      weighted_aggregate(obs, std::vector<double>(obs.num_users(), 1.0));
+  EXPECT_LT(mean_absolute_error(result.truths, truths),
+            mean_absolute_error(means, truths));
+}
+
+TEST(Gtm, RecoversTruthOnSyntheticData) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_objects = 40;
+  config.lambda1 = 2.0;
+  config.seed = 7;
+  const data::Dataset dataset = generate_synthetic(config);
+  const Gtm gtm;
+  const Result result = gtm.run(dataset.observations);
+  EXPECT_LT(mean_absolute_error(result.truths, dataset.ground_truth), 0.2);
+}
+
+TEST(Gtm, WeightsArePositivePrecisions) {
+  const Gtm gtm;
+  const Result result = gtm.run(outlier_matrix());
+  for (double w : result.weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(Gtm, ConvergesOnWellBehavedData) {
+  const Gtm gtm;
+  const Result result = gtm.run(outlier_matrix());
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Gtm, StandardizationInvariantToObjectScale) {
+  // Scaling one object's claims must not blow up inference when
+  // standardization is on.
+  data::ObservationMatrix obs(3, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 1.1);
+  obs.set(2, 0, 0.9);
+  obs.set(0, 1, 1000.0);
+  obs.set(1, 1, 1100.0);
+  obs.set(2, 1, 900.0);
+  const Gtm gtm;
+  const Result result = gtm.run(obs);
+  EXPECT_NEAR(result.truths[0], 1.0, 0.2);
+  EXPECT_NEAR(result.truths[1], 1000.0, 150.0);
+}
+
+TEST(Gtm, WithoutStandardizationStillRuns) {
+  GtmConfig config;
+  config.standardize = false;
+  const Gtm gtm(config);
+  const Result result = gtm.run(outlier_matrix());
+  for (double t : result.truths) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Gtm, HandlesMissingData) {
+  data::ObservationMatrix obs(3, 3);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 2.0);
+  obs.set(1, 1, 2.2);
+  obs.set(1, 2, 3.0);
+  obs.set(2, 0, 1.1);
+  obs.set(2, 2, 3.1);
+  const Gtm gtm;
+  const Result result = gtm.run(obs);
+  for (double t : result.truths) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Gtm, SingleUserReturnsClaimsApproximately) {
+  data::ObservationMatrix obs(1, 2);
+  obs.set(0, 0, 4.0);
+  obs.set(0, 1, 8.0);
+  const Gtm gtm;
+  const Result result = gtm.run(obs);
+  EXPECT_NEAR(result.truths[0], 4.0, 0.5);
+  EXPECT_NEAR(result.truths[1], 8.0, 0.5);
+}
+
+TEST(Gtm, RejectsInvalidConfig) {
+  GtmConfig config;
+  config.truth_prior_variance = 0.0;
+  EXPECT_THROW(Gtm{config}, std::invalid_argument);
+  config = {};
+  config.quality_prior_alpha = -1.0;
+  EXPECT_THROW(Gtm{config}, std::invalid_argument);
+  config = {};
+  config.min_variance = 0.0;
+  EXPECT_THROW(Gtm{config}, std::invalid_argument);
+}
+
+TEST(Gtm, NameIsStable) { EXPECT_EQ(Gtm().name(), "gtm"); }
+
+TEST(Gtm, RespectsMaxIterations) {
+  GtmConfig config;
+  config.convergence.max_iterations = 3;
+  config.convergence.tolerance = 1e-300;
+  const Gtm gtm(config);
+  const Result result = gtm.run(outlier_matrix());
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_FALSE(result.converged);
+}
+
+}  // namespace
+}  // namespace dptd::truth

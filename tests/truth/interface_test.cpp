@@ -1,0 +1,115 @@
+#include "truth/interface.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dptd::truth {
+namespace {
+
+data::ObservationMatrix two_user_matrix() {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 1.0);
+  obs.set(0, 1, 3.0);
+  obs.set(1, 0, 3.0);
+  obs.set(1, 1, 5.0);
+  return obs;
+}
+
+TEST(WeightedAggregate, UniformWeightsGiveMean) {
+  const auto obs = two_user_matrix();
+  const std::vector<double> truths = weighted_aggregate(obs, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(truths[0], 2.0);
+  EXPECT_DOUBLE_EQ(truths[1], 4.0);
+}
+
+TEST(WeightedAggregate, WeightsShiftTowardHeavyUser) {
+  const auto obs = two_user_matrix();
+  const std::vector<double> truths = weighted_aggregate(obs, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(truths[0], 1.5);  // (3*1 + 1*3)/4
+  EXPECT_DOUBLE_EQ(truths[1], 3.5);
+}
+
+TEST(WeightedAggregate, HandlesMissingCells) {
+  data::ObservationMatrix obs(2, 2);
+  obs.set(0, 0, 2.0);
+  obs.set(1, 0, 4.0);
+  obs.set(1, 1, 10.0);  // object 1 only claimed by user 1
+  const std::vector<double> truths = weighted_aggregate(obs, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(truths[0], 3.0);
+  EXPECT_DOUBLE_EQ(truths[1], 10.0);
+}
+
+TEST(WeightedAggregate, AllZeroWeightsFallBackToMean) {
+  const auto obs = two_user_matrix();
+  const std::vector<double> truths = weighted_aggregate(obs, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(truths[0], 2.0);
+  EXPECT_DOUBLE_EQ(truths[1], 4.0);
+}
+
+TEST(WeightedAggregate, ZeroWeightUserIsIgnored) {
+  const auto obs = two_user_matrix();
+  const std::vector<double> truths = weighted_aggregate(obs, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(truths[0], 3.0);
+  EXPECT_DOUBLE_EQ(truths[1], 5.0);
+}
+
+TEST(WeightedAggregate, RejectsBadWeights) {
+  const auto obs = two_user_matrix();
+  EXPECT_THROW(weighted_aggregate(obs, {1.0}), std::invalid_argument);
+  EXPECT_THROW(weighted_aggregate(obs, {1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      weighted_aggregate(obs, {1.0, std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
+}
+
+TEST(WeightedAggregate, RejectsUncoveredObject) {
+  data::ObservationMatrix obs(1, 2);
+  obs.set(0, 0, 1.0);
+  EXPECT_THROW(weighted_aggregate(obs, {1.0}), std::invalid_argument);
+}
+
+TEST(WeightedAggregate, ResultWithinClaimRange) {
+  // Weighted means can never leave the convex hull of the claims.
+  data::ObservationMatrix obs(3, 1);
+  obs.set(0, 0, 1.0);
+  obs.set(1, 0, 5.0);
+  obs.set(2, 0, 9.0);
+  for (double w0 : {0.1, 1.0, 7.0}) {
+    for (double w1 : {0.1, 2.0}) {
+      const std::vector<double> truths =
+          weighted_aggregate(obs, {w0, w1, 0.5});
+      EXPECT_GE(truths[0], 1.0);
+      EXPECT_LE(truths[0], 9.0);
+    }
+  }
+}
+
+TEST(TruthChange, MeanAbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(truth_change({1.0, 2.0}, {2.0, 4.0}), 1.5);
+  EXPECT_DOUBLE_EQ(truth_change({1.0}, {1.0}), 0.0);
+}
+
+TEST(TruthChange, RejectsMismatchedSizes) {
+  EXPECT_THROW(truth_change({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(truth_change({}, {}), std::invalid_argument);
+}
+
+TEST(Result, NormalizedWeightsSumToOne) {
+  Result result;
+  result.weights = {1.0, 3.0};
+  const std::vector<double> norm = result.normalized_weights();
+  EXPECT_DOUBLE_EQ(norm[0], 0.25);
+  EXPECT_DOUBLE_EQ(norm[1], 0.75);
+}
+
+TEST(Result, NormalizedWeightsAllZeroStayZero) {
+  Result result;
+  result.weights = {0.0, 0.0};
+  const std::vector<double> norm = result.normalized_weights();
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.0);
+}
+
+}  // namespace
+}  // namespace dptd::truth
