@@ -1,0 +1,35 @@
+# Acquire GoogleTest without assuming network access.
+#
+# Resolution order:
+#   1. A system/config package (Debian's libgtest-dev ships one).
+#   2. FetchContent against a vendored source tree (third_party/googletest),
+#      then the distro source drop (/usr/src/googletest).
+#   3. FetchContent download of a pinned release tarball (network required).
+#
+# Every path ends with the GTest::gtest and GTest::gtest_main targets defined.
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  include(FetchContent)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+
+  set(_dptd_gtest_vendored "${CMAKE_CURRENT_SOURCE_DIR}/third_party/googletest")
+  if(EXISTS "${_dptd_gtest_vendored}/CMakeLists.txt")
+    FetchContent_Declare(googletest SOURCE_DIR "${_dptd_gtest_vendored}")
+  elseif(EXISTS "/usr/src/googletest/CMakeLists.txt")
+    FetchContent_Declare(googletest SOURCE_DIR "/usr/src/googletest")
+  else()
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/releases/download/v1.14.0/googletest-1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  endif()
+  FetchContent_MakeAvailable(googletest)
+
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

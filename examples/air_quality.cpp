@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
 
   std::cout << std::setw(10) << "method" << std::setw(18) << "MAE vs truth"
             << std::setw(22) << "MAE vs unperturbed" << "\n";
-  for (const std::string& method_name : {"crh", "gtm", "catd", "mean",
-                                         "median"}) {
+  for (const char* method_name : {"crh", "gtm", "catd", "mean", "median"}) {
     const auto method = truth::make_method(method_name);
     const core::PipelineResult result =
         core::run_private_truth_discovery(dataset, mechanism, *method);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reports clang-format violations across the dptd tree. Exit code 1 when any
+# file would be reformatted; CI runs this as a non-blocking job.
+#
+# Usage: scripts/check_format.sh [--fix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'src/*.h' \
+  'tests/**/*.h' 'tests/**/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs format: $f"
+    bad=1
+  fi
+done
+exit "$bad"

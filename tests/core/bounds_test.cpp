@@ -7,6 +7,9 @@
 #include "common/distributions.h"
 #include "common/quadrature.h"
 #include "common/statistics.h"
+#include "core/accountant.h"
+#include "core/sensitivity.h"
+#include "data/dataset.h"
 
 namespace dptd::core {
 namespace {
@@ -14,8 +17,8 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 
 TEST(SumVariancePdf, IntegratesToOneGeneralCase) {
-  for (const auto [l1, l2] : {std::pair{2.0, 1.0}, std::pair{1.0, 3.0},
-                              std::pair{0.5, 0.7}}) {
+  for (const auto& [l1, l2] : {std::pair{2.0, 1.0}, std::pair{1.0, 3.0},
+                               std::pair{0.5, 0.7}}) {
     const double mass = integrate_to_infinity(
         [l1 = l1, l2 = l2](double t) { return sum_variance_pdf(t, l1, l2); },
         0.0);
@@ -238,6 +241,93 @@ TEST(Bounds, RejectBadArguments) {
                std::invalid_argument);
   EXPECT_THROW(alpha_threshold(1.0, 0.0), std::invalid_argument);
   EXPECT_THROW(alpha_threshold_c1(0.0), std::invalid_argument);
+}
+
+// --- Theorem 4.9 boundary: feasible_noise_window edge cases ---------------
+
+TEST(FeasibleNoiseWindow, CMinScalesInverselyWithEpsilon) {
+  // Theorem 4.8 (epsilon restored): c_min = gamma^2 / (2 eps l1 ln(1/(1-d))),
+  // so halving epsilon must exactly double the privacy lower bound.
+  const UtilityTarget utility;
+  const double l1 = 2.0;
+  const NoiseWindow at1 =
+      feasible_noise_window(utility, {1.0, 0.05}, l1, 100);
+  const NoiseWindow at_half =
+      feasible_noise_window(utility, {0.5, 0.05}, l1, 100);
+  EXPECT_NEAR(at_half.c_min, 2.0 * at1.c_min, 1e-9);
+  EXPECT_DOUBLE_EQ(at_half.c_max, at1.c_max);  // utility side ignores epsilon
+}
+
+TEST(FeasibleNoiseWindow, EpsilonApproachingZeroClosesTheWindow) {
+  // As epsilon -> 0 the privacy floor blows up past any utility ceiling: the
+  // window must flip to infeasible rather than return a degenerate range.
+  const UtilityTarget utility{0.5, 0.1};
+  const double l1 = 2.0;
+  const std::size_t S = 1000;
+  bool saw_feasible = false;
+  bool saw_infeasible = false;
+  double prev_c_min = 0.0;
+  for (double eps : {10.0, 1.0, 1e-2, 1e-4, 1e-8}) {
+    const NoiseWindow window =
+        feasible_noise_window(utility, {eps, 0.05}, l1, S);
+    EXPECT_GT(window.c_min, prev_c_min) << "eps=" << eps;
+    EXPECT_EQ(window.feasible,
+              window.c_max > 0.0 && window.c_min <= window.c_max)
+        << "eps=" << eps;
+    prev_c_min = window.c_min;
+    (window.feasible ? saw_feasible : saw_infeasible) = true;
+  }
+  EXPECT_TRUE(saw_feasible) << "loose epsilon should admit a window";
+  EXPECT_TRUE(saw_infeasible) << "eps -> 0 must eventually close the window";
+}
+
+TEST(FeasibleNoiseWindow, RejectsNonPositiveEpsilon) {
+  const UtilityTarget utility;
+  EXPECT_THROW(feasible_noise_window(utility, {0.0, 0.05}, 2.0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(feasible_noise_window(utility, {-1.0, 0.05}, 2.0, 100),
+               std::invalid_argument);
+}
+
+TEST(FeasibleNoiseWindow, SingleUserHasTightestUtilityCeiling) {
+  // S = 1 is the degenerate crowd: the window must still be well-formed, and
+  // its utility ceiling must be the smallest over all crowd sizes.
+  const UtilityTarget utility{0.5, 0.1};
+  const PrivacyTarget privacy{5.0, 0.5};
+  const SensitivityParams loose{1.0, 0.5};
+  const double l1 = 2.0;
+  const NoiseWindow solo =
+      feasible_noise_window(utility, privacy, l1, 1, loose);
+  EXPECT_GT(solo.c_max, 0.0);
+  EXPECT_GT(solo.c_min, 0.0);
+  EXPECT_TRUE(solo.feasible);  // loose targets keep even a lone user viable
+
+  // c_min is per-user (privacy does not average over the crowd): unchanged.
+  // c_max grows with S (Theorem 4.3's S^2 term).
+  const NoiseWindow crowd =
+      feasible_noise_window(utility, privacy, l1, 1000, loose);
+  EXPECT_DOUBLE_EQ(crowd.c_min, solo.c_min);
+  EXPECT_GT(crowd.c_max, solo.c_max);
+}
+
+TEST(FeasibleNoiseWindow, RejectsZeroUsers) {
+  EXPECT_THROW(feasible_noise_window({}, {}, 2.0, 0), std::invalid_argument);
+}
+
+TEST(FeasibleNoiseWindow, ZeroVarianceClaimsYieldZeroSensitivityAndThrow) {
+  // A user whose claims never vary has empirical sensitivity 0 (Definition
+  // 4.6 needs two distinct claims to swap); the explicit-sensitivity privacy
+  // bound must reject it instead of returning c_min = 0 (which would claim
+  // privacy for free).
+  data::ObservationMatrix obs(2, 3);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t n = 0; n < 3; ++n) obs.set(s, n, 7.0);
+  }
+  EXPECT_DOUBLE_EQ(max_empirical_sensitivity(obs), 0.0);
+  EXPECT_THROW(
+      min_noise_level_for_privacy({1.0, 0.05}, 2.0,
+                                  max_empirical_sensitivity(obs)),
+      std::invalid_argument);
 }
 
 /// Sweep: Var(Y) from quadrature matches Monte Carlo across the c spectrum.

@@ -2,19 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/matrix_builders.h"
+
 namespace dptd::truth {
 namespace {
 
-data::ObservationMatrix simple_matrix() {
-  data::ObservationMatrix obs(3, 2);
-  obs.set(0, 0, 1.0);
-  obs.set(1, 0, 2.0);
-  obs.set(2, 0, 6.0);
-  obs.set(0, 1, 10.0);
-  obs.set(1, 1, 20.0);
-  obs.set(2, 1, 90.0);
-  return obs;
-}
+using dptd::testing::simple_matrix;
 
 TEST(MeanAggregator, ComputesPerObjectMeans) {
   const MeanAggregator agg;

@@ -6,21 +6,13 @@
 
 #include "common/statistics.h"
 #include "data/synthetic.h"
+#include "testing/matrix_builders.h"
 
 namespace dptd::truth {
 namespace {
 
-/// 3 reliable users + 1 wildly wrong user over 4 objects.
-data::ObservationMatrix outlier_matrix() {
-  data::ObservationMatrix obs(4, 4);
-  const double truths[] = {10.0, 20.0, 30.0, 40.0};
-  const double offsets[] = {-0.1, 0.0, 0.1};
-  for (std::size_t s = 0; s < 3; ++s) {
-    for (std::size_t n = 0; n < 4; ++n) obs.set(s, n, truths[n] + offsets[s]);
-  }
-  for (std::size_t n = 0; n < 4; ++n) obs.set(3, n, truths[n] + 25.0);
-  return obs;
-}
+using dptd::testing::outlier_matrix;
+using dptd::testing::outlier_truths;
 
 TEST(Crh, DownweightsOutlierUser) {
   const Crh crh;
@@ -32,7 +24,7 @@ TEST(Crh, DownweightsOutlierUser) {
 
 TEST(Crh, BeatsPlainMeanWithOutlier) {
   const auto obs = outlier_matrix();
-  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> truths = outlier_truths();
 
   const Crh crh;
   const Result result = crh.run(obs);
@@ -182,7 +174,7 @@ TEST_P(CrhLossSweep, DownweightsOutlier) {
   const Crh crh(config);
   const Result result = crh.run(outlier_matrix());
   EXPECT_LT(result.weights[3], result.weights[0]);
-  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> truths = outlier_truths();
   EXPECT_LT(mean_absolute_error(result.truths, truths), 2.0);
 }
 

@@ -6,20 +6,13 @@
 
 #include "common/statistics.h"
 #include "data/synthetic.h"
+#include "testing/matrix_builders.h"
 
 namespace dptd::truth {
 namespace {
 
-data::ObservationMatrix outlier_matrix() {
-  data::ObservationMatrix obs(4, 4);
-  const double truths[] = {10.0, 20.0, 30.0, 40.0};
-  const double offsets[] = {-0.1, 0.0, 0.1};
-  for (std::size_t s = 0; s < 3; ++s) {
-    for (std::size_t n = 0; n < 4; ++n) obs.set(s, n, truths[n] + offsets[s]);
-  }
-  for (std::size_t n = 0; n < 4; ++n) obs.set(3, n, truths[n] + 25.0);
-  return obs;
-}
+using dptd::testing::outlier_matrix;
+using dptd::testing::outlier_truths;
 
 TEST(Gtm, DownweightsOutlierUser) {
   const Gtm gtm;
@@ -30,7 +23,7 @@ TEST(Gtm, DownweightsOutlierUser) {
 
 TEST(Gtm, BeatsPlainMeanWithOutlier) {
   const auto obs = outlier_matrix();
-  const std::vector<double> truths = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> truths = outlier_truths();
   const Gtm gtm;
   const Result result = gtm.run(obs);
   const std::vector<double> means =

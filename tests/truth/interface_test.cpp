@@ -4,17 +4,12 @@
 
 #include <stdexcept>
 
+#include "testing/matrix_builders.h"
+
 namespace dptd::truth {
 namespace {
 
-data::ObservationMatrix two_user_matrix() {
-  data::ObservationMatrix obs(2, 2);
-  obs.set(0, 0, 1.0);
-  obs.set(0, 1, 3.0);
-  obs.set(1, 0, 3.0);
-  obs.set(1, 1, 5.0);
-  return obs;
-}
+using dptd::testing::two_user_matrix;
 
 TEST(WeightedAggregate, UniformWeightsGiveMean) {
   const auto obs = two_user_matrix();
