@@ -5,25 +5,34 @@
 
 #include "core/mechanism.h"
 #include "data/synthetic.h"
+#include "truth/catd.h"
 #include "truth/crh.h"
 #include "truth/gtm.h"
+#include "truth/interface.h"
 
 namespace {
+
+/// Fixed sparsity for the scaling curves: crowd sensing matrices are sparse
+/// (each user covers a fraction of the objects), and the sparse layout's
+/// O(nnz) iteration cost only shows against a dense scan at < 100% coverage.
+constexpr double kMissingRate = 0.75;
 
 dptd::data::Dataset make(std::size_t users, std::size_t objects) {
   dptd::data::SyntheticConfig config;
   config.num_users = users;
   config.num_objects = objects;
+  config.missing_rate = kMissingRate;
   config.seed = 97;
   return dptd::data::generate_synthetic(config);
 }
 
 /// Fixed iteration budget isolates per-iteration cost, which must scale
 /// linearly in N (paper cites [19]).
-dptd::truth::Crh fixed_iteration_crh() {
+dptd::truth::Crh fixed_iteration_crh(std::size_t num_threads = 1) {
   dptd::truth::CrhConfig config;
   config.convergence.max_iterations = 5;
   config.convergence.tolerance = 1e-300;  // never converges early
+  config.num_threads = num_threads;
   return dptd::truth::Crh(config);
 }
 
@@ -39,6 +48,23 @@ BENCHMARK(BM_CrhObjectsScaling)
     ->RangeMultiplier(2)
     ->Range(1'000, 32'000)
     ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same kernel across the ThreadPool; results are bit-identical to the
+/// serial run, so this measures pure multi-core speedup (0 = all cores).
+void BM_CrhObjectsScalingParallel(benchmark::State& state) {
+  const auto dataset = make(100, 32'000);
+  const auto crh =
+      fixed_iteration_crh(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crh.run(dataset.observations));
+  }
+}
+BENCHMARK(BM_CrhObjectsScalingParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
 
 void BM_CrhUsersScaling(benchmark::State& state) {
@@ -69,6 +95,41 @@ void BM_GtmObjectsScaling(benchmark::State& state) {
 BENCHMARK(BM_GtmObjectsScaling)
     ->RangeMultiplier(2)
     ->Range(1'000, 16'000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CatdObjectsScaling(benchmark::State& state) {
+  const auto dataset = make(100, static_cast<std::size_t>(state.range(0)));
+  dptd::truth::CatdConfig config;
+  config.convergence.max_iterations = 5;
+  config.convergence.tolerance = 1e-300;
+  const dptd::truth::Catd catd(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catd.run(dataset.observations));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CatdObjectsScaling)
+    ->RangeMultiplier(2)
+    ->Range(1'000, 16'000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+/// The shared Eq. (1) kernel on its own: one weighted aggregation pass over
+/// the CSC-by-object view (no iteration loop, no weight update).
+void BM_WeightedAggregate(benchmark::State& state) {
+  const auto dataset = make(100, static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> weights(dataset.num_users(), 1.0);
+  dataset.observations.ensure_object_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dptd::truth::weighted_aggregate(dataset.observations, weights));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WeightedAggregate)
+    ->RangeMultiplier(4)
+    ->Range(2'000, 32'000)
     ->Complexity(benchmark::oN)
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Builds the Release benchmark drivers and runs the google-benchmark suites
+# with JSON output, for the CI bench-smoke job and for refreshing the
+# checked-in baseline locally.
+#
+# Usage:
+#   scripts/run_benchmarks.sh [OUTPUT_DIR]      # default: bench-results/
+#   scripts/run_benchmarks.sh --update-baseline # also refresh the repo's
+#                                               # BENCH_scalability.json
+#
+# Produces OUTPUT_DIR/BENCH_scalability.json and
+# OUTPUT_DIR/BENCH_fig8_efficiency.json. Compare against the checked-in
+# baseline with: scripts/compare_benchmarks.py
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+OUT_DIR="bench-results"
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) OUT_DIR="$arg" ;;
+  esac
+done
+mkdir -p "$OUT_DIR"
+
+# Dedicated build tree so a developer's ./build (tests, Debug, …) is never
+# reconfigured under them.
+BUILD_DIR="build-bench"
+GENERATOR_FLAGS=()
+command -v ninja >/dev/null 2>&1 && GENERATOR_FLAGS=(-G Ninja)
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" -DCMAKE_BUILD_TYPE=Release \
+  -DDPTD_BUILD_TESTS=OFF -DDPTD_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target dptd_bench_scalability dptd_bench_fig8_efficiency
+
+# google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
+# older releases reject it; probe which dialect this build speaks.
+MIN_TIME="0.05s"
+if ! "$ROOT/$BUILD_DIR/bench/dptd_bench_scalability" \
+    --benchmark_list_tests=true --benchmark_min_time="$MIN_TIME" \
+    >/dev/null 2>&1; then
+  MIN_TIME="0.05"
+fi
+
+run_bench() {
+  local target=$1 json=$2
+  # --benchmark_out keeps the JSON clean even for drivers that print
+  # paper-figure series on stdout first (fig8 does).
+  (cd "$OUT_DIR" && "$ROOT/$BUILD_DIR/bench/$target" \
+    --benchmark_format=json \
+    --benchmark_out_format=json \
+    --benchmark_out="$json" \
+    --benchmark_min_time="$MIN_TIME" > /dev/null)
+  echo "wrote $OUT_DIR/$json"
+}
+
+run_bench dptd_bench_scalability BENCH_scalability.json
+run_bench dptd_bench_fig8_efficiency BENCH_fig8_efficiency.json
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  cp "$OUT_DIR/BENCH_scalability.json" BENCH_scalability.json
+  echo "baseline BENCH_scalability.json refreshed"
+fi

@@ -86,4 +86,28 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for_ranges(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& f) {
+  if (n == 0) return;
+  const std::size_t shards = std::min(n, pool.size() * 4);
+  const std::size_t chunk = (n + shards - 1) / shards;
+  parallel_for(pool, shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin < end) f(begin, end);
+  });
+}
+
+void for_each_range(ThreadPool* pool, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& f,
+                    std::size_t min_parallel) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n < min_parallel) {
+    f(0, n);
+    return;
+  }
+  parallel_for_ranges(*pool, n, f);
+}
+
 }  // namespace dptd

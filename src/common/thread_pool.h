@@ -46,4 +46,20 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& f);
 
+/// Splits [0, n) into contiguous shards (~4 per worker, dynamically claimed)
+/// and runs f(begin, end) for each across the pool; rethrows the first
+/// exception. Results are deterministic in n — independent of pool size and
+/// shard scheduling — as long as f writes only to slots owned by its own
+/// indices, which is how every truth-discovery kernel uses it.
+void parallel_for_ranges(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& f);
+
+/// Pool-optional entry point used by the kernels: runs f(0, n) inline when
+/// `pool` is null, has a single worker, or n < min_parallel (where shard
+/// dispatch overhead would dominate); otherwise uses parallel_for_ranges.
+/// Deterministic under the same ownership rule as parallel_for_ranges.
+void for_each_range(ThreadPool* pool, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& f,
+                    std::size_t min_parallel = 512);
+
 }  // namespace dptd

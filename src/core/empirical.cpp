@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace dptd::core {
 namespace {
@@ -20,14 +22,41 @@ Histograms build_histograms(const LocalMechanism& mechanism,
   DPTD_REQUIRE(config.bins >= 10, "EmpiricalLdp: need at least 10 bins");
   DPTD_REQUIRE(config.x1 != config.x2, "EmpiricalLdp: inputs must differ");
 
-  Rng rng1(derive_seed(config.seed, 1));
-  Rng rng2(derive_seed(config.seed, 2));
-
   std::vector<double> s1(config.samples);
   std::vector<double> s2(config.samples);
-  for (std::size_t i = 0; i < config.samples; ++i) {
-    s1[i] = mechanism.sample_fresh(config.x1, rng1);
-    s2[i] = mechanism.sample_fresh(config.x2, rng2);
+  const auto sample_stream = [&](double x, std::uint64_t stream,
+                                 std::vector<double>& out) {
+    Rng rng(derive_seed(config.seed, stream));
+    for (double& v : out) v = mechanism.sample_fresh(x, rng);
+  };
+  if (config.num_threads > 1 || config.num_threads == 0) {
+    // The two inputs have independent RNG streams, so running them as two
+    // pool tasks reproduces the serial samples exactly. Exceptions must be
+    // carried back by hand: ThreadPool::submit has no capture of its own.
+    ThreadPool pool(std::min<std::size_t>(
+        config.num_threads == 0 ? 2 : config.num_threads, 2));
+    std::exception_ptr errors[2] = {nullptr, nullptr};
+    pool.submit([&] {
+      try {
+        sample_stream(config.x1, 1, s1);
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+    });
+    pool.submit([&] {
+      try {
+        sample_stream(config.x2, 2, s2);
+      } catch (...) {
+        errors[1] = std::current_exception();
+      }
+    });
+    pool.wait_idle();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  } else {
+    sample_stream(config.x1, 1, s1);
+    sample_stream(config.x2, 2, s2);
   }
 
   const auto [lo1, hi1] = std::minmax_element(s1.begin(), s1.end());

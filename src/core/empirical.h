@@ -23,6 +23,10 @@ struct EmpiricalLdpConfig {
   std::size_t samples = 200'000;   ///< Monte-Carlo draws per input
   std::size_t bins = 400;          ///< histogram resolution
   std::uint64_t seed = 99;
+  /// Worker threads for the Monte-Carlo sweep. The two inputs draw from
+  /// independent RNG streams, so sampling them concurrently (num_threads > 1)
+  /// is bit-identical to the serial order. 1 = serial (default).
+  std::size_t num_threads = 1;
 };
 
 /// delta_hat(eps) for each eps in `epsilons` (same order).

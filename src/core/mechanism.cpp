@@ -26,12 +26,12 @@ PerturbationOutcome perturb_with_per_user_sigma(
   Rng root(seed);
   for (std::size_t s = 0; s < original.num_users(); ++s) {
     // Each user gets an independent noise stream: the mechanism is local.
+    // Rows are sorted by object id, so the per-user noise sequence is the
+    // same one the historical dense scan consumed.
     GaussianSampler sampler(root.split(derive_seed(kNoiseStream, s)));
-    for (std::size_t n = 0; n < original.num_objects(); ++n) {
-      const auto value = original.get(s, n);
-      if (!value) continue;
+    for (const auto& e : original.user_entries(s)) {
       const double noise = sampler(0.0, sigmas[s]);
-      out.perturbed.set(s, n, *value + noise);
+      out.perturbed.set(s, e.object, e.value + noise);
       abs_sum += std::abs(noise);
       sq_sum += noise * noise;
       ++cells;
@@ -138,11 +138,9 @@ PerturbationOutcome LaplaceMechanism::perturb(
   Rng root(config_.seed);
   for (std::size_t s = 0; s < original.num_users(); ++s) {
     Rng rng = root.split(derive_seed(kNoiseStream, s));
-    for (std::size_t n = 0; n < original.num_objects(); ++n) {
-      const auto value = original.get(s, n);
-      if (!value) continue;
+    for (const auto& e : original.user_entries(s)) {
       const double noise = laplace(rng, 0.0, scale());
-      out.perturbed.set(s, n, *value + noise);
+      out.perturbed.set(s, e.object, e.value + noise);
       abs_sum += std::abs(noise);
       sq_sum += noise * noise;
       ++cells;

@@ -53,11 +53,12 @@ SessionResult run_session(const data::Dataset& dataset,
   for (std::size_t s = 0; s < S; ++s) {
     std::vector<std::uint64_t> objects;
     std::vector<double> readings;
-    for (std::size_t n = 0; n < N; ++n) {
-      if (const auto v = dataset.observations.get(s, n)) {
-        objects.push_back(n);
-        readings.push_back(*v);
-      }
+    const auto row = dataset.observations.user_entries(s);
+    objects.reserve(row.size());
+    readings.reserve(row.size());
+    for (const auto& e : row) {
+      objects.push_back(e.object);
+      readings.push_back(e.value);
     }
     DeviceConfig dc;
     dc.id = s;

@@ -1,5 +1,6 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -11,10 +12,14 @@ ObservationMatrix::ObservationMatrix(std::size_t num_users,
                                      std::size_t num_objects)
     : num_users_(num_users),
       num_objects_(num_objects),
-      values_(num_users * num_objects, 0.0),
-      present_(num_users * num_objects, 0) {
+      rows_(num_users),
+      object_counts_(num_objects, 0) {
   DPTD_REQUIRE(num_users > 0 && num_objects > 0,
                "ObservationMatrix: dimensions must be positive");
+}
+
+void ObservationMatrix::check_finite(double value) {
+  DPTD_REQUIRE(std::isfinite(value), "ObservationMatrix: non-finite value");
 }
 
 void ObservationMatrix::check_bounds(std::size_t user,
@@ -23,91 +28,140 @@ void ObservationMatrix::check_bounds(std::size_t user,
   DPTD_REQUIRE(object < num_objects_, "ObservationMatrix: object out of range");
 }
 
+std::vector<ObservationMatrix::Entry>::const_iterator
+ObservationMatrix::find_in_row(std::size_t user, std::size_t object) const {
+  const std::vector<Entry>& row = rows_[user];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), object,
+      [](const Entry& e, std::size_t n) { return e.object < n; });
+  if (it != row.end() && it->object == object) return it;
+  return row.end();
+}
+
 bool ObservationMatrix::present(std::size_t user, std::size_t object) const {
   check_bounds(user, object);
-  return present_[index(user, object)] != 0;
+  return find_in_row(user, object) != rows_[user].end();
 }
 
 double ObservationMatrix::value(std::size_t user, std::size_t object) const {
   check_bounds(user, object);
-  DPTD_REQUIRE(present_[index(user, object)],
+  const auto it = find_in_row(user, object);
+  DPTD_REQUIRE(it != rows_[user].end(),
                "ObservationMatrix: reading a missing cell");
-  return values_[index(user, object)];
+  return it->value;
 }
 
 std::optional<double> ObservationMatrix::get(std::size_t user,
                                              std::size_t object) const {
   check_bounds(user, object);
-  if (!present_[index(user, object)]) return std::nullopt;
-  return values_[index(user, object)];
+  const auto it = find_in_row(user, object);
+  if (it == rows_[user].end()) return std::nullopt;
+  return it->value;
 }
 
 void ObservationMatrix::set(std::size_t user, std::size_t object,
                             double value) {
   check_bounds(user, object);
-  DPTD_REQUIRE(std::isfinite(value), "ObservationMatrix: non-finite value");
-  values_[index(user, object)] = value;
-  present_[index(user, object)] = 1;
+  check_finite(value);
+  std::vector<Entry>& row = rows_[user];
+  // Fast path: generators and mechanisms append in ascending object order.
+  if (row.empty() || row.back().object < object) {
+    row.push_back({object, value});
+    ++object_counts_[object];
+    ++nnz_;
+    object_index_built_ = false;
+    return;
+  }
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), object,
+      [](const Entry& e, std::size_t n) { return e.object < n; });
+  if (it != row.end() && it->object == object) {
+    it->value = value;  // overwrite, structure unchanged
+  } else {
+    row.insert(it, {object, value});
+    ++object_counts_[object];
+    ++nnz_;
+  }
+  object_index_built_ = false;
 }
 
 void ObservationMatrix::clear(std::size_t user, std::size_t object) {
   check_bounds(user, object);
-  present_[index(user, object)] = 0;
-  values_[index(user, object)] = 0.0;
-}
-
-std::size_t ObservationMatrix::observation_count() const {
-  std::size_t count = 0;
-  for (std::uint8_t p : present_) count += p;
-  return count;
+  std::vector<Entry>& row = rows_[user];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), object,
+      [](const Entry& e, std::size_t n) { return e.object < n; });
+  if (it == row.end() || it->object != object) return;  // already absent
+  row.erase(it);
+  --object_counts_[object];
+  --nnz_;
+  object_index_built_ = false;
 }
 
 std::size_t ObservationMatrix::user_observation_count(std::size_t user) const {
   DPTD_REQUIRE(user < num_users_, "user out of range");
-  std::size_t count = 0;
-  for (std::size_t n = 0; n < num_objects_; ++n) {
-    count += present_[index(user, n)];
-  }
-  return count;
+  return rows_[user].size();
 }
 
 std::size_t ObservationMatrix::object_observation_count(
     std::size_t object) const {
   DPTD_REQUIRE(object < num_objects_, "object out of range");
-  std::size_t count = 0;
-  for (std::size_t s = 0; s < num_users_; ++s) {
-    count += present_[index(s, object)];
+  return object_counts_[object];
+}
+
+std::span<const ObservationMatrix::Entry> ObservationMatrix::user_entries(
+    std::size_t user) const {
+  DPTD_REQUIRE(user < num_users_, "user out of range");
+  return rows_[user];
+}
+
+void ObservationMatrix::ensure_object_index() const {
+  if (object_index_built_) return;
+  col_offsets_.assign(num_objects_ + 1, 0);
+  for (std::size_t n = 0; n < num_objects_; ++n) {
+    col_offsets_[n + 1] = col_offsets_[n] + object_counts_[n];
   }
-  return count;
+  col_users_.resize(nnz_);
+  col_values_.resize(nnz_);
+  // Counting sort: user-major traversal fills every column in ascending
+  // user order, which is what the deterministic kernels rely on.
+  std::vector<std::size_t> cursor(col_offsets_.begin(), col_offsets_.end() - 1);
+  for (std::size_t s = 0; s < num_users_; ++s) {
+    for (const Entry& e : rows_[s]) {
+      const std::size_t k = cursor[e.object]++;
+      col_users_[k] = s;
+      col_values_[k] = e.value;
+    }
+  }
+  object_index_built_ = true;
+}
+
+ObservationMatrix::ObjectEntries ObservationMatrix::object_entries(
+    std::size_t object) const {
+  DPTD_REQUIRE(object < num_objects_, "object out of range");
+  ensure_object_index();
+  const std::size_t begin = col_offsets_[object];
+  const std::size_t count = col_offsets_[object + 1] - begin;
+  return {std::span<const std::size_t>(col_users_).subspan(begin, count),
+          std::span<const double>(col_values_).subspan(begin, count)};
 }
 
 std::vector<double> ObservationMatrix::object_values(std::size_t object) const {
-  DPTD_REQUIRE(object < num_objects_, "object out of range");
-  std::vector<double> out;
-  out.reserve(num_users_);
-  for (std::size_t s = 0; s < num_users_; ++s) {
-    if (present_[index(s, object)]) out.push_back(values_[index(s, object)]);
-  }
-  return out;
+  const ObjectEntries col = object_entries(object);
+  return {col.values.begin(), col.values.end()};
 }
 
 std::vector<std::size_t> ObservationMatrix::object_users(
     std::size_t object) const {
-  DPTD_REQUIRE(object < num_objects_, "object out of range");
-  std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < num_users_; ++s) {
-    if (present_[index(s, object)]) out.push_back(s);
-  }
-  return out;
+  const ObjectEntries col = object_entries(object);
+  return {col.users.begin(), col.users.end()};
 }
 
 std::vector<double> ObservationMatrix::user_values(std::size_t user) const {
   DPTD_REQUIRE(user < num_users_, "user out of range");
   std::vector<double> out;
-  out.reserve(num_objects_);
-  for (std::size_t n = 0; n < num_objects_; ++n) {
-    if (present_[index(user, n)]) out.push_back(values_[index(user, n)]);
-  }
+  out.reserve(rows_[user].size());
+  for (const Entry& e : rows_[user]) out.push_back(e.value);
   return out;
 }
 

@@ -10,13 +10,45 @@
 
 namespace dptd::data {
 
-/// Dense S×N matrix of continuous observations with per-cell presence.
+/// Sparse S×N matrix of continuous observations, dual-indexed.
 ///
 /// Rows are users (sources), columns are objects (micro-tasks). Crowd sensing
-/// matrices are usually dense-ish, so dense-with-mask beats a sparse map for
-/// the workloads reproduced here.
+/// matrices are sparse — each user covers a fraction of the objects — so the
+/// store is one entry per *present* cell, reachable through two views:
+///
+///   - CSR-by-user: per-user rows sorted by object id. Always up to date;
+///     `user_entries(s)` is an allocation-free span over a row.
+///   - CSC-by-object: contiguous (user, value) column arrays sorted by user
+///     id, built lazily from the rows and cached until the next mutation.
+///     `object_entries(n)` is an allocation-free view into the cache.
+///
+/// Iteration order is identical to the historical dense layout (user-major,
+/// object-ascending within a user; user-ascending within an object), so
+/// kernels that accumulate in traversal order produce bit-identical results.
+///
+/// Thread safety: mutations and the first indexed read are not synchronized.
+/// Call `ensure_object_index()` once before reading `object_entries` /
+/// `object_values` / `object_users` from multiple threads; after that, all
+/// const accessors are safe to call concurrently.
 class ObservationMatrix {
  public:
+  /// One present cell as seen from a user's row.
+  struct Entry {
+    std::size_t object = 0;
+    double value = 0.0;
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Column view of one object: contributing user ids and their claimed
+  /// values as parallel arrays, sorted by user id.
+  struct ObjectEntries {
+    std::span<const std::size_t> users;
+    std::span<const double> values;
+
+    std::size_t size() const { return users.size(); }
+    bool empty() const { return users.empty(); }
+  };
+
   ObservationMatrix() = default;
   ObservationMatrix(std::size_t num_users, std::size_t num_objects);
 
@@ -30,10 +62,22 @@ class ObservationMatrix {
   void set(std::size_t user, std::size_t object, double value);
   void clear(std::size_t user, std::size_t object);
 
-  /// Number of present cells.
-  std::size_t observation_count() const;
+  /// Number of present cells. O(1).
+  std::size_t observation_count() const { return nnz_; }
   std::size_t user_observation_count(std::size_t user) const;
   std::size_t object_observation_count(std::size_t object) const;
+
+  /// Present claims of `user`, sorted by object id. Allocation-free; the span
+  /// is invalidated by any mutation of this user's row.
+  std::span<const Entry> user_entries(std::size_t user) const;
+
+  /// Present claims on `object`, sorted by user id. Allocation-free; builds
+  /// the column index on first use (see class comment for thread safety).
+  ObjectEntries object_entries(std::size_t object) const;
+
+  /// Builds the CSC-by-object view if it is stale. Const (the cache is
+  /// logically part of the matrix); call before concurrent column reads.
+  void ensure_object_index() const;
 
   /// Present values claimed for `object` (ordered by user id), paired with
   /// the contributing user ids.
@@ -43,39 +87,58 @@ class ObservationMatrix {
   /// Present values claimed by `user` (ordered by object id).
   std::vector<double> user_values(std::size_t user) const;
 
-  /// Applies f(user, object, value) to every present cell.
+  /// Applies f(user, object, value) to every present cell, user-major and
+  /// object-ascending within a user (the historical dense traversal order).
   template <typename F>
   void for_each(F&& f) const {
     for (std::size_t s = 0; s < num_users_; ++s) {
-      for (std::size_t n = 0; n < num_objects_; ++n) {
-        if (present_[index(s, n)]) f(s, n, values_[index(s, n)]);
-      }
+      for (const Entry& e : rows_[s]) f(s, e.object, e.value);
     }
   }
 
   /// Returns a copy with `fn(user, object, value)` applied to every present
-  /// cell (used by perturbation mechanisms).
+  /// cell (used by perturbation mechanisms). O(nnz): the sparsity structure
+  /// is copied wholesale, only values are mapped.
   template <typename F>
   ObservationMatrix transformed(F&& fn) const {
     ObservationMatrix out(num_users_, num_objects_);
-    for_each([&](std::size_t s, std::size_t n, double v) {
-      out.set(s, n, fn(s, n, v));
-    });
+    out.rows_ = rows_;
+    out.object_counts_ = object_counts_;
+    out.nnz_ = nnz_;
+    for (std::size_t s = 0; s < num_users_; ++s) {
+      for (Entry& e : out.rows_[s]) {
+        e.value = fn(s, e.object, e.value);
+        check_finite(e.value);
+      }
+    }
     return out;
   }
 
-  bool operator==(const ObservationMatrix& other) const = default;
+  /// Logical equality: same shape and the same present cells with the same
+  /// values (the lazily built column cache does not participate).
+  bool operator==(const ObservationMatrix& other) const {
+    return num_users_ == other.num_users_ &&
+           num_objects_ == other.num_objects_ && rows_ == other.rows_;
+  }
 
  private:
-  std::size_t index(std::size_t user, std::size_t object) const {
-    return user * num_objects_ + object;
-  }
+  static void check_finite(double value);
   void check_bounds(std::size_t user, std::size_t object) const;
+  /// Iterator to the entry for `object` in `user`'s row, or row end.
+  std::vector<Entry>::const_iterator find_in_row(std::size_t user,
+                                                 std::size_t object) const;
 
   std::size_t num_users_ = 0;
   std::size_t num_objects_ = 0;
-  std::vector<double> values_;
-  std::vector<std::uint8_t> present_;
+  std::size_t nnz_ = 0;
+  std::vector<std::vector<Entry>> rows_;       ///< CSR view, always current
+  std::vector<std::size_t> object_counts_;     ///< per-object nnz, eager
+
+  // CSC-by-object cache, rebuilt on demand after mutations.
+  mutable bool object_index_built_ = false;
+  mutable std::vector<std::size_t> col_offsets_;  ///< size N+1
+  mutable std::vector<std::size_t> col_users_;    ///< size nnz
+  mutable std::vector<double> col_values_;        ///< size nnz
 };
 
 /// Per-user provenance recorded by the synthetic generator; absent for real

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -80,6 +81,14 @@ ObservationMatrix read_observations_csv(std::istream& in) {
   }
   DPTD_REQUIRE(!cells.empty(), "observations CSV: no data rows");
 
+  // Sort by (user, object) so every set() hits the sorted-row append fast
+  // path; raw file order could otherwise cost O(row^2) mid-row inserts.
+  // stable_sort keeps last-one-wins semantics for duplicate cells.
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const Cell& a, const Cell& b) {
+                     return a.user != b.user ? a.user < b.user
+                                             : a.object < b.object;
+                   });
   ObservationMatrix obs(max_user + 1, max_object + 1);
   for (const Cell& cell : cells) obs.set(cell.user, cell.object, cell.value);
   return obs;

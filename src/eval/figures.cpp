@@ -58,11 +58,9 @@ double estimate_lambda1(const data::Dataset& dataset) {
   RunningStats user_variances;
   for (std::size_t s = 0; s < dataset.num_users(); ++s) {
     RunningStats sq;
-    for (std::size_t n = 0; n < dataset.num_objects(); ++n) {
-      if (const auto v = dataset.observations.get(s, n)) {
-        const double d = *v - dataset.ground_truth[n];
-        sq.add(d * d);
-      }
+    for (const auto& e : dataset.observations.user_entries(s)) {
+      const double d = e.value - dataset.ground_truth[e.object];
+      sq.add(d * d);
     }
     if (sq.count() > 0) user_variances.add(sq.mean());
   }

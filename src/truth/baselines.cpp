@@ -6,23 +6,30 @@
 namespace dptd::truth {
 
 Result MeanAggregator::run(const data::ObservationMatrix& obs) const {
+  RunPool pool(num_threads_);
   Result result;
   result.weights.assign(obs.num_users(), 1.0);
-  result.truths = weighted_aggregate(obs, result.weights);
+  result.truths = weighted_aggregate(obs, result.weights, pool.get());
   result.iterations = 1;
   result.converged = true;
   return result;
 }
 
 Result MedianAggregator::run(const data::ObservationMatrix& obs) const {
+  RunPool run_pool(num_threads_);
+  obs.ensure_object_index();
   Result result;
   result.weights.assign(obs.num_users(), 1.0);
   result.truths.resize(obs.num_objects());
-  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
-    const std::vector<double> values = obs.object_values(n);
-    DPTD_REQUIRE(!values.empty(), "MedianAggregator: object with no claims");
-    result.truths[n] = median(values);
-  }
+  for_each_range(run_pool.get(), obs.num_objects(),
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t n = begin; n < end; ++n) {
+                     const auto col = obs.object_entries(n);
+                     DPTD_REQUIRE(!col.empty(),
+                                  "MedianAggregator: object with no claims");
+                     result.truths[n] = median(col.values);
+                   }
+                 });
   result.iterations = 1;
   result.converged = true;
   return result;

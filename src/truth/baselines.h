@@ -8,14 +8,30 @@ namespace dptd::truth {
 
 class MeanAggregator final : public TruthDiscovery {
  public:
+  /// 1 = serial (default), 0 = hardware concurrency. Bit-identical for
+  /// every value (per-object accumulation order is fixed).
+  explicit MeanAggregator(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
+
   Result run(const data::ObservationMatrix& observations) const override;
   std::string name() const override { return "mean"; }
+
+ private:
+  std::size_t num_threads_;
 };
 
 class MedianAggregator final : public TruthDiscovery {
  public:
+  /// 1 = serial (default), 0 = hardware concurrency. Bit-identical for
+  /// every value (each object's median is computed independently).
+  explicit MedianAggregator(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
+
   Result run(const data::ObservationMatrix& observations) const override;
   std::string name() const override { return "median"; }
+
+ private:
+  std::size_t num_threads_;
 };
 
 }  // namespace dptd::truth

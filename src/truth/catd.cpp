@@ -23,42 +23,55 @@ Result Catd::run(const data::ObservationMatrix& obs) const {
   const std::size_t N = obs.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Catd::run: empty observation matrix");
 
+  RunPool run_pool(config_.num_threads);
+  ThreadPool* pool = run_pool.get();
+  obs.ensure_object_index();
+
   Result result;
   // Initialize truths at per-object medians (the CATD paper's robust start).
   result.truths.resize(N);
-  for (std::size_t n = 0; n < N; ++n) {
-    result.truths[n] = median(obs.object_values(n));
-  }
+  for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t n = begin; n < end; ++n) {
+      const auto col = obs.object_entries(n);
+      DPTD_REQUIRE(!col.empty(), "Catd::run: object with no claims");
+      result.truths[n] = median(col.values);
+    }
+  });
 
   // Chi-squared quantiles depend only on each user's claim count; cache them.
-  std::vector<std::size_t> counts(S, 0);
-  obs.for_each([&counts](std::size_t s, std::size_t, double) { ++counts[s]; });
   std::vector<double> chi2(S, 0.0);
-  for (std::size_t s = 0; s < S; ++s) {
-    if (counts[s] > 0) {
-      // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
-      chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
-                                     static_cast<double>(counts[s]));
+  for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t count = obs.user_observation_count(s);
+      if (count > 0) {
+        // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
+        chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
+                                       static_cast<double>(count));
+      }
     }
-  }
+  });
 
   result.weights.assign(S, 0.0);
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
-    // Weight update: w_s = chi2_s / sum of squared residuals.
-    std::vector<double> residual(S, 0.0);
-    obs.for_each([&](std::size_t s, std::size_t n, double v) {
-      const double d = v - result.truths[n];
-      residual[s] += d * d;
-    });
-    for (std::size_t s = 0; s < S; ++s) {
-      if (counts[s] == 0) {
-        result.weights[s] = 0.0;
-        continue;
+    // Weight update: w_s = chi2_s / sum of squared residuals, each user's
+    // residual accumulated from its own row in object order.
+    for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const auto row = obs.user_entries(s);
+        if (row.empty()) {
+          result.weights[s] = 0.0;
+          continue;
+        }
+        double residual = 0.0;
+        for (const auto& e : row) {
+          const double d = e.value - result.truths[e.object];
+          residual += d * d;
+        }
+        result.weights[s] = chi2[s] / std::max(residual, config_.min_residual);
       }
-      result.weights[s] = chi2[s] / std::max(residual[s], config_.min_residual);
-    }
+    });
 
-    std::vector<double> next = weighted_aggregate(obs, result.weights);
+    std::vector<double> next = weighted_aggregate(obs, result.weights, pool);
     const double change = truth_change(result.truths, next);
     result.truths = std::move(next);
     result.iterations = it;

@@ -19,6 +19,10 @@ struct CatdConfig {
   ConvergenceCriteria convergence;
   /// Floor on a user's summed squared residual to avoid infinite weight.
   double min_residual = 1e-12;
+  /// Worker threads for the per-user weight pass and per-object aggregation
+  /// pass. 1 = serial (default), 0 = hardware concurrency. Bit-identical for
+  /// every value.
+  std::size_t num_threads = 1;
 };
 
 class Catd final : public TruthDiscovery {

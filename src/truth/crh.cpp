@@ -10,16 +10,22 @@ namespace dptd::truth {
 namespace {
 
 /// Per-object claim standard deviations for the normalized loss; zero-spread
-/// objects get 1.0 so they contribute raw squared distance.
-std::vector<double> object_stddevs(const data::ObservationMatrix& obs) {
+/// objects get 1.0 so they contribute raw squared distance. Depends only on
+/// the observations — run() computes it once and reuses it every iteration.
+std::vector<double> object_stddevs(const data::ObservationMatrix& obs,
+                                   ThreadPool* pool) {
+  obs.ensure_object_index();
   std::vector<double> out(obs.num_objects(), 1.0);
-  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
-    const std::vector<double> values = obs.object_values(n);
-    if (values.size() >= 2) {
-      const double sd = stddev(values);
-      if (sd > 0.0) out[n] = sd;
-    }
-  }
+  for_each_range(pool, obs.num_objects(),
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t n = begin; n < end; ++n) {
+                     const auto col = obs.object_entries(n);
+                     if (col.size() >= 2) {
+                       const double sd = stddev(col.values);
+                       if (sd > 0.0) out[n] = sd;
+                     }
+                   }
+                 });
   return out;
 }
 
@@ -35,29 +41,34 @@ Crh::Crh(CrhConfig config) : config_(config) {
                "Crh: min_loss_fraction must be in (0,1)");
 }
 
-std::vector<double> Crh::estimate_weights(
-    const data::ObservationMatrix& obs,
-    const std::vector<double>& truths) const {
+std::vector<double> Crh::estimate_weights_with_stddevs(
+    const data::ObservationMatrix& obs, const std::vector<double>& truths,
+    const std::vector<double>& stddevs, ThreadPool* pool) const {
   DPTD_REQUIRE(truths.size() == obs.num_objects(),
                "Crh::estimate_weights: truths size != num objects");
-  const std::vector<double> stddevs =
-      config_.loss == CrhLoss::kNormalizedSquared
-          ? object_stddevs(obs)
-          : std::vector<double>(obs.num_objects(), 1.0);
 
+  // Per-user loss pass: each user's loss is accumulated from its own row in
+  // object order, so sharding users across threads changes nothing.
   std::vector<double> losses(obs.num_users(), 0.0);
-  obs.for_each([&](std::size_t s, std::size_t n, double v) {
-    const double diff = v - truths[n];
-    switch (config_.loss) {
-      case CrhLoss::kNormalizedSquared:
-        losses[s] += diff * diff / stddevs[n];
-        break;
-      case CrhLoss::kSquared:
-        losses[s] += diff * diff;
-        break;
-      case CrhLoss::kAbsolute:
-        losses[s] += std::abs(diff);
-        break;
+  for_each_range(pool, obs.num_users(), [&](std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      double loss = 0.0;
+      for (const auto& e : obs.user_entries(s)) {
+        const double diff = e.value - truths[e.object];
+        switch (config_.loss) {
+          case CrhLoss::kNormalizedSquared:
+            loss += diff * diff / stddevs[e.object];
+            break;
+          case CrhLoss::kSquared:
+            loss += diff * diff;
+            break;
+          case CrhLoss::kAbsolute:
+            loss += std::abs(diff);
+            break;
+        }
+      }
+      losses[s] = loss;
     }
   });
 
@@ -79,18 +90,39 @@ std::vector<double> Crh::estimate_weights(
   return weights;
 }
 
+std::vector<double> Crh::estimate_weights(
+    const data::ObservationMatrix& obs,
+    const std::vector<double>& truths) const {
+  RunPool pool(config_.num_threads);
+  const std::vector<double> stddevs =
+      config_.loss == CrhLoss::kNormalizedSquared
+          ? object_stddevs(obs, pool.get())
+          : std::vector<double>(obs.num_objects(), 1.0);
+  return estimate_weights_with_stddevs(obs, truths, stddevs, pool.get());
+}
+
 Result Crh::run(const data::ObservationMatrix& obs) const {
   DPTD_REQUIRE(obs.num_users() > 0 && obs.num_objects() > 0,
                "Crh::run: empty observation matrix");
+  RunPool pool(config_.num_threads);
+  obs.ensure_object_index();
+
+  // Loop-invariant per-object statistics, hoisted out of the iterations.
+  const std::vector<double> stddevs =
+      config_.loss == CrhLoss::kNormalizedSquared
+          ? object_stddevs(obs, pool.get())
+          : std::vector<double>(obs.num_objects(), 1.0);
 
   Result result;
   // Algorithm 1 line 1: uniform weight initialization.
   result.weights.assign(obs.num_users(), 1.0);
-  result.truths = weighted_aggregate(obs, result.weights);
+  result.truths = weighted_aggregate(obs, result.weights, pool.get());
 
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
-    result.weights = estimate_weights(obs, result.truths);
-    std::vector<double> next = weighted_aggregate(obs, result.weights);
+    result.weights =
+        estimate_weights_with_stddevs(obs, result.truths, stddevs, pool.get());
+    std::vector<double> next =
+        weighted_aggregate(obs, result.weights, pool.get());
     const double change = truth_change(result.truths, next);
     result.truths = std::move(next);
     result.iterations = it;

@@ -26,6 +26,10 @@ struct CrhConfig {
   /// Lower clamp on a user's share of total loss before the log, preventing
   /// infinite weight for a user whose claims coincide exactly with truths.
   double min_loss_fraction = 1e-12;
+  /// Worker threads for the per-user weight pass and per-object aggregation
+  /// pass. 1 = serial (default), 0 = hardware concurrency. Results are
+  /// bit-identical for every value (fixed-order per-shard reduction).
+  std::size_t num_threads = 1;
 };
 
 class Crh final : public TruthDiscovery {
@@ -38,11 +42,16 @@ class Crh final : public TruthDiscovery {
   const CrhConfig& config() const { return config_; }
 
   /// One weight-estimation step given current truths (exposed for tests and
-  /// for the Fig. 7 weight-comparison experiment).
+  /// for the Fig. 7 weight-comparison experiment). Recomputes the per-object
+  /// stddev cache on every call; run() hoists it out of the iteration loop.
   std::vector<double> estimate_weights(const data::ObservationMatrix& obs,
                                        const std::vector<double>& truths) const;
 
  private:
+  std::vector<double> estimate_weights_with_stddevs(
+      const data::ObservationMatrix& obs, const std::vector<double>& truths,
+      const std::vector<double>& stddevs, ThreadPool* pool) const;
+
   CrhConfig config_;
 };
 

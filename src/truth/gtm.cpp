@@ -23,20 +23,26 @@ Result Gtm::run(const data::ObservationMatrix& obs) const {
   const std::size_t S = obs.num_users();
   const std::size_t N = obs.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Gtm::run: empty observation matrix");
+  RunPool run_pool(config_.num_threads);
+  ThreadPool* pool = run_pool.get();
+  obs.ensure_object_index();
 
-  // Per-object standardization: z = (x - mean_n) / sd_n.
+  // Per-object standardization: z = (x - mean_n) / sd_n. Loop-invariant, so
+  // computed once from the column view (no per-object allocation).
   std::vector<double> shift(N, 0.0);
   std::vector<double> scale(N, 1.0);
   if (config_.standardize) {
-    for (std::size_t n = 0; n < N; ++n) {
-      const std::vector<double> values = obs.object_values(n);
-      DPTD_REQUIRE(!values.empty(), "Gtm::run: object with no claims");
-      shift[n] = mean(values);
-      if (values.size() >= 2) {
-        const double sd = stddev(values);
-        if (sd > 0.0) scale[n] = sd;
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = obs.object_entries(n);
+        DPTD_REQUIRE(!col.empty(), "Gtm::run: object with no claims");
+        shift[n] = mean(col.values);
+        if (col.size() >= 2) {
+          const double sd = stddev(col.values);
+          if (sd > 0.0) scale[n] = sd;
+        }
       }
-    }
+    });
   }
   const auto standardized = [&](std::size_t n, double v) {
     return (v - shift[n]) / scale[n];
@@ -46,11 +52,15 @@ Result Gtm::run(const data::ObservationMatrix& obs) const {
   // standardized space.
   std::vector<double> truth_mean(N, 0.0);
   std::vector<double> truth_var(N, 0.0);
-  for (std::size_t n = 0; n < N; ++n) {
-    std::vector<double> values = obs.object_values(n);
-    for (double& v : values) v = standardized(n, v);
-    truth_mean[n] = median(values);
-  }
+  for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> values;  // per-shard scratch for the median copy
+    for (std::size_t n = begin; n < end; ++n) {
+      const auto col = obs.object_entries(n);
+      values.assign(col.values.begin(), col.values.end());
+      for (double& v : values) v = standardized(n, v);
+      truth_mean[n] = median(values);
+    }
+  });
 
   std::vector<double> quality(S, 1.0);  // sigma_s^2 in standardized space
   std::vector<double> prev_truths = truth_mean;
@@ -59,39 +69,45 @@ Result Gtm::run(const data::ObservationMatrix& obs) const {
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
     // M-step: MAP variance per user given current truth posteriors.
     //   sigma_s^2 = (beta + 0.5 sum_n [(z - m_n)^2 + v_n]) / (alpha + 1 + N_s/2)
-    std::vector<double> resid(S, 0.0);
-    std::vector<std::size_t> counts(S, 0);
-    obs.for_each([&](std::size_t s, std::size_t n, double v) {
-      const double z = standardized(n, v);
-      const double d = z - truth_mean[n];
-      resid[s] += d * d + truth_var[n];
-      ++counts[s];
-    });
-    for (std::size_t s = 0; s < S; ++s) {
-      if (counts[s] == 0) {
-        quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
-        continue;
+    // Each user's residual comes from its own row in object order.
+    for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const auto row = obs.user_entries(s);
+        if (row.empty()) {
+          quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
+          continue;
+        }
+        double resid = 0.0;
+        for (const auto& e : row) {
+          const double z = standardized(e.object, e.value);
+          const double d = z - truth_mean[e.object];
+          resid += d * d + truth_var[e.object];
+        }
+        const double numerator = config_.quality_prior_beta + 0.5 * resid;
+        const double denominator = config_.quality_prior_alpha + 1.0 +
+                                   0.5 * static_cast<double>(row.size());
+        quality[s] = std::max(numerator / denominator, config_.min_variance);
       }
-      const double numerator = config_.quality_prior_beta + 0.5 * resid[s];
-      const double denominator = config_.quality_prior_alpha + 1.0 +
-                                 0.5 * static_cast<double>(counts[s]);
-      quality[s] = std::max(numerator / denominator, config_.min_variance);
-    }
-
-    // E-step: Gaussian posterior of each truth.
-    std::vector<double> precision(N, 1.0 / config_.truth_prior_variance);
-    std::vector<double> weighted_sum(
-        N, config_.truth_prior_mean / config_.truth_prior_variance);
-    obs.for_each([&](std::size_t s, std::size_t n, double v) {
-      const double z = standardized(n, v);
-      const double p = 1.0 / quality[s];
-      precision[n] += p;
-      weighted_sum[n] += p * z;
     });
-    for (std::size_t n = 0; n < N; ++n) {
-      truth_mean[n] = weighted_sum[n] / precision[n];
-      truth_var[n] = 1.0 / precision[n];
-    }
+
+    // E-step: Gaussian posterior of each truth, accumulated per object from
+    // the column view in ascending user order.
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        double precision = 1.0 / config_.truth_prior_variance;
+        double weighted_sum =
+            config_.truth_prior_mean / config_.truth_prior_variance;
+        const auto col = obs.object_entries(n);
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          const double z = standardized(n, col.values[i]);
+          const double p = 1.0 / quality[col.users[i]];
+          precision += p;
+          weighted_sum += p * z;
+        }
+        truth_mean[n] = weighted_sum / precision;
+        truth_var[n] = 1.0 / precision;
+      }
+    });
 
     result.iterations = it;
     const double change = truth_change(prev_truths, truth_mean);

@@ -25,6 +25,9 @@ struct GtmConfig {
   ConvergenceCriteria convergence;
   /// Floor for user variances to keep precisions finite.
   double min_variance = 1e-9;
+  /// Worker threads for the per-user M-step and per-object E-step. 1 = serial
+  /// (default), 0 = hardware concurrency. Bit-identical for every value.
+  std::size_t num_threads = 1;
 };
 
 class Gtm final : public TruthDiscovery {

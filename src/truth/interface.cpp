@@ -16,35 +16,38 @@ std::vector<double> Result::normalized_weights() const {
 }
 
 std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
-                                       const std::vector<double>& weights) {
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool) {
   DPTD_REQUIRE(weights.size() == obs.num_users(),
                "weighted_aggregate: weight vector size != num users");
   for (double w : weights) {
     DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
                  "weighted_aggregate: weights must be finite and >= 0");
   }
+  obs.ensure_object_index();
   std::vector<double> truths(obs.num_objects(), 0.0);
-  std::vector<double> weight_sums(obs.num_objects(), 0.0);
-  std::vector<double> plain_sums(obs.num_objects(), 0.0);
-  std::vector<std::size_t> counts(obs.num_objects(), 0);
-
-  obs.for_each([&](std::size_t s, std::size_t n, double v) {
-    truths[n] += weights[s] * v;
-    weight_sums[n] += weights[s];
-    plain_sums[n] += v;
-    ++counts[n];
-  });
-
-  for (std::size_t n = 0; n < obs.num_objects(); ++n) {
-    DPTD_REQUIRE(counts[n] > 0, "weighted_aggregate: object with no claims");
-    if (weight_sums[n] > 0.0) {
-      truths[n] /= weight_sums[n];
-    } else {
-      // Every claimant has zero weight; fall back to the unweighted mean so
-      // the object still gets a defined estimate.
-      truths[n] = plain_sums[n] / static_cast<double>(counts[n]);
+  for_each_range(pool, obs.num_objects(), [&](std::size_t begin,
+                                              std::size_t end) {
+    for (std::size_t n = begin; n < end; ++n) {
+      const auto col = obs.object_entries(n);
+      DPTD_REQUIRE(!col.empty(), "weighted_aggregate: object with no claims");
+      double weighted_sum = 0.0;
+      double weight_sum = 0.0;
+      double plain_sum = 0.0;
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        weighted_sum += weights[col.users[i]] * col.values[i];
+        weight_sum += weights[col.users[i]];
+        plain_sum += col.values[i];
+      }
+      if (weight_sum > 0.0) {
+        truths[n] = weighted_sum / weight_sum;
+      } else {
+        // Every claimant has zero weight; fall back to the unweighted mean so
+        // the object still gets a defined estimate.
+        truths[n] = plain_sum / static_cast<double>(col.size());
+      }
     }
-  }
+  });
   return truths;
 }
 

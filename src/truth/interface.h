@@ -6,9 +6,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 
 namespace dptd::truth {
@@ -47,8 +49,27 @@ class TruthDiscovery {
 /// truths[n] = sum_s w_s x_s_n / sum_s w_s over present cells.
 /// Users with zero weight are kept (contribute nothing unless every weight on
 /// an object is zero, in which case the unweighted mean is used).
+///
+/// Runs over the CSC-by-object view: each object's claims are accumulated in
+/// ascending user order regardless of `pool`, so results are bit-identical
+/// for any pool size (including serial).
 std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
-                                       const std::vector<double>& weights);
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool = nullptr);
+
+/// Pool shared by one truth-discovery run. Owns nothing when the configured
+/// thread count is 1 (serial); otherwise owns a ThreadPool for the run's
+/// lifetime (0 = hardware concurrency).
+class RunPool {
+ public:
+  explicit RunPool(std::size_t num_threads) {
+    if (num_threads != 1) pool_.emplace(num_threads);
+  }
+  ThreadPool* get() { return pool_ ? &*pool_ : nullptr; }
+
+ private:
+  std::optional<ThreadPool> pool_;
+};
 
 /// Mean absolute change between two truth vectors (convergence metric).
 double truth_change(const std::vector<double>& a, const std::vector<double>& b);

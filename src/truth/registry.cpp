@@ -9,24 +9,28 @@
 namespace dptd::truth {
 
 std::unique_ptr<TruthDiscovery> make_method(
-    const std::string& name, const ConvergenceCriteria& convergence) {
+    const std::string& name, const ConvergenceCriteria& convergence,
+    std::size_t num_threads) {
   if (name == "crh") {
     CrhConfig config;
     config.convergence = convergence;
+    config.num_threads = num_threads;
     return std::make_unique<Crh>(config);
   }
   if (name == "gtm") {
     GtmConfig config;
     config.convergence = convergence;
+    config.num_threads = num_threads;
     return std::make_unique<Gtm>(config);
   }
   if (name == "catd") {
     CatdConfig config;
     config.convergence = convergence;
+    config.num_threads = num_threads;
     return std::make_unique<Catd>(config);
   }
-  if (name == "mean") return std::make_unique<MeanAggregator>();
-  if (name == "median") return std::make_unique<MedianAggregator>();
+  if (name == "mean") return std::make_unique<MeanAggregator>(num_threads);
+  if (name == "median") return std::make_unique<MedianAggregator>(num_threads);
   DPTD_REQUIRE(false, "unknown truth-discovery method: " + name);
   return nullptr;
 }

@@ -11,10 +11,12 @@
 namespace dptd::truth {
 
 /// Builds "crh", "gtm", "catd", "mean" or "median" with the given
-/// convergence criteria (ignored by single-pass baselines).
-/// Throws std::invalid_argument for unknown names.
+/// convergence criteria (ignored by single-pass baselines) and worker thread
+/// count (1 = serial, 0 = hardware concurrency; every method is bit-identical
+/// across thread counts). Throws std::invalid_argument for unknown names.
 std::unique_ptr<TruthDiscovery> make_method(
-    const std::string& name, const ConvergenceCriteria& convergence = {});
+    const std::string& name, const ConvergenceCriteria& convergence = {},
+    std::size_t num_threads = 1);
 
 /// Names accepted by make_method, in display order.
 std::vector<std::string> method_names();
