@@ -1,0 +1,79 @@
+// Campaign throughput: multi-round service rounds over one persistent fleet
+// (streaming ingestion, per-round re-tasking), cold vs warm-started truth
+// discovery on the drifting-truth workload. The headline counters are
+// rounds/sec and truth-discovery iterations per round — the warm-start rows
+// must show fewer iterations than the cold rows.
+#include <benchmark/benchmark.h>
+
+#include "crowd/campaign.h"
+
+namespace {
+
+dptd::crowd::CampaignConfig campaign_config(bool warm) {
+  dptd::crowd::CampaignConfig config;
+  config.num_rounds = 6;
+  config.workload.num_users = 80;
+  config.workload.num_objects = 30;
+  config.workload.missing_rate = 0.2;
+  config.workload.lambda1 = 0.4;  // wide fleet quality spread
+  config.session.lambda2 = 20.0;
+  config.session.adversary_fraction = 0.25;  // persistent constant liars
+  config.session.method = "crh";
+  config.session.convergence.tolerance = 1e-6;
+  config.session.convergence.max_iterations = 200;
+  config.warm_start = warm;
+  config.drifting_truths = true;
+  config.truth_drift_stddev = 0.05;
+  // Throughput measures the service path only, not the no-noise reference
+  // aggregation the accuracy records need.
+  config.compute_reference_mae = false;
+  config.seed = 33;
+  return config;
+}
+
+/// One iteration = a whole campaign (fleet construction + num_rounds service
+/// rounds). Arg 0 = cold every round, Arg 1 = warm-started.
+void BM_CampaignRounds(benchmark::State& state) {
+  const dptd::crowd::CampaignConfig config = campaign_config(state.range(0) != 0);
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const dptd::crowd::CampaignResult result = dptd::crowd::run_campaign(config);
+    benchmark::DoNotOptimize(result.rounds.data());
+    rounds += result.rounds.size();
+    for (const auto& record : result.rounds) iterations += record.iterations;
+  }
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+  state.counters["td_iters_per_round"] = benchmark::Counter(
+      rounds > 0 ? static_cast<double>(iterations) / static_cast<double>(rounds)
+                 : 0.0);
+}
+BENCHMARK(BM_CampaignRounds)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("warm")
+    ->Unit(benchmark::kMillisecond);
+
+/// Fleet-size scaling of a short campaign: the persistent fleet amortizes
+/// device/network construction, so per-round cost should grow ~linearly in
+/// users.
+void BM_CampaignUsersScaling(benchmark::State& state) {
+  dptd::crowd::CampaignConfig config = campaign_config(true);
+  config.num_rounds = 3;
+  config.workload.num_users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const dptd::crowd::CampaignResult result = dptd::crowd::run_campaign(config);
+    benchmark::DoNotOptimize(result.rounds.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CampaignUsersScaling)
+    ->RangeMultiplier(2)
+    ->Range(100, 800)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

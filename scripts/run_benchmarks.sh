@@ -6,11 +6,11 @@
 # Usage:
 #   scripts/run_benchmarks.sh [OUTPUT_DIR]      # default: bench-results/
 #   scripts/run_benchmarks.sh --update-baseline # also refresh the repo's
-#                                               # BENCH_scalability.json
+#                                               # BENCH_*.json baselines
 #
-# Produces OUTPUT_DIR/BENCH_scalability.json and
-# OUTPUT_DIR/BENCH_fig8_efficiency.json. Compare against the checked-in
-# baseline with: scripts/compare_benchmarks.py
+# Produces OUTPUT_DIR/BENCH_scalability.json, OUTPUT_DIR/BENCH_campaign.json
+# and OUTPUT_DIR/BENCH_fig8_efficiency.json. Compare against the checked-in
+# baselines with: scripts/compare_benchmarks.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$PWD"
@@ -34,7 +34,8 @@ command -v ninja >/dev/null 2>&1 && GENERATOR_FLAGS=(-G Ninja)
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" -DCMAKE_BUILD_TYPE=Release \
   -DDPTD_BUILD_TESTS=OFF -DDPTD_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
-  --target dptd_bench_scalability dptd_bench_fig8_efficiency
+  --target dptd_bench_scalability dptd_bench_fig8_efficiency \
+           dptd_bench_campaign
 
 # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
 # older releases reject it; probe which dialect this build speaks.
@@ -59,8 +60,10 @@ run_bench() {
 
 run_bench dptd_bench_scalability BENCH_scalability.json
 run_bench dptd_bench_fig8_efficiency BENCH_fig8_efficiency.json
+run_bench dptd_bench_campaign BENCH_campaign.json
 
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp "$OUT_DIR/BENCH_scalability.json" BENCH_scalability.json
-  echo "baseline BENCH_scalability.json refreshed"
+  cp "$OUT_DIR/BENCH_campaign.json" BENCH_campaign.json
+  echo "baselines BENCH_scalability.json + BENCH_campaign.json refreshed"
 fi

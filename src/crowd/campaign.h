@@ -1,7 +1,13 @@
 // Multi-round sensing campaigns: the same device fleet serves a sequence of
-// task rounds (fresh objects each round), with per-round dropout churn.
-// Models a deployed crowd sensing service rather than a one-shot experiment;
-// used by the efficiency/robustness extensions.
+// task rounds, with per-round dropout churn. Models a deployed crowd sensing
+// service rather than a one-shot experiment.
+//
+// The fleet is persistent: the network, server, and devices are constructed
+// once and re-tasked every round (churn re-draws behaviours and think times,
+// not objects), the server ingests reports as they arrive, and — when
+// `warm_start` is on — each round's truth discovery is seeded from the
+// previous round's converged state. The drifting-truth workload mode keeps
+// ground truths slowly moving between rounds, the regime warm starts exploit.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +25,22 @@ struct CampaignConfig {
   data::SyntheticConfig workload;
   SessionConfig session;
   /// Per-round probability that a previously-honest device sits this round
-  /// out (on top of session.dropout_fraction, which is static).
+  /// out (on top of session.dropout_fraction, which is static). The combined
+  /// dropout is clamped so adversaries + dropouts always leave at least one
+  /// honest device — churn can never trip the session precondition.
   double churn_probability = 0.0;
+  /// Seed each round's truth discovery from the previous round's converged
+  /// truths/weights (honored by the iterative methods).
+  bool warm_start = false;
+  /// Drifting-truth workload: round r+1 keeps round r's ground truths plus
+  /// N(0, truth_drift_stddev^2) per object instead of redrawing them — a
+  /// slowly changing world where consecutive rounds resemble each other.
+  bool drifting_truths = false;
+  double truth_drift_stddev = 0.25;
+  /// Also run the method cold on the same round's unperturbed data to fill
+  /// RoundRecord::mae_vs_unperturbed. Benchmarks disable it so round
+  /// throughput measures the service path only.
+  bool compute_reference_mae = true;
   std::uint64_t seed = 101;
 };
 
@@ -28,19 +48,30 @@ struct RoundRecord {
   std::size_t round = 0;
   std::size_t reports_received = 0;
   std::size_t reports_expected = 0;
+  std::size_t reports_rejected = 0;    ///< unknown user id / undecodable
+  std::size_t duplicates_ignored = 0;  ///< byzantine re-sends
+  std::size_t iterations = 0;          ///< truth-discovery iterations
+  bool converged = false;
+  bool warm_started = false;
   double mae_vs_truth = 0.0;        ///< NaN if the round failed coverage
   double mae_vs_unperturbed = 0.0;  ///< vs same-round no-noise aggregation
-  net::NetworkStats network;
+                                    ///< (NaN when compute_reference_mae off)
+  std::vector<double> truths;       ///< published truths (empty if skipped)
+  net::NetworkStats network;        ///< this round's traffic only
 };
 
 struct CampaignResult {
   std::vector<RoundRecord> rounds;
 
   double mean_mae_vs_truth() const;
+  /// Mean truth-discovery iterations over rounds that aggregated (NaN if
+  /// none did). The warm-vs-cold headline number.
+  double mean_iterations() const;
   std::size_t total_reports() const;
 };
 
-/// Runs `num_rounds` independent rounds. Deterministic in `config.seed`.
+/// Runs `num_rounds` rounds over one persistent fleet. Deterministic in
+/// `config.seed`.
 CampaignResult run_campaign(const CampaignConfig& config);
 
 }  // namespace dptd::crowd

@@ -21,6 +21,23 @@ UserDevice::UserDevice(DeviceConfig config, std::vector<std::uint64_t> objects,
   network_->attach(config_.id, *this);
 }
 
+void UserDevice::retask(std::vector<std::uint64_t> objects,
+                        std::vector<double> readings, std::uint64_t seed) {
+  DPTD_REQUIRE(objects.size() == readings.size(),
+               "UserDevice: objects/readings size mismatch");
+  objects_ = std::move(objects);
+  readings_ = std::move(readings);
+  config_.seed = seed;
+  rng_ = Rng(derive_seed(seed, config_.id));
+  sampled_variance_.reset();
+  published_truths_.clear();
+}
+
+void UserDevice::set_think_time(double seconds) {
+  DPTD_REQUIRE(seconds >= 0.0, "UserDevice: negative think time");
+  config_.think_time_seconds = seconds;
+}
+
 void UserDevice::on_message(const net::Message& message) {
   switch (static_cast<MessageType>(message.type)) {
     case MessageType::kTaskAnnounce:
@@ -48,7 +65,8 @@ void UserDevice::handle_task(const TaskAnnounce& task) {
   report.values.reserve(readings_.size());
 
   switch (config_.behavior) {
-    case DeviceBehavior::kHonest: {
+    case DeviceBehavior::kHonest:
+    case DeviceBehavior::kDuplicator: {
       // Algorithm 2 lines 3-4: private variance then Gaussian perturbation.
       const double variance = exponential(rng_, task.lambda2);
       sampled_variance_ = variance;
@@ -73,14 +91,19 @@ void UserDevice::handle_task(const TaskAnnounce& task) {
       return;  // unreachable
   }
 
-  // Upload after think time (models sensing/compute on the device).
-  net::Message msg = make_message(config_.id, config_.server_id,
-                                  MessageType::kReport, report.encode());
-  network_->simulator().schedule(
-      config_.think_time_seconds,
-      [network = network_, m = std::move(msg)]() mutable {
-        network->send(std::move(m));
-      });
+  // Upload after think time (models sensing/compute on the device). A
+  // duplicator re-sends the identical report; the server must deduplicate.
+  const std::size_t copies =
+      config_.behavior == DeviceBehavior::kDuplicator ? 2 : 1;
+  for (std::size_t c = 0; c < copies; ++c) {
+    net::Message msg = make_message(config_.id, config_.server_id,
+                                    MessageType::kReport, report.encode());
+    network_->simulator().schedule(
+        config_.think_time_seconds,
+        [network = network_, m = std::move(msg)]() mutable {
+          network->send(std::move(m));
+        });
+  }
 }
 
 }  // namespace dptd::crowd

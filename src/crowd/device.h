@@ -2,6 +2,11 @@
 // announcement samples its private noise variance delta_s^2 ~ Exp(lambda2),
 // perturbs every reading, and uploads a single report after a think-time
 // delay. Supports dropout and adversarial behaviours for robustness tests.
+//
+// Devices are persistent across rounds of a campaign: retask() swaps in the
+// next round's readings and re-seeds the private noise stream, and
+// set_behavior()/set_think_time() let per-round churn re-draw the behaviour
+// without rebuilding the fleet.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,8 @@ enum class DeviceBehavior {
   kDropout,       ///< never responds
   kConstantLiar,  ///< reports a fixed value for every object (no noise)
   kSpammer,       ///< reports uniform noise over [spam_lo, spam_hi]
+  kDuplicator,    ///< honest values, but uploads the same report twice
+                  ///< (byzantine re-send; must not close rounds early)
 };
 
 struct DeviceConfig {
@@ -40,6 +47,18 @@ class UserDevice final : public net::Node {
              std::vector<double> readings, net::Network& network);
 
   void on_message(const net::Message& message) override;
+
+  /// Re-tasks the device for a new round: swaps in fresh private readings,
+  /// re-seeds the noise stream from `seed` (same derivation as the
+  /// constructor), and clears per-round state (sampled variance, published
+  /// truths). The device stays attached to the network.
+  void retask(std::vector<std::uint64_t> objects,
+              std::vector<double> readings, std::uint64_t seed);
+
+  /// Per-round churn hooks: behaviour and think time may be re-drawn between
+  /// rounds without rebuilding the device.
+  void set_behavior(DeviceBehavior behavior) { config_.behavior = behavior; }
+  void set_think_time(double seconds);
 
   /// The variance the device sampled for the most recent round, if any.
   std::optional<double> sampled_variance() const { return sampled_variance_; }

@@ -1,9 +1,10 @@
 #include "crowd/server.h"
 
-#include <unordered_set>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 
 namespace dptd::crowd {
@@ -28,7 +29,9 @@ void CrowdServer::start_round(std::uint64_t round,
   current_round_ = round;
   round_open_ = true;
   participants_ = user_ids;
-  reports_.clear();
+  builder_.emplace(participants_.size(), config_.num_objects);
+  rejected_ = 0;
+  duplicates_ = 0;
 
   TaskAnnounce task;
   task.round = round;
@@ -47,14 +50,69 @@ void CrowdServer::start_round(std::uint64_t round,
 void CrowdServer::on_message(const net::Message& message) {
   if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
   if (!round_open_) return;  // straggler after deadline
-  Report report = Report::decode(message.payload);
+  Report report;
+  try {
+    report = Report::decode(message.payload);
+  } catch (const DecodeError& error) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping undecodable report (" << error.what() << ")";
+    ++rejected_;
+    return;
+  }
   if (report.round != current_round_) return;
-  reports_.push_back(std::move(report));
-  if (reports_.size() == participants_.size()) {
-    // Everyone answered; no need to wait out the window. The deadline event
+  ingest_report(report);
+  if (builder_->rows_ingested() == participants_.size()) {
+    // Every *distinct* participant answered; no need to wait out the window
+    // (duplicate re-sends never inflate this count). The deadline event
     // still fires but becomes a no-op because round_open_ is false.
     finish_round();
   }
+}
+
+void CrowdServer::ingest_report(const Report& report) {
+  // A byzantine user id must not kill the server: drop the report, count it,
+  // and keep collecting (consistent with the out-of-range-object handling).
+  if (report.user_id >= participants_.size()) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping report from unknown user id "
+                  << report.user_id;
+    ++rejected_;
+    return;
+  }
+  const auto user = static_cast<std::size_t>(report.user_id);
+  if (builder_->has_row(user)) {
+    ++duplicates_;
+    return;
+  }
+
+  // Sanitize the claim list exactly as the batch assembler did — skip
+  // out-of-range objects — plus non-finite values, which would previously
+  // abort aggregation at the deadline. The clean path (no malformed claim)
+  // ingests the decoded arrays directly, no copy.
+  const std::size_t count =
+      std::min(report.objects.size(), report.values.size());
+  bool clean = count == report.objects.size() && count == report.values.size();
+  for (std::size_t i = 0; clean && i < count; ++i) {
+    clean = report.objects[i] < config_.num_objects &&
+            std::isfinite(report.values[i]);
+  }
+  if (clean) {
+    builder_->add_row(user, report.objects, report.values);
+    return;
+  }
+  DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
+                << " sent malformed claims, ingesting the valid subset";
+  std::vector<std::uint64_t> objects;
+  std::vector<double> values;
+  objects.reserve(count);
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (report.objects[i] >= config_.num_objects) continue;
+    if (!std::isfinite(report.values[i])) continue;
+    objects.push_back(report.objects[i]);
+    values.push_back(report.values[i]);
+  }
+  builder_->add_row(user, objects, values);
 }
 
 void CrowdServer::finish_round() {
@@ -64,33 +122,23 @@ void CrowdServer::finish_round() {
   RoundOutcome outcome;
   outcome.round = current_round_;
   outcome.reports_expected = participants_.size();
-  outcome.reports_received = reports_.size();
+  outcome.reports_received = builder_->rows_ingested();
+  outcome.reports_rejected = rejected_;
+  outcome.duplicates_ignored = duplicates_;
 
-  if (reports_.empty()) {
+  if (builder_->rows_ingested() == 0) {
     DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
     outcomes_.push_back(std::move(outcome));
     return;
   }
 
-  // Assemble the observation matrix from the perturbed reports. User ids map
-  // 1:1 onto matrix rows; duplicate reports from a user keep the first.
-  data::ObservationMatrix obs(participants_.size(), config_.num_objects);
-  std::unordered_set<std::uint64_t> seen;
-  for (const Report& report : reports_) {
-    if (!seen.insert(report.user_id).second) continue;
-    DPTD_CHECK(report.user_id < participants_.size(),
-               "CrowdServer: report from unknown user id");
-    for (std::size_t i = 0; i < report.objects.size(); ++i) {
-      const std::uint64_t object = report.objects[i];
-      if (object >= config_.num_objects) continue;  // malformed claim
-      obs.set(report.user_id, object, report.values[i]);
-    }
-  }
+  // The matrix was assembled incrementally as reports arrived; the deadline
+  // only moves the accumulated rows into the dual-indexed form.
+  const data::ObservationMatrix obs = builder_->finalize();
 
-  // Objects nobody reported on cannot be aggregated; drop them from this
-  // round by giving them a single sentinel claim of 0 weight is wrong —
-  // instead require coverage (the session layer guarantees it for honest
-  // workloads) and skip aggregation gracefully when violated.
+  // Objects nobody reported on cannot be aggregated; require coverage (the
+  // session layer guarantees it for honest workloads) and skip aggregation
+  // gracefully when violated.
   bool full_coverage = true;
   for (std::size_t n = 0; n < config_.num_objects; ++n) {
     if (obs.object_observation_count(n) == 0) {
@@ -106,8 +154,23 @@ void CrowdServer::finish_round() {
   }
 
   Stopwatch timer;
-  outcome.result = method_->run(obs);
+  if (config_.warm_start && have_last_result_ &&
+      method_->supports_warm_start()) {
+    truth::WarmStart seed;
+    seed.truths = last_result_.truths;
+    // Participant counts can change between rounds; only reuse weights when
+    // the user population still lines up.
+    if (last_result_.weights.size() == obs.num_users()) {
+      seed.weights = last_result_.weights;
+    }
+    outcome.result = method_->run_warm(obs, seed);
+    outcome.warm_started = true;
+  } else {
+    outcome.result = method_->run(obs);
+  }
   outcome.aggregation_seconds = timer.elapsed_seconds();
+  last_result_ = outcome.result;
+  have_last_result_ = true;
 
   ResultPublish publish;
   publish.round = current_round_;

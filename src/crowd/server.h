@@ -2,15 +2,24 @@
 // hyper-parameter, collects perturbed reports until a deadline, runs a
 // truth-discovery method over whatever arrived, and publishes results.
 //
+// Reports are ingested as they arrive: each one is decoded, sanitized, and
+// folded into an incremental ObservationMatrixBuilder (deduplicated by user
+// id), so the deadline event only finalizes the matrix instead of assembling
+// it in one burst. Malformed or byzantine reports (unknown user id,
+// undecodable payload) are dropped and counted — one bad report never kills
+// the server.
+//
 // The server never sees raw readings or per-user variances — only perturbed
 // reports — matching the paper's threat model.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crowd/protocol.h"
+#include "data/builder.h"
 #include "data/dataset.h"
 #include "net/network.h"
 #include "truth/interface.h"
@@ -24,14 +33,21 @@ struct ServerConfig {
   /// ignored (stragglers).
   double collection_window_seconds = 30.0;
   std::size_t num_objects = 0;
+  /// Seed each round's truth discovery from the previous round's converged
+  /// truths/weights (honored by iterative methods; no-op for baselines and
+  /// for the first round).
+  bool warm_start = false;
 };
 
 struct RoundOutcome {
   std::uint64_t round = 0;
-  std::size_t reports_received = 0;
+  std::size_t reports_received = 0;   ///< distinct users whose report counted
   std::size_t reports_expected = 0;
+  std::size_t reports_rejected = 0;   ///< dropped: unknown user / undecodable
+  std::size_t duplicates_ignored = 0; ///< re-sends from already-counted users
   truth::Result result;
   double aggregation_seconds = 0.0;  ///< wall-clock spent in truth discovery
+  bool warm_started = false;         ///< truth discovery was seeded
 };
 
 class CrowdServer final : public net::Node {
@@ -43,7 +59,8 @@ class CrowdServer final : public net::Node {
 
   /// Announces round `round` to `user_ids` and schedules the aggregation
   /// deadline. Results are available from `outcomes()` after the simulator
-  /// drains.
+  /// drains. The server is persistent: call again for each round of a
+  /// campaign once the previous round has closed.
   void start_round(std::uint64_t round,
                    const std::vector<net::NodeId>& user_ids);
 
@@ -52,6 +69,7 @@ class CrowdServer final : public net::Node {
 
  private:
   void finish_round();
+  void ingest_report(const Report& report);
 
   ServerConfig config_;
   std::unique_ptr<truth::TruthDiscovery> method_;
@@ -60,7 +78,13 @@ class CrowdServer final : public net::Node {
   std::uint64_t current_round_ = 0;
   bool round_open_ = false;
   std::vector<net::NodeId> participants_;
-  std::vector<Report> reports_;
+  /// Streaming ingestion state for the open round.
+  std::optional<data::ObservationMatrixBuilder> builder_;
+  std::size_t rejected_ = 0;
+  std::size_t duplicates_ = 0;
+  /// Previous round's converged state, the warm-start seed.
+  truth::Result last_result_;
+  bool have_last_result_ = false;
   std::vector<RoundOutcome> outcomes_;
 };
 

@@ -18,6 +18,24 @@ ObservationMatrix::ObservationMatrix(std::size_t num_users,
                "ObservationMatrix: dimensions must be positive");
 }
 
+ObservationMatrix ObservationMatrix::from_rows(
+    std::vector<std::vector<Entry>> rows, std::size_t num_objects) {
+  ObservationMatrix out(rows.size(), num_objects);
+  out.rows_ = std::move(rows);
+  for (const std::vector<Entry>& row : out.rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      DPTD_REQUIRE(row[i].object < num_objects,
+                   "ObservationMatrix::from_rows: object out of range");
+      check_finite(row[i].value);
+      DPTD_REQUIRE(i == 0 || row[i - 1].object < row[i].object,
+                   "ObservationMatrix::from_rows: row not sorted and unique");
+      ++out.object_counts_[row[i].object];
+      ++out.nnz_;
+    }
+  }
+  return out;
+}
+
 void ObservationMatrix::check_finite(double value) {
   DPTD_REQUIRE(std::isfinite(value), "ObservationMatrix: non-finite value");
 }

@@ -52,6 +52,13 @@ class ObservationMatrix {
   ObservationMatrix() = default;
   ObservationMatrix(std::size_t num_users, std::size_t num_objects);
 
+  /// Adopts fully built per-user rows (the streaming builder's finalize
+  /// path): each row must be sorted by object id and duplicate-free, with
+  /// in-range objects and finite values. Validates and derives the
+  /// per-object counts in one O(nnz) pass — no dense intermediate.
+  static ObservationMatrix from_rows(std::vector<std::vector<Entry>> rows,
+                                     std::size_t num_objects);
+
   std::size_t num_users() const { return num_users_; }
   std::size_t num_objects() const { return num_objects_; }
 

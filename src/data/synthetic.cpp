@@ -15,7 +15,14 @@ std::vector<double> sample_error_variances(std::size_t num_users,
   return variances;
 }
 
-Dataset generate_synthetic(const SyntheticConfig& config) {
+namespace {
+
+/// Shared generator core: `truths_override` / `variances_override` (when
+/// non-null) replace the corresponding draw but leave every other stream
+/// untouched.
+Dataset generate_impl(const SyntheticConfig& config,
+                      const std::vector<double>* truths_override,
+                      const std::vector<double>* variances_override) {
   DPTD_REQUIRE(config.num_users > 0, "num_users must be positive");
   DPTD_REQUIRE(config.num_objects > 0, "num_objects must be positive");
   DPTD_REQUIRE(config.lambda1 > 0.0, "lambda1 must be positive");
@@ -32,17 +39,37 @@ Dataset generate_synthetic(const SyntheticConfig& config) {
   Rng rng(config.seed);
 
   Dataset dataset;
-  dataset.ground_truth.resize(config.num_objects);
-  for (double& t : dataset.ground_truth) {
-    if (config.truth_distribution == TruthDistribution::kUniform) {
-      t = uniform(rng, config.truth_lo, config.truth_hi);
-    } else {
-      t = normal(rng, config.truth_mean, config.truth_stddev);
+  if (truths_override != nullptr) {
+    DPTD_REQUIRE(truths_override->size() == config.num_objects,
+                 "generate_synthetic_with_truths: truths size != num_objects");
+    for (double t : *truths_override) {
+      DPTD_REQUIRE(std::isfinite(t),
+                   "generate_synthetic_with_truths: non-finite truth");
+    }
+    dataset.ground_truth = *truths_override;
+  } else {
+    dataset.ground_truth.resize(config.num_objects);
+    for (double& t : dataset.ground_truth) {
+      if (config.truth_distribution == TruthDistribution::kUniform) {
+        t = uniform(rng, config.truth_lo, config.truth_hi);
+      } else {
+        t = normal(rng, config.truth_mean, config.truth_stddev);
+      }
     }
   }
 
-  const std::vector<double> variances =
-      sample_error_variances(config.num_users, config.lambda1, rng);
+  std::vector<double> variances;
+  if (variances_override != nullptr) {
+    DPTD_REQUIRE(variances_override->size() == config.num_users,
+                 "generate_synthetic_round: variances size != num_users");
+    for (double v : *variances_override) {
+      DPTD_REQUIRE(std::isfinite(v) && v > 0.0,
+                   "generate_synthetic_round: variances must be positive");
+    }
+    variances = *variances_override;
+  } else {
+    variances = sample_error_variances(config.num_users, config.lambda1, rng);
+  }
 
   dataset.provenance.resize(config.num_users);
   const auto num_adversaries = static_cast<std::size_t>(
@@ -105,6 +132,23 @@ Dataset generate_synthetic(const SyntheticConfig& config) {
   dataset.observations = std::move(obs);
   dataset.validate();
   return dataset;
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const SyntheticConfig& config) {
+  return generate_impl(config, nullptr, nullptr);
+}
+
+Dataset generate_synthetic_with_truths(const SyntheticConfig& config,
+                                       const std::vector<double>& truths) {
+  return generate_impl(config, &truths, nullptr);
+}
+
+Dataset generate_synthetic_round(const SyntheticConfig& config,
+                                 const std::vector<double>& truths,
+                                 const std::vector<double>& user_variances) {
+  return generate_impl(config, &truths, &user_variances);
 }
 
 }  // namespace dptd::data

@@ -52,6 +52,24 @@ struct SyntheticConfig {
 /// missing rates.
 Dataset generate_synthetic(const SyntheticConfig& config);
 
+/// Same generator, but with the ground truths supplied by the caller instead
+/// of drawn from `config.truth_distribution`. Used by multi-round campaigns
+/// whose truths drift slowly between rounds (warm-start workloads): the
+/// observation noise, missingness, and adversaries are still drawn fresh from
+/// `config.seed`. `truths.size()` must equal `config.num_objects`.
+Dataset generate_synthetic_with_truths(const SyntheticConfig& config,
+                                       const std::vector<double>& truths);
+
+/// Next round of a persistent-fleet workload: ground truths AND per-user
+/// error variances are supplied by the caller (truths drift between rounds;
+/// a device's sensor quality is a property of the device and persists).
+/// Observation noise, missingness, and adversary payloads are still drawn
+/// fresh from `config.seed`. Sizes must match `config.num_objects` /
+/// `config.num_users`; variances must be positive.
+Dataset generate_synthetic_round(const SyntheticConfig& config,
+                                 const std::vector<double>& truths,
+                                 const std::vector<double>& user_variances);
+
 /// Draws the per-user error variances only (exposed for tests and for the
 /// theory-vs-empirical benches).
 std::vector<double> sample_error_variances(std::size_t num_users,

@@ -19,6 +19,17 @@ Catd::Catd(CatdConfig config) : config_(config) {
 }
 
 Result Catd::run(const data::ObservationMatrix& obs) const {
+  return run_impl(obs, nullptr);
+}
+
+Result Catd::run_warm(const data::ObservationMatrix& obs,
+                      const WarmStart& warm) const {
+  validate_warm_start(obs, warm);
+  return run_impl(obs, &warm);
+}
+
+Result Catd::run_impl(const data::ObservationMatrix& obs,
+                      const WarmStart* warm) const {
   const std::size_t S = obs.num_users();
   const std::size_t N = obs.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Catd::run: empty observation matrix");
@@ -28,15 +39,26 @@ Result Catd::run(const data::ObservationMatrix& obs) const {
   obs.ensure_object_index();
 
   Result result;
-  // Initialize truths at per-object medians (the CATD paper's robust start).
-  result.truths.resize(N);
-  for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t n = begin; n < end; ++n) {
-      const auto col = obs.object_entries(n);
-      DPTD_REQUIRE(!col.empty(), "Catd::run: object with no claims");
-      result.truths[n] = median(col.values);
-    }
-  });
+  if (warm != nullptr && !warm->weights.empty()) {
+    // Seeded start: the previous round's converged weights aggregate THIS
+    // round's claims (user quality persists across rounds; truths and noise
+    // do not).
+    result.truths = weighted_aggregate(obs, warm->weights, pool);
+  } else if (warm != nullptr && !warm->truths.empty()) {
+    // Truths-only seed: stand in for the median initialization.
+    result.truths = warm->truths;
+  } else {
+    // Initialize truths at per-object medians (the CATD paper's robust
+    // start).
+    result.truths.resize(N);
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = obs.object_entries(n);
+        DPTD_REQUIRE(!col.empty(), "Catd::run: object with no claims");
+        result.truths[n] = median(col.values);
+      }
+    });
+  }
 
   // Chi-squared quantiles depend only on each user's claim count; cache them.
   std::vector<double> chi2(S, 0.0);

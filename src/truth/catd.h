@@ -30,11 +30,20 @@ class Catd final : public TruthDiscovery {
   explicit Catd(CatdConfig config = {});
 
   Result run(const data::ObservationMatrix& observations) const override;
+  /// Warm seeding: non-empty weights take precedence — they aggregate this
+  /// round's claims into the starting truths; a truths-only seed replaces
+  /// the per-object median initialization instead. An empty WarmStart
+  /// reproduces run() exactly.
+  Result run_warm(const data::ObservationMatrix& observations,
+                  const WarmStart& warm) const override;
+  bool supports_warm_start() const override { return true; }
   std::string name() const override { return "catd"; }
 
   const CatdConfig& config() const { return config_; }
 
  private:
+  Result run_impl(const data::ObservationMatrix& obs,
+                  const WarmStart* warm) const;
   CatdConfig config_;
 };
 

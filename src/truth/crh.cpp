@@ -102,6 +102,17 @@ std::vector<double> Crh::estimate_weights(
 }
 
 Result Crh::run(const data::ObservationMatrix& obs) const {
+  return run_impl(obs, nullptr);
+}
+
+Result Crh::run_warm(const data::ObservationMatrix& obs,
+                     const WarmStart& warm) const {
+  validate_warm_start(obs, warm);
+  return run_impl(obs, &warm);
+}
+
+Result Crh::run_impl(const data::ObservationMatrix& obs,
+                     const WarmStart* warm) const {
   DPTD_REQUIRE(obs.num_users() > 0 && obs.num_objects() > 0,
                "Crh::run: empty observation matrix");
   RunPool pool(config_.num_threads);
@@ -114,9 +125,22 @@ Result Crh::run(const data::ObservationMatrix& obs) const {
           : std::vector<double>(obs.num_objects(), 1.0);
 
   Result result;
-  // Algorithm 1 line 1: uniform weight initialization.
-  result.weights.assign(obs.num_users(), 1.0);
-  result.truths = weighted_aggregate(obs, result.weights, pool.get());
+  if (warm != nullptr && !warm->weights.empty()) {
+    // Seeded start: the previous round's converged weights aggregate THIS
+    // round's claims, which lands far closer to the new fixed point than
+    // stale truths would (user quality persists across rounds; truths and
+    // noise do not).
+    result.weights = warm->weights;
+    result.truths = weighted_aggregate(obs, result.weights, pool.get());
+  } else if (warm != nullptr && !warm->truths.empty()) {
+    // Truths-only seed: enter the loop at the weight update.
+    result.truths = warm->truths;
+    result.weights.assign(obs.num_users(), 1.0);
+  } else {
+    // Algorithm 1 line 1: uniform weight initialization.
+    result.weights.assign(obs.num_users(), 1.0);
+    result.truths = weighted_aggregate(obs, result.weights, pool.get());
+  }
 
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
     result.weights =

@@ -37,6 +37,14 @@ class Crh final : public TruthDiscovery {
   explicit Crh(CrhConfig config = {});
 
   Result run(const data::ObservationMatrix& observations) const override;
+  /// Warm seeding: non-empty weights take precedence — the previous round's
+  /// converged weights aggregate this round's claims as the loop's starting
+  /// point (user quality persists across rounds; truths and noise do not).
+  /// Truths-only seeds enter the loop at the weight update instead. An empty
+  /// WarmStart reproduces run() exactly.
+  Result run_warm(const data::ObservationMatrix& observations,
+                  const WarmStart& warm) const override;
+  bool supports_warm_start() const override { return true; }
   std::string name() const override { return "crh"; }
 
   const CrhConfig& config() const { return config_; }
@@ -48,6 +56,8 @@ class Crh final : public TruthDiscovery {
                                        const std::vector<double>& truths) const;
 
  private:
+  Result run_impl(const data::ObservationMatrix& obs,
+                  const WarmStart* warm) const;
   std::vector<double> estimate_weights_with_stddevs(
       const data::ObservationMatrix& obs, const std::vector<double>& truths,
       const std::vector<double>& stddevs, ThreadPool* pool) const;

@@ -20,6 +20,17 @@ Gtm::Gtm(GtmConfig config) : config_(config) {
 }
 
 Result Gtm::run(const data::ObservationMatrix& obs) const {
+  return run_impl(obs, nullptr);
+}
+
+Result Gtm::run_warm(const data::ObservationMatrix& obs,
+                     const WarmStart& warm) const {
+  validate_warm_start(obs, warm);
+  return run_impl(obs, &warm);
+}
+
+Result Gtm::run_impl(const data::ObservationMatrix& obs,
+                     const WarmStart* warm) const {
   const std::size_t S = obs.num_users();
   const std::size_t N = obs.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Gtm::run: empty observation matrix");
@@ -49,18 +60,43 @@ Result Gtm::run(const data::ObservationMatrix& obs) const {
   };
 
   // Initialize truths at the per-object median (robust start), in
-  // standardized space.
+  // standardized space — or from the warm-start seed.
   std::vector<double> truth_mean(N, 0.0);
   std::vector<double> truth_var(N, 0.0);
-  for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-    std::vector<double> values;  // per-shard scratch for the median copy
-    for (std::size_t n = begin; n < end; ++n) {
-      const auto col = obs.object_entries(n);
-      values.assign(col.values.begin(), col.values.end());
-      for (double& v : values) v = standardized(n, v);
-      truth_mean[n] = median(values);
+  if (warm != nullptr && !warm->weights.empty()) {
+    // Seeded E-step: GTM's weights ARE per-user precisions (1/sigma_s^2),
+    // so one posterior pass with the previous round's precisions over THIS
+    // round's claims gives the starting truth estimates.
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        double precision = 1.0 / config_.truth_prior_variance;
+        double weighted_sum =
+            config_.truth_prior_mean / config_.truth_prior_variance;
+        const auto col = obs.object_entries(n);
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          const double p = warm->weights[col.users[i]];
+          precision += p;
+          weighted_sum += p * standardized(n, col.values[i]);
+        }
+        truth_mean[n] = weighted_sum / precision;
+        truth_var[n] = 1.0 / precision;
+      }
+    });
+  } else if (warm != nullptr && !warm->truths.empty()) {
+    for (std::size_t n = 0; n < N; ++n) {
+      truth_mean[n] = standardized(n, warm->truths[n]);
     }
-  });
+  } else {
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      std::vector<double> values;  // per-shard scratch for the median copy
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = obs.object_entries(n);
+        values.assign(col.values.begin(), col.values.end());
+        for (double& v : values) v = standardized(n, v);
+        truth_mean[n] = median(values);
+      }
+    });
+  }
 
   std::vector<double> quality(S, 1.0);  // sigma_s^2 in standardized space
   std::vector<double> prev_truths = truth_mean;

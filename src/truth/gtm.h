@@ -35,11 +35,21 @@ class Gtm final : public TruthDiscovery {
   explicit Gtm(GtmConfig config = {});
 
   Result run(const data::ObservationMatrix& observations) const override;
+  /// Warm seeding: non-empty weights (GTM's weights are per-user precisions)
+  /// drive one posterior pass over this round's claims as the starting truth
+  /// estimates; otherwise non-empty truths replace the per-object median
+  /// initialization (standardized internally). An empty WarmStart reproduces
+  /// run() exactly.
+  Result run_warm(const data::ObservationMatrix& observations,
+                  const WarmStart& warm) const override;
+  bool supports_warm_start() const override { return true; }
   std::string name() const override { return "gtm"; }
 
   const GtmConfig& config() const { return config_; }
 
  private:
+  Result run_impl(const data::ObservationMatrix& obs,
+                  const WarmStart* warm) const;
   GtmConfig config_;
 };
 

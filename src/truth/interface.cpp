@@ -15,6 +15,25 @@ std::vector<double> Result::normalized_weights() const {
   return out;
 }
 
+void validate_warm_start(const data::ObservationMatrix& observations,
+                         const WarmStart& warm) {
+  if (!warm.truths.empty()) {
+    DPTD_REQUIRE(warm.truths.size() == observations.num_objects(),
+                 "WarmStart: truths size != num objects");
+    for (double t : warm.truths) {
+      DPTD_REQUIRE(std::isfinite(t), "WarmStart: non-finite truth");
+    }
+  }
+  if (!warm.weights.empty()) {
+    DPTD_REQUIRE(warm.weights.size() == observations.num_users(),
+                 "WarmStart: weights size != num users");
+    for (double w : warm.weights) {
+      DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
+                   "WarmStart: weights must be finite and >= 0");
+    }
+  }
+}
+
 std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
                                        const std::vector<double>& weights,
                                        ThreadPool* pool) {

@@ -33,6 +33,22 @@ struct Result {
   std::vector<double> normalized_weights() const;
 };
 
+/// Seed state for iterative methods in multi-round deployments: round r+1
+/// starts from round r's converged truths/weights instead of the cold
+/// initialization, so on slowly-drifting truths it converges in fewer
+/// iterations. Either vector may be empty (= no seed for that half).
+struct WarmStart {
+  std::vector<double> truths;   ///< size num_objects, or empty
+  std::vector<double> weights;  ///< size num_users, or empty
+
+  bool empty() const { return truths.empty() && weights.empty(); }
+};
+
+/// Throws std::invalid_argument if a non-empty warm-start vector has the
+/// wrong size, a non-finite entry, or (for weights) a negative entry.
+void validate_warm_start(const data::ObservationMatrix& observations,
+                         const WarmStart& warm);
+
 class TruthDiscovery {
  public:
   virtual ~TruthDiscovery() = default;
@@ -40,6 +56,19 @@ class TruthDiscovery {
   /// Runs the method on an observation matrix. Every object must have at
   /// least one present observation; throws std::invalid_argument otherwise.
   virtual Result run(const data::ObservationMatrix& observations) const = 0;
+
+  /// Runs the method seeded from `warm`. The default ignores the seed and
+  /// forwards to run() (single-pass baselines have no state to seed);
+  /// iterative methods override it. An empty WarmStart must reproduce run()
+  /// bit-for-bit.
+  virtual Result run_warm(const data::ObservationMatrix& observations,
+                          const WarmStart& warm) const {
+    (void)warm;
+    return run(observations);
+  }
+
+  /// True when run_warm() actually honors the seed.
+  virtual bool supports_warm_start() const { return false; }
 
   /// Stable identifier ("crh", "gtm", "catd", "mean", "median").
   virtual std::string name() const = 0;

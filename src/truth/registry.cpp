@@ -39,4 +39,8 @@ std::vector<std::string> method_names() {
   return {"crh", "gtm", "catd", "mean", "median"};
 }
 
+bool method_supports_warm_start(const std::string& name) {
+  return make_method(name)->supports_warm_start();
+}
+
 }  // namespace dptd::truth

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "common/statistics.h"
+
 namespace dptd::crowd {
 namespace {
 
@@ -77,7 +79,120 @@ TEST(Campaign, RejectsBadConfig) {
 TEST(Campaign, EmptyResultHelpersBehave) {
   const CampaignResult empty;
   EXPECT_TRUE(std::isnan(empty.mean_mae_vs_truth()));
+  EXPECT_TRUE(std::isnan(empty.mean_iterations()));
   EXPECT_EQ(empty.total_reports(), 0u);
+}
+
+TEST(Campaign, ChurnPlusAdversariesNeverTripsThePrecondition) {
+  // Regression: churn used to bump dropout_fraction with only a 0.9 clamp,
+  // so adversary_fraction + churned dropout could reach >= 1.0 and crash the
+  // round setup. The dropout block is now clamped against the remaining
+  // honest mass.
+  CampaignConfig config = small_campaign();
+  config.num_rounds = 5;
+  config.session.adversary_fraction = 0.4;
+  config.session.dropout_fraction = 0.3;
+  config.churn_probability = 0.85;  // expected churn alone ~0.85
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.rounds.size(), 5u);
+  for (const RoundRecord& record : result.rounds) {
+    EXPECT_EQ(record.reports_expected, 30u);
+    // At least the adversaries (12) and one honest survivor always report.
+    EXPECT_GE(record.reports_received, 13u);
+  }
+}
+
+CampaignConfig drifting_campaign(bool warm) {
+  // The regime where warm starts pay off: a persistent fleet with a wide
+  // quality spread and a block of persistent constant-liar devices. A cold
+  // round spends iterations re-discovering the liars from uniform weights;
+  // a warm round starts with them already down-weighted.
+  CampaignConfig config;
+  config.num_rounds = 6;
+  config.workload.num_users = 80;
+  config.workload.num_objects = 30;
+  config.workload.missing_rate = 0.2;
+  config.workload.lambda1 = 0.4;  // wide quality spread across the fleet
+  config.session.lambda2 = 20.0;  // small DP noise relative to that spread
+  config.session.adversary_fraction = 0.25;
+  config.session.method = "crh";
+  config.session.convergence.tolerance = 1e-6;
+  config.session.convergence.max_iterations = 200;
+  config.warm_start = warm;
+  config.drifting_truths = true;
+  config.truth_drift_stddev = 0.05;
+  config.seed = 33;
+  return config;
+}
+
+TEST(Campaign, WarmStartMatchesColdWithinConvergenceTolerance) {
+  // Same seed => bit-identical per-round observation matrices; the warm and
+  // cold runs must then land on the same fixed point, just via fewer
+  // iterations.
+  const CampaignResult cold = run_campaign(drifting_campaign(false));
+  const CampaignResult warm = run_campaign(drifting_campaign(true));
+  ASSERT_EQ(cold.rounds.size(), warm.rounds.size());
+  for (std::size_t r = 0; r < cold.rounds.size(); ++r) {
+    ASSERT_EQ(cold.rounds[r].truths.size(), warm.rounds[r].truths.size());
+    ASSERT_FALSE(cold.rounds[r].truths.empty()) << r;
+    EXPECT_LT(mean_absolute_error(warm.rounds[r].truths,
+                                  cold.rounds[r].truths),
+              1e-4)
+        << "round " << r;
+  }
+  // Round 0 has no previous state: identical bitwise in both runs.
+  EXPECT_EQ(cold.rounds[0].truths, warm.rounds[0].truths);
+  EXPECT_FALSE(warm.rounds[0].warm_started);
+  for (std::size_t r = 1; r < warm.rounds.size(); ++r) {
+    EXPECT_TRUE(warm.rounds[r].warm_started) << r;
+    EXPECT_FALSE(cold.rounds[r].warm_started) << r;
+  }
+}
+
+TEST(Campaign, WarmStartReducesIterationsOnDriftingTruths) {
+  // The acceptance bar: >= 20% fewer truth-discovery iterations per warm
+  // round than per cold round, on the drifting-truth workload (round 0 is
+  // cold in both runs and excluded).
+  const CampaignResult cold = run_campaign(drifting_campaign(false));
+  const CampaignResult warm = run_campaign(drifting_campaign(true));
+  ASSERT_EQ(cold.rounds.size(), warm.rounds.size());
+  RunningStats cold_iters;
+  RunningStats warm_iters;
+  for (std::size_t r = 1; r < cold.rounds.size(); ++r) {
+    ASSERT_GT(cold.rounds[r].iterations, 0u) << r;
+    ASSERT_GT(warm.rounds[r].iterations, 0u) << r;
+    cold_iters.add(static_cast<double>(cold.rounds[r].iterations));
+    warm_iters.add(static_cast<double>(warm.rounds[r].iterations));
+  }
+  EXPECT_LE(warm_iters.mean(), 0.8 * cold_iters.mean())
+      << "warm " << warm_iters.mean() << " vs cold " << cold_iters.mean();
+}
+
+TEST(Campaign, DriftingTruthsMoveSlowly) {
+  CampaignConfig config = drifting_campaign(false);
+  config.session.lambda2 = 50.0;  // tiny noise: truths are recovered well
+  const CampaignResult result = run_campaign(config);
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    // Consecutive rounds' recovered truths are close (drift sigma 0.1), far
+    // closer than freshly redrawn Uniform(0,10) truths would be.
+    EXPECT_LT(mean_absolute_error(result.rounds[r].truths,
+                                  result.rounds[r - 1].truths),
+              1.0)
+        << r;
+  }
+}
+
+TEST(Campaign, PersistentFleetReportsCleanRounds) {
+  // No byzantine devices in the default campaign: every round must close
+  // with zero rejected reports and zero duplicates.
+  const CampaignResult result = run_campaign(small_campaign());
+  for (const RoundRecord& record : result.rounds) {
+    EXPECT_EQ(record.reports_rejected, 0u);
+    EXPECT_EQ(record.duplicates_ignored, 0u);
+    EXPECT_TRUE(record.converged);
+    EXPECT_GT(record.iterations, 0u);
+  }
+  EXPECT_GT(result.mean_iterations(), 0.0);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "crowd/device.h"
 #include "crowd/server.h"
@@ -169,6 +171,206 @@ TEST(CrowdServer, AggregatesAndPublishes) {
   for (const auto& device : devices) {
     EXPECT_EQ(device->published_truths().size(), 2u);
   }
+}
+
+TEST(CrowdServer, DuplicatorDoesNotCloseRoundEarly) {
+  // Regression: the round used to close when the RAW report count reached the
+  // participant count, so a device re-sending its report shut honest
+  // stragglers out. Distinct user ids must drive the close instead.
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  config.collection_window_seconds = 30.0;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  DeviceConfig duplicator = device_config(0);
+  duplicator.behavior = DeviceBehavior::kDuplicator;
+  duplicator.think_time_seconds = 0.1;
+  UserDevice dup(duplicator, {0}, {4.0}, h.network);
+
+  UserDevice fast(device_config(1), {0}, {5.0}, h.network);
+
+  DeviceConfig slow = device_config(2);
+  slow.think_time_seconds = 5.0;  // honest straggler, well within the window
+  UserDevice straggler(slow, {0}, {6.0}, h.network);
+
+  server.start_round(1, {0, 1, 2});
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  const RoundOutcome& outcome = server.outcomes()[0];
+  EXPECT_EQ(outcome.reports_expected, 3u);
+  EXPECT_EQ(outcome.reports_received, 3u);  // straggler made it in
+  EXPECT_EQ(outcome.duplicates_ignored, 1u);
+  EXPECT_EQ(outcome.reports_rejected, 0u);
+  ASSERT_EQ(outcome.result.truths.size(), 1u);
+  // All three distinct values aggregated — the straggler's 6.0 is included.
+  EXPECT_GT(outcome.result.truths[0], 4.0);
+}
+
+TEST(CrowdServer, OutOfRangeUserIdIsDroppedNotFatal) {
+  // Regression: an out-of-range user id in a report used to abort the whole
+  // server via DPTD_CHECK. It must be dropped, counted, and the round must
+  // finish normally on the remaining honest reports.
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  config.collection_window_seconds = 10.0;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  UserDevice honest(device_config(0), {0}, {5.0}, h.network);
+  server.start_round(1, {0});
+
+  Report bogus;
+  bogus.round = 1;
+  bogus.user_id = 9999;  // not a participant
+  bogus.objects = {0};
+  bogus.values = {1234.0};
+  h.network.send(make_message(777, kServerId, MessageType::kReport,
+                              bogus.encode()));
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  const RoundOutcome& outcome = server.outcomes()[0];
+  EXPECT_EQ(outcome.reports_received, 1u);
+  EXPECT_EQ(outcome.reports_rejected, 1u);
+  ASSERT_EQ(outcome.result.truths.size(), 1u);
+  // The byzantine 1234.0 never entered the aggregate.
+  EXPECT_NEAR(outcome.result.truths[0], 5.0, 2.0);
+}
+
+TEST(CrowdServer, UndecodableReportIsDroppedNotFatal) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 1;
+  config.collection_window_seconds = 10.0;
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  UserDevice honest(device_config(0), {0}, {5.0}, h.network);
+  server.start_round(1, {0});
+  h.network.send(make_message(777, kServerId, MessageType::kReport,
+                              {0xff, 0xff, 0xff, 0xff, 0xff}));
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  EXPECT_EQ(server.outcomes()[0].reports_received, 1u);
+  EXPECT_EQ(server.outcomes()[0].reports_rejected, 1u);
+}
+
+TEST(CrowdServer, NonFiniteAndOutOfRangeClaimsAreFiltered) {
+  // A report from a legitimate user with poisoned claims: the valid subset
+  // is ingested, the rest is dropped (previously a NaN value aborted the
+  // deadline aggregation).
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 2;
+  config.collection_window_seconds = 10.0;
+  config.lambda2 = 1e9;  // negligible device noise: exact aggregates
+  CrowdServer server(config, truth::make_method("mean"), h.network);
+
+  UserDevice honest(device_config(1), {0, 1}, {2.0, 3.0}, h.network);
+  server.start_round(1, {0, 1});
+
+  Report poisoned;
+  poisoned.round = 1;
+  poisoned.user_id = 0;
+  poisoned.objects = {0, 1, 57};
+  poisoned.values = {std::numeric_limits<double>::quiet_NaN(), 8.0, 1.0};
+  h.network.send(make_message(0, kServerId, MessageType::kReport,
+                              poisoned.encode()));
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  const RoundOutcome& outcome = server.outcomes()[0];
+  EXPECT_EQ(outcome.reports_received, 2u);
+  ASSERT_EQ(outcome.result.truths.size(), 2u);
+  // Object 1 averages the honest 3.0 with the poisoned user's valid 8.0.
+  EXPECT_NEAR(outcome.result.truths[1], 5.5, 1e-3);
+}
+
+TEST(CrowdServer, WarmStartSeedsSecondRound) {
+  Harness h;
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = 2;
+  config.collection_window_seconds = 5.0;
+  config.lambda2 = 50.0;  // tiny noise: rounds resemble each other
+  config.warm_start = true;
+  truth::ConvergenceCriteria convergence;
+  convergence.tolerance = 1e-9;
+  convergence.max_iterations = 100;
+  CrowdServer server(config, truth::make_method("crh", convergence),
+                     h.network);
+
+  std::vector<std::unique_ptr<UserDevice>> devices;
+  std::vector<net::NodeId> ids;
+  for (net::NodeId id = 0; id < 6; ++id) {
+    devices.push_back(std::make_unique<UserDevice>(
+        device_config(id), std::vector<std::uint64_t>{0, 1},
+        std::vector<double>{3.0 + 0.1 * static_cast<double>(id), 7.0},
+        h.network));
+    ids.push_back(id);
+  }
+  server.start_round(1, ids);
+  h.sim.run();
+  server.start_round(2, ids);
+  h.sim.run();
+
+  ASSERT_EQ(server.outcomes().size(), 2u);
+  EXPECT_FALSE(server.outcomes()[0].warm_started);
+  EXPECT_TRUE(server.outcomes()[1].warm_started);
+  EXPECT_LE(server.outcomes()[1].result.iterations,
+            server.outcomes()[0].result.iterations);
+}
+
+TEST(UserDevice, RetaskSwapsReadingsAndClearsRoundState) {
+  Harness h;
+  CapturingServer server(h.network);
+  UserDevice device(device_config(0), {0}, {1.0}, h.network);
+
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce(1.0, 1).encode()));
+  h.sim.run();
+  ASSERT_EQ(server.reports.size(), 1u);
+  ASSERT_TRUE(device.sampled_variance().has_value());
+
+  device.retask({0, 1}, {10.0, 20.0}, 777);
+  EXPECT_FALSE(device.sampled_variance().has_value());
+  EXPECT_TRUE(device.published_truths().empty());
+
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce(1.0, 2).encode()));
+  h.sim.run();
+  ASSERT_EQ(server.reports.size(), 2u);
+  EXPECT_EQ(server.reports[1].objects,
+            (std::vector<std::uint64_t>{0, 1}));
+
+  EXPECT_THROW(device.retask({0, 1}, {1.0}, 3), std::invalid_argument);
+}
+
+TEST(UserDevice, RetaskWithSameSeedReproducesReport) {
+  // The per-round noise stream is deterministic in (seed, device id):
+  // re-tasking with the same seed and readings reproduces the exact report.
+  Harness h;
+  CapturingServer server(h.network);
+  DeviceConfig config = device_config(0);
+  config.seed = 99;
+  UserDevice device(config, {0, 1}, {1.0, 2.0}, h.network);
+
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce().encode()));
+  h.sim.run();
+  device.retask({0, 1}, {1.0, 2.0}, 99);
+  h.network.send(make_message(kServerId, 0, MessageType::kTaskAnnounce,
+                              announce().encode()));
+  h.sim.run();
+
+  ASSERT_EQ(server.reports.size(), 2u);
+  EXPECT_EQ(server.reports[0].values, server.reports[1].values);
 }
 
 TEST(CrowdServer, LateReportsAreIgnored) {

@@ -1,0 +1,199 @@
+#include "data/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace dptd::data {
+namespace {
+
+TEST(ObservationMatrixBuilder, BuildsSimpleMatrix) {
+  ObservationMatrixBuilder builder(3, 4);
+  EXPECT_EQ(builder.num_users(), 3u);
+  EXPECT_EQ(builder.num_objects(), 4u);
+
+  const std::vector<std::uint64_t> objects{0, 2};
+  const std::vector<double> values{1.5, -2.0};
+  EXPECT_TRUE(builder.add_row(1, objects, values));
+  EXPECT_TRUE(builder.has_row(1));
+  EXPECT_FALSE(builder.has_row(0));
+  EXPECT_EQ(builder.rows_ingested(), 1u);
+  EXPECT_EQ(builder.observation_count(), 2u);
+
+  const ObservationMatrix obs = builder.finalize();
+  EXPECT_EQ(obs.num_users(), 3u);
+  EXPECT_EQ(obs.num_objects(), 4u);
+  EXPECT_EQ(obs.observation_count(), 2u);
+  EXPECT_DOUBLE_EQ(obs.value(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(obs.value(1, 2), -2.0);
+  EXPECT_FALSE(obs.present(0, 0));
+}
+
+TEST(ObservationMatrixBuilder, RejectsDuplicateUserRows) {
+  ObservationMatrixBuilder builder(2, 2);
+  const std::vector<std::uint64_t> objects{0};
+  const std::vector<double> first{1.0};
+  const std::vector<double> second{9.0};
+  EXPECT_TRUE(builder.add_row(0, objects, first));
+  // A re-send must be ignored wholesale: first report wins.
+  EXPECT_FALSE(builder.add_row(0, objects, second));
+  EXPECT_EQ(builder.rows_ingested(), 1u);
+  const ObservationMatrix obs = builder.finalize();
+  EXPECT_DOUBLE_EQ(obs.value(0, 0), 1.0);
+}
+
+TEST(ObservationMatrixBuilder, UnsortedAndRepeatedClaimsMatchSetSemantics) {
+  // Claims within one row may arrive in any order and repeat; the result must
+  // equal calling ObservationMatrix::set in the same claim order (last claim
+  // per object wins).
+  const std::vector<std::uint64_t> objects{3, 0, 3, 1};
+  const std::vector<double> values{5.0, 1.0, 7.0, 2.0};
+
+  ObservationMatrixBuilder builder(1, 4);
+  ASSERT_TRUE(builder.add_row(0, objects, values));
+  const ObservationMatrix streamed = builder.finalize();
+
+  ObservationMatrix batch(1, 4);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    batch.set(0, static_cast<std::size_t>(objects[i]), values[i]);
+  }
+  EXPECT_EQ(streamed, batch);
+  EXPECT_DOUBLE_EQ(streamed.value(0, 3), 7.0);
+}
+
+TEST(ObservationMatrixBuilder, ValidatesInput) {
+  EXPECT_THROW(ObservationMatrixBuilder(0, 1), std::invalid_argument);
+  EXPECT_THROW(ObservationMatrixBuilder(1, 0), std::invalid_argument);
+
+  ObservationMatrixBuilder builder(2, 3);
+  const std::vector<std::uint64_t> objects{0};
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(builder.add_row(2, objects, values), std::invalid_argument);
+  EXPECT_THROW(builder.has_row(2), std::invalid_argument);
+
+  const std::vector<std::uint64_t> bad_object{3};
+  EXPECT_THROW(builder.add_row(0, bad_object, values), std::invalid_argument);
+
+  const std::vector<double> bad_value{
+      std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(builder.add_row(0, objects, bad_value), std::invalid_argument);
+
+  const std::vector<std::uint64_t> two_objects{0, 1};
+  EXPECT_THROW(builder.add_row(0, two_objects, values),
+               std::invalid_argument);
+}
+
+TEST(ObservationMatrixBuilder, ResetAndFinalizeLeaveBuilderReusable) {
+  ObservationMatrixBuilder builder(2, 2);
+  const std::vector<std::uint64_t> objects{0, 1};
+  const std::vector<double> values{1.0, 2.0};
+  ASSERT_TRUE(builder.add_row(0, objects, values));
+
+  builder.reset();
+  EXPECT_EQ(builder.rows_ingested(), 0u);
+  EXPECT_EQ(builder.observation_count(), 0u);
+  EXPECT_FALSE(builder.has_row(0));
+
+  // Round 2 on the same builder: ingestion works again, including for the
+  // user whose round-1 row was discarded.
+  ASSERT_TRUE(builder.add_row(0, objects, values));
+  const ObservationMatrix first = builder.finalize();
+  EXPECT_EQ(first.observation_count(), 2u);
+
+  // finalize() resets too.
+  EXPECT_EQ(builder.rows_ingested(), 0u);
+  ASSERT_TRUE(builder.add_row(1, objects, values));
+  const ObservationMatrix second = builder.finalize();
+  EXPECT_EQ(second.observation_count(), 2u);
+  EXPECT_FALSE(second.present(0, 0));
+  EXPECT_TRUE(second.present(1, 0));
+}
+
+TEST(ObservationMatrixBuilder, EmptyRowCountsAsIngested) {
+  ObservationMatrixBuilder builder(2, 2);
+  EXPECT_TRUE(builder.add_row(0, {}, {}));
+  EXPECT_TRUE(builder.has_row(0));
+  EXPECT_EQ(builder.rows_ingested(), 1u);
+  EXPECT_FALSE(builder.add_row(0, {}, {}));
+  const ObservationMatrix obs = builder.finalize();
+  EXPECT_EQ(obs.observation_count(), 0u);
+}
+
+TEST(ObservationMatrixBuilder, StreamingMatchesBatchBitwise) {
+  // The headline equivalence: a synthetic matrix re-assembled row-by-row in
+  // a scrambled arrival order is bitwise identical to the batch original.
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_objects = 25;
+  config.missing_rate = 0.4;
+  config.seed = 2024;
+  const Dataset dataset = generate_synthetic(config);
+  const ObservationMatrix& batch = dataset.observations;
+
+  std::vector<std::size_t> arrival(config.num_users);
+  std::iota(arrival.begin(), arrival.end(), 0u);
+  Rng rng(99);
+  for (std::size_t i = arrival.size(); i > 1; --i) {
+    std::swap(arrival[i - 1], arrival[rng.next() % i]);
+  }
+
+  ObservationMatrixBuilder builder(config.num_users, config.num_objects);
+  for (const std::size_t user : arrival) {
+    std::vector<std::uint64_t> objects;
+    std::vector<double> values;
+    for (const auto& e : batch.user_entries(user)) {
+      objects.push_back(e.object);
+      values.push_back(e.value);
+    }
+    ASSERT_TRUE(builder.add_row(user, objects, values));
+  }
+  const ObservationMatrix streamed = builder.finalize();
+
+  EXPECT_EQ(streamed, batch);
+  // And the derived column views agree entry-for-entry.
+  for (std::size_t n = 0; n < config.num_objects; ++n) {
+    const auto a = streamed.object_entries(n);
+    const auto b = batch.object_entries(n);
+    ASSERT_EQ(a.size(), b.size()) << n;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.users[i], b.users[i]) << n;
+      EXPECT_EQ(a.values[i], b.values[i]) << n;
+    }
+  }
+}
+
+TEST(ObservationMatrixFromRows, ValidatesRows) {
+  using Entry = ObservationMatrix::Entry;
+  {
+    std::vector<std::vector<Entry>> rows{{{0, 1.0}, {2, 2.0}}};
+    const ObservationMatrix obs = ObservationMatrix::from_rows(rows, 3);
+    EXPECT_EQ(obs.num_users(), 1u);
+    EXPECT_EQ(obs.observation_count(), 2u);
+    EXPECT_EQ(obs.object_observation_count(2), 1u);
+  }
+  {
+    std::vector<std::vector<Entry>> rows{{{3, 1.0}}};
+    EXPECT_THROW(ObservationMatrix::from_rows(std::move(rows), 3),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<Entry>> unsorted{{{2, 1.0}, {0, 2.0}}};
+    EXPECT_THROW(ObservationMatrix::from_rows(std::move(unsorted), 3),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<Entry>> duplicate{{{1, 1.0}, {1, 2.0}}};
+    EXPECT_THROW(ObservationMatrix::from_rows(std::move(duplicate), 3),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace dptd::data

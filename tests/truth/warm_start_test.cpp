@@ -1,0 +1,154 @@
+// Warm-start behaviour of the truth-discovery methods: an empty seed must
+// reproduce the cold run bit-for-bit, a self-seed must converge at least as
+// fast and to the same fixed point, and malformed seeds must be rejected.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "truth/interface.h"
+#include "truth/registry.h"
+
+namespace dptd::truth {
+namespace {
+
+data::Dataset warm_dataset(std::uint64_t seed = 11) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.num_objects = 25;
+  config.missing_rate = 0.2;
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+ConvergenceCriteria tight() {
+  ConvergenceCriteria convergence;
+  convergence.tolerance = 1e-9;
+  convergence.max_iterations = 200;
+  return convergence;
+}
+
+class WarmStartMethods : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WarmStartMethods, IterativeMethodsAdvertiseSupport) {
+  const auto method = make_method(GetParam(), tight());
+  EXPECT_TRUE(method->supports_warm_start()) << GetParam();
+  EXPECT_TRUE(method_supports_warm_start(GetParam()));
+}
+
+TEST_P(WarmStartMethods, EmptySeedReproducesColdRunBitwise) {
+  const data::Dataset dataset = warm_dataset();
+  const auto method = make_method(GetParam(), tight());
+  const Result cold = method->run(dataset.observations);
+  const Result seeded = method->run_warm(dataset.observations, WarmStart{});
+  ASSERT_EQ(cold.truths.size(), seeded.truths.size());
+  for (std::size_t n = 0; n < cold.truths.size(); ++n) {
+    EXPECT_EQ(cold.truths[n], seeded.truths[n]) << GetParam() << " " << n;
+  }
+  ASSERT_EQ(cold.weights.size(), seeded.weights.size());
+  for (std::size_t s = 0; s < cold.weights.size(); ++s) {
+    EXPECT_EQ(cold.weights[s], seeded.weights[s]) << GetParam() << " " << s;
+  }
+  EXPECT_EQ(cold.iterations, seeded.iterations);
+  EXPECT_EQ(cold.converged, seeded.converged);
+}
+
+TEST_P(WarmStartMethods, SelfSeedConvergesFasterToSameFixedPoint) {
+  const data::Dataset dataset = warm_dataset();
+  const auto method = make_method(GetParam(), tight());
+  const Result cold = method->run(dataset.observations);
+  ASSERT_TRUE(cold.converged) << GetParam();
+
+  WarmStart seed;
+  seed.truths = cold.truths;
+  seed.weights = cold.weights;
+  const Result warm = method->run_warm(dataset.observations, seed);
+
+  // Starting at the fixed point, the method must stay there (within the
+  // convergence tolerance) and need no more iterations than the cold run.
+  EXPECT_TRUE(warm.converged) << GetParam();
+  EXPECT_LE(warm.iterations, cold.iterations) << GetParam();
+  for (std::size_t n = 0; n < cold.truths.size(); ++n) {
+    EXPECT_NEAR(warm.truths[n], cold.truths[n], 1e-5)
+        << GetParam() << " object " << n;
+  }
+}
+
+TEST_P(WarmStartMethods, TruthsOnlySeedWorks) {
+  const data::Dataset dataset = warm_dataset();
+  const auto method = make_method(GetParam(), tight());
+  const Result cold = method->run(dataset.observations);
+
+  WarmStart seed;
+  seed.truths = cold.truths;
+  const Result warm = method->run_warm(dataset.observations, seed);
+  EXPECT_TRUE(warm.converged) << GetParam();
+  EXPECT_LE(warm.iterations, cold.iterations) << GetParam();
+}
+
+TEST_P(WarmStartMethods, RejectsMalformedSeeds) {
+  const data::Dataset dataset = warm_dataset();
+  const auto method = make_method(GetParam(), tight());
+
+  WarmStart wrong_truths;
+  wrong_truths.truths.assign(dataset.num_objects() + 1, 1.0);
+  EXPECT_THROW(method->run_warm(dataset.observations, wrong_truths),
+               std::invalid_argument);
+
+  WarmStart wrong_weights;
+  wrong_weights.weights.assign(dataset.num_users() - 1, 1.0);
+  EXPECT_THROW(method->run_warm(dataset.observations, wrong_weights),
+               std::invalid_argument);
+
+  WarmStart non_finite;
+  non_finite.truths.assign(dataset.num_objects(), 1.0);
+  non_finite.truths[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(method->run_warm(dataset.observations, non_finite),
+               std::invalid_argument);
+
+  WarmStart negative_weight;
+  negative_weight.weights.assign(dataset.num_users(), 1.0);
+  negative_weight.weights[0] = -0.5;
+  EXPECT_THROW(method->run_warm(dataset.observations, negative_weight),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterative, WarmStartMethods,
+                         ::testing::Values("crh", "gtm", "catd"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(WarmStartBaselines, BaselinesIgnoreSeed) {
+  const data::Dataset dataset = warm_dataset();
+  for (const char* name : {"mean", "median"}) {
+    const auto method = make_method(name);
+    EXPECT_FALSE(method->supports_warm_start()) << name;
+    EXPECT_FALSE(method_supports_warm_start(name)) << name;
+
+    WarmStart seed;
+    seed.truths.assign(dataset.num_objects(), 123.0);
+    const Result cold = method->run(dataset.observations);
+    const Result warm = method->run_warm(dataset.observations, seed);
+    ASSERT_EQ(cold.truths.size(), warm.truths.size()) << name;
+    for (std::size_t n = 0; n < cold.truths.size(); ++n) {
+      EXPECT_EQ(cold.truths[n], warm.truths[n]) << name << " " << n;
+    }
+  }
+}
+
+TEST(WarmStartValidation, HelperChecksShapesAndValues) {
+  const data::Dataset dataset = warm_dataset();
+  WarmStart ok;
+  ok.truths.assign(dataset.num_objects(), 0.5);
+  ok.weights.assign(dataset.num_users(), 1.0);
+  EXPECT_NO_THROW(validate_warm_start(dataset.observations, ok));
+  EXPECT_NO_THROW(validate_warm_start(dataset.observations, WarmStart{}));
+  EXPECT_TRUE(WarmStart{}.empty());
+  EXPECT_FALSE(ok.empty());
+}
+
+}  // namespace
+}  // namespace dptd::truth
