@@ -1,0 +1,166 @@
+// Million-user capacity benchmark for the sharded aggregation subsystem:
+// a synthetic round of 1,000,000 users is routed into K ingestion shards
+// (ShardPlan routing + per-shard ObservationMatrixBuilder), finalized into a
+// ShardedMatrix, and converged end-to-end with sharded CRH. Headline
+// counters are ingest rows/sec and end-to-end seconds across shard counts;
+// results are bitwise identical at every K, so the rows differ only in time.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "data/builder.h"
+#include "data/sharding.h"
+#include "truth/crh.h"
+#include "truth/interface.h"
+
+namespace {
+
+using dptd::data::ObservationMatrix;
+using dptd::data::ObservationMatrixBuilder;
+using dptd::data::ShardedMatrix;
+using dptd::data::ShardPlan;
+
+constexpr std::size_t kMillionUsers = 1'000'000;
+constexpr std::size_t kObjects = 1'000;
+constexpr std::size_t kClaimsPerUser = 6;
+/// Big blocks keep the canonical fold coarse at this scale; every run in
+/// this file uses the same block size, so all K compare bitwise.
+constexpr std::size_t kBlock = 4'096;
+
+/// One user's report, generated procedurally (cheap xorshift noise around a
+/// per-object truth) so data generation never dominates the ingest timing.
+struct ReportRow {
+  std::vector<std::uint64_t> objects;
+  std::vector<double> values;
+};
+
+inline std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+ReportRow make_row(std::size_t user) {
+  ReportRow row;
+  row.objects.reserve(kClaimsPerUser);
+  row.values.reserve(kClaimsPerUser);
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ (user * 0xbf58476d1ce4e5b9ull);
+  // A strided object walk gives every object ~equal coverage without
+  // duplicate claims inside one report.
+  const std::size_t start = xorshift(rng) % kObjects;
+  const std::size_t stride = 1 + xorshift(rng) % 97;
+  for (std::size_t j = 0; j < kClaimsPerUser; ++j) {
+    const std::size_t object = (start + j * stride) % kObjects;
+    const double truth = static_cast<double>(object % 50);
+    const double noise =
+        (static_cast<double>(xorshift(rng) % 2'000'001) - 1'000'000.0) / 1e6;
+    row.objects.push_back(object);
+    row.values.push_back(truth + noise);
+  }
+  return row;
+}
+
+/// Routes `users` synthetic reports into K per-shard builders and finalizes
+/// them into the sharded matrix. Returns the matrix and the pure-ingest time.
+ShardedMatrix ingest_round(std::size_t users, std::size_t num_shards,
+                           double* ingest_seconds) {
+  const ShardPlan plan = ShardPlan::create(users, num_shards, kBlock);
+  std::vector<ObservationMatrixBuilder> builders;
+  builders.reserve(plan.num_shards);
+  for (std::size_t i = 0; i < plan.num_shards; ++i) {
+    builders.emplace_back(plan.shard_num_users(i), kObjects);
+  }
+
+  dptd::Stopwatch timer;
+  for (std::size_t user = 0; user < users; ++user) {
+    const ReportRow row = make_row(user);
+    const std::size_t shard = plan.shard_of_user(user);
+    builders[shard].add_row(user - plan.user_begin(shard), row.objects,
+                            row.values);
+  }
+  std::vector<ObservationMatrix> shards;
+  shards.reserve(builders.size());
+  for (ObservationMatrixBuilder& builder : builders) {
+    shards.push_back(builder.finalize());
+  }
+  *ingest_seconds = timer.elapsed_seconds();
+  return ShardedMatrix::from_shards(plan, std::move(shards), kObjects);
+}
+
+/// Full capacity round at 1M users: ingest + sharded CRH convergence.
+/// Arg 0 = shard count; all counts publish bitwise-identical truths.
+void BM_MillionUserRound(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  dptd::truth::CrhConfig config;
+  config.convergence.tolerance = 1e-6;
+  config.convergence.max_iterations = 30;
+  config.num_threads = 0;  // all cores
+  const dptd::truth::Crh crh(config);
+
+  double ingest_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    double ingest = 0.0;
+    const ShardedMatrix matrix =
+        ingest_round(kMillionUsers, num_shards, &ingest);
+    dptd::Stopwatch agg;
+    const dptd::truth::Result result = crh.run_sharded(matrix);
+    aggregate_seconds += agg.elapsed_seconds();
+    benchmark::DoNotOptimize(result.truths.data());
+    ingest_seconds += ingest;
+    ++rounds;
+    iterations += result.iterations;
+  }
+  const auto per_round = [&](double total) {
+    return rounds > 0 ? total / static_cast<double>(rounds) : 0.0;
+  };
+  state.counters["ingest_rows_per_sec"] = benchmark::Counter(
+      ingest_seconds > 0.0
+          ? static_cast<double>(rounds * kMillionUsers) / ingest_seconds
+          : 0.0);
+  state.counters["ingest_seconds"] = benchmark::Counter(per_round(ingest_seconds));
+  state.counters["aggregate_seconds"] =
+      benchmark::Counter(per_round(aggregate_seconds));
+  state.counters["td_iterations"] =
+      benchmark::Counter(per_round(static_cast<double>(iterations)));
+}
+BENCHMARK(BM_MillionUserRound)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Pure routing + builder ingest throughput at a smaller fleet, isolating
+/// the per-report cost of the sharded ingestion front end.
+void BM_ShardedIngestOnly(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kUsers = 100'000;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    double ingest = 0.0;
+    const ShardedMatrix matrix = ingest_round(kUsers, num_shards, &ingest);
+    benchmark::DoNotOptimize(matrix.observation_count());
+    rows += kUsers;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedIngestOnly)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->ArgName("shards")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

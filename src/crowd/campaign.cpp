@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/distributions.h"
 #include "common/statistics.h"
+#include "crowd/sharded_server.h"
 #include "truth/registry.h"
 
 namespace dptd::crowd {
@@ -70,7 +71,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   server_config.collection_window_seconds = session.collection_window_seconds;
   server_config.num_objects = N;
   server_config.warm_start = config.warm_start;
-  CrowdServer server(server_config,
+  server_config.num_shards = session.num_shards;
+  server_config.stats_block_size = session.stats_block_size;
+  // num_shards > 1 serves the campaign through the sharded ingestion path;
+  // round outcomes are bitwise identical either way (same canonical block
+  // size), so the knob only changes how the service scales.
+  RoundServer server(server_config,
                      truth::make_method(session.method, session.convergence),
                      network);
 

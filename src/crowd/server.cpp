@@ -9,6 +9,77 @@
 
 namespace dptd::crowd {
 
+bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
+                          std::size_t local_user, const Report& report,
+                          std::size_t num_objects) {
+  const std::size_t count =
+      std::min(report.objects.size(), report.values.size());
+  bool clean = count == report.objects.size() && count == report.values.size();
+  for (std::size_t i = 0; clean && i < count; ++i) {
+    clean = report.objects[i] < num_objects && std::isfinite(report.values[i]);
+  }
+  if (clean) {
+    builder.add_row(local_user, report.objects, report.values);
+    return false;
+  }
+  std::vector<std::uint64_t> objects;
+  std::vector<double> values;
+  objects.reserve(count);
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (report.objects[i] >= num_objects) continue;
+    if (!std::isfinite(report.values[i])) continue;
+    objects.push_back(report.objects[i]);
+    values.push_back(report.values[i]);
+  }
+  builder.add_row(local_user, objects, values);
+  return true;
+}
+
+bool aggregate_and_publish(const ServerConfig& config,
+                           truth::TruthDiscovery& method, net::Network& network,
+                           std::uint64_t round,
+                           const std::vector<net::NodeId>& participants,
+                           const data::ShardedMatrix& matrix,
+                           truth::Result& last_result, bool& have_last_result,
+                           RoundOutcome& outcome) {
+  // Objects nobody reported on cannot be aggregated; require coverage across
+  // the union of shards and skip aggregation gracefully when violated.
+  for (std::size_t n = 0; n < config.num_objects; ++n) {
+    if (matrix.object_observation_count(n) == 0) {
+      DPTD_LOG_WARN << "round " << round
+                    << ": uncovered objects, skipping aggregation";
+      return false;
+    }
+  }
+
+  Stopwatch timer;
+  truth::WarmStart seed;
+  if (config.warm_start && have_last_result && method.supports_warm_start()) {
+    seed.truths = last_result.truths;
+    // Participant counts can change between rounds; only reuse weights when
+    // the user population still lines up.
+    if (last_result.weights.size() == matrix.num_users()) {
+      seed.weights = last_result.weights;
+    }
+    outcome.warm_started = true;
+  }
+  outcome.result = method.run_sharded(matrix, seed);
+  outcome.aggregation_seconds = timer.elapsed_seconds();
+  last_result = outcome.result;
+  have_last_result = true;
+
+  ResultPublish publish;
+  publish.round = round;
+  publish.truths = outcome.result.truths;
+  const std::vector<std::uint8_t> payload = publish.encode();
+  for (net::NodeId user : participants) {
+    network.send(
+        make_message(config.id, user, MessageType::kResultPublish, payload));
+  }
+  return true;
+}
+
 CrowdServer::CrowdServer(ServerConfig config,
                          std::unique_ptr<truth::TruthDiscovery> method,
                          net::Network& network)
@@ -19,6 +90,8 @@ CrowdServer::CrowdServer(ServerConfig config,
                "CrowdServer: collection window must be positive");
   DPTD_REQUIRE(config_.num_objects > 0,
                "CrowdServer: num_objects must be positive");
+  DPTD_REQUIRE(config_.stats_block_size > 0,
+               "CrowdServer: stats_block_size must be positive");
   network_->attach(config_.id, *this);
 }
 
@@ -32,6 +105,7 @@ void CrowdServer::start_round(std::uint64_t round,
   builder_.emplace(participants_.size(), config_.num_objects);
   rejected_ = 0;
   duplicates_ = 0;
+  malformed_ = 0;
 
   TaskAnnounce task;
   task.round = round;
@@ -85,34 +159,11 @@ void CrowdServer::ingest_report(const Report& report) {
     return;
   }
 
-  // Sanitize the claim list exactly as the batch assembler did — skip
-  // out-of-range objects — plus non-finite values, which would previously
-  // abort aggregation at the deadline. The clean path (no malformed claim)
-  // ingests the decoded arrays directly, no copy.
-  const std::size_t count =
-      std::min(report.objects.size(), report.values.size());
-  bool clean = count == report.objects.size() && count == report.values.size();
-  for (std::size_t i = 0; clean && i < count; ++i) {
-    clean = report.objects[i] < config_.num_objects &&
-            std::isfinite(report.values[i]);
+  if (ingest_report_claims(*builder_, user, report, config_.num_objects)) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
+                  << " sent malformed claims, ingested the valid subset";
+    ++malformed_;
   }
-  if (clean) {
-    builder_->add_row(user, report.objects, report.values);
-    return;
-  }
-  DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
-                << " sent malformed claims, ingesting the valid subset";
-  std::vector<std::uint64_t> objects;
-  std::vector<double> values;
-  objects.reserve(count);
-  values.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    if (report.objects[i] >= config_.num_objects) continue;
-    if (!std::isfinite(report.values[i])) continue;
-    objects.push_back(report.objects[i]);
-    values.push_back(report.values[i]);
-  }
-  builder_->add_row(user, objects, values);
 }
 
 void CrowdServer::finish_round() {
@@ -125,6 +176,8 @@ void CrowdServer::finish_round() {
   outcome.reports_received = builder_->rows_ingested();
   outcome.reports_rejected = rejected_;
   outcome.duplicates_ignored = duplicates_;
+  outcome.shard_stats = {ShardIngestStats{builder_->rows_ingested(),
+                                          duplicates_, malformed_}};
 
   if (builder_->rows_ingested() == 0) {
     DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
@@ -133,53 +186,16 @@ void CrowdServer::finish_round() {
   }
 
   // The matrix was assembled incrementally as reports arrived; the deadline
-  // only moves the accumulated rows into the dual-indexed form.
+  // only moves the accumulated rows into the dual-indexed form. The
+  // single-shard view runs the same sufficient-statistics engine
+  // ShardedServer reduces across K shards: at equal stats_block_size the two
+  // servers publish bitwise-identical truths.
   const data::ObservationMatrix obs = builder_->finalize();
-
-  // Objects nobody reported on cannot be aggregated; require coverage (the
-  // session layer guarantees it for honest workloads) and skip aggregation
-  // gracefully when violated.
-  bool full_coverage = true;
-  for (std::size_t n = 0; n < config_.num_objects; ++n) {
-    if (obs.object_observation_count(n) == 0) {
-      full_coverage = false;
-      break;
-    }
-  }
-  if (!full_coverage) {
-    DPTD_LOG_WARN << "round " << current_round_
-                  << ": uncovered objects, skipping aggregation";
-    outcomes_.push_back(std::move(outcome));
-    return;
-  }
-
-  Stopwatch timer;
-  if (config_.warm_start && have_last_result_ &&
-      method_->supports_warm_start()) {
-    truth::WarmStart seed;
-    seed.truths = last_result_.truths;
-    // Participant counts can change between rounds; only reuse weights when
-    // the user population still lines up.
-    if (last_result_.weights.size() == obs.num_users()) {
-      seed.weights = last_result_.weights;
-    }
-    outcome.result = method_->run_warm(obs, seed);
-    outcome.warm_started = true;
-  } else {
-    outcome.result = method_->run(obs);
-  }
-  outcome.aggregation_seconds = timer.elapsed_seconds();
-  last_result_ = outcome.result;
-  have_last_result_ = true;
-
-  ResultPublish publish;
-  publish.round = current_round_;
-  publish.truths = outcome.result.truths;
-  const std::vector<std::uint8_t> payload = publish.encode();
-  for (net::NodeId user : participants_) {
-    network_->send(
-        make_message(config_.id, user, MessageType::kResultPublish, payload));
-  }
+  aggregate_and_publish(config_, *method_, *network_, current_round_,
+                        participants_,
+                        data::ShardedMatrix::single(obs,
+                                                    config_.stats_block_size),
+                        last_result_, have_last_result_, outcome);
   outcomes_.push_back(std::move(outcome));
 }
 

@@ -21,6 +21,7 @@
 #include "crowd/protocol.h"
 #include "data/builder.h"
 #include "data/dataset.h"
+#include "data/sharding.h"
 #include "net/network.h"
 #include "truth/interface.h"
 
@@ -37,6 +38,23 @@ struct ServerConfig {
   /// truths/weights (honored by iterative methods; no-op for baselines and
   /// for the first round).
   bool warm_start = false;
+  /// Ingestion shards for ShardedServer (clamped to the number of canonical
+  /// user blocks each round). CrowdServer, the single-server path, ignores
+  /// it. Aggregation results are bitwise identical for every value.
+  std::size_t num_shards = 1;
+  /// Canonical sufficient-statistics block size of the sharded aggregation
+  /// path; runs compare bitwise only at equal block sizes.
+  std::size_t stats_block_size = data::kDefaultStatsBlockSize;
+};
+
+/// Per-shard ingestion accounting for one round. CrowdServer reports one
+/// entry (the whole fleet), ShardedServer one per ingestion shard, so the
+/// outcome schema — including the malformed counter — is uniform across the
+/// scaling knob.
+struct ShardIngestStats {
+  std::size_t reports_received = 0;   ///< distinct users landed on this shard
+  std::size_t duplicates_ignored = 0; ///< re-sends routed to this shard
+  std::size_t malformed_reports = 0;  ///< reports needing claim sanitization
 };
 
 struct RoundOutcome {
@@ -45,10 +63,38 @@ struct RoundOutcome {
   std::size_t reports_expected = 0;
   std::size_t reports_rejected = 0;   ///< dropped: unknown user / undecodable
   std::size_t duplicates_ignored = 0; ///< re-sends from already-counted users
+  /// Per-shard rollup (one entry on CrowdServer); the scalar counters above
+  /// are the sums across shards plus unroutable rejects.
+  std::vector<ShardIngestStats> shard_stats;
   truth::Result result;
   double aggregation_seconds = 0.0;  ///< wall-clock spent in truth discovery
   bool warm_started = false;         ///< truth discovery was seeded
 };
+
+/// Sanitizes a decoded report's claim list exactly like the batch assembler
+/// (out-of-range objects and non-finite values are dropped, mismatched array
+/// tails truncated) and ingests the valid subset into `builder` under
+/// `local_user`. Shared by CrowdServer and ShardedServer so the two ingestion
+/// paths can never diverge. Returns true when anything had to be dropped
+/// (a malformed report); the clean path ingests the decoded arrays directly,
+/// no copy. The caller must have dedup-checked `local_user` already.
+bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
+                          std::size_t local_user, const Report& report,
+                          std::size_t num_objects);
+
+/// Round-close tail shared by CrowdServer and ShardedServer: object-coverage
+/// check over the (possibly sharded) matrix, warm-seed construction, the
+/// run_sharded aggregation call, the ResultPublish fan-out, and the
+/// warm-state update. Returns false when uncovered objects forced the round
+/// to skip aggregation. Keeping this in one place is what guarantees the two
+/// servers publish bitwise-identical outcomes.
+bool aggregate_and_publish(const ServerConfig& config,
+                           truth::TruthDiscovery& method, net::Network& network,
+                           std::uint64_t round,
+                           const std::vector<net::NodeId>& participants,
+                           const data::ShardedMatrix& matrix,
+                           truth::Result& last_result, bool& have_last_result,
+                           RoundOutcome& outcome);
 
 class CrowdServer final : public net::Node {
  public:
@@ -82,6 +128,7 @@ class CrowdServer final : public net::Node {
   std::optional<data::ObservationMatrixBuilder> builder_;
   std::size_t rejected_ = 0;
   std::size_t duplicates_ = 0;
+  std::size_t malformed_ = 0;
   /// Previous round's converged state, the warm-start seed.
   truth::Result last_result_;
   bool have_last_result_ = false;

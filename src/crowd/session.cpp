@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/distributions.h"
+#include "crowd/sharded_server.h"
 #include "truth/registry.h"
 
 namespace dptd::crowd {
@@ -33,7 +34,11 @@ SessionResult run_session(const data::Dataset& dataset,
   server_config.lambda2 = config.lambda2;
   server_config.collection_window_seconds = config.collection_window_seconds;
   server_config.num_objects = N;
-  CrowdServer server(server_config,
+  server_config.num_shards = config.num_shards;
+  server_config.stats_block_size = config.stats_block_size;
+  // num_shards > 1 routes ingestion across K shard builders; aggregation is
+  // bitwise identical either way (same canonical block size).
+  RoundServer server(server_config,
                      truth::make_method(config.method, config.convergence),
                      network);
 

@@ -1,0 +1,149 @@
+#include "crowd/sharded_server.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace dptd::crowd {
+
+ShardedServer::ShardedServer(ServerConfig config,
+                             std::unique_ptr<truth::TruthDiscovery> method,
+                             net::Network& network)
+    : config_(config), method_(std::move(method)), network_(&network) {
+  DPTD_REQUIRE(method_ != nullptr, "ShardedServer: null truth-discovery method");
+  DPTD_REQUIRE(config_.lambda2 > 0.0, "ShardedServer: lambda2 must be positive");
+  DPTD_REQUIRE(config_.collection_window_seconds > 0.0,
+               "ShardedServer: collection window must be positive");
+  DPTD_REQUIRE(config_.num_objects > 0,
+               "ShardedServer: num_objects must be positive");
+  DPTD_REQUIRE(config_.num_shards > 0,
+               "ShardedServer: num_shards must be positive");
+  DPTD_REQUIRE(config_.stats_block_size > 0,
+               "ShardedServer: stats_block_size must be positive");
+  network_->attach(config_.id, *this);
+}
+
+void ShardedServer::start_round(std::uint64_t round,
+                                const std::vector<net::NodeId>& user_ids) {
+  DPTD_REQUIRE(!round_open_, "ShardedServer: a round is already open");
+  DPTD_REQUIRE(!user_ids.empty(), "ShardedServer: no participants");
+  current_round_ = round;
+  round_open_ = true;
+  participants_ = user_ids;
+  plan_ = data::ShardPlan::create(participants_.size(), config_.num_shards,
+                                  config_.stats_block_size);
+  builders_.clear();
+  builders_.reserve(plan_.num_shards);
+  for (std::size_t i = 0; i < plan_.num_shards; ++i) {
+    builders_.emplace_back(plan_.shard_num_users(i), config_.num_objects);
+  }
+  shard_stats_.assign(plan_.num_shards, ShardIngestStats{});
+  distinct_reporters_ = 0;
+  unroutable_rejected_ = 0;
+
+  TaskAnnounce task;
+  task.round = round;
+  task.lambda2 = config_.lambda2;
+  task.num_objects = config_.num_objects;
+  const std::vector<std::uint8_t> payload = task.encode();
+  for (net::NodeId user : user_ids) {
+    network_->send(make_message(config_.id, user, MessageType::kTaskAnnounce,
+                                payload));
+  }
+
+  network_->simulator().schedule(config_.collection_window_seconds,
+                                 [this] { finish_round(); });
+}
+
+void ShardedServer::on_message(const net::Message& message) {
+  if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
+  if (!round_open_) return;  // straggler after deadline
+  Report report;
+  try {
+    report = Report::decode(message.payload);
+  } catch (const DecodeError& error) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping undecodable report (" << error.what() << ")";
+    ++unroutable_rejected_;
+    return;
+  }
+  if (report.round != current_round_) return;
+  ingest_report(report);
+  if (distinct_reporters_ == participants_.size()) {
+    // Every *distinct* participant answered across all shards; no need to
+    // wait out the window (duplicate re-sends never inflate this count). The
+    // deadline event still fires but becomes a no-op.
+    finish_round();
+  }
+}
+
+void ShardedServer::ingest_report(const Report& report) {
+  // A byzantine user id cannot be routed to any shard: drop the report at
+  // the coordinator, count it, and keep collecting.
+  if (report.user_id >= participants_.size()) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping report from unknown user id "
+                  << report.user_id;
+    ++unroutable_rejected_;
+    return;
+  }
+  const auto user = static_cast<std::size_t>(report.user_id);
+  // Consistent routing: the same user always lands on the same shard, so a
+  // duplicate re-send is detected by that shard's own dedup state.
+  const std::size_t shard = plan_.shard_of_user(user);
+  const std::size_t local = user - plan_.user_begin(shard);
+  data::ObservationMatrixBuilder& builder = builders_[shard];
+  ShardIngestStats& stats = shard_stats_[shard];
+  if (builder.has_row(local)) {
+    ++stats.duplicates_ignored;
+    return;
+  }
+
+  if (ingest_report_claims(builder, local, report, config_.num_objects)) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
+                  << " sent malformed claims, ingested the valid subset on"
+                  << " shard " << shard;
+    ++stats.malformed_reports;
+  }
+  ++stats.reports_received;
+  ++distinct_reporters_;
+}
+
+void ShardedServer::finish_round() {
+  if (!round_open_) return;
+  round_open_ = false;
+
+  RoundOutcome outcome;
+  outcome.round = current_round_;
+  outcome.reports_expected = participants_.size();
+  outcome.reports_received = distinct_reporters_;
+  outcome.reports_rejected = unroutable_rejected_;
+  outcome.shard_stats = shard_stats_;
+  for (const ShardIngestStats& stats : shard_stats_) {
+    outcome.duplicates_ignored += stats.duplicates_ignored;
+  }
+
+  if (distinct_reporters_ == 0) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
+    outcomes_.push_back(std::move(outcome));
+    return;
+  }
+
+  // Each shard's sub-matrix was assembled incrementally as reports arrived;
+  // the deadline only finalizes the K builders and hands the sharded view to
+  // the coordinator's reduction (the round-close tail is shared with
+  // CrowdServer, which is what keeps the two servers bitwise identical).
+  std::vector<data::ObservationMatrix> shards;
+  shards.reserve(builders_.size());
+  for (data::ObservationMatrixBuilder& builder : builders_) {
+    shards.push_back(builder.finalize());
+  }
+  const data::ShardedMatrix matrix = data::ShardedMatrix::from_shards(
+      plan_, std::move(shards), config_.num_objects);
+  aggregate_and_publish(config_, *method_, *network_, current_round_,
+                        participants_, matrix, last_result_,
+                        have_last_result_, outcome);
+  outcomes_.push_back(std::move(outcome));
+}
+
+}  // namespace dptd::crowd

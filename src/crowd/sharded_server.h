@@ -1,0 +1,113 @@
+// Sharded aggregation server: consistent user → shard routing in front of K
+// independent ingestion shards, each owning an incrementally built sparse
+// sub-matrix of its users' reports, with a coordinator that closes the round
+// and reduces per-shard sufficient statistics through
+// truth::TruthDiscovery::run_sharded.
+//
+// Routing follows data::ShardPlan (canonical user blocks split contiguously
+// across shards), so for any shard count the published truths are bitwise
+// identical to what the single-server CrowdServer computes at the same
+// canonical block size. Dedup and byzantine accounting happen per shard
+// (a duplicate re-send always lands on the same shard as the original) and
+// are rolled up into RoundOutcome.
+//
+// Same threat model and wire protocol as CrowdServer: the server sees only
+// perturbed reports, malformed or byzantine reports are dropped or sanitized
+// and counted, and the round closes early on distinct reporters across all
+// shards — duplicate re-sends never inflate the count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crowd/protocol.h"
+#include "crowd/server.h"
+#include "data/builder.h"
+#include "data/sharding.h"
+#include "net/network.h"
+#include "truth/interface.h"
+
+namespace dptd::crowd {
+
+class ShardedServer final : public net::Node {
+ public:
+  /// `config.num_shards` requests the shard count; each round it is clamped
+  /// to the number of canonical user blocks of that round's participant set
+  /// (see data::ShardPlan::create).
+  ShardedServer(ServerConfig config,
+                std::unique_ptr<truth::TruthDiscovery> method,
+                net::Network& network);
+
+  void on_message(const net::Message& message) override;
+
+  /// Announces round `round` to `user_ids` and schedules the aggregation
+  /// deadline, exactly like CrowdServer::start_round. The server is
+  /// persistent across rounds.
+  void start_round(std::uint64_t round,
+                   const std::vector<net::NodeId>& user_ids);
+
+  const std::vector<RoundOutcome>& outcomes() const { return outcomes_; }
+  const ServerConfig& config() const { return config_; }
+  /// The open (or most recent) round's routing plan, for tests and ops.
+  const data::ShardPlan& plan() const { return plan_; }
+
+ private:
+  void finish_round();
+  void ingest_report(const Report& report);
+
+  ServerConfig config_;
+  std::unique_ptr<truth::TruthDiscovery> method_;
+  net::Network* network_;
+
+  std::uint64_t current_round_ = 0;
+  bool round_open_ = false;
+  std::vector<net::NodeId> participants_;
+  /// Per-shard streaming ingestion state for the open round.
+  data::ShardPlan plan_;
+  std::vector<data::ObservationMatrixBuilder> builders_;
+  std::vector<ShardIngestStats> shard_stats_;
+  std::size_t distinct_reporters_ = 0;  ///< across all shards (round close)
+  std::size_t unroutable_rejected_ = 0; ///< unknown user / undecodable
+  /// Previous round's converged state, the warm-start seed.
+  truth::Result last_result_;
+  bool have_last_result_ = false;
+  std::vector<RoundOutcome> outcomes_;
+};
+
+/// Owns whichever server ServerConfig::num_shards selects (CrowdServer for
+/// the single-server path, ShardedServer for K > 1) behind one start_round /
+/// outcomes surface, so orchestration code (run_session, run_campaign) never
+/// branches on the shard count itself.
+class RoundServer {
+ public:
+  RoundServer(const ServerConfig& config,
+              std::unique_ptr<truth::TruthDiscovery> method,
+              net::Network& network) {
+    if (config.num_shards > 1) {
+      sharded_.emplace(config, std::move(method), network);
+    } else {
+      flat_.emplace(config, std::move(method), network);
+    }
+  }
+
+  void start_round(std::uint64_t round,
+                   const std::vector<net::NodeId>& user_ids) {
+    if (sharded_) {
+      sharded_->start_round(round, user_ids);
+    } else {
+      flat_->start_round(round, user_ids);
+    }
+  }
+
+  const std::vector<RoundOutcome>& outcomes() const {
+    return sharded_ ? sharded_->outcomes() : flat_->outcomes();
+  }
+
+ private:
+  std::optional<CrowdServer> flat_;
+  std::optional<ShardedServer> sharded_;
+};
+
+}  // namespace dptd::crowd

@@ -1,0 +1,112 @@
+#include "data/sharding.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dptd::data {
+
+ShardPlan ShardPlan::create(std::size_t num_users, std::size_t num_shards,
+                            std::size_t block_size) {
+  DPTD_REQUIRE(num_users > 0, "ShardPlan: num_users must be positive");
+  DPTD_REQUIRE(num_shards > 0, "ShardPlan: num_shards must be positive");
+  DPTD_REQUIRE(block_size > 0, "ShardPlan: block_size must be positive");
+  ShardPlan plan;
+  plan.num_users = num_users;
+  plan.block_size = block_size;
+  // Blocks are indivisible (they define the reduction order), so more shards
+  // than blocks would leave some shards without users.
+  plan.num_shards = std::min(num_shards, plan.num_blocks());
+  return plan;
+}
+
+std::size_t ShardPlan::user_begin(std::size_t shard) const {
+  return std::min(block_begin(shard) * block_size, num_users);
+}
+
+ShardedMatrix ShardedMatrix::single(const ObservationMatrix& obs,
+                                    std::size_t block_size) {
+  ShardedMatrix out;
+  out.plan_ = ShardPlan::create(obs.num_users(), 1, block_size);
+  out.num_objects_ = obs.num_objects();
+  out.shards_.push_back(&obs);
+  return out;
+}
+
+ShardedMatrix ShardedMatrix::partition(const ObservationMatrix& obs,
+                                       std::size_t num_shards,
+                                       std::size_t block_size) {
+  const ShardPlan plan =
+      ShardPlan::create(obs.num_users(), num_shards, block_size);
+  std::vector<ObservationMatrix> shards;
+  shards.reserve(plan.num_shards);
+  for (std::size_t i = 0; i < plan.num_shards; ++i) {
+    std::vector<std::vector<ObservationMatrix::Entry>> rows(
+        plan.shard_num_users(i));
+    for (std::size_t local = 0; local < rows.size(); ++local) {
+      const auto row = obs.user_entries(plan.user_begin(i) + local);
+      rows[local].assign(row.begin(), row.end());
+    }
+    shards.push_back(
+        ObservationMatrix::from_rows(std::move(rows), obs.num_objects()));
+  }
+  return from_shards(plan, std::move(shards), obs.num_objects());
+}
+
+ShardedMatrix ShardedMatrix::from_shards(const ShardPlan& plan,
+                                         std::vector<ObservationMatrix> shards,
+                                         std::size_t num_objects) {
+  DPTD_REQUIRE(plan == ShardPlan::create(plan.num_users, plan.num_shards,
+                                         plan.block_size),
+               "ShardedMatrix: plan is not normalized");
+  DPTD_REQUIRE(shards.size() == plan.num_shards,
+               "ShardedMatrix: shard count does not match the plan");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    DPTD_REQUIRE(shards[i].num_users() == plan.shard_num_users(i),
+                 "ShardedMatrix: shard user count does not match the plan");
+    DPTD_REQUIRE(shards[i].num_objects() == num_objects,
+                 "ShardedMatrix: shard object count mismatch");
+  }
+  ShardedMatrix out;
+  out.plan_ = plan;
+  out.num_objects_ = num_objects;
+  out.owned_ = std::move(shards);
+  out.shards_.reserve(out.owned_.size());
+  for (const ObservationMatrix& m : out.owned_) out.shards_.push_back(&m);
+  return out;
+}
+
+std::size_t ShardedMatrix::observation_count() const {
+  std::size_t total = 0;
+  for (const ObservationMatrix* m : shards_) total += m->observation_count();
+  return total;
+}
+
+std::span<const ObservationMatrix::Entry> ShardedMatrix::user_row(
+    std::size_t user) const {
+  DPTD_REQUIRE(user < num_users(), "ShardedMatrix: user out of range");
+  const std::size_t s = plan_.shard_of_user(user);
+  return shards_[s]->user_entries(user - plan_.user_begin(s));
+}
+
+std::size_t ShardedMatrix::object_observation_count(std::size_t object) const {
+  std::size_t total = 0;
+  for (const ObservationMatrix* m : shards_) {
+    total += m->object_observation_count(object);
+  }
+  return total;
+}
+
+ObservationMatrix ShardedMatrix::concatenated() const {
+  std::vector<std::vector<ObservationMatrix::Entry>> rows(num_users());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t base = user_base(i);
+    for (std::size_t local = 0; local < shards_[i]->num_users(); ++local) {
+      const auto row = shards_[i]->user_entries(local);
+      rows[base + local].assign(row.begin(), row.end());
+    }
+  }
+  return ObservationMatrix::from_rows(std::move(rows), num_objects_);
+}
+
+}  // namespace dptd::data

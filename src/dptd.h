@@ -29,12 +29,16 @@
 #include "core/mechanism.h"        // IWYU pragma: export
 #include "core/pipeline.h"         // IWYU pragma: export
 #include "core/sensitivity.h"      // IWYU pragma: export
+#include "crowd/campaign.h"        // IWYU pragma: export
 #include "crowd/device.h"          // IWYU pragma: export
 #include "crowd/protocol.h"        // IWYU pragma: export
 #include "crowd/server.h"          // IWYU pragma: export
 #include "crowd/session.h"         // IWYU pragma: export
+#include "crowd/sharded_server.h"  // IWYU pragma: export
+#include "data/builder.h"          // IWYU pragma: export
 #include "data/dataset.h"          // IWYU pragma: export
 #include "data/io.h"               // IWYU pragma: export
+#include "data/sharding.h"         // IWYU pragma: export
 #include "data/synthetic.h"        // IWYU pragma: export
 #include "eval/figures.h"          // IWYU pragma: export
 #include "eval/metrics.h"          // IWYU pragma: export
@@ -49,3 +53,4 @@
 #include "truth/gtm.h"             // IWYU pragma: export
 #include "truth/interface.h"       // IWYU pragma: export
 #include "truth/registry.h"        // IWYU pragma: export
+#include "truth/sharded_stats.h"   // IWYU pragma: export

@@ -2,32 +2,46 @@
 
 #include "common/check.h"
 #include "common/statistics.h"
+#include "truth/sharded_stats.h"
 
 namespace dptd::truth {
 
 Result MeanAggregator::run(const data::ObservationMatrix& obs) const {
+  return run_sharded(data::ShardedMatrix::single(obs));
+}
+
+Result MeanAggregator::run_sharded(const data::ShardedMatrix& shards,
+                                   const WarmStart& warm) const {
+  (void)warm;  // single-pass baseline: no state to seed
   RunPool pool(num_threads_);
   Result result;
-  result.weights.assign(obs.num_users(), 1.0);
-  result.truths = weighted_aggregate(obs, result.weights, pool.get());
+  result.weights.assign(shards.num_users(), 1.0);
+  result.truths = weighted_aggregate(shards, result.weights, pool.get());
   result.iterations = 1;
   result.converged = true;
   return result;
 }
 
 Result MedianAggregator::run(const data::ObservationMatrix& obs) const {
+  return run_sharded(data::ShardedMatrix::single(obs));
+}
+
+Result MedianAggregator::run_sharded(const data::ShardedMatrix& shards,
+                                     const WarmStart& warm) const {
+  (void)warm;  // single-pass baseline: no state to seed
   RunPool run_pool(num_threads_);
-  obs.ensure_object_index();
+  ThreadPool* pool = run_pool.get();
   Result result;
-  result.weights.assign(obs.num_users(), 1.0);
-  result.truths.resize(obs.num_objects());
-  for_each_range(run_pool.get(), obs.num_objects(),
+  result.weights.assign(shards.num_users(), 1.0);
+  result.truths.resize(shards.num_objects());
+  const GatheredColumns columns = gather_object_values(shards, pool);
+  for_each_range(pool, shards.num_objects(),
                  [&](std::size_t begin, std::size_t end) {
                    for (std::size_t n = begin; n < end; ++n) {
-                     const auto col = obs.object_entries(n);
+                     const auto col = columns.column(n);
                      DPTD_REQUIRE(!col.empty(),
                                   "MedianAggregator: object with no claims");
-                     result.truths[n] = median(col.values);
+                     result.truths[n] = median(col);
                    }
                  });
   result.iterations = 1;

@@ -14,6 +14,8 @@ class MeanAggregator final : public TruthDiscovery {
       : num_threads_(num_threads) {}
 
   Result run(const data::ObservationMatrix& observations) const override;
+  Result run_sharded(const data::ShardedMatrix& shards,
+                     const WarmStart& warm = {}) const override;
   std::string name() const override { return "mean"; }
 
  private:
@@ -28,6 +30,8 @@ class MedianAggregator final : public TruthDiscovery {
       : num_threads_(num_threads) {}
 
   Result run(const data::ObservationMatrix& observations) const override;
+  Result run_sharded(const data::ShardedMatrix& shards,
+                     const WarmStart& warm = {}) const override;
   std::string name() const override { return "median"; }
 
  private:

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/special_functions.h"
 #include "common/statistics.h"
+#include "truth/sharded_stats.h"
 
 namespace dptd::truth {
 
@@ -19,57 +20,62 @@ Catd::Catd(CatdConfig config) : config_(config) {
 }
 
 Result Catd::run(const data::ObservationMatrix& obs) const {
-  return run_impl(obs, nullptr);
+  return run_impl(data::ShardedMatrix::single(obs), nullptr);
 }
 
 Result Catd::run_warm(const data::ObservationMatrix& obs,
                       const WarmStart& warm) const {
   validate_warm_start(obs, warm);
-  return run_impl(obs, &warm);
+  return run_impl(data::ShardedMatrix::single(obs), &warm);
 }
 
-Result Catd::run_impl(const data::ObservationMatrix& obs,
+Result Catd::run_sharded(const data::ShardedMatrix& shards,
+                         const WarmStart& warm) const {
+  validate_warm_start(shards.num_users(), shards.num_objects(), warm);
+  return run_impl(shards, &warm);
+}
+
+Result Catd::run_impl(const data::ShardedMatrix& shards,
                       const WarmStart* warm) const {
-  const std::size_t S = obs.num_users();
-  const std::size_t N = obs.num_objects();
+  const std::size_t S = shards.num_users();
+  const std::size_t N = shards.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Catd::run: empty observation matrix");
 
   RunPool run_pool(config_.num_threads);
   ThreadPool* pool = run_pool.get();
-  obs.ensure_object_index();
 
   Result result;
   if (warm != nullptr && !warm->weights.empty()) {
     // Seeded start: the previous round's converged weights aggregate THIS
     // round's claims (user quality persists across rounds; truths and noise
     // do not).
-    result.truths = weighted_aggregate(obs, warm->weights, pool);
+    result.truths = weighted_aggregate(shards, warm->weights, pool);
   } else if (warm != nullptr && !warm->truths.empty()) {
     // Truths-only seed: stand in for the median initialization.
     result.truths = warm->truths;
   } else {
     // Initialize truths at per-object medians (the CATD paper's robust
-    // start).
+    // start). Columns are gathered across shards in global user order, so
+    // the copy each median sorts is the flat matrix's column.
+    const GatheredColumns columns = gather_object_values(shards, pool);
     result.truths.resize(N);
     for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
       for (std::size_t n = begin; n < end; ++n) {
-        const auto col = obs.object_entries(n);
+        const auto col = columns.column(n);
         DPTD_REQUIRE(!col.empty(), "Catd::run: object with no claims");
-        result.truths[n] = median(col.values);
+        result.truths[n] = median(col);
       }
     });
   }
 
   // Chi-squared quantiles depend only on each user's claim count; cache them.
+  // Shard-local: a user's row lives wholly on one shard.
   std::vector<double> chi2(S, 0.0);
-  for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t s = begin; s < end; ++s) {
-      const std::size_t count = obs.user_observation_count(s);
-      if (count > 0) {
-        // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
-        chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
-                                       static_cast<double>(count));
-      }
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    if (!row.empty()) {
+      // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
+      chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
+                                     static_cast<double>(row.size()));
     }
   });
 
@@ -77,23 +83,20 @@ Result Catd::run_impl(const data::ObservationMatrix& obs,
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
     // Weight update: w_s = chi2_s / sum of squared residuals, each user's
     // residual accumulated from its own row in object order.
-    for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        const auto row = obs.user_entries(s);
-        if (row.empty()) {
-          result.weights[s] = 0.0;
-          continue;
-        }
-        double residual = 0.0;
-        for (const auto& e : row) {
-          const double d = e.value - result.truths[e.object];
-          residual += d * d;
-        }
-        result.weights[s] = chi2[s] / std::max(residual, config_.min_residual);
+    for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+      if (row.empty()) {
+        result.weights[s] = 0.0;
+        return;
       }
+      double residual = 0.0;
+      for (const auto& e : row) {
+        const double d = e.value - result.truths[e.object];
+        residual += d * d;
+      }
+      result.weights[s] = chi2[s] / std::max(residual, config_.min_residual);
     });
 
-    std::vector<double> next = weighted_aggregate(obs, result.weights, pool);
+    std::vector<double> next = weighted_aggregate(shards, result.weights, pool);
     const double change = truth_change(result.truths, next);
     result.truths = std::move(next);
     result.iterations = it;

@@ -37,12 +37,18 @@ class Catd final : public TruthDiscovery {
   Result run_warm(const data::ObservationMatrix& observations,
                   const WarmStart& warm) const override;
   bool supports_warm_start() const override { return true; }
+  /// Per-shard sufficient statistics (per-object weighted sums, per-user
+  /// chi-squared confidences and residual accumulators) reduced in fixed
+  /// shard order; bitwise identical to the single-shard run for any shard
+  /// count.
+  Result run_sharded(const data::ShardedMatrix& shards,
+                     const WarmStart& warm = {}) const override;
   std::string name() const override { return "catd"; }
 
   const CatdConfig& config() const { return config_; }
 
  private:
-  Result run_impl(const data::ObservationMatrix& obs,
+  Result run_impl(const data::ShardedMatrix& shards,
                   const WarmStart* warm) const;
   CatdConfig config_;
 };

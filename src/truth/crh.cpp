@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "common/statistics.h"
+#include "truth/sharded_stats.h"
 
 namespace dptd::truth {
 namespace {
@@ -12,20 +12,18 @@ namespace {
 /// Per-object claim standard deviations for the normalized loss; zero-spread
 /// objects get 1.0 so they contribute raw squared distance. Depends only on
 /// the observations — run() computes it once and reuses it every iteration.
-std::vector<double> object_stddevs(const data::ObservationMatrix& obs,
+/// Block-chained Welford merge: identical for any shard count.
+std::vector<double> object_stddevs(const data::ShardedMatrix& shards,
                                    ThreadPool* pool) {
-  obs.ensure_object_index();
-  std::vector<double> out(obs.num_objects(), 1.0);
-  for_each_range(pool, obs.num_objects(),
-                 [&](std::size_t begin, std::size_t end) {
-                   for (std::size_t n = begin; n < end; ++n) {
-                     const auto col = obs.object_entries(n);
-                     if (col.size() >= 2) {
-                       const double sd = stddev(col.values);
-                       if (sd > 0.0) out[n] = sd;
-                     }
-                   }
-                 });
+  std::vector<RunningStats> moments(shards.num_objects());
+  fold_object_moments(shards, pool, moments);
+  std::vector<double> out(shards.num_objects(), 1.0);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    if (moments[n].count() >= 2) {
+      const double sd = moments[n].stddev();
+      if (sd > 0.0) out[n] = sd;
+    }
+  }
   return out;
 }
 
@@ -42,46 +40,44 @@ Crh::Crh(CrhConfig config) : config_(config) {
 }
 
 std::vector<double> Crh::estimate_weights_with_stddevs(
-    const data::ObservationMatrix& obs, const std::vector<double>& truths,
+    const data::ShardedMatrix& shards, const std::vector<double>& truths,
     const std::vector<double>& stddevs, ThreadPool* pool) const {
-  DPTD_REQUIRE(truths.size() == obs.num_objects(),
+  DPTD_REQUIRE(truths.size() == shards.num_objects(),
                "Crh::estimate_weights: truths size != num objects");
 
   // Per-user loss pass: each user's loss is accumulated from its own row in
-  // object order, so sharding users across threads changes nothing.
-  std::vector<double> losses(obs.num_users(), 0.0);
-  for_each_range(pool, obs.num_users(), [&](std::size_t begin,
-                                            std::size_t end) {
-    for (std::size_t s = begin; s < end; ++s) {
-      double loss = 0.0;
-      for (const auto& e : obs.user_entries(s)) {
-        const double diff = e.value - truths[e.object];
-        switch (config_.loss) {
-          case CrhLoss::kNormalizedSquared:
-            loss += diff * diff / stddevs[e.object];
-            break;
-          case CrhLoss::kSquared:
-            loss += diff * diff;
-            break;
-          case CrhLoss::kAbsolute:
-            loss += std::abs(diff);
-            break;
-        }
+  // object order — shard-local, nothing to merge.
+  std::vector<double> losses(shards.num_users(), 0.0);
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    double loss = 0.0;
+    for (const auto& e : row) {
+      const double diff = e.value - truths[e.object];
+      switch (config_.loss) {
+        case CrhLoss::kNormalizedSquared:
+          loss += diff * diff / stddevs[e.object];
+          break;
+        case CrhLoss::kSquared:
+          loss += diff * diff;
+          break;
+        case CrhLoss::kAbsolute:
+          loss += std::abs(diff);
+          break;
       }
-      losses[s] = loss;
     }
+    losses[s] = loss;
   });
 
-  double total = 0.0;
-  for (double l : losses) total += l;
+  // The only cross-user scalar: canonical block-chained sum, so the total is
+  // identical however users are sharded.
+  const double total = block_chain_sum(losses, shards.plan().block_size);
 
-  std::vector<double> weights(obs.num_users(), 0.0);
+  std::vector<double> weights(shards.num_users(), 0.0);
   if (total <= 0.0) {
     // All users agree exactly with the truths: equal (unit) weights.
     std::fill(weights.begin(), weights.end(), 1.0);
     return weights;
   }
-  for (std::size_t s = 0; s < obs.num_users(); ++s) {
+  for (std::size_t s = 0; s < shards.num_users(); ++s) {
     const double fraction =
         std::max(losses[s] / total, config_.min_loss_fraction);
     // Eq. (3): w_s = -log(loss_s / total); non-negative since fraction <= 1.
@@ -93,36 +89,42 @@ std::vector<double> Crh::estimate_weights_with_stddevs(
 std::vector<double> Crh::estimate_weights(
     const data::ObservationMatrix& obs,
     const std::vector<double>& truths) const {
+  const data::ShardedMatrix shards = data::ShardedMatrix::single(obs);
   RunPool pool(config_.num_threads);
   const std::vector<double> stddevs =
       config_.loss == CrhLoss::kNormalizedSquared
-          ? object_stddevs(obs, pool.get())
+          ? object_stddevs(shards, pool.get())
           : std::vector<double>(obs.num_objects(), 1.0);
-  return estimate_weights_with_stddevs(obs, truths, stddevs, pool.get());
+  return estimate_weights_with_stddevs(shards, truths, stddevs, pool.get());
 }
 
 Result Crh::run(const data::ObservationMatrix& obs) const {
-  return run_impl(obs, nullptr);
+  return run_impl(data::ShardedMatrix::single(obs), nullptr);
 }
 
 Result Crh::run_warm(const data::ObservationMatrix& obs,
                      const WarmStart& warm) const {
   validate_warm_start(obs, warm);
-  return run_impl(obs, &warm);
+  return run_impl(data::ShardedMatrix::single(obs), &warm);
 }
 
-Result Crh::run_impl(const data::ObservationMatrix& obs,
+Result Crh::run_sharded(const data::ShardedMatrix& shards,
+                        const WarmStart& warm) const {
+  validate_warm_start(shards.num_users(), shards.num_objects(), warm);
+  return run_impl(shards, &warm);
+}
+
+Result Crh::run_impl(const data::ShardedMatrix& shards,
                      const WarmStart* warm) const {
-  DPTD_REQUIRE(obs.num_users() > 0 && obs.num_objects() > 0,
+  DPTD_REQUIRE(shards.num_users() > 0 && shards.num_objects() > 0,
                "Crh::run: empty observation matrix");
   RunPool pool(config_.num_threads);
-  obs.ensure_object_index();
 
   // Loop-invariant per-object statistics, hoisted out of the iterations.
   const std::vector<double> stddevs =
       config_.loss == CrhLoss::kNormalizedSquared
-          ? object_stddevs(obs, pool.get())
-          : std::vector<double>(obs.num_objects(), 1.0);
+          ? object_stddevs(shards, pool.get())
+          : std::vector<double>(shards.num_objects(), 1.0);
 
   Result result;
   if (warm != nullptr && !warm->weights.empty()) {
@@ -131,22 +133,22 @@ Result Crh::run_impl(const data::ObservationMatrix& obs,
     // stale truths would (user quality persists across rounds; truths and
     // noise do not).
     result.weights = warm->weights;
-    result.truths = weighted_aggregate(obs, result.weights, pool.get());
+    result.truths = weighted_aggregate(shards, result.weights, pool.get());
   } else if (warm != nullptr && !warm->truths.empty()) {
     // Truths-only seed: enter the loop at the weight update.
     result.truths = warm->truths;
-    result.weights.assign(obs.num_users(), 1.0);
+    result.weights.assign(shards.num_users(), 1.0);
   } else {
     // Algorithm 1 line 1: uniform weight initialization.
-    result.weights.assign(obs.num_users(), 1.0);
-    result.truths = weighted_aggregate(obs, result.weights, pool.get());
+    result.weights.assign(shards.num_users(), 1.0);
+    result.truths = weighted_aggregate(shards, result.weights, pool.get());
   }
 
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
-    result.weights =
-        estimate_weights_with_stddevs(obs, result.truths, stddevs, pool.get());
+    result.weights = estimate_weights_with_stddevs(shards, result.truths,
+                                                   stddevs, pool.get());
     std::vector<double> next =
-        weighted_aggregate(obs, result.weights, pool.get());
+        weighted_aggregate(shards, result.weights, pool.get());
     const double change = truth_change(result.truths, next);
     result.truths = std::move(next);
     result.iterations = it;

@@ -45,6 +45,11 @@ class Crh final : public TruthDiscovery {
   Result run_warm(const data::ObservationMatrix& observations,
                   const WarmStart& warm) const override;
   bool supports_warm_start() const override { return true; }
+  /// Per-shard sufficient statistics (per-object weighted sums and claim
+  /// moments, per-user loss accumulators) reduced in fixed shard order;
+  /// bitwise identical to the single-shard run for any shard count.
+  Result run_sharded(const data::ShardedMatrix& shards,
+                     const WarmStart& warm = {}) const override;
   std::string name() const override { return "crh"; }
 
   const CrhConfig& config() const { return config_; }
@@ -56,10 +61,10 @@ class Crh final : public TruthDiscovery {
                                        const std::vector<double>& truths) const;
 
  private:
-  Result run_impl(const data::ObservationMatrix& obs,
+  Result run_impl(const data::ShardedMatrix& shards,
                   const WarmStart* warm) const;
   std::vector<double> estimate_weights_with_stddevs(
-      const data::ObservationMatrix& obs, const std::vector<double>& truths,
+      const data::ShardedMatrix& shards, const std::vector<double>& truths,
       const std::vector<double>& stddevs, ThreadPool* pool) const;
 
   CrhConfig config_;

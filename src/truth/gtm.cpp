@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "common/statistics.h"
+#include "truth/sharded_stats.h"
 
 namespace dptd::truth {
 
@@ -20,130 +20,136 @@ Gtm::Gtm(GtmConfig config) : config_(config) {
 }
 
 Result Gtm::run(const data::ObservationMatrix& obs) const {
-  return run_impl(obs, nullptr);
+  return run_impl(data::ShardedMatrix::single(obs), nullptr);
 }
 
 Result Gtm::run_warm(const data::ObservationMatrix& obs,
                      const WarmStart& warm) const {
   validate_warm_start(obs, warm);
-  return run_impl(obs, &warm);
+  return run_impl(data::ShardedMatrix::single(obs), &warm);
 }
 
-Result Gtm::run_impl(const data::ObservationMatrix& obs,
+Result Gtm::run_sharded(const data::ShardedMatrix& shards,
+                        const WarmStart& warm) const {
+  validate_warm_start(shards.num_users(), shards.num_objects(), warm);
+  return run_impl(shards, &warm);
+}
+
+Result Gtm::run_impl(const data::ShardedMatrix& shards,
                      const WarmStart* warm) const {
-  const std::size_t S = obs.num_users();
-  const std::size_t N = obs.num_objects();
+  const std::size_t S = shards.num_users();
+  const std::size_t N = shards.num_objects();
   DPTD_REQUIRE(S > 0 && N > 0, "Gtm::run: empty observation matrix");
   RunPool run_pool(config_.num_threads);
   ThreadPool* pool = run_pool.get();
-  obs.ensure_object_index();
 
   // Per-object standardization: z = (x - mean_n) / sd_n. Loop-invariant, so
-  // computed once from the column view (no per-object allocation).
+  // computed once as a block-chained moment fold (shard-count independent).
   std::vector<double> shift(N, 0.0);
   std::vector<double> scale(N, 1.0);
   if (config_.standardize) {
-    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t n = begin; n < end; ++n) {
-        const auto col = obs.object_entries(n);
-        DPTD_REQUIRE(!col.empty(), "Gtm::run: object with no claims");
-        shift[n] = mean(col.values);
-        if (col.size() >= 2) {
-          const double sd = stddev(col.values);
-          if (sd > 0.0) scale[n] = sd;
-        }
+    std::vector<RunningStats> moments(N);
+    fold_object_moments(shards, pool, moments);
+    for (std::size_t n = 0; n < N; ++n) {
+      DPTD_REQUIRE(moments[n].count() > 0, "Gtm::run: object with no claims");
+      shift[n] = moments[n].mean();
+      if (moments[n].count() >= 2) {
+        const double sd = moments[n].stddev();
+        if (sd > 0.0) scale[n] = sd;
       }
-    });
+    }
   }
   const auto standardized = [&](std::size_t n, double v) {
     return (v - shift[n]) / scale[n];
   };
 
-  // Initialize truths at the per-object median (robust start), in
-  // standardized space — or from the warm-start seed.
+  const double prior_precision = 1.0 / config_.truth_prior_variance;
+  const double prior_weighted =
+      config_.truth_prior_mean / config_.truth_prior_variance;
+
+  // E-step as a sufficient-statistics fold: per-object precision and
+  // precision-weighted sums start at the prior terms and accumulate
+  // per-claim contributions in canonical block order.
+  std::vector<double> precision(N, 0.0);
+  std::vector<double> weighted_sum(N, 0.0);
   std::vector<double> truth_mean(N, 0.0);
   std::vector<double> truth_var(N, 0.0);
+  const auto posterior_pass = [&](const std::vector<double>& precisions) {
+    std::fill(precision.begin(), precision.end(), prior_precision);
+    std::fill(weighted_sum.begin(), weighted_sum.end(), prior_weighted);
+    fold_object_stats<2>(
+        shards, pool,
+        [&](std::size_t user, std::size_t n, double value,
+            std::array<double, 2>& contrib) {
+          const double p = precisions[user];
+          contrib[0] = p;
+          contrib[1] = p * standardized(n, value);
+        },
+        {precision.data(), weighted_sum.data()});
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        truth_mean[n] = weighted_sum[n] / precision[n];
+        truth_var[n] = 1.0 / precision[n];
+      }
+    });
+  };
+
+  // Initialize truths at the per-object median (robust start), in
+  // standardized space — or from the warm-start seed.
   if (warm != nullptr && !warm->weights.empty()) {
     // Seeded E-step: GTM's weights ARE per-user precisions (1/sigma_s^2),
     // so one posterior pass with the previous round's precisions over THIS
     // round's claims gives the starting truth estimates.
-    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t n = begin; n < end; ++n) {
-        double precision = 1.0 / config_.truth_prior_variance;
-        double weighted_sum =
-            config_.truth_prior_mean / config_.truth_prior_variance;
-        const auto col = obs.object_entries(n);
-        for (std::size_t i = 0; i < col.size(); ++i) {
-          const double p = warm->weights[col.users[i]];
-          precision += p;
-          weighted_sum += p * standardized(n, col.values[i]);
-        }
-        truth_mean[n] = weighted_sum / precision;
-        truth_var[n] = 1.0 / precision;
-      }
-    });
+    posterior_pass(warm->weights);
   } else if (warm != nullptr && !warm->truths.empty()) {
     for (std::size_t n = 0; n < N; ++n) {
       truth_mean[n] = standardized(n, warm->truths[n]);
     }
   } else {
+    const GatheredColumns columns = gather_object_values(shards, pool);
     for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      std::vector<double> values;  // per-shard scratch for the median copy
+      std::vector<double> values;  // per-range scratch for the median copy
       for (std::size_t n = begin; n < end; ++n) {
-        const auto col = obs.object_entries(n);
-        values.assign(col.values.begin(), col.values.end());
+        const auto col = columns.column(n);
+        DPTD_REQUIRE(!col.empty(), "Gtm::run: object with no claims");
+        values.assign(col.begin(), col.end());
         for (double& v : values) v = standardized(n, v);
         truth_mean[n] = median(values);
       }
     });
   }
 
-  std::vector<double> quality(S, 1.0);  // sigma_s^2 in standardized space
+  std::vector<double> quality(S, 1.0);    // sigma_s^2 in standardized space
+  std::vector<double> precisions(S, 1.0); // 1 / quality, the E-step input
   std::vector<double> prev_truths = truth_mean;
 
   Result result;
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
     // M-step: MAP variance per user given current truth posteriors.
     //   sigma_s^2 = (beta + 0.5 sum_n [(z - m_n)^2 + v_n]) / (alpha + 1 + N_s/2)
-    // Each user's residual comes from its own row in object order.
-    for_each_range(pool, S, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        const auto row = obs.user_entries(s);
-        if (row.empty()) {
-          quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
-          continue;
-        }
-        double resid = 0.0;
-        for (const auto& e : row) {
-          const double z = standardized(e.object, e.value);
-          const double d = z - truth_mean[e.object];
-          resid += d * d + truth_var[e.object];
-        }
-        const double numerator = config_.quality_prior_beta + 0.5 * resid;
-        const double denominator = config_.quality_prior_alpha + 1.0 +
-                                   0.5 * static_cast<double>(row.size());
-        quality[s] = std::max(numerator / denominator, config_.min_variance);
+    // Each user's residual comes from its own row — shard-local, no merge.
+    for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+      if (row.empty()) {
+        quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
+        precisions[s] = 1.0 / quality[s];
+        return;
       }
+      double resid = 0.0;
+      for (const auto& e : row) {
+        const double z = standardized(e.object, e.value);
+        const double d = z - truth_mean[e.object];
+        resid += d * d + truth_var[e.object];
+      }
+      const double numerator = config_.quality_prior_beta + 0.5 * resid;
+      const double denominator = config_.quality_prior_alpha + 1.0 +
+                                 0.5 * static_cast<double>(row.size());
+      quality[s] = std::max(numerator / denominator, config_.min_variance);
+      precisions[s] = 1.0 / quality[s];
     });
 
-    // E-step: Gaussian posterior of each truth, accumulated per object from
-    // the column view in ascending user order.
-    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t n = begin; n < end; ++n) {
-        double precision = 1.0 / config_.truth_prior_variance;
-        double weighted_sum =
-            config_.truth_prior_mean / config_.truth_prior_variance;
-        const auto col = obs.object_entries(n);
-        for (std::size_t i = 0; i < col.size(); ++i) {
-          const double z = standardized(n, col.values[i]);
-          const double p = 1.0 / quality[col.users[i]];
-          precision += p;
-          weighted_sum += p * z;
-        }
-        truth_mean[n] = weighted_sum / precision;
-        truth_var[n] = 1.0 / precision;
-      }
-    });
+    // E-step: Gaussian posterior of each truth from the merged per-object
+    // precision statistics.
+    posterior_pass(precisions);
 
     result.iterations = it;
     const double change = truth_change(prev_truths, truth_mean);

@@ -43,12 +43,17 @@ class Gtm final : public TruthDiscovery {
   Result run_warm(const data::ObservationMatrix& observations,
                   const WarmStart& warm) const override;
   bool supports_warm_start() const override { return true; }
+  /// Per-shard sufficient statistics (per-object posterior precision sums and
+  /// claim moments, per-user residual accumulators) reduced in fixed shard
+  /// order; bitwise identical to the single-shard run for any shard count.
+  Result run_sharded(const data::ShardedMatrix& shards,
+                     const WarmStart& warm = {}) const override;
   std::string name() const override { return "gtm"; }
 
   const GtmConfig& config() const { return config_; }
 
  private:
-  Result run_impl(const data::ObservationMatrix& obs,
+  Result run_impl(const data::ShardedMatrix& shards,
                   const WarmStart* warm) const;
   GtmConfig config_;
 };

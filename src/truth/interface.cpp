@@ -3,29 +3,38 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "truth/sharded_stats.h"
 
 namespace dptd::truth {
 
 std::vector<double> Result::normalized_weights() const {
   double total = 0.0;
   for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // No quality signal at all (every weight zero): the only distribution
+    // that treats users consistently is the uniform one. Returning zeros
+    // here would silently break "sums to 1" invariants downstream.
+    return std::vector<double>(weights.size(),
+                               weights.empty()
+                                   ? 0.0
+                                   : 1.0 / static_cast<double>(weights.size()));
+  }
   std::vector<double> out(weights.size(), 0.0);
-  if (total <= 0.0) return out;
   for (std::size_t s = 0; s < weights.size(); ++s) out[s] = weights[s] / total;
   return out;
 }
 
-void validate_warm_start(const data::ObservationMatrix& observations,
+void validate_warm_start(std::size_t num_users, std::size_t num_objects,
                          const WarmStart& warm) {
   if (!warm.truths.empty()) {
-    DPTD_REQUIRE(warm.truths.size() == observations.num_objects(),
+    DPTD_REQUIRE(warm.truths.size() == num_objects,
                  "WarmStart: truths size != num objects");
     for (double t : warm.truths) {
       DPTD_REQUIRE(std::isfinite(t), "WarmStart: non-finite truth");
     }
   }
   if (!warm.weights.empty()) {
-    DPTD_REQUIRE(warm.weights.size() == observations.num_users(),
+    DPTD_REQUIRE(warm.weights.size() == num_users,
                  "WarmStart: weights size != num users");
     for (double w : warm.weights) {
       DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
@@ -34,40 +43,62 @@ void validate_warm_start(const data::ObservationMatrix& observations,
   }
 }
 
-std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
+void validate_warm_start(const data::ObservationMatrix& observations,
+                         const WarmStart& warm) {
+  validate_warm_start(observations.num_users(), observations.num_objects(),
+                      warm);
+}
+
+Result TruthDiscovery::run_sharded(const data::ShardedMatrix& shards,
+                                   const WarmStart& warm) const {
+  return run_warm(shards.concatenated(), warm);
+}
+
+std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
                                        const std::vector<double>& weights,
                                        ThreadPool* pool) {
-  DPTD_REQUIRE(weights.size() == obs.num_users(),
+  const std::size_t N = shards.num_objects();
+  DPTD_REQUIRE(weights.size() == shards.num_users(),
                "weighted_aggregate: weight vector size != num users");
   for (double w : weights) {
     DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
                  "weighted_aggregate: weights must be finite and >= 0");
   }
-  obs.ensure_object_index();
-  std::vector<double> truths(obs.num_objects(), 0.0);
-  for_each_range(pool, obs.num_objects(), [&](std::size_t begin,
-                                              std::size_t end) {
+  std::vector<double> weighted_sum(N, 0.0);
+  std::vector<double> weight_sum(N, 0.0);
+  std::vector<double> plain_sum(N, 0.0);
+  std::vector<std::size_t> counts(N, 0);
+  fold_object_stats<3>(
+      shards, pool,
+      [&](std::size_t user, std::size_t, double value,
+          std::array<double, 3>& contrib) {
+        contrib[0] = weights[user] * value;
+        contrib[1] = weights[user];
+        contrib[2] = value;
+      },
+      {weighted_sum.data(), weight_sum.data(), plain_sum.data()},
+      counts.data());
+
+  std::vector<double> truths(N, 0.0);
+  for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
     for (std::size_t n = begin; n < end; ++n) {
-      const auto col = obs.object_entries(n);
-      DPTD_REQUIRE(!col.empty(), "weighted_aggregate: object with no claims");
-      double weighted_sum = 0.0;
-      double weight_sum = 0.0;
-      double plain_sum = 0.0;
-      for (std::size_t i = 0; i < col.size(); ++i) {
-        weighted_sum += weights[col.users[i]] * col.values[i];
-        weight_sum += weights[col.users[i]];
-        plain_sum += col.values[i];
-      }
-      if (weight_sum > 0.0) {
-        truths[n] = weighted_sum / weight_sum;
+      DPTD_REQUIRE(counts[n] > 0, "weighted_aggregate: object with no claims");
+      if (weight_sum[n] > 0.0) {
+        truths[n] = weighted_sum[n] / weight_sum[n];
       } else {
         // Every claimant has zero weight; fall back to the unweighted mean so
         // the object still gets a defined estimate.
-        truths[n] = plain_sum / static_cast<double>(col.size());
+        truths[n] = plain_sum[n] / static_cast<double>(counts[n]);
       }
     }
   });
   return truths;
+}
+
+std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool) {
+  return weighted_aggregate(data::ShardedMatrix::single(obs), weights, pool);
 }
 
 double truth_change(const std::vector<double>& a,

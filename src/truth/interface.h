@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "data/sharding.h"
 
 namespace dptd::truth {
 
@@ -29,7 +30,10 @@ struct Result {
   std::size_t iterations = 0;   ///< iterations actually executed
   bool converged = false;       ///< true if tolerance was reached
 
-  /// Weights rescaled to sum to 1 (convenience for comparisons/plots).
+  /// Weights rescaled to sum to 1 (convenience for comparisons/plots). When
+  /// every weight is zero (e.g. a degenerate one-iteration run), there is no
+  /// quality signal to rescale, so the uniform distribution is returned
+  /// instead of dividing by zero.
   std::vector<double> normalized_weights() const;
 };
 
@@ -46,6 +50,8 @@ struct WarmStart {
 
 /// Throws std::invalid_argument if a non-empty warm-start vector has the
 /// wrong size, a non-finite entry, or (for weights) a negative entry.
+void validate_warm_start(std::size_t num_users, std::size_t num_objects,
+                         const WarmStart& warm);
 void validate_warm_start(const data::ObservationMatrix& observations,
                          const WarmStart& warm);
 
@@ -70,6 +76,14 @@ class TruthDiscovery {
   /// True when run_warm() actually honors the seed.
   virtual bool supports_warm_start() const { return false; }
 
+  /// Runs the method over a user-sharded matrix, reducing per-shard
+  /// sufficient statistics in fixed shard order. For the registered methods
+  /// the result is bitwise identical to the single-shard run for any shard
+  /// count with the same canonical block size. The default concatenates the
+  /// shards and forwards to run_warm() (correct, but pays a full copy).
+  virtual Result run_sharded(const data::ShardedMatrix& shards,
+                             const WarmStart& warm = {}) const;
+
   /// Stable identifier ("crh", "gtm", "catd", "mean", "median").
   virtual std::string name() const = 0;
 };
@@ -79,10 +93,13 @@ class TruthDiscovery {
 /// Users with zero weight are kept (contribute nothing unless every weight on
 /// an object is zero, in which case the unweighted mean is used).
 ///
-/// Runs over the CSC-by-object view: each object's claims are accumulated in
-/// ascending user order regardless of `pool`, so results are bit-identical
-/// for any pool size (including serial).
+/// Accumulated as a canonical block-chained fold over the CSC-by-object
+/// views (see truth/sharded_stats.h), so results are bit-identical for any
+/// pool size (including serial) and any shard count.
 std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool = nullptr);
+std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
                                        const std::vector<double>& weights,
                                        ThreadPool* pool = nullptr);
 

@@ -1,0 +1,91 @@
+#include "truth/sharded_stats.h"
+
+#include "common/check.h"
+
+namespace dptd::truth {
+
+void fold_object_moments(const data::ShardedMatrix& m, ThreadPool* pool,
+                         std::span<RunningStats> out) {
+  DPTD_REQUIRE(out.size() == m.num_objects(),
+               "fold_object_moments: output size != num objects");
+  const std::size_t block_size = m.plan().block_size;
+  for (std::size_t s = 0; s < m.num_shards(); ++s) {
+    const data::ObservationMatrix& shard = m.shard(s);
+    const std::size_t base = m.user_base(s);
+    shard.ensure_object_index();
+    for_each_range(pool, m.num_objects(), [&](std::size_t begin,
+                                              std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = shard.object_entries(n);
+        if (col.empty()) continue;
+        RunningStats acc = out[n];
+        RunningStats seg;
+        std::size_t block = (base + col.users[0]) / block_size;
+        std::size_t block_end = (block + 1) * block_size - base;
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          const std::size_t user = col.users[i];  // shard-local id
+          if (user >= block_end) {
+            acc.merge(seg);
+            seg = RunningStats();
+            block = (base + user) / block_size;
+            block_end = (block + 1) * block_size - base;
+          }
+          seg.add(col.values[i]);
+        }
+        acc.merge(seg);
+        out[n] = acc;
+      }
+    });
+  }
+}
+
+GatheredColumns gather_object_values(const data::ShardedMatrix& m,
+                                     ThreadPool* pool) {
+  const std::size_t N = m.num_objects();
+  GatheredColumns out;
+  if (m.num_shards() == 1) {
+    // The lone shard's CSC cache already holds every column in user order;
+    // alias it instead of copying nnz values.
+    m.shard(0).ensure_object_index();
+    out.aliased = &m.shard(0);
+    return out;
+  }
+  out.offsets.assign(N + 1, 0);
+  for (std::size_t n = 0; n < N; ++n) {
+    out.offsets[n + 1] = out.offsets[n] + m.object_observation_count(n);
+  }
+  out.values.resize(out.offsets[N]);
+  // Shards appended in ascending order reproduce the flat matrix's columns:
+  // shard user ranges are contiguous and ascending, and each shard's column
+  // fragment is already sorted by (local, hence global) user id.
+  std::vector<std::size_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t s = 0; s < m.num_shards(); ++s) {
+    const data::ObservationMatrix& shard = m.shard(s);
+    shard.ensure_object_index();
+    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = shard.object_entries(n);
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          out.values[cursor[n] + i] = col.values[i];
+        }
+        cursor[n] += col.size();
+      }
+    });
+  }
+  return out;
+}
+
+double block_chain_sum(std::span<const double> per_user,
+                       std::size_t block_size) {
+  DPTD_REQUIRE(block_size > 0, "block_chain_sum: block_size must be positive");
+  double acc = 0.0;
+  for (std::size_t begin = 0; begin < per_user.size(); begin += block_size) {
+    const std::size_t end = std::min(begin + block_size, per_user.size());
+    double seg = 0.0;
+    for (std::size_t i = begin; i < end; ++i) seg += per_user[i];
+    acc += seg;
+  }
+  return acc;
+}
+
+}  // namespace dptd::truth

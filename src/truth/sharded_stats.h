@@ -1,0 +1,135 @@
+// Mergeable sufficient statistics for sharded truth discovery.
+//
+// Every per-object quantity the iterative methods need (weighted sums,
+// claim counts, claim moments, Gaussian-posterior precisions) is expressed as
+// a fold over *canonical user blocks* (data::ShardPlan::block_size users per
+// block): claims are summed flat in user order within a block, and block
+// partials are chained in ascending block order —
+//
+//   out[n] = ((init[n] + block_0[n]) + block_1[n]) + ...
+//
+// The coordinator reduces shards in fixed (ascending) shard order, and shard
+// boundaries are block-aligned, so the chain — and therefore every bit of
+// the result — is identical for any shard count, mirroring the 1-vs-N-thread
+// determinism guarantee of the flat kernels. Per-user quantities (losses,
+// residuals, qualities) touch only the owning shard's row and need no merge.
+//
+// In-process, "shard sends statistics to the coordinator" is fused into a
+// direct accumulation pass per shard; the communication a distributed
+// deployment would pay is O(num_objects) per iteration, not O(nnz).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/thread_pool.h"
+#include "data/sharding.h"
+
+namespace dptd::truth {
+
+/// Folds V per-claim contributions into per-object accumulators in canonical
+/// block order. `emit(global_user, object, value, contrib)` fills the V
+/// contributions of one claim; they are ADDED into `out[v][object]` (callers
+/// pre-initialize with zeros or prior terms). If `counts` is non-null, the
+/// per-object claim count is added into it. Deterministic and bitwise
+/// identical for any shard count and any `pool` size.
+template <std::size_t V, typename Emit>
+void fold_object_stats(const data::ShardedMatrix& m, ThreadPool* pool,
+                       const Emit& emit, const std::array<double*, V>& out,
+                       std::size_t* counts = nullptr) {
+  const std::size_t block_size = m.plan().block_size;
+  for (std::size_t s = 0; s < m.num_shards(); ++s) {
+    const data::ObservationMatrix& shard = m.shard(s);
+    const std::size_t base = m.user_base(s);
+    shard.ensure_object_index();
+    // Parallel across objects; shards are reduced in ascending order, so the
+    // fold chain per object is independent of the shard count.
+    for_each_range(pool, m.num_objects(), [&](std::size_t begin,
+                                              std::size_t end) {
+      std::array<double, V> contrib{};
+      for (std::size_t n = begin; n < end; ++n) {
+        const auto col = shard.object_entries(n);
+        if (col.empty()) continue;
+        if (counts != nullptr) counts[n] += col.size();
+        std::array<double, V> acc;
+        std::array<double, V> seg{};
+        for (std::size_t v = 0; v < V; ++v) acc[v] = out[v][n];
+        // Columns are user-ascending, so a segment ends exactly when the
+        // local user id reaches the current block's end — one comparison per
+        // claim, one division per segment.
+        std::size_t block = (base + col.users[0]) / block_size;
+        std::size_t block_end = (block + 1) * block_size - base;
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          const std::size_t user = col.users[i];  // shard-local id
+          if (user >= block_end) {
+            for (std::size_t v = 0; v < V; ++v) {
+              acc[v] += seg[v];
+              seg[v] = 0.0;
+            }
+            block = (base + user) / block_size;
+            block_end = (block + 1) * block_size - base;
+          }
+          emit(base + user, n, col.values[i], contrib);
+          for (std::size_t v = 0; v < V; ++v) seg[v] += contrib[v];
+        }
+        for (std::size_t v = 0; v < V; ++v) out[v][n] = acc[v] + seg[v];
+      }
+    });
+  }
+}
+
+/// Per-object claim moments (count/mean/variance) as a canonical block fold:
+/// Welford accumulation flat within a block, RunningStats::merge across
+/// blocks in ascending order. `out` must hold num_objects default-constructed
+/// accumulators. Same determinism contract as fold_object_stats.
+void fold_object_moments(const data::ShardedMatrix& m, ThreadPool* pool,
+                         std::span<RunningStats> out);
+
+/// Per-object claim values gathered across shards in global user order (the
+/// exact column a single flat matrix would expose). Loop-invariant: used only
+/// for initialization statistics that need whole columns (medians). In the
+/// single-shard case the columns alias the shard's own CSC cache — no copy;
+/// the view must then not outlive the matrix (callers use it within one run).
+struct GatheredColumns {
+  std::vector<std::size_t> offsets;  ///< size num_objects + 1 (materialized)
+  std::vector<double> values;        ///< size nnz, column-major (materialized)
+  const data::ObservationMatrix* aliased = nullptr;  ///< single-shard zero-copy
+
+  std::span<const double> column(std::size_t object) const {
+    if (aliased != nullptr) return aliased->object_entries(object).values;
+    return std::span<const double>(values).subspan(
+        offsets[object], offsets[object + 1] - offsets[object]);
+  }
+};
+GatheredColumns gather_object_values(const data::ShardedMatrix& m,
+                                     ThreadPool* pool);
+
+/// Runs fn(global_user, row) for every user. Purely per-user state: nothing
+/// to merge, so execution order is free. Iterates shard by shard — rows are
+/// contiguous local ids with one base offset, no per-user routing math — and
+/// parallelizes over each shard's users.
+template <typename Fn>
+void for_each_user_row(const data::ShardedMatrix& m, ThreadPool* pool,
+                       const Fn& fn) {
+  for (std::size_t s = 0; s < m.num_shards(); ++s) {
+    const data::ObservationMatrix& shard = m.shard(s);
+    const std::size_t base = m.user_base(s);
+    for_each_range(pool, shard.num_users(),
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t local = begin; local < end; ++local) {
+                       fn(base + local, shard.user_entries(local));
+                     }
+                   });
+  }
+}
+
+/// Canonical block-chained sum of a per-user vector (e.g. CRH's total loss):
+/// flat within each block of `block_size` users, block partials chained in
+/// ascending order. Independent of how users are sharded.
+double block_chain_sum(std::span<const double> per_user,
+                       std::size_t block_size);
+
+}  // namespace dptd::truth

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dptd {
@@ -91,6 +93,94 @@ TEST(ParallelFor, MoreWorkThanThreads) {
   std::atomic<int> counter{0};
   parallel_for(pool, 500, [&counter](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 500);
+}
+
+std::size_t oversubscribed_threads() {
+  return 8 * std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+TEST(Oversubscription, HeavilyOversubscribedPoolVisitsEveryIndexOnce) {
+  // num_threads far above the core count: workers contend for the queue and
+  // preempt each other constantly, which is exactly the regime a per-shard
+  // reduction hits when shard tasks outnumber cores.
+  ThreadPool pool(oversubscribed_threads());
+  const std::size_t n = 50'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(pool, n, [&visits](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Oversubscription, RangesCoverExactlyOnceUnderOversubscription) {
+  ThreadPool pool(oversubscribed_threads());
+  const std::size_t n = 40'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_ranges(pool, n, [&visits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Oversubscription, NestedParallelRangesAcrossTwoPools) {
+  // The sharded reduction pattern: an outer level fans out shard tasks, each
+  // of which runs its own parallel ranges on a different pool. Both pools
+  // are oversubscribed; every (outer, inner) slot must be written exactly
+  // once and the pools must drain without deadlock.
+  ThreadPool outer(oversubscribed_threads());
+  ThreadPool inner(oversubscribed_threads());
+  constexpr std::size_t kOuter = 48;
+  constexpr std::size_t kInner = 1'000;
+  std::vector<std::vector<int>> slots(kOuter, std::vector<int>(kInner, 0));
+  parallel_for(outer, kOuter, [&](std::size_t shard) {
+    parallel_for_ranges(inner, kInner,
+                        [&, shard](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            slots[shard][i] += 1;
+                          }
+                        });
+  });
+  for (std::size_t shard = 0; shard < kOuter; ++shard) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(slots[shard][i], 1) << shard << "," << i;
+    }
+  }
+}
+
+TEST(Oversubscription, ForEachRangeIsDeterministicAcrossPoolSizes) {
+  // for_each_range guards the per-shard reduction path: whatever the pool
+  // size (serial, modest, wildly oversubscribed), writes to owned slots must
+  // land identically.
+  const std::size_t n = 20'000;
+  const auto run = [n](ThreadPool* pool) {
+    std::vector<double> out(n, 0.0);
+    for_each_range(pool, n, [&out](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * 1.5 + 1.0;
+      }
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(nullptr);
+  ThreadPool modest(4);
+  ThreadPool oversubscribed(oversubscribed_threads());
+  EXPECT_EQ(serial, run(&modest));
+  EXPECT_EQ(serial, run(&oversubscribed));
+}
+
+TEST(Oversubscription, ExceptionsStillPropagateUnderOversubscription) {
+  ThreadPool pool(oversubscribed_threads());
+  EXPECT_THROW(parallel_for(pool, 10'000,
+                            [](std::size_t i) {
+                              if (i == 9'999) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // And the pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 100, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace

@@ -67,6 +67,42 @@ TEST(Campaign, TotalReportsAccumulate) {
   EXPECT_EQ(result.total_reports(), 90u);
 }
 
+TEST(Campaign, ShardedCampaignMatchesSingleServerBitwise) {
+  // The full service path — streaming ingestion, warm starts, drifting
+  // truths, churn — through K ingestion shards must publish the same truths
+  // as the single-server path, bit for bit, at equal canonical block size.
+  CampaignConfig base = small_campaign();
+  base.num_rounds = 4;
+  base.warm_start = true;
+  base.drifting_truths = true;
+  base.truth_drift_stddev = 0.05;
+  base.churn_probability = 0.1;
+  base.session.stats_block_size = 4;  // 30 users -> 8 blocks: real sharding
+
+  CampaignConfig flat = base;
+  flat.session.num_shards = 1;
+  const CampaignResult reference = run_campaign(flat);
+
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    CampaignConfig sharded = base;
+    sharded.session.num_shards = k;
+    const CampaignResult result = run_campaign(sharded);
+    ASSERT_EQ(result.rounds.size(), reference.rounds.size()) << "K=" << k;
+    for (std::size_t r = 0; r < reference.rounds.size(); ++r) {
+      const RoundRecord& a = reference.rounds[r];
+      const RoundRecord& b = result.rounds[r];
+      EXPECT_EQ(a.reports_received, b.reports_received) << "K=" << k;
+      EXPECT_EQ(a.iterations, b.iterations) << "K=" << k;
+      EXPECT_EQ(a.warm_started, b.warm_started) << "K=" << k;
+      ASSERT_EQ(a.truths.size(), b.truths.size()) << "K=" << k;
+      for (std::size_t n = 0; n < a.truths.size(); ++n) {
+        EXPECT_EQ(a.truths[n], b.truths[n])
+            << "K=" << k << " round " << r << " object " << n;
+      }
+    }
+  }
+}
+
 TEST(Campaign, RejectsBadConfig) {
   CampaignConfig config = small_campaign();
   config.num_rounds = 0;

@@ -287,6 +287,11 @@ TEST(CrowdServer, NonFiniteAndOutOfRangeClaimsAreFiltered) {
   ASSERT_EQ(server.outcomes().size(), 1u);
   const RoundOutcome& outcome = server.outcomes()[0];
   EXPECT_EQ(outcome.reports_received, 2u);
+  // The outcome schema is uniform with ShardedServer: one whole-fleet entry
+  // carrying the malformed counter.
+  ASSERT_EQ(outcome.shard_stats.size(), 1u);
+  EXPECT_EQ(outcome.shard_stats[0].reports_received, 2u);
+  EXPECT_EQ(outcome.shard_stats[0].malformed_reports, 1u);
   ASSERT_EQ(outcome.result.truths.size(), 2u);
   // Object 1 averages the honest 3.0 with the poisoned user's valid 8.0.
   EXPECT_NEAR(outcome.result.truths[1], 5.5, 1e-3);

@@ -98,12 +98,27 @@ TEST(Result, NormalizedWeightsSumToOne) {
   EXPECT_DOUBLE_EQ(norm[1], 0.75);
 }
 
-TEST(Result, NormalizedWeightsAllZeroStayZero) {
+TEST(Result, NormalizedWeightsAllZeroFallBackToUniform) {
+  // Regression: dividing by the zero total used to return all zeros, which
+  // broke "sums to 1" invariants downstream (e.g. after a degenerate
+  // one-iteration run where every weight is still zero). The only consistent
+  // rescaling of a zero quality signal is the uniform distribution.
   Result result;
   result.weights = {0.0, 0.0};
   const std::vector<double> norm = result.normalized_weights();
-  EXPECT_DOUBLE_EQ(norm[0], 0.0);
-  EXPECT_DOUBLE_EQ(norm[1], 0.0);
+  ASSERT_EQ(norm.size(), 2u);
+  EXPECT_DOUBLE_EQ(norm[0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+  EXPECT_DOUBLE_EQ(norm[0] + norm[1], 1.0);
+
+  Result three;
+  three.weights = {0.0, 0.0, 0.0};
+  const std::vector<double> uniform = three.normalized_weights();
+  for (double w : uniform) EXPECT_DOUBLE_EQ(w, 1.0 / 3.0);
+}
+
+TEST(Result, NormalizedWeightsEmptyStaysEmpty) {
+  EXPECT_TRUE(Result{}.normalized_weights().empty());
 }
 
 }  // namespace

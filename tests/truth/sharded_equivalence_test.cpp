@@ -1,0 +1,179 @@
+// Shard-equivalence guarantee of the sufficient-statistics engine: for every
+// registered method, a K-shard run is bitwise identical to the single-shard
+// run — any K, cold or warm-started, serial or pooled — because every
+// per-object statistic is reduced over canonical user blocks in fixed order
+// and shard boundaries are block-aligned.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/sharding.h"
+#include "data/synthetic.h"
+#include "truth/interface.h"
+#include "truth/registry.h"
+
+namespace dptd::truth {
+namespace {
+
+/// Small canonical block so modest test fleets still span many blocks and
+/// sharding is structurally real (several blocks per shard, ragged tails).
+constexpr std::size_t kTestBlock = 8;
+
+data::Dataset random_dataset(std::uint64_t seed, std::size_t users,
+                             std::size_t objects, double missing) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.missing_rate = missing;
+  config.lambda1 = 1.0;
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+void expect_bitwise_equal(const Result& a, const Result& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.truths.size(), b.truths.size()) << label;
+  for (std::size_t n = 0; n < a.truths.size(); ++n) {
+    // EXPECT_EQ on doubles is exact comparison — bit-identity, not closeness.
+    EXPECT_EQ(a.truths[n], b.truths[n]) << label << " truth " << n;
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size()) << label;
+  for (std::size_t s = 0; s < a.weights.size(); ++s) {
+    EXPECT_EQ(a.weights[s], b.weights[s]) << label << " weight " << s;
+  }
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+}
+
+class ShardEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardEquivalence, ColdRunsMatchSingleShardBitwiseAtEveryK) {
+  const std::string name = GetParam();
+  // Randomized workloads: ragged coverage, several fleet sizes (not multiples
+  // of the block size), different quality spreads.
+  const struct {
+    std::uint64_t seed;
+    std::size_t users, objects;
+    double missing;
+  } workloads[] = {
+      {101, 100, 12, 0.3}, {202, 57, 25, 0.5}, {303, 130, 8, 0.0}};
+  for (const auto& w : workloads) {
+    const data::Dataset dataset =
+        random_dataset(w.seed, w.users, w.objects, w.missing);
+    const auto method = make_method(name, {});
+    const Result reference = method->run_sharded(
+        data::ShardedMatrix::partition(dataset.observations, 1, kTestBlock));
+    for (const std::size_t k : {2u, 3u, 4u, 7u, 8u, 16u}) {
+      const data::ShardedMatrix sharded =
+          data::ShardedMatrix::partition(dataset.observations, k, kTestBlock);
+      expect_bitwise_equal(reference, method->run_sharded(sharded),
+                           name + " seed " + std::to_string(w.seed) + " K=" +
+                               std::to_string(k));
+    }
+  }
+}
+
+TEST_P(ShardEquivalence, WarmRunsMatchSingleShardBitwiseAtEveryK) {
+  const std::string name = GetParam();
+  const auto method = make_method(name, {});
+  if (!method->supports_warm_start()) GTEST_SKIP() << "single-pass baseline";
+
+  // Seed round r+1 from round r's converged state, the deployment pattern.
+  const data::Dataset previous = random_dataset(41, 90, 15, 0.25);
+  const data::Dataset current = random_dataset(42, 90, 15, 0.25);
+  const Result prior = method->run(previous.observations);
+  WarmStart seed;
+  seed.truths = prior.truths;
+  seed.weights = prior.weights;
+
+  const Result reference = method->run_sharded(
+      data::ShardedMatrix::partition(current.observations, 1, kTestBlock),
+      seed);
+  for (const std::size_t k : {2u, 4u, 7u, 8u, 16u}) {
+    const data::ShardedMatrix sharded =
+        data::ShardedMatrix::partition(current.observations, k, kTestBlock);
+    expect_bitwise_equal(reference, method->run_sharded(sharded, seed),
+                         name + " warm K=" + std::to_string(k));
+  }
+}
+
+TEST_P(ShardEquivalence, FlatRunMatchesShardedAtTheDefaultBlockSize) {
+  // run() is the 1-shard case of the same engine: at equal (default) block
+  // size a genuinely multi-shard run reproduces it bit-for-bit. 3000 users
+  // span 3 canonical blocks at the default block size of 1024.
+  const std::string name = GetParam();
+  const data::Dataset dataset = random_dataset(77, 3000, 10, 0.4);
+  const auto method = make_method(name, {});
+  const Result flat = method->run(dataset.observations);
+  const data::ShardedMatrix sharded =
+      data::ShardedMatrix::partition(dataset.observations, 3);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  expect_bitwise_equal(flat, method->run_sharded(sharded), name + " flat-vs-3");
+}
+
+TEST_P(ShardEquivalence, OversubscribedPoolMatchesSerialSharded) {
+  // The per-shard reduction path must stay bitwise stable when the pool has
+  // far more workers than cores (and than shards).
+  const std::string name = GetParam();
+  const data::Dataset dataset = random_dataset(55, 120, 20, 0.3);
+  const data::ShardedMatrix sharded =
+      data::ShardedMatrix::partition(dataset.observations, 4, kTestBlock);
+  const Result serial =
+      make_method(name, {}, /*num_threads=*/1)->run_sharded(sharded);
+  const Result oversubscribed =
+      make_method(name, {}, /*num_threads=*/64)->run_sharded(sharded);
+  expect_bitwise_equal(serial, oversubscribed, name + " oversubscribed");
+}
+
+TEST_P(ShardEquivalence, EmptyWarmSeedEqualsColdSharded) {
+  const std::string name = GetParam();
+  const data::Dataset dataset = random_dataset(66, 80, 12, 0.2);
+  const data::ShardedMatrix sharded =
+      data::ShardedMatrix::partition(dataset.observations, 3, kTestBlock);
+  const auto method = make_method(name, {});
+  expect_bitwise_equal(method->run_sharded(sharded),
+                       method->run_sharded(sharded, WarmStart{}),
+                       name + " empty-seed");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ShardEquivalence,
+                         ::testing::Values("crh", "gtm", "catd", "mean",
+                                           "median"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ShardEquivalence, WeightedAggregateMatchesAcrossShardCounts) {
+  const data::Dataset dataset = random_dataset(88, 110, 18, 0.35);
+  std::vector<double> weights(dataset.num_users(), 0.0);
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    weights[s] = 0.25 + static_cast<double>(s % 7);
+  }
+  const std::vector<double> reference = weighted_aggregate(
+      data::ShardedMatrix::partition(dataset.observations, 1, kTestBlock),
+      weights);
+  for (const std::size_t k : {2u, 3u, 7u, 16u}) {
+    const std::vector<double> sharded = weighted_aggregate(
+        data::ShardedMatrix::partition(dataset.observations, k, kTestBlock),
+        weights);
+    ASSERT_EQ(reference.size(), sharded.size());
+    for (std::size_t n = 0; n < reference.size(); ++n) {
+      EXPECT_EQ(reference[n], sharded[n]) << "K=" << k << " object " << n;
+    }
+  }
+}
+
+TEST(ShardEquivalence, RunShardedValidatesWarmSeeds) {
+  const data::Dataset dataset = random_dataset(99, 40, 10, 0.2);
+  const data::ShardedMatrix sharded =
+      data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock);
+  const auto method = make_method("crh", {});
+  WarmStart wrong;
+  wrong.weights.assign(dataset.num_users() + 1, 1.0);
+  EXPECT_THROW(method->run_sharded(sharded, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dptd::truth
