@@ -1,22 +1,43 @@
-// Million-user capacity benchmark for the sharded aggregation subsystem:
-// a synthetic round of 1,000,000 users is routed into K ingestion shards
-// (ShardPlan routing + per-shard ObservationMatrixBuilder), finalized into a
-// ShardedMatrix, and converged end-to-end with sharded CRH. Headline
-// counters are ingest rows/sec and end-to-end seconds across shard counts;
-// results are bitwise identical at every K, so the rows differ only in time.
+// Million-user capacity benchmark for the sharded aggregation subsystem.
+//
+// Three suites:
+//  - BM_MillionUserRound{Crh,Gtm,Catd}: a synthetic round of 1,000,000 users
+//    routed into K ingestion shards, finalized into a ShardedMatrix, and
+//    converged end-to-end with the sharded sufficient-statistics engine.
+//    Results are bitwise identical at every K, so rows differ only in time.
+//  - BM_PipelinedIngest: the crowd::IngestPipeline hot path — one producer
+//    routing pre-encoded reports (O(1) header peek already done: the row is
+//    known) onto bounded queues, W workers doing decode/sanitize/dedup/append
+//    in parallel. Sweeps the worker count; rows/sec should scale with W on a
+//    multi-core machine (~3x or better at 4 workers).
+//  - BM_ShardedIngestOnly: the serial routing + builder append path, the
+//    pre-pipeline reference.
+//
+// Thread-scaling rows only compare meaningfully on machines with equal core
+// counts: the custom context entries below let scripts/compare_benchmarks.py
+// refuse cross-machine comparisons of those rows.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "crowd/ingest_pipeline.h"
+#include "crowd/protocol.h"
 #include "data/builder.h"
 #include "data/sharding.h"
+#include "truth/catd.h"
 #include "truth/crh.h"
+#include "truth/gtm.h"
 #include "truth/interface.h"
 
 namespace {
 
+using dptd::crowd::IngestPipeline;
+using dptd::crowd::IngestPipelineConfig;
+using dptd::crowd::Report;
 using dptd::data::ObservationMatrix;
 using dptd::data::ObservationMatrixBuilder;
 using dptd::data::ShardedMatrix;
@@ -90,16 +111,12 @@ ShardedMatrix ingest_round(std::size_t users, std::size_t num_shards,
   return ShardedMatrix::from_shards(plan, std::move(shards), kObjects);
 }
 
-/// Full capacity round at 1M users: ingest + sharded CRH convergence.
-/// Arg 0 = shard count; all counts publish bitwise-identical truths.
-void BM_MillionUserRound(benchmark::State& state) {
+/// Full capacity round at 1M users: ingest + sharded convergence for the
+/// given method. Arg 0 = shard count; all counts publish bitwise-identical
+/// truths.
+void million_user_round(benchmark::State& state,
+                        const dptd::truth::TruthDiscovery& method) {
   const auto num_shards = static_cast<std::size_t>(state.range(0));
-  dptd::truth::CrhConfig config;
-  config.convergence.tolerance = 1e-6;
-  config.convergence.max_iterations = 30;
-  config.num_threads = 0;  // all cores
-  const dptd::truth::Crh crh(config);
-
   double ingest_seconds = 0.0;
   double aggregate_seconds = 0.0;
   std::size_t rounds = 0;
@@ -109,7 +126,7 @@ void BM_MillionUserRound(benchmark::State& state) {
     const ShardedMatrix matrix =
         ingest_round(kMillionUsers, num_shards, &ingest);
     dptd::Stopwatch agg;
-    const dptd::truth::Result result = crh.run_sharded(matrix);
+    const dptd::truth::Result result = method.run_sharded(matrix);
     aggregate_seconds += agg.elapsed_seconds();
     benchmark::DoNotOptimize(result.truths.data());
     ingest_seconds += ingest;
@@ -129,7 +146,15 @@ void BM_MillionUserRound(benchmark::State& state) {
   state.counters["td_iterations"] =
       benchmark::Counter(per_round(static_cast<double>(iterations)));
 }
-BENCHMARK(BM_MillionUserRound)
+
+void BM_MillionUserRoundCrh(benchmark::State& state) {
+  dptd::truth::CrhConfig config;
+  config.convergence.tolerance = 1e-6;
+  config.convergence.max_iterations = 30;
+  config.num_threads = 0;  // all cores
+  million_user_round(state, dptd::truth::Crh(config));
+}
+BENCHMARK(BM_MillionUserRoundCrh)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
@@ -139,8 +164,115 @@ BENCHMARK(BM_MillionUserRound)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+void BM_MillionUserRoundGtm(benchmark::State& state) {
+  dptd::truth::GtmConfig config;
+  config.convergence.tolerance = 1e-6;
+  config.convergence.max_iterations = 30;
+  config.num_threads = 0;
+  million_user_round(state, dptd::truth::Gtm(config));
+}
+BENCHMARK(BM_MillionUserRoundGtm)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_MillionUserRoundCatd(benchmark::State& state) {
+  dptd::truth::CatdConfig config;
+  config.convergence.tolerance = 1e-6;
+  config.convergence.max_iterations = 30;
+  config.num_threads = 0;
+  million_user_round(state, dptd::truth::Catd(config));
+}
+BENCHMARK(BM_MillionUserRoundCatd)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Pre-encoded report corpus shared by the pipelined-ingest rows: one flat
+/// byte buffer + offsets, built once, so producer-side submission is
+/// allocation-free and the timed region measures the pipeline, not codecs.
+struct ReportCorpus {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> offsets;  ///< offsets.size() == users + 1
+
+  std::span<const std::uint8_t> payload(std::size_t user) const {
+    return {bytes.data() + offsets[user], offsets[user + 1] - offsets[user]};
+  }
+};
+
+const ReportCorpus& million_user_corpus() {
+  static const ReportCorpus corpus = [] {
+    ReportCorpus c;
+    c.offsets.reserve(kMillionUsers + 1);
+    c.bytes.reserve(kMillionUsers * 70);
+    c.offsets.push_back(0);
+    for (std::size_t user = 0; user < kMillionUsers; ++user) {
+      const ReportRow row = make_row(user);
+      Report report;
+      report.round = 1;
+      report.user_id = user;
+      report.objects = row.objects;
+      report.values = row.values;
+      const std::vector<std::uint8_t> payload = report.encode();
+      c.bytes.insert(c.bytes.end(), payload.begin(), payload.end());
+      c.offsets.push_back(c.bytes.size());
+    }
+    return c;
+  }();
+  return corpus;
+}
+
+/// The pipelined ingestion front end at 1M users: producer routes + enqueues,
+/// Arg 0 workers decode/sanitize/dedup/append, the drain barrier closes the
+/// round. The headline scaling row: rows/sec vs worker count.
+void BM_PipelinedIngest(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const ReportCorpus& corpus = million_user_corpus();
+  const ShardPlan plan = ShardPlan::create(kMillionUsers, 8, kBlock);
+
+  IngestPipelineConfig config;
+  config.num_workers = workers;
+  IngestPipeline pipeline(config);
+
+  double ingest_seconds = 0.0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    pipeline.begin_round(plan, kObjects);
+    dptd::Stopwatch timer;
+    for (std::size_t user = 0; user < kMillionUsers; ++user) {
+      pipeline.submit_view(user, corpus.payload(user));
+    }
+    pipeline.drain();
+    ingest_seconds += timer.elapsed_seconds();
+    const std::vector<ObservationMatrix> shards = pipeline.finalize_shards();
+    benchmark::DoNotOptimize(shards.data());
+    ++rounds;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      ingest_seconds > 0.0
+          ? static_cast<double>(rounds * kMillionUsers) / ingest_seconds
+          : 0.0);
+  state.counters["ingest_seconds"] = benchmark::Counter(
+      rounds > 0 ? ingest_seconds / static_cast<double>(rounds) : 0.0);
+}
+BENCHMARK(BM_PipelinedIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("workers")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 /// Pure routing + builder ingest throughput at a smaller fleet, isolating
-/// the per-report cost of the sharded ingestion front end.
+/// the per-report cost of the serial sharded ingestion front end.
 void BM_ShardedIngestOnly(benchmark::State& state) {
   const auto num_shards = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kUsers = 100'000;
@@ -163,4 +295,14 @@ BENCHMARK(BM_ShardedIngestOnly)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pin the worker sweep into the JSON context: compare_benchmarks.py skips
+  // thread-scaling rows when these (or num_cpus) differ between two files,
+  // so a baseline from an 8-core box is never "compared" on a 2-core runner.
+  benchmark::AddCustomContext("ingest_threads", "1,2,4,8");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

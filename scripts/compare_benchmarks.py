@@ -23,10 +23,22 @@ import sys
 _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+# Context keys that parameterize thread-scaling rows. When either differs
+# between the two files (different machine, different sweep), benchmarks whose
+# names carry a thread/worker axis are not comparable and are auto-skipped.
+_THREAD_CONTEXT_KEYS = ("num_cpus", "ingest_threads")
+_THREAD_ROW_RE = re.compile(r"workers:|threads:")
+
+
 def load_timings(path):
-    """Maps benchmark name -> real_time in ns, skipping aggregate rows."""
+    """Maps benchmark name -> real_time in ns, skipping aggregate rows.
+
+    Returns (timings, context) where context is the google-benchmark context
+    object (host properties plus any AddCustomContext entries).
+    """
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
+    context = doc.get("context", {})
     timings = {}
     for bench in doc.get("benchmarks", []):
         # Repeated runs emit mean/median/stddev aggregate rows; compare only
@@ -39,7 +51,7 @@ def load_timings(path):
                   f"'{unit}', skipping")
             continue
         timings[bench["name"]] = float(bench["real_time"]) * _UNIT_TO_NS[unit]
-    return timings
+    return timings, context
 
 
 def main():
@@ -65,8 +77,35 @@ def main():
         parser.error("--tolerance must be positive")
     skip = re.compile(args.skip) if args.skip else None
 
-    baseline = load_timings(args.baseline)
-    current = load_timings(args.current)
+    baseline, baseline_ctx = load_timings(args.baseline)
+    current, current_ctx = load_timings(args.current)
+
+    # Thread-scaling rows (…/workers:N, …/threads:N) are meaningful only when
+    # the two files were produced under the same thread configuration: equal
+    # core counts and equal sweep parameters. Otherwise skip them rather than
+    # flag phantom regressions.
+    mismatched = [
+        key
+        for key in _THREAD_CONTEXT_KEYS
+        if baseline_ctx.get(key) != current_ctx.get(key)
+    ]
+    if mismatched:
+        dropped = sorted(
+            n for n in set(baseline) | set(current) if _THREAD_ROW_RE.search(n)
+        )
+        for name in dropped:
+            baseline.pop(name, None)
+            current.pop(name, None)
+        if dropped:
+            detail = ", ".join(
+                f"{key}: {baseline_ctx.get(key)!r} vs {current_ctx.get(key)!r}"
+                for key in mismatched
+            )
+            print(
+                f"skipping {len(dropped)} thread-scaling benchmark(s): "
+                f"context differs ({detail})"
+            )
+
     if skip:
         skipped = sorted(n for n in set(baseline) | set(current) if skip.search(n))
         for name in skipped:

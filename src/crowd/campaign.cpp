@@ -57,6 +57,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                "run_campaign: negative think time");
   DPTD_REQUIRE(!config.drifting_truths || config.truth_drift_stddev >= 0.0,
                "run_campaign: negative truth_drift_stddev");
+  for (const std::size_t k : config.shard_schedule) {
+    DPTD_REQUIRE(k > 0, "run_campaign: shard_schedule entries must be >= 1");
+  }
 
   const std::size_t S = config.workload.num_users;
   const std::size_t N = config.workload.num_objects;
@@ -71,11 +74,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   server_config.collection_window_seconds = session.collection_window_seconds;
   server_config.num_objects = N;
   server_config.warm_start = config.warm_start;
-  server_config.num_shards = session.num_shards;
+  // Elastic campaigns pick the server type for the *largest* scheduled shard
+  // count; each round then resizes down/up before it opens. Round outcomes
+  // are bitwise identical for every K at equal canonical block size, so the
+  // knobs only change how the service scales.
+  std::size_t max_shards = session.num_shards;
+  for (const std::size_t k : config.shard_schedule) {
+    max_shards = std::max(max_shards, k);
+  }
+  server_config.num_shards = max_shards;
   server_config.stats_block_size = session.stats_block_size;
-  // num_shards > 1 serves the campaign through the sharded ingestion path;
-  // round outcomes are bitwise identical either way (same canonical block
-  // size), so the knob only changes how the service scales.
+  server_config.ingest_threads = session.ingest_threads;
   RoundServer server(server_config,
                      truth::make_method(session.method, session.convergence),
                      network);
@@ -142,15 +151,45 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
     // Churn: re-draw this round's dropout block on top of the static
     // fraction, clamped against the remaining honest mass so that
-    // adversaries + dropouts never consume the whole fleet.
+    // adversaries + dropouts never consume the whole fleet. In roster mode
+    // the churn draws instead remove the churned devices from this round's
+    // participant list entirely (a partial fleet).
     std::size_t num_dropouts = static_cast<std::size_t>(
         std::floor(session.dropout_fraction * static_cast<double>(S)));
+    std::vector<char> churned;  // per-user flags, roster mode only
     if (config.churn_probability > 0.0) {
+      if (config.roster_churn) churned.assign(S, 0);
       for (std::size_t s = 0; s < S; ++s) {
-        if (bernoulli(churn_rng, config.churn_probability)) ++num_dropouts;
+        if (!bernoulli(churn_rng, config.churn_probability)) continue;
+        if (config.roster_churn) {
+          churned[s] = 1;
+        } else {
+          ++num_dropouts;
+        }
       }
     }
     num_dropouts = std::min(num_dropouts, S - num_adversaries - 1);
+    std::vector<net::NodeId> churn_roster;
+    if (!churned.empty()) {
+      // At least one honest device must stay enrolled; the clamp above
+      // guarantees user S-1 sits in the honest block.
+      bool any_honest = false;
+      for (std::size_t s = num_adversaries + num_dropouts; s < S; ++s) {
+        if (!churned[s]) {
+          any_honest = true;
+          break;
+        }
+      }
+      if (!any_honest) churned[S - 1] = 0;
+      for (std::size_t s = 0; s < S; ++s) {
+        if (!churned[s]) churn_roster.push_back(user_ids[s]);
+      }
+    }
+    // The common full-fleet path (churn off, or behaviour-only churn) hands
+    // the persistent id list straight through — no per-round copy of a
+    // million-entry roster.
+    const std::vector<net::NodeId>& round_ids =
+        churned.empty() ? user_ids : churn_roster;
 
     // Re-task the fleet: fresh readings, per-round noise streams, re-drawn
     // behaviours and think times. Mirrors the session layer's assignment:
@@ -182,7 +221,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       }
     }
 
-    server.start_round(round, user_ids);
+    if (!config.shard_schedule.empty()) {
+      const std::size_t idx =
+          std::min(round, config.shard_schedule.size() - 1);
+      server.set_num_shards(config.shard_schedule[idx]);
+    }
+    server.start_round(round, round_ids);
     sim.run();
 
     DPTD_CHECK(!server.outcomes().empty(),

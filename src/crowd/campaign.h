@@ -29,6 +29,18 @@ struct CampaignConfig {
   /// dropout is clamped so adversaries + dropouts always leave at least one
   /// honest device — churn can never trip the session precondition.
   double churn_probability = 0.0;
+  /// When true, devices churned out of a round are removed from the round's
+  /// participant roster (a genuinely partial fleet: fewer reports expected,
+  /// smaller observation matrix) instead of staying enrolled as silent
+  /// dropouts. Warm starts remap weight seeds through stable user ids, so
+  /// partial fleets still warm-start round-over-round.
+  bool roster_churn = false;
+  /// Elastic shard schedule: round r runs with shard_schedule[min(r,
+  /// size-1)] ingestion shards; empty keeps session.num_shards for every
+  /// round. Results are bitwise K-invariant at equal stats_block_size, so
+  /// resizing mid-campaign — warm-started rounds included — never perturbs
+  /// published truths.
+  std::vector<std::size_t> shard_schedule;
   /// Seed each round's truth discovery from the previous round's converged
   /// truths/weights (honored by the iterative methods).
   bool warm_start = false;

@@ -1,0 +1,144 @@
+// Parallel pipelined report ingestion: the network thread only *routes* —
+// an O(1) header peek resolves the owning shard — and enqueues the raw
+// encoded report onto a bounded ring queue; worker threads drain the queues
+// in batches and run the expensive half of ingestion (full decode, claim
+// sanitization, dedup, row append) against the shard builders they own.
+//
+// Topology: K shards (data::ShardPlan) are split contiguously across
+// W = min(ingest workers, K) worker threads. Each worker has ONE queue fed
+// by the single producer and exclusively owns the builders of its shard
+// range, so the hot path needs no locks around builder state and no shared
+// atomics: per-shard ingestion statistics are plain worker-local counters,
+// merged after the drain barrier at round close.
+//
+// Determinism by construction: each queue is FIFO from a single producer,
+// and a shard's reports all travel through the one queue of its owning
+// worker, so per-shard ingestion order — and therefore dedup outcomes and
+// the finalized sub-matrix — is bitwise identical to serial ingestion, for
+// every worker count including zero.
+//
+// Backpressure: queues are bounded; when one fills, the producer blocks in
+// submit() until the worker catches up, so a slow shard throttles intake
+// instead of growing memory without bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "crowd/server.h"
+#include "data/builder.h"
+#include "data/sharding.h"
+
+namespace dptd::crowd {
+
+struct IngestPipelineConfig {
+  /// Worker threads; clamped to the round's shard count, min 1.
+  std::size_t num_workers = 1;
+  /// Ring slots per worker queue — the backpressure bound.
+  std::size_t queue_capacity = 4096;
+  /// Max reports a worker dequeues per lock acquisition.
+  std::size_t max_batch = 128;
+};
+
+class IngestPipeline {
+ public:
+  explicit IngestPipeline(IngestPipelineConfig config);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Arms the pipeline for a round: shard builders shaped to `plan`, counters
+  /// zeroed, workers started (re-used across rounds when the shard/worker
+  /// topology is unchanged — the builder storage is recycled via reshape()).
+  /// The previous round, if any, must have been drained (finalize_shards or
+  /// drain); this is the caller's round-close barrier.
+  void begin_round(const data::ShardPlan& plan, std::size_t num_objects);
+
+  /// Producer side (one thread): enqueues the encoded report `payload` for
+  /// the matrix row `row` (the caller has already peeked the header and
+  /// resolved row + round). Blocks when the owning worker's queue is full.
+  void submit(std::size_t row, std::vector<std::uint8_t> payload);
+  /// Zero-copy variant: `payload` must outlive the next drain() (e.g. a
+  /// pre-encoded benchmark corpus).
+  void submit_view(std::size_t row, std::span<const std::uint8_t> payload);
+
+  /// Blocks until every submitted report has been fully ingested (the round
+  /// close barrier). After drain() returns, counters and builders are exact
+  /// and safe to read from the calling thread.
+  void drain();
+
+  /// Distinct users ingested so far, summed across workers. Monotone and
+  /// cheap (one relaxed load per worker); exact only after drain().
+  std::size_t distinct_reporters() const;
+
+  /// Per-shard accounting for the round. Call only after drain().
+  std::vector<ShardIngestStats> shard_stats() const;
+
+  /// Drains, finalizes the per-shard builders into sub-matrices (resetting
+  /// them), and returns them in shard order — ready for
+  /// data::ShardedMatrix::from_shards.
+  std::vector<data::ObservationMatrix> finalize_shards();
+
+  const data::ShardPlan& plan() const { return plan_; }
+  std::size_t num_workers() const { return workers_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Item {
+    std::size_t shard = 0;
+    std::size_t local_user = 0;
+    /// The encoded report: `view` points into `owned` or into caller-owned
+    /// memory (the zero-copy path). Moving an Item keeps `view` valid —
+    /// vector moves never relocate the heap buffer.
+    std::span<const std::uint8_t> view;
+    std::vector<std::uint8_t> owned;
+  };
+
+  /// Builder + round counters of one shard; written only by the owning
+  /// worker while the round is open, read by the coordinator after drain().
+  struct ShardState {
+    std::unique_ptr<data::ObservationMatrixBuilder> builder;
+    ShardIngestStats stats;
+  };
+
+  /// One worker thread: a bounded queue, its thread, and the padded counter
+  /// mirrors the coordinator polls (sole writer: the worker itself).
+  struct Worker {
+    explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+    BoundedMpscQueue<Item> queue;
+    std::thread thread;
+    std::size_t shard_begin = 0;
+    std::size_t shard_end = 0;
+    std::size_t pushed = 0;  ///< producer-thread-local
+    alignas(64) std::atomic<std::size_t> processed{0};
+    alignas(64) std::atomic<std::size_t> distinct{0};
+  };
+
+  void enqueue(std::size_t row, Item item);
+  void worker_loop(Worker& worker);
+  void process_item(Worker& worker, Item& item);
+  void stop_workers();
+
+  IngestPipelineConfig config_;
+  data::ShardPlan plan_;
+  std::size_t num_objects_ = 0;
+  std::vector<ShardState> shards_;
+  std::vector<std::size_t> worker_of_shard_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Drain rendezvous: the coordinator arms `draining_`, workers notify
+  /// after each batch while it is set. seq_cst on both sides closes the
+  /// lost-wakeup window (see drain()).
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace dptd::crowd

@@ -53,6 +53,19 @@ Report Report::decode(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::optional<ReportHeader> Report::peek_header(
+    std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  try {
+    ReportHeader header;
+    header.round = dec.read_varint();
+    header.user_id = dec.read_varint();
+    return header;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
 std::vector<std::uint8_t> ResultPublish::encode() const {
   Encoder enc;
   enc.write_varint(round);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/serialize.h"
@@ -32,6 +33,15 @@ struct TaskAnnounce {
   static TaskAnnounce decode(std::span<const std::uint8_t> bytes);
 };
 
+/// The routing prefix of an encoded Report, readable without decoding the
+/// claim arrays. This is what lets the ingestion front end stay O(1) per
+/// report: the network thread peeks round + user id to route, and the full
+/// (allocating) decode happens on the owning shard's worker thread.
+struct ReportHeader {
+  std::uint64_t round = 0;
+  std::uint64_t user_id = 0;
+};
+
 struct Report {
   std::uint64_t round = 0;
   std::uint64_t user_id = 0;
@@ -40,6 +50,10 @@ struct Report {
 
   std::vector<std::uint8_t> encode() const;
   static Report decode(std::span<const std::uint8_t> bytes);
+  /// Reads only the leading round/user varints; nullopt when even the header
+  /// is undecodable. A successful peek does NOT validate the claim arrays.
+  static std::optional<ReportHeader> peek_header(
+      std::span<const std::uint8_t> bytes);
 };
 
 struct ResultPublish {

@@ -36,12 +36,81 @@ bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
   return true;
 }
 
+void ParticipantIndex::build(const std::vector<net::NodeId>& participants) {
+  size_ = participants.size();
+  rows_.clear();
+  identity_ = true;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i] != static_cast<net::NodeId>(i)) {
+      identity_ = false;
+      break;
+    }
+  }
+  if (identity_) return;
+  rows_.reserve(participants.size());
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    rows_.emplace(participants[i], i);
+  }
+}
+
+std::optional<std::size_t> ParticipantIndex::row_of(net::NodeId user) const {
+  if (identity_) {
+    if (static_cast<std::size_t>(user) >= size_) return std::nullopt;
+    return static_cast<std::size_t>(user);
+  }
+  const auto it = rows_.find(user);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<double> remap_warm_weights(
+    const WarmState& warm, const std::vector<net::NodeId>& participants,
+    std::size_t num_users) {
+  const std::vector<double>& prev = warm.result.weights;
+  if (prev.empty() || num_users != participants.size()) return {};
+  if (warm.participants == participants) {
+    // Unchanged roster: the fast path, bitwise identical to seeding with the
+    // previous round's weights directly.
+    return prev.size() == num_users ? prev : std::vector<double>{};
+  }
+  if (prev.size() != warm.participants.size()) return {};
+  // Roster changed: carry each surviving user's weight through its stable
+  // node id. Users new to the roster (or returning after a gap the state no
+  // longer covers) start from the *surviving* fleet's mean weight — neutral
+  // on the converged scale, unlike the cold 1.0, and unbiased by whatever
+  // cohort just departed.
+  std::unordered_map<net::NodeId, double> by_user;
+  by_user.reserve(prev.size());
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    by_user.emplace(warm.participants[i], prev[i]);
+  }
+  std::vector<double> weights(num_users, 0.0);
+  std::vector<char> survived(num_users, 0);
+  double survivor_sum = 0.0;
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const auto it = by_user.find(participants[i]);
+    if (it != by_user.end()) {
+      weights[i] = it->second;
+      survived[i] = 1;
+      survivor_sum += it->second;
+      ++survivors;
+    }
+  }
+  // A fully replaced fleet has no per-user signal to carry over.
+  if (survivors == 0) return {};
+  const double fill = survivor_sum / static_cast<double>(survivors);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    if (!survived[i]) weights[i] = fill;
+  }
+  return weights;
+}
+
 bool aggregate_and_publish(const ServerConfig& config,
                            truth::TruthDiscovery& method, net::Network& network,
                            std::uint64_t round,
                            const std::vector<net::NodeId>& participants,
-                           const data::ShardedMatrix& matrix,
-                           truth::Result& last_result, bool& have_last_result,
+                           const data::ShardedMatrix& matrix, WarmState& warm,
                            RoundOutcome& outcome) {
   // Objects nobody reported on cannot be aggregated; require coverage across
   // the union of shards and skip aggregation gracefully when violated.
@@ -55,19 +124,16 @@ bool aggregate_and_publish(const ServerConfig& config,
 
   Stopwatch timer;
   truth::WarmStart seed;
-  if (config.warm_start && have_last_result && method.supports_warm_start()) {
-    seed.truths = last_result.truths;
-    // Participant counts can change between rounds; only reuse weights when
-    // the user population still lines up.
-    if (last_result.weights.size() == matrix.num_users()) {
-      seed.weights = last_result.weights;
-    }
+  if (config.warm_start && warm.valid && method.supports_warm_start()) {
+    seed.truths = warm.result.truths;
+    seed.weights = remap_warm_weights(warm, participants, matrix.num_users());
     outcome.warm_started = true;
   }
   outcome.result = method.run_sharded(matrix, seed);
   outcome.aggregation_seconds = timer.elapsed_seconds();
-  last_result = outcome.result;
-  have_last_result = true;
+  warm.result = outcome.result;
+  warm.participants = participants;
+  warm.valid = true;
 
   ResultPublish publish;
   publish.round = round;
@@ -102,6 +168,7 @@ void CrowdServer::start_round(std::uint64_t round,
   current_round_ = round;
   round_open_ = true;
   participants_ = user_ids;
+  index_.build(participants_);
   builder_.emplace(participants_.size(), config_.num_objects);
   rejected_ = 0;
   duplicates_ = 0;
@@ -146,14 +213,15 @@ void CrowdServer::on_message(const net::Message& message) {
 void CrowdServer::ingest_report(const Report& report) {
   // A byzantine user id must not kill the server: drop the report, count it,
   // and keep collecting (consistent with the out-of-range-object handling).
-  if (report.user_id >= participants_.size()) {
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row) {
     DPTD_LOG_WARN << "round " << current_round_
                   << ": dropping report from unknown user id "
                   << report.user_id;
     ++rejected_;
     return;
   }
-  const auto user = static_cast<std::size_t>(report.user_id);
+  const std::size_t user = *row;
   if (builder_->has_row(user)) {
     ++duplicates_;
     return;
@@ -177,7 +245,7 @@ void CrowdServer::finish_round() {
   outcome.reports_rejected = rejected_;
   outcome.duplicates_ignored = duplicates_;
   outcome.shard_stats = {ShardIngestStats{builder_->rows_ingested(),
-                                          duplicates_, malformed_}};
+                                          duplicates_, malformed_, 0}};
 
   if (builder_->rows_ingested() == 0) {
     DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
@@ -195,7 +263,7 @@ void CrowdServer::finish_round() {
                         participants_,
                         data::ShardedMatrix::single(obs,
                                                     config_.stats_block_size),
-                        last_result_, have_last_result_, outcome);
+                        warm_, outcome);
   outcomes_.push_back(std::move(outcome));
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "crowd/protocol.h"
@@ -45,6 +46,14 @@ struct ServerConfig {
   /// Canonical sufficient-statistics block size of the sharded aggregation
   /// path; runs compare bitwise only at equal block sizes.
   std::size_t stats_block_size = data::kDefaultStatsBlockSize;
+  /// Ingestion worker threads for ShardedServer's parallel pipeline
+  /// (crowd::IngestPipeline). 0 keeps ingestion synchronous on the network
+  /// thread; N >= 1 routes reports onto bounded queues drained by
+  /// min(N, num_shards) workers. The finalized matrices — and hence the
+  /// published truths — are bitwise identical for every value: each shard's
+  /// queue is FIFO from the single network thread, so per-shard ingestion
+  /// order matches the serial path exactly. CrowdServer ignores it.
+  std::size_t ingest_threads = 0;
 };
 
 /// Per-shard ingestion accounting for one round. CrowdServer reports one
@@ -55,6 +64,7 @@ struct ShardIngestStats {
   std::size_t reports_received = 0;   ///< distinct users landed on this shard
   std::size_t duplicates_ignored = 0; ///< re-sends routed to this shard
   std::size_t malformed_reports = 0;  ///< reports needing claim sanitization
+  std::size_t rejected_reports = 0;   ///< undecodable after routing (pipeline)
 };
 
 struct RoundOutcome {
@@ -82,6 +92,43 @@ bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
                           std::size_t local_user, const Report& report,
                           std::size_t num_objects);
 
+/// Maps a report's stable user/node id to its row in the round's observation
+/// matrix (= its position in the participants roster). The common dense
+/// roster [0, P) resolves by identity without a table; arbitrary rosters —
+/// partial fleets after churn — build a hash index. Shared by both servers so
+/// their ingestion semantics can never diverge.
+class ParticipantIndex {
+ public:
+  void build(const std::vector<net::NodeId>& participants);
+  /// The matrix row of `user`, or nullopt when `user` is not enrolled this
+  /// round (byzantine or stale id).
+  std::optional<std::size_t> row_of(net::NodeId user) const;
+
+ private:
+  std::size_t size_ = 0;
+  bool identity_ = true;
+  std::unordered_map<net::NodeId, std::size_t> rows_;
+};
+
+/// Previous round's converged state, the warm-start seed, together with the
+/// roster its weights are indexed by. Keeping the roster is what lets
+/// partial fleets warm-start: when the participant set changes
+/// round-over-round, each surviving user's weight is remapped through its
+/// stable node id instead of the whole seed being dropped.
+struct WarmState {
+  truth::Result result;
+  std::vector<net::NodeId> participants;
+  bool valid = false;
+};
+
+/// The weight seed for `participants` derived from `warm`: the previous
+/// weights verbatim when the roster is unchanged, a stable-id remap (new
+/// users start at the surviving fleet's mean weight) when it differs, empty
+/// when nothing usable survives.
+std::vector<double> remap_warm_weights(
+    const WarmState& warm, const std::vector<net::NodeId>& participants,
+    std::size_t num_users);
+
 /// Round-close tail shared by CrowdServer and ShardedServer: object-coverage
 /// check over the (possibly sharded) matrix, warm-seed construction, the
 /// run_sharded aggregation call, the ResultPublish fan-out, and the
@@ -92,8 +139,7 @@ bool aggregate_and_publish(const ServerConfig& config,
                            truth::TruthDiscovery& method, net::Network& network,
                            std::uint64_t round,
                            const std::vector<net::NodeId>& participants,
-                           const data::ShardedMatrix& matrix,
-                           truth::Result& last_result, bool& have_last_result,
+                           const data::ShardedMatrix& matrix, WarmState& warm,
                            RoundOutcome& outcome);
 
 class CrowdServer final : public net::Node {
@@ -124,14 +170,13 @@ class CrowdServer final : public net::Node {
   std::uint64_t current_round_ = 0;
   bool round_open_ = false;
   std::vector<net::NodeId> participants_;
+  ParticipantIndex index_;
   /// Streaming ingestion state for the open round.
   std::optional<data::ObservationMatrixBuilder> builder_;
   std::size_t rejected_ = 0;
   std::size_t duplicates_ = 0;
   std::size_t malformed_ = 0;
-  /// Previous round's converged state, the warm-start seed.
-  truth::Result last_result_;
-  bool have_last_result_ = false;
+  WarmState warm_;
   std::vector<RoundOutcome> outcomes_;
 };
 

@@ -36,8 +36,10 @@ SessionResult run_session(const data::Dataset& dataset,
   server_config.num_objects = N;
   server_config.num_shards = config.num_shards;
   server_config.stats_block_size = config.stats_block_size;
-  // num_shards > 1 routes ingestion across K shard builders; aggregation is
-  // bitwise identical either way (same canonical block size).
+  server_config.ingest_threads = config.ingest_threads;
+  // num_shards > 1 routes ingestion across K shard builders (and
+  // ingest_threads > 0 pipelines it across workers); aggregation is bitwise
+  // identical either way (same canonical block size).
   RoundServer server(server_config,
                      truth::make_method(config.method, config.convergence),
                      network);

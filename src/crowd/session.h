@@ -28,6 +28,11 @@ struct SessionConfig {
   std::size_t num_shards = 1;
   /// Canonical sufficient-statistics block size for the sharded path.
   std::size_t stats_block_size = data::kDefaultStatsBlockSize;
+  /// Parallel ingestion workers (see ServerConfig::ingest_threads): 0 keeps
+  /// ingestion synchronous; N >= 1 pipelines decode/dedup/append across
+  /// min(N, num_shards) worker threads. Results are bitwise identical for
+  /// every value.
+  std::size_t ingest_threads = 0;
 
   /// Fractions of users replaced by non-honest behaviours (applied to the
   /// lowest user ids, mirroring data::SyntheticConfig).

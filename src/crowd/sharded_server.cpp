@@ -23,6 +23,13 @@ ShardedServer::ShardedServer(ServerConfig config,
   network_->attach(config_.id, *this);
 }
 
+void ShardedServer::set_num_shards(std::size_t num_shards) {
+  DPTD_REQUIRE(num_shards > 0, "ShardedServer: num_shards must be positive");
+  DPTD_REQUIRE(!round_open_,
+               "ShardedServer: cannot resize shards mid-round");
+  config_.num_shards = num_shards;
+}
+
 void ShardedServer::start_round(std::uint64_t round,
                                 const std::vector<net::NodeId>& user_ids) {
   DPTD_REQUIRE(!round_open_, "ShardedServer: a round is already open");
@@ -30,14 +37,26 @@ void ShardedServer::start_round(std::uint64_t round,
   current_round_ = round;
   round_open_ = true;
   participants_ = user_ids;
+  index_.build(participants_);
   plan_ = data::ShardPlan::create(participants_.size(), config_.num_shards,
                                   config_.stats_block_size);
-  builders_.clear();
-  builders_.reserve(plan_.num_shards);
-  for (std::size_t i = 0; i < plan_.num_shards; ++i) {
-    builders_.emplace_back(plan_.shard_num_users(i), config_.num_objects);
+  if (config_.ingest_threads > 0) {
+    if (!pipeline_) {
+      IngestPipelineConfig pipeline_config;
+      pipeline_config.num_workers = config_.ingest_threads;
+      pipeline_.emplace(pipeline_config);
+    }
+    pipeline_->begin_round(plan_, config_.num_objects);
+    submitted_rows_.assign(participants_.size(), 0);
+    producer_distinct_ = 0;
+  } else {
+    builders_.clear();
+    builders_.reserve(plan_.num_shards);
+    for (std::size_t i = 0; i < plan_.num_shards; ++i) {
+      builders_.emplace_back(plan_.shard_num_users(i), config_.num_objects);
+    }
+    shard_stats_.assign(plan_.num_shards, ShardIngestStats{});
   }
-  shard_stats_.assign(plan_.num_shards, ShardIngestStats{});
   distinct_reporters_ = 0;
   unroutable_rejected_ = 0;
 
@@ -58,6 +77,49 @@ void ShardedServer::start_round(std::uint64_t round,
 void ShardedServer::on_message(const net::Message& message) {
   if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
   if (!round_open_) return;  // straggler after deadline
+
+  if (pipeline_) {
+    // Pipelined ingestion: the network thread only routes. One O(1) header
+    // peek resolves round + user; the full decode happens on the owning
+    // shard's worker.
+    const std::optional<ReportHeader> header =
+        Report::peek_header(message.payload);
+    if (!header) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping report with undecodable header";
+      ++unroutable_rejected_;
+      return;
+    }
+    if (header->round != current_round_) return;
+    const std::optional<std::size_t> row = index_.row_of(header->user_id);
+    if (!row) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping report from unknown user id "
+                    << header->user_id;
+      ++unroutable_rejected_;
+      return;
+    }
+    pipeline_->submit(*row, message.payload);
+    // Early close: only a row's FIRST submission can complete the roster
+    // (re-sends are guaranteed duplicates on the owning shard), so the exact
+    // check — a drain barrier, then the workers' distinct count — runs at
+    // most once per round, on the message that covers the last missing user.
+    // Duplicate floods never re-trigger the barrier. If a report's body
+    // later fails to decode on its worker, the distinct count stays short
+    // and the round simply waits for the deadline (a valid re-send of such
+    // a report still ingests; it just cannot re-arm the early close).
+    if (!submitted_rows_[*row]) {
+      submitted_rows_[*row] = 1;
+      if (++producer_distinct_ == participants_.size()) {
+        pipeline_->drain();
+        if (pipeline_->distinct_reporters() == participants_.size()) {
+          finish_round();
+        }
+      }
+    }
+    return;
+  }
+
   Report report;
   try {
     report = Report::decode(message.payload);
@@ -68,7 +130,7 @@ void ShardedServer::on_message(const net::Message& message) {
     return;
   }
   if (report.round != current_round_) return;
-  ingest_report(report);
+  ingest_report_serial(report);
   if (distinct_reporters_ == participants_.size()) {
     // Every *distinct* participant answered across all shards; no need to
     // wait out the window (duplicate re-sends never inflate this count). The
@@ -77,17 +139,18 @@ void ShardedServer::on_message(const net::Message& message) {
   }
 }
 
-void ShardedServer::ingest_report(const Report& report) {
+void ShardedServer::ingest_report_serial(const Report& report) {
   // A byzantine user id cannot be routed to any shard: drop the report at
   // the coordinator, count it, and keep collecting.
-  if (report.user_id >= participants_.size()) {
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row) {
     DPTD_LOG_WARN << "round " << current_round_
                   << ": dropping report from unknown user id "
                   << report.user_id;
     ++unroutable_rejected_;
     return;
   }
-  const auto user = static_cast<std::size_t>(report.user_id);
+  const std::size_t user = *row;
   // Consistent routing: the same user always lands on the same shard, so a
   // duplicate re-send is detected by that shard's own dedup state.
   const std::size_t shard = plan_.shard_of_user(user);
@@ -100,7 +163,7 @@ void ShardedServer::ingest_report(const Report& report) {
   }
 
   if (ingest_report_claims(builder, local, report, config_.num_objects)) {
-    DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
+    DPTD_LOG_WARN << "round " << current_round_ << ": user " << report.user_id
                   << " sent malformed claims, ingested the valid subset on"
                   << " shard " << shard;
     ++stats.malformed_reports;
@@ -113,37 +176,59 @@ void ShardedServer::finish_round() {
   if (!round_open_) return;
   round_open_ = false;
 
+  // Round close: in pipelined mode, drain every queue behind the barrier so
+  // worker-local builders and statistics are final, then merge. Each shard's
+  // sub-matrix was assembled incrementally as reports arrived either way;
+  // the close only finalizes the K builders.
+  std::vector<data::ObservationMatrix> shards;
+  std::vector<ShardIngestStats> stats;
+  if (pipeline_) {
+    shards = pipeline_->finalize_shards();  // drains first
+    stats = pipeline_->shard_stats();
+  } else {
+    stats = shard_stats_;
+    shards.reserve(builders_.size());
+    for (data::ObservationMatrixBuilder& builder : builders_) {
+      shards.push_back(builder.finalize());
+    }
+  }
+
   RoundOutcome outcome;
   outcome.round = current_round_;
   outcome.reports_expected = participants_.size();
-  outcome.reports_received = distinct_reporters_;
   outcome.reports_rejected = unroutable_rejected_;
-  outcome.shard_stats = shard_stats_;
-  for (const ShardIngestStats& stats : shard_stats_) {
-    outcome.duplicates_ignored += stats.duplicates_ignored;
+  outcome.shard_stats = std::move(stats);
+  for (const ShardIngestStats& shard : outcome.shard_stats) {
+    outcome.reports_received += shard.reports_received;
+    outcome.duplicates_ignored += shard.duplicates_ignored;
+    outcome.reports_rejected += shard.rejected_reports;
   }
 
-  if (distinct_reporters_ == 0) {
+  if (outcome.reports_received == 0) {
     DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";
     outcomes_.push_back(std::move(outcome));
     return;
   }
 
-  // Each shard's sub-matrix was assembled incrementally as reports arrived;
-  // the deadline only finalizes the K builders and hands the sharded view to
-  // the coordinator's reduction (the round-close tail is shared with
-  // CrowdServer, which is what keeps the two servers bitwise identical).
-  std::vector<data::ObservationMatrix> shards;
-  shards.reserve(builders_.size());
-  for (data::ObservationMatrixBuilder& builder : builders_) {
-    shards.push_back(builder.finalize());
-  }
+  // Hand the sharded view to the coordinator's reduction (the round-close
+  // tail is shared with CrowdServer, which is what keeps the two servers
+  // bitwise identical).
   const data::ShardedMatrix matrix = data::ShardedMatrix::from_shards(
       plan_, std::move(shards), config_.num_objects);
   aggregate_and_publish(config_, *method_, *network_, current_round_,
-                        participants_, matrix, last_result_,
-                        have_last_result_, outcome);
+                        participants_, matrix, warm_, outcome);
   outcomes_.push_back(std::move(outcome));
+}
+
+void RoundServer::set_num_shards(std::size_t num_shards) {
+  if (sharded_) {
+    sharded_->set_num_shards(num_shards);
+    return;
+  }
+  DPTD_REQUIRE(num_shards <= 1,
+               "RoundServer: single-server path cannot grow shards; construct "
+               "with num_shards > 1 (or ingest_threads > 0) to enable "
+               "elastic scaling");
 }
 
 }  // namespace dptd::crowd

@@ -61,6 +61,19 @@ bool ObservationMatrixBuilder::has_row(std::size_t user) const {
   return ingested_[user] != 0;
 }
 
+void ObservationMatrixBuilder::reshape(std::size_t num_users,
+                                       std::size_t num_objects) {
+  DPTD_REQUIRE(num_users > 0 && num_objects > 0,
+               "ObservationMatrixBuilder: dimensions must be positive");
+  num_users_ = num_users;
+  num_objects_ = num_objects;
+  rows_.resize(num_users_);
+  for (std::vector<Entry>& row : rows_) row.clear();
+  ingested_.assign(num_users_, 0);
+  nnz_ = 0;
+  rows_ingested_ = 0;
+}
+
 void ObservationMatrixBuilder::reset() {
   rows_.assign(num_users_, {});
   ingested_.assign(num_users_, 0);

@@ -51,6 +51,12 @@ class ObservationMatrixBuilder {
   /// Discards all ingested rows, keeping the shape.
   void reset();
 
+  /// Resets AND re-shapes in place: the builder afterwards accepts users in
+  /// [0, num_users) and objects in [0, num_objects), with no ingested rows.
+  /// Reuses the row/flag storage where possible, so a long-lived worker can
+  /// serve rounds of varying participant counts without reallocation churn.
+  void reshape(std::size_t num_users, std::size_t num_objects);
+
   /// Moves the ingested rows into a dual-indexed ObservationMatrix (O(nnz),
   /// no dense pass) and resets the builder for reuse.
   ObservationMatrix finalize();

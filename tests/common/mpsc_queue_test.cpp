@@ -1,0 +1,136 @@
+// BoundedMpscQueue: FIFO order, bounded-capacity backpressure, batch
+// dequeue, close semantics, and multi-producer integrity — the contract the
+// ingestion pipeline's determinism argument rests on.
+#include "common/mpsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace dptd {
+namespace {
+
+TEST(BoundedMpscQueue, FifoOrderSingleProducer) {
+  BoundedMpscQueue<int> queue(128);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(queue.try_push(int(i)));
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 1000), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpscQueue, BatchDequeueRespectsMaxAndAppends) {
+  BoundedMpscQueue<int> queue(32);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.try_push(int(i)));
+  std::vector<int> out{-1};
+  EXPECT_EQ(queue.pop_batch(out, 4), 4u);
+  EXPECT_EQ(queue.pop_batch(out, 4), 4u);
+  EXPECT_EQ(queue.pop_batch(out, 4), 2u);
+  EXPECT_EQ(queue.pop_batch(out, 4), 0u);
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out[0], -1);  // appended after existing content
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i + 1], i);
+}
+
+TEST(BoundedMpscQueue, TryPushReportsFull) {
+  BoundedMpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // ring full
+  std::vector<int> out;
+  queue.pop_batch(out, 1);
+  EXPECT_TRUE(queue.try_push(3));  // space reopened
+}
+
+TEST(BoundedMpscQueue, PushBlocksUntilConsumerMakesRoom) {
+  // Backpressure: with capacity 2, pushing 50 items only completes because
+  // the consumer drains; every item must still arrive exactly once, in order.
+  BoundedMpscQueue<int> queue(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(queue.push(int(i)));
+    queue.close();
+  });
+  std::vector<int> got;
+  std::vector<int> batch;
+  while (true) {
+    batch.clear();
+    if (queue.wait_pop_batch(batch, 8) == 0) break;
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(BoundedMpscQueue, CloseDrainsRemainderThenSignalsShutdown) {
+  BoundedMpscQueue<int> queue(8);
+  ASSERT_TRUE(queue.try_push(7));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(8));
+  EXPECT_FALSE(queue.push(9));
+  std::vector<int> out;
+  EXPECT_EQ(queue.wait_pop_batch(out, 4), 1u);  // enqueued item survives close
+  EXPECT_EQ(out.at(0), 7);
+  EXPECT_EQ(queue.wait_pop_batch(out, 4), 0u);  // then the exit signal
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedMpscQueue, CloseWakesBlockedProducer) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.try_push(0));
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(1));  // blocks on full ring, then sees close
+    push_returned.store(true);
+  });
+  // Give the producer time to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+}
+
+TEST(BoundedMpscQueue, MultipleProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpscQueue<int> queue(16);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> got;
+  std::vector<int> batch;
+  while (got.size() < kProducers * kPerProducer) {
+    batch.clear();
+    queue.wait_pop_batch(batch, 64);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  for (auto& producer : producers) producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  // Every value exactly once, and each producer's own stream stays FIFO.
+  std::vector<int> sorted = got;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(sorted[i], i);
+  std::vector<int> last(kProducers, -1);
+  for (const int v : got) {
+    const int p = v / kPerProducer;
+    EXPECT_LT(last[p], v % kPerProducer);
+    last[p] = v % kPerProducer;
+  }
+}
+
+TEST(BoundedMpscQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedMpscQueue<int>(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dptd

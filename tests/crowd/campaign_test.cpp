@@ -103,6 +103,79 @@ TEST(Campaign, ShardedCampaignMatchesSingleServerBitwise) {
   }
 }
 
+TEST(Campaign, ElasticShardScheduleIsBitwiseKInvariant) {
+  // Changing K mid-campaign — warm-started rounds included — must publish
+  // the same truths bit for bit as a constant single-shard campaign at equal
+  // canonical block size.
+  CampaignConfig base = small_campaign();
+  base.num_rounds = 5;
+  base.warm_start = true;
+  base.drifting_truths = true;
+  base.truth_drift_stddev = 0.05;
+  base.churn_probability = 0.1;
+  base.session.stats_block_size = 4;  // 30 users -> 8 blocks: real sharding
+
+  CampaignConfig flat = base;
+  flat.session.num_shards = 1;
+  const CampaignResult reference = run_campaign(flat);
+
+  CampaignConfig elastic = base;
+  elastic.shard_schedule = {1, 2, 4, 2, 8};  // resize every round
+  const CampaignResult result = run_campaign(elastic);
+
+  ASSERT_EQ(result.rounds.size(), reference.rounds.size());
+  for (std::size_t r = 0; r < reference.rounds.size(); ++r) {
+    const RoundRecord& a = reference.rounds[r];
+    const RoundRecord& b = result.rounds[r];
+    EXPECT_EQ(a.reports_received, b.reports_received) << r;
+    EXPECT_EQ(a.iterations, b.iterations) << r;
+    EXPECT_EQ(a.warm_started, b.warm_started) << r;
+    ASSERT_EQ(a.truths.size(), b.truths.size()) << r;
+    for (std::size_t n = 0; n < a.truths.size(); ++n) {
+      EXPECT_EQ(a.truths[n], b.truths[n]) << "round " << r << " object " << n;
+    }
+  }
+  // Rounds 1+ really were warm-started across the resizes.
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_TRUE(result.rounds[r].warm_started) << r;
+  }
+}
+
+TEST(Campaign, PipelinedIngestionMatchesSerialBitwise) {
+  // The full campaign service path through parallel pipelined ingestion
+  // (workers, queues, drain barriers) must stay bitwise identical to the
+  // synchronous path.
+  CampaignConfig base = small_campaign();
+  base.num_rounds = 3;
+  base.warm_start = true;
+  base.session.num_shards = 4;
+  base.session.stats_block_size = 4;
+
+  CampaignConfig serial = base;
+  serial.session.ingest_threads = 0;
+  const CampaignResult reference = run_campaign(serial);
+
+  for (const std::size_t workers : {1u, 3u}) {
+    CampaignConfig pipelined = base;
+    pipelined.session.ingest_threads = workers;
+    const CampaignResult result = run_campaign(pipelined);
+    ASSERT_EQ(result.rounds.size(), reference.rounds.size());
+    for (std::size_t r = 0; r < reference.rounds.size(); ++r) {
+      EXPECT_EQ(reference.rounds[r].reports_received,
+                result.rounds[r].reports_received)
+          << workers;
+      EXPECT_EQ(reference.rounds[r].iterations, result.rounds[r].iterations)
+          << workers;
+      ASSERT_EQ(reference.rounds[r].truths.size(),
+                result.rounds[r].truths.size());
+      for (std::size_t n = 0; n < reference.rounds[r].truths.size(); ++n) {
+        EXPECT_EQ(reference.rounds[r].truths[n], result.rounds[r].truths[n])
+            << "workers=" << workers << " round " << r << " object " << n;
+      }
+    }
+  }
+}
+
 TEST(Campaign, RejectsBadConfig) {
   CampaignConfig config = small_campaign();
   config.num_rounds = 0;
@@ -201,6 +274,44 @@ TEST(Campaign, WarmStartReducesIterationsOnDriftingTruths) {
     warm_iters.add(static_cast<double>(warm.rounds[r].iterations));
   }
   EXPECT_LE(warm_iters.mean(), 0.8 * cold_iters.mean())
+      << "warm " << warm_iters.mean() << " vs cold " << cold_iters.mean();
+}
+
+TEST(Campaign, RosterChurnShrinksTheFleetAndStillWarmStarts) {
+  // Regression for the ROADMAP churn item: with churned devices removed from
+  // the roster, the participant count changes round-over-round. The weight
+  // seed used to be dropped whenever that happened; it is now remapped
+  // through stable user ids, so every later round still warm-starts.
+  CampaignConfig config = drifting_campaign(true);
+  config.roster_churn = true;
+  config.churn_probability = 0.10;
+  const CampaignResult warm = run_campaign(config);
+
+  bool fleet_changed = false;
+  for (std::size_t r = 0; r < warm.rounds.size(); ++r) {
+    if (warm.rounds[r].reports_expected != 80u) fleet_changed = true;
+    if (r > 0) {
+      EXPECT_TRUE(warm.rounds[r].warm_started) << r;
+    }
+    EXPECT_TRUE(std::isfinite(warm.rounds[r].mae_vs_truth)) << r;
+  }
+  EXPECT_TRUE(fleet_changed);  // 10% churn on 80 devices: rosters did shrink
+
+  // The remapped weight seed must still pay: fewer iterations than the same
+  // partial-fleet campaign run cold.
+  CampaignConfig cold_config = config;
+  cold_config.warm_start = false;
+  const CampaignResult cold = run_campaign(cold_config);
+  ASSERT_EQ(cold.rounds.size(), warm.rounds.size());
+  RunningStats cold_iters;
+  RunningStats warm_iters;
+  for (std::size_t r = 1; r < cold.rounds.size(); ++r) {
+    // Identical seeds => identical rosters; only the seeding differs.
+    ASSERT_EQ(cold.rounds[r].reports_expected, warm.rounds[r].reports_expected);
+    cold_iters.add(static_cast<double>(cold.rounds[r].iterations));
+    warm_iters.add(static_cast<double>(warm.rounds[r].iterations));
+  }
+  EXPECT_LT(warm_iters.mean(), cold_iters.mean())
       << "warm " << warm_iters.mean() << " vs cold " << cold_iters.mean();
 }
 

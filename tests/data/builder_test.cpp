@@ -36,6 +36,40 @@ TEST(ObservationMatrixBuilder, BuildsSimpleMatrix) {
   EXPECT_FALSE(obs.present(0, 0));
 }
 
+TEST(ObservationMatrixBuilder, ReshapeReusesStorageAcrossRounds) {
+  // The ingestion workers' round-over-round pattern: one long-lived builder
+  // serving rounds of varying participant counts. Reshape must clear all
+  // ingested state and accept the new shape exactly like a fresh builder.
+  ObservationMatrixBuilder builder(4, 3);
+  const std::vector<std::uint64_t> objects{0, 2};
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_TRUE(builder.add_row(3, objects, values));
+
+  builder.reshape(6, 5);
+  EXPECT_EQ(builder.num_users(), 6u);
+  EXPECT_EQ(builder.num_objects(), 5u);
+  EXPECT_EQ(builder.rows_ingested(), 0u);
+  EXPECT_EQ(builder.observation_count(), 0u);
+  for (std::size_t u = 0; u < 6; ++u) EXPECT_FALSE(builder.has_row(u));
+
+  // New shape is live: object 4 is now in range, user 5 exists.
+  const std::vector<std::uint64_t> wide{4};
+  const std::vector<double> wide_values{7.0};
+  EXPECT_TRUE(builder.add_row(5, wide, wide_values));
+  const ObservationMatrix obs = builder.finalize();
+  EXPECT_EQ(obs.num_users(), 6u);
+  EXPECT_EQ(obs.num_objects(), 5u);
+  EXPECT_EQ(obs.observation_count(), 1u);
+  EXPECT_DOUBLE_EQ(obs.value(5, 4), 7.0);
+
+  // Shrinking works too, and stale rows never leak through.
+  builder.reshape(2, 2);
+  EXPECT_EQ(builder.rows_ingested(), 0u);
+  EXPECT_THROW(builder.add_row(5, wide, wide_values), std::invalid_argument);
+  EXPECT_TRUE(builder.add_row(0, {}, {}));
+  EXPECT_EQ(builder.finalize().observation_count(), 0u);
+}
+
 TEST(ObservationMatrixBuilder, RejectsDuplicateUserRows) {
   ObservationMatrixBuilder builder(2, 2);
   const std::vector<std::uint64_t> objects{0};
