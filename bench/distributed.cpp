@@ -1,0 +1,170 @@
+// Distributed-coordinator capacity benchmark: a synthetic round of 1,000,000
+// users streamed as wire reports through the simulated network into K
+// ShardNodes, then converged by the dist::Coordinator purely over serialized
+// chained-fold RPCs. Results are bitwise identical at every K (the tentpole
+// guarantee), so rows differ only in time and traffic.
+//
+// The headline counters, per shard count K:
+//  - iterations_per_sec: truth-discovery iterations the protocol completes
+//    per wall-clock second of the close phase (finalize + converge +
+//    collect).
+//  - bytes_per_iteration / messages_per_iteration: protocol traffic of the
+//    iterate phase alone, from the coordinator's NetworkStats delta. Grows
+//    with K (one chain hop per shard per collective) — the cost model the
+//    README's distributed-mode section describes.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "crowd/protocol.h"
+#include "dist/coordinator.h"
+#include "dist/shard_node.h"
+
+namespace {
+
+using dptd::dist::Coordinator;
+using dptd::dist::CoordinatorConfig;
+using dptd::dist::DistributedOutcome;
+using dptd::dist::MethodSpec;
+using dptd::dist::ShardNode;
+
+constexpr std::size_t kMillionUsers = 1'000'000;
+constexpr std::size_t kObjects = 1'000;
+constexpr std::size_t kClaimsPerUser = 6;
+/// Big blocks keep the canonical fold coarse at this scale; every K uses the
+/// same block size, so all rows publish bitwise-identical truths.
+constexpr std::size_t kBlock = 4'096;
+constexpr dptd::net::NodeId kCoordinatorId = 9'000'000;
+constexpr dptd::net::NodeId kShardBase = 8'000'000;
+
+inline std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+/// One user's report, generated procedurally (cheap xorshift noise around a
+/// per-object truth) so data generation never dominates the round timing.
+dptd::crowd::Report make_report(std::size_t user) {
+  dptd::crowd::Report report;
+  report.round = 1;
+  report.user_id = user;
+  report.objects.reserve(kClaimsPerUser);
+  report.values.reserve(kClaimsPerUser);
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ (user * 0xbf58476d1ce4e5b9ull);
+  const std::size_t start = xorshift(rng) % kObjects;
+  const std::size_t stride = 1 + xorshift(rng) % 97;
+  for (std::size_t j = 0; j < kClaimsPerUser; ++j) {
+    const std::size_t object = (start + j * stride) % kObjects;
+    const double truth = static_cast<double>(object % 50);
+    const double noise =
+        (static_cast<double>(xorshift(rng) % 2'000'001) - 1'000'000.0) / 1e6;
+    report.objects.push_back(object);
+    report.values.push_back(truth + noise);
+  }
+  return report;
+}
+
+void BM_DistributedRoundCrh(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+
+  MethodSpec spec;
+  spec.kind = MethodSpec::Kind::kCrh;
+  spec.crh.convergence.tolerance = 1e-6;
+  spec.crh.convergence.max_iterations = 10;
+
+  std::vector<dptd::net::NodeId> participants(kMillionUsers);
+  for (std::size_t s = 0; s < kMillionUsers; ++s) participants[s] = s;
+
+  double close_seconds = 0.0;
+  double ingest_seconds = 0.0;
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  std::size_t iteration_messages = 0;
+  std::size_t iteration_bytes = 0;
+  std::size_t round_bytes = 0;
+  for (auto _ : state) {
+    dptd::net::Simulator sim;
+    dptd::net::Network network(sim, dptd::net::LatencyModel{0.001, 0.0, 0.0},
+                               1);
+    CoordinatorConfig config;
+    config.id = kCoordinatorId;
+    config.num_objects = kObjects;
+    config.block_size = kBlock;
+    Coordinator coordinator(config, spec, network);
+    std::vector<std::unique_ptr<ShardNode>> shards;
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shards.push_back(std::make_unique<ShardNode>(kShardBase + i, network));
+      coordinator.add_shard(kShardBase + i);
+    }
+    if (!coordinator.begin_round(1, participants)) {
+      state.SkipWithError("begin_round failed");
+      return;
+    }
+
+    dptd::Stopwatch ingest_timer;
+    for (std::size_t user = 0; user < kMillionUsers; ++user) {
+      network.send(dptd::crowd::make_message(
+          user, kCoordinatorId, dptd::crowd::MessageType::kReport,
+          make_report(user).encode()));
+      // Batched draining keeps the event queue (and its payload copies)
+      // small instead of holding a million in-flight messages.
+      if ((user & 0x3fff) == 0x3fff) sim.run();
+    }
+    sim.run();
+    ingest_seconds += ingest_timer.elapsed_seconds();
+
+    dptd::Stopwatch close_timer;
+    const DistributedOutcome outcome = coordinator.close_round();
+    close_seconds += close_timer.elapsed_seconds();
+    if (!outcome.aggregated) {
+      state.SkipWithError("round did not aggregate");
+      return;
+    }
+    benchmark::DoNotOptimize(outcome.result.truths.data());
+    ++rounds;
+    iterations += outcome.result.iterations;
+    iteration_messages += outcome.iteration_messages;
+    iteration_bytes += outcome.iteration_bytes;
+    round_bytes += outcome.network.bytes_sent;
+  }
+
+  const auto per_round = [&](double total) {
+    return rounds > 0 ? total / static_cast<double>(rounds) : 0.0;
+  };
+  const auto per_iteration = [&](std::size_t total) {
+    return iterations > 0
+               ? static_cast<double>(total) / static_cast<double>(iterations)
+               : 0.0;
+  };
+  state.counters["iterations_per_sec"] = benchmark::Counter(
+      close_seconds > 0.0 ? static_cast<double>(iterations) / close_seconds
+                          : 0.0);
+  state.counters["bytes_per_iteration"] =
+      benchmark::Counter(per_iteration(iteration_bytes));
+  state.counters["messages_per_iteration"] =
+      benchmark::Counter(per_iteration(iteration_messages));
+  state.counters["round_bytes"] =
+      benchmark::Counter(per_round(static_cast<double>(round_bytes)));
+  state.counters["ingest_seconds"] = benchmark::Counter(per_round(ingest_seconds));
+  state.counters["close_seconds"] = benchmark::Counter(per_round(close_seconds));
+  state.counters["td_iterations"] =
+      benchmark::Counter(per_round(static_cast<double>(iterations)));
+}
+BENCHMARK(BM_DistributedRoundCrh)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

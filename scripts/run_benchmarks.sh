@@ -9,7 +9,8 @@
 #                                               # BENCH_*.json baselines
 #
 # Produces OUTPUT_DIR/BENCH_scalability.json, OUTPUT_DIR/BENCH_campaign.json,
-# OUTPUT_DIR/BENCH_sharded.json and OUTPUT_DIR/BENCH_fig8_efficiency.json.
+# OUTPUT_DIR/BENCH_sharded.json, OUTPUT_DIR/BENCH_distributed.json and
+# OUTPUT_DIR/BENCH_fig8_efficiency.json.
 # Compare against the checked-in baselines with: scripts/compare_benchmarks.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,7 +36,7 @@ cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" -DCMAKE_BUILD_TYPE=Release \
   -DDPTD_BUILD_TESTS=OFF -DDPTD_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target dptd_bench_scalability dptd_bench_fig8_efficiency \
-           dptd_bench_campaign dptd_bench_sharded
+           dptd_bench_campaign dptd_bench_sharded dptd_bench_distributed
 
 # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
 # older releases reject it; probe which dialect this build speaks.
@@ -62,10 +63,12 @@ run_bench dptd_bench_scalability BENCH_scalability.json
 run_bench dptd_bench_fig8_efficiency BENCH_fig8_efficiency.json
 run_bench dptd_bench_campaign BENCH_campaign.json
 run_bench dptd_bench_sharded BENCH_sharded.json
+run_bench dptd_bench_distributed BENCH_distributed.json
 
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp "$OUT_DIR/BENCH_scalability.json" BENCH_scalability.json
   cp "$OUT_DIR/BENCH_campaign.json" BENCH_campaign.json
   cp "$OUT_DIR/BENCH_sharded.json" BENCH_sharded.json
-  echo "baselines BENCH_scalability.json + BENCH_campaign.json + BENCH_sharded.json refreshed"
+  cp "$OUT_DIR/BENCH_distributed.json" BENCH_distributed.json
+  echo "baselines BENCH_scalability.json + BENCH_campaign.json + BENCH_sharded.json + BENCH_distributed.json refreshed"
 fi

@@ -21,6 +21,18 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::restore(std::size_t count, double mean, double m2,
+                                   double min, double max) {
+  RunningStats out;
+  if (count == 0) return out;
+  out.n_ = count;
+  out.mean_ = mean;
+  out.m2_ = m2;
+  out.min_ = min;
+  out.max_ = max;
+  return out;
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

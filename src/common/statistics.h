@@ -23,6 +23,16 @@ class RunningStats {
   double min() const;
   double max() const;
 
+  /// Raw sum of squared deviations (Welford's M2) — exposed so accumulators
+  /// can be serialized bit-exactly (common/serialize round trips through the
+  /// IEEE-754 representation) and restored on another node.
+  double sum_squared_deviations() const { return m2_; }
+  /// Inverse of the accessors: rebuilds an accumulator from its serialized
+  /// fields. A zero count restores the empty accumulator regardless of the
+  /// other fields, so merge()'s empty fast paths behave identically.
+  static RunningStats restore(std::size_t count, double mean, double m2,
+                              double min, double max);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -253,6 +253,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         stats_after.messages_delivered - stats_before.messages_delivered;
     record.network.messages_dropped =
         stats_after.messages_dropped - stats_before.messages_dropped;
+    record.network.messages_undeliverable = stats_after.messages_undeliverable -
+                                            stats_before.messages_undeliverable;
     record.network.bytes_sent = stats_after.bytes_sent - stats_before.bytes_sent;
     stats_before = stats_after;
 

@@ -49,8 +49,11 @@ void UserDevice::on_message(const net::Message& message) {
       break;
     }
     case MessageType::kReport:
-      // Devices never receive reports; ignore (robustness against
-      // misrouted traffic rather than an invariant violation).
+    case MessageType::kShardRequest:
+    case MessageType::kShardResponse:
+      // Devices never receive reports or coordinator RPC traffic; ignore
+      // (robustness against misrouted traffic rather than an invariant
+      // violation).
       break;
   }
 }

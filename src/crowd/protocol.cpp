@@ -82,6 +82,29 @@ ResultPublish ResultPublish::decode(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::vector<std::uint8_t> StatsEnvelope::encode() const {
+  Encoder enc;
+  enc.write_varint(op_id);
+  enc.write_u8(op);
+  enc.write_bytes(body);
+  return enc.take();
+}
+
+StatsEnvelope StatsEnvelope::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  StatsEnvelope msg;
+  msg.op_id = dec.read_varint();
+  msg.op = dec.read_u8();
+  const std::uint64_t length = dec.read_varint();
+  if (length > dec.remaining()) {
+    throw DecodeError("StatsEnvelope: body length exceeds payload");
+  }
+  msg.body.resize(static_cast<std::size_t>(length));
+  for (std::size_t i = 0; i < msg.body.size(); ++i) msg.body[i] = dec.read_u8();
+  if (!dec.done()) throw DecodeError("StatsEnvelope: trailing bytes");
+  return msg;
+}
+
 net::Message make_message(net::NodeId source, net::NodeId destination,
                           MessageType type,
                           std::vector<std::uint8_t> payload) {

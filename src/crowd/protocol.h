@@ -22,6 +22,10 @@ enum class MessageType : std::uint32_t {
   kTaskAnnounce = 1,
   kReport = 2,
   kResultPublish = 3,
+  /// Coordinator -> shard sufficient-statistics RPC (dist/ subsystem).
+  kShardRequest = 4,
+  /// Shard -> coordinator RPC response.
+  kShardResponse = 5,
 };
 
 struct TaskAnnounce {
@@ -62,6 +66,21 @@ struct ResultPublish {
 
   std::vector<std::uint8_t> encode() const;
   static ResultPublish decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Framing of every kShardRequest/kShardResponse payload: a correlation id, a
+/// shard-statistics opcode (dist::ShardOp, kept opaque at this layer), and the
+/// op-specific body. Requests and their responses carry the SAME op_id, which
+/// is what makes the coordinator's timeout-and-resend loop safe: a resent
+/// request re-executes (or replays) under the old id, and a late original
+/// response is still accepted.
+struct StatsEnvelope {
+  std::uint64_t op_id = 0;
+  std::uint8_t op = 0;
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> encode() const;
+  static StatsEnvelope decode(std::span<const std::uint8_t> bytes);
 };
 
 /// Wraps an encoded payload in a routed message.

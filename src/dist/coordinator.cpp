@@ -1,0 +1,757 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/statistics.h"
+#include "truth/baselines.h"
+#include "truth/sharded_stats.h"
+
+namespace dptd::dist {
+
+std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec) {
+  switch (spec.kind) {
+    case MethodSpec::Kind::kCrh:
+      return std::make_unique<truth::Crh>(spec.crh);
+    case MethodSpec::Kind::kGtm:
+      return std::make_unique<truth::Gtm>(spec.gtm);
+    case MethodSpec::Kind::kCatd:
+      return std::make_unique<truth::Catd>(spec.catd);
+    case MethodSpec::Kind::kMean:
+      return std::make_unique<truth::MeanAggregator>();
+    case MethodSpec::Kind::kMedian:
+      return std::make_unique<truth::MedianAggregator>();
+  }
+  throw std::invalid_argument("MethodSpec: unknown kind");
+}
+
+Coordinator::Coordinator(CoordinatorConfig config, MethodSpec method,
+                         net::Network& network)
+    : config_(config),
+      method_(method),
+      network_(&network),
+      sim_(&network.simulator()) {
+  DPTD_REQUIRE(config_.num_objects > 0,
+               "Coordinator: num_objects must be positive");
+  DPTD_REQUIRE(config_.block_size > 0,
+               "Coordinator: block_size must be positive");
+  DPTD_REQUIRE(config_.op_timeout_seconds > 0.0,
+               "Coordinator: op_timeout_seconds must be positive");
+  network_->attach(config_.id, *this);
+}
+
+Coordinator::~Coordinator() { network_->detach(config_.id); }
+
+void Coordinator::add_shard(net::NodeId id) {
+  DPTD_REQUIRE(std::find(roster_.begin(), roster_.end(), id) == roster_.end(),
+               "Coordinator: shard already enrolled");
+  roster_.push_back(id);
+}
+
+bool Coordinator::remove_shard(net::NodeId id) {
+  const auto it = std::find(roster_.begin(), roster_.end(), id);
+  if (it == roster_.end()) return false;
+  roster_.erase(it);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RPC core
+
+void Coordinator::on_message(const net::Message& message) {
+  switch (static_cast<crowd::MessageType>(message.type)) {
+    case crowd::MessageType::kReport:
+      route_report(message);
+      return;
+    case crowd::MessageType::kShardResponse:
+      handle_response(message);
+      return;
+    default:
+      return;
+  }
+}
+
+void Coordinator::route_report(const net::Message& message) {
+  if (!round_open_) {
+    ++reports_unroutable_;
+    return;
+  }
+  const std::optional<crowd::ReportHeader> header =
+      crowd::Report::peek_header(message.payload);
+  if (!header.has_value() || header->round != round_) {
+    ++reports_unroutable_;
+    return;
+  }
+  const std::optional<std::size_t> row = index_.row_of(header->user_id);
+  if (!row.has_value()) {
+    ++reports_unroutable_;
+    return;
+  }
+  const std::size_t shard = plan_.shard_of_user(*row);
+  network_->send(crowd::make_message(config_.id, active_[shard],
+                                     crowd::MessageType::kReport,
+                                     message.payload));
+  ++reports_routed_;
+}
+
+void Coordinator::handle_response(const net::Message& message) {
+  crowd::StatsEnvelope env;
+  try {
+    env = crowd::StatsEnvelope::decode(message.payload);
+  } catch (const DecodeError&) {
+    // Truncated or corrupt response: count against the sender and move on —
+    // the op stays outstanding and the resend machinery recovers.
+    ++malformed_by_node_[message.source];
+    return;
+  }
+  const auto it = outstanding_.find(env.op_id);
+  if (it == outstanding_.end() || it->second.shard != message.source) {
+    ++stale_responses_;  // duplicate after a resend, or an abandoned op
+    return;
+  }
+  arrived_[env.op_id] = std::move(env.body);
+  outstanding_.erase(it);
+}
+
+bool Coordinator::pump() {
+  while (!outstanding_.empty()) {
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto& [id, p] : outstanding_) next = std::min(next, p.deadline);
+    sim_->run_until(next);
+    const double now = sim_->now();
+    for (auto& [id, p] : outstanding_) {
+      if (p.deadline > now) continue;
+      if (p.resends >= config_.max_resends) {
+        failed_shard_ = p.shard;
+        outstanding_.clear();
+        arrived_.clear();
+        return false;
+      }
+      ++p.resends;
+      ++round_resends_;
+      ++total_resends_;
+      p.deadline = now + config_.op_timeout_seconds;
+      network_->send(crowd::make_message(config_.id, p.shard,
+                                         crowd::MessageType::kShardRequest,
+                                         p.payload));
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> Coordinator::call_all(
+    ShardOp op, const std::vector<net::NodeId>& targets,
+    const std::function<std::vector<std::uint8_t>(std::size_t)>& body_of) {
+  std::vector<std::uint64_t> ids(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    crowd::StatsEnvelope env;
+    env.op_id = ++next_op_id_;
+    env.op = static_cast<std::uint8_t>(op);
+    env.body = body_of(i);
+    ids[i] = env.op_id;
+    Pending pending;
+    pending.shard = targets[i];
+    pending.payload = env.encode();
+    pending.deadline = sim_->now() + config_.op_timeout_seconds;
+    network_->send(crowd::make_message(config_.id, targets[i],
+                                       crowd::MessageType::kShardRequest,
+                                       pending.payload));
+    outstanding_.emplace(env.op_id, std::move(pending));
+  }
+  if (!pump()) return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> out(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out[i] = std::move(arrived_[ids[i]]);
+    arrived_.erase(ids[i]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Coordinator::call(
+    net::NodeId target, ShardOp op, std::vector<std::uint8_t> body) {
+  auto replies = call_all(op, {target},
+                          [&](std::size_t) { return std::move(body); });
+  if (!replies.has_value()) return std::nullopt;
+  return std::move((*replies)[0]);
+}
+
+bool Coordinator::broadcast(ShardOp op,
+                            const std::vector<std::uint8_t>& body) {
+  return call_all(op, active_, [&](std::size_t) { return body; }).has_value();
+}
+
+namespace {
+
+/// Decodes a shard response body; a DecodeError marks the shard byzantine
+/// (counted + declared failed) instead of propagating.
+template <typename T>
+std::optional<T> decode_or_fail(
+    net::NodeId shard, const std::vector<std::uint8_t>& bytes,
+    std::unordered_map<net::NodeId, std::size_t>& malformed,
+    std::optional<net::NodeId>& failed) {
+  try {
+    return T::decode(bytes);
+  } catch (const DecodeError&) {
+    ++malformed[shard];
+    failed = shard;
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Statistics collectives
+
+bool Coordinator::set_weights_uniform() {
+  WeightsBody body;
+  body.uniform = true;
+  return broadcast(ShardOp::kSetWeights, body.encode());
+}
+
+bool Coordinator::set_weights_explicit(const std::vector<double>& global) {
+  DPTD_REQUIRE(global.size() == plan_.num_users,
+               "Coordinator: weight vector size != num users");
+  return call_all(ShardOp::kSetWeights, active_,
+                  [&](std::size_t i) {
+                    WeightsBody body;
+                    body.uniform = false;
+                    body.weights.assign(
+                        global.begin() +
+                            static_cast<std::ptrdiff_t>(plan_.user_begin(i)),
+                        global.begin() +
+                            static_cast<std::ptrdiff_t>(plan_.user_end(i)));
+                    return body.encode();
+                  })
+      .has_value();
+}
+
+std::optional<truth::AggregateStats> Coordinator::aggregate_chain() {
+  // The chained fold: each shard continues the accumulator exactly where the
+  // previous one stopped, reproducing the in-process ascending-shard fold.
+  AggregateBody body;
+  body.stats.reset(config_.num_objects);
+  for (net::NodeId shard : active_) {
+    auto reply = call(shard, ShardOp::kAggregate, body.encode());
+    if (!reply.has_value()) return std::nullopt;
+    auto next = decode_or_fail<AggregateBody>(shard, *reply,
+                                              malformed_by_node_,
+                                              failed_shard_);
+    if (!next.has_value() ||
+        next->stats.counts.size() != config_.num_objects) {
+      failed_shard_ = shard;
+      return std::nullopt;
+    }
+    body = std::move(*next);
+  }
+  return std::move(body.stats);
+}
+
+std::optional<std::vector<double>> Coordinator::aggregate_truths() {
+  auto stats = aggregate_chain();
+  if (!stats.has_value()) return std::nullopt;
+  return truth::truths_from_aggregate(*stats, nullptr);
+}
+
+std::optional<std::vector<RunningStats>> Coordinator::moments_chain() {
+  std::vector<RunningStats> moments(config_.num_objects);
+  for (net::NodeId shard : active_) {
+    auto reply = call(shard, ShardOp::kMoments, encode_moments(moments));
+    if (!reply.has_value()) return std::nullopt;
+    try {
+      moments = decode_moments(*reply);
+    } catch (const DecodeError&) {
+      ++malformed_by_node_[shard];
+      failed_shard_ = shard;
+      return std::nullopt;
+    }
+    if (moments.size() != config_.num_objects) {
+      failed_shard_ = shard;
+      return std::nullopt;
+    }
+  }
+  return moments;
+}
+
+std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns() {
+  auto replies = call_all(ShardOp::kGather, active_,
+                          [](std::size_t) { return std::vector<std::uint8_t>{}; });
+  if (!replies.has_value()) return std::nullopt;
+  const std::size_t N = config_.num_objects;
+  std::vector<std::vector<double>> columns(N);
+  // Fragments concatenated in ascending shard order ARE the global columns
+  // in user order (shard ranges are contiguous and ascending).
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    auto frag = decode_or_fail<GatherBody>(active_[i], (*replies)[i],
+                                           malformed_by_node_, failed_shard_);
+    if (!frag.has_value() || frag->lengths.size() != N) {
+      failed_shard_ = active_[i];
+      return std::nullopt;
+    }
+    std::size_t cursor = 0;
+    for (std::size_t n = 0; n < N; ++n) {
+      const std::size_t len = static_cast<std::size_t>(frag->lengths[n]);
+      columns[n].insert(columns[n].end(), frag->values.begin() + cursor,
+                        frag->values.begin() + cursor + len);
+      cursor += len;
+    }
+  }
+  return columns;
+}
+
+std::optional<std::vector<double>> Coordinator::collect_weights() {
+  auto replies = call_all(ShardOp::kCollectWeights, active_,
+                          [](std::size_t) { return std::vector<std::uint8_t>{}; });
+  if (!replies.has_value()) return std::nullopt;
+  std::vector<double> weights;
+  weights.reserve(plan_.num_users);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    auto slice = decode_or_fail<WeightsBody>(active_[i], (*replies)[i],
+                                             malformed_by_node_,
+                                             failed_shard_);
+    if (!slice.has_value() ||
+        slice->weights.size() != plan_.shard_num_users(i)) {
+      failed_shard_ = active_[i];
+      return std::nullopt;
+    }
+    weights.insert(weights.end(), slice->weights.begin(),
+                   slice->weights.end());
+  }
+  return weights;
+}
+
+// ---------------------------------------------------------------------------
+// Round lifecycle
+
+bool Coordinator::begin_round(std::uint64_t round,
+                              std::vector<net::NodeId> participants) {
+  DPTD_REQUIRE(!round_planned_, "Coordinator: a round is already open");
+  DPTD_REQUIRE(!participants.empty(), "Coordinator: no participants");
+  while (!roster_.empty()) {
+    plan_ = data::ShardPlan::create(participants.size(), roster_.size(),
+                                    config_.block_size);
+    active_.assign(roster_.begin(),
+                   roster_.begin() +
+                       static_cast<std::ptrdiff_t>(plan_.num_shards));
+    failed_shard_.reset();
+    round_resends_ = 0;
+    stats_at_begin_ = network_->stats();
+    const bool ok =
+        call_all(ShardOp::kSetup, active_,
+                 [&](std::size_t i) {
+                   SetupBody setup;
+                   setup.round = round;
+                   setup.num_users = participants.size();
+                   setup.num_shards = plan_.num_shards;
+                   setup.shard_index = i;
+                   setup.num_objects = config_.num_objects;
+                   setup.block_size = config_.block_size;
+                   setup.participants.assign(
+                       participants.begin() +
+                           static_cast<std::ptrdiff_t>(plan_.user_begin(i)),
+                       participants.begin() +
+                           static_cast<std::ptrdiff_t>(plan_.user_end(i)));
+                   return setup.encode();
+                 })
+            .has_value();
+    if (ok) {
+      round_ = round;
+      round_open_ = true;
+      round_planned_ = true;
+      participants_ = std::move(participants);
+      index_.build(participants_);
+      reports_routed_ = 0;
+      reports_unroutable_ = 0;
+      return true;
+    }
+    // A shard failed setup: drop it and re-plan over the survivors. The
+    // surviving shards get a fresh (idempotent) Setup with the new split.
+    if (failed_shard_.has_value()) remove_shard(*failed_shard_);
+  }
+  active_.clear();
+  return false;
+}
+
+DistributedOutcome Coordinator::close_round() {
+  DPTD_REQUIRE(round_planned_, "Coordinator: no open round");
+  round_open_ = false;  // reports from here on are late: unroutable
+  DistributedOutcome out;
+  out.round = round_;
+  out.reports_routed = reports_routed_;
+
+  const auto finish = [&]() {
+    out.reports_routed = reports_routed_;
+    out.reports_unroutable = reports_unroutable_;
+    out.resends = round_resends_;
+    const net::NetworkStats now = network_->stats();
+    out.network.messages_sent =
+        now.messages_sent - stats_at_begin_.messages_sent;
+    out.network.messages_delivered =
+        now.messages_delivered - stats_at_begin_.messages_delivered;
+    out.network.messages_dropped =
+        now.messages_dropped - stats_at_begin_.messages_dropped;
+    out.network.messages_undeliverable =
+        now.messages_undeliverable - stats_at_begin_.messages_undeliverable;
+    out.network.bytes_sent = now.bytes_sent - stats_at_begin_.bytes_sent;
+    round_planned_ = false;
+    active_.clear();
+  };
+  const auto fail = [&]() {
+    out.completed = false;
+    out.failed_shard = failed_shard_;
+    if (failed_shard_.has_value()) remove_shard(*failed_shard_);
+    finish();
+    return out;
+  };
+
+  // Close ingestion and collect coverage.
+  auto summaries =
+      call_all(ShardOp::kFinalizeIngest, active_,
+               [](std::size_t) { return std::vector<std::uint8_t>{}; });
+  if (!summaries.has_value()) return fail();
+  std::vector<std::uint64_t> coverage(config_.num_objects, 0);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    auto summary = decode_or_fail<IngestSummaryBody>(
+        active_[i], (*summaries)[i], malformed_by_node_, failed_shard_);
+    if (!summary.has_value() ||
+        summary->object_counts.size() != config_.num_objects) {
+      failed_shard_ = active_[i];
+      return fail();
+    }
+    crowd::ShardIngestStats stats;
+    stats.reports_received =
+        static_cast<std::size_t>(summary->reports_received);
+    stats.duplicates_ignored =
+        static_cast<std::size_t>(summary->duplicates_ignored);
+    stats.malformed_reports =
+        static_cast<std::size_t>(summary->malformed_reports);
+    stats.rejected_reports =
+        static_cast<std::size_t>(summary->rejected_reports);
+    out.shard_stats.push_back(stats);
+    for (std::size_t n = 0; n < coverage.size(); ++n) {
+      coverage[n] += summary->object_counts[n];
+    }
+  }
+  for (std::uint64_t c : coverage) {
+    if (c == 0) {
+      // Uncovered objects: skip aggregation gracefully, exactly like the
+      // in-process servers. The warm state is left untouched.
+      DPTD_LOG_WARN << "round " << round_
+                    << ": uncovered objects, skipping aggregation";
+      out.completed = true;
+      out.aggregated = false;
+      finish();
+      return out;
+    }
+  }
+
+  // Warm seed, mirroring crowd::aggregate_and_publish bit for bit.
+  truth::WarmStart seed;
+  if (config_.warm_start && warm_.valid && method_.supports_warm_start()) {
+    seed.truths = warm_.result.truths;
+    seed.weights =
+        crowd::remap_warm_weights(warm_, participants_, plan_.num_users);
+    out.warm_started = true;
+  }
+  truth::validate_warm_start(plan_.num_users, config_.num_objects, seed);
+
+  auto result = run_method(seed);
+  if (!result.has_value()) return fail();
+  out.result = std::move(*result);
+  out.completed = true;
+  out.aggregated = true;
+  out.iteration_messages = iteration_messages_;
+  out.iteration_bytes = iteration_bytes_;
+
+  warm_.result = out.result;
+  warm_.participants = participants_;
+  warm_.valid = true;
+
+  finish();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Method drivers
+
+void Coordinator::mark_iterate_begin() {
+  stats_at_iterate_ = network_->stats();
+  iteration_messages_ = 0;
+  iteration_bytes_ = 0;
+}
+
+void Coordinator::mark_iterate_end() {
+  const net::NetworkStats now = network_->stats();
+  iteration_messages_ = now.messages_sent - stats_at_iterate_.messages_sent;
+  iteration_bytes_ = now.bytes_sent - stats_at_iterate_.bytes_sent;
+}
+
+std::optional<truth::Result> Coordinator::run_method(
+    const truth::WarmStart& seed) {
+  switch (method_.kind) {
+    case MethodSpec::Kind::kCrh:
+      return run_crh(seed);
+    case MethodSpec::Kind::kGtm:
+      return run_gtm(seed);
+    case MethodSpec::Kind::kCatd:
+      return run_catd(seed);
+    case MethodSpec::Kind::kMean:
+      return run_mean();
+    case MethodSpec::Kind::kMedian:
+      return run_median();
+  }
+  return std::nullopt;
+}
+
+std::optional<truth::Result> Coordinator::run_crh(
+    const truth::WarmStart& seed) {
+  const truth::CrhConfig& c = method_.crh;
+  const std::size_t N = config_.num_objects;
+
+  std::vector<double> stddevs(N, 1.0);
+  if (c.loss == truth::CrhLoss::kNormalizedSquared) {
+    auto moments = moments_chain();
+    if (!moments.has_value()) return std::nullopt;
+    stddevs = truth::crh_stddevs_from_moments(*moments);
+  }
+  CrhPrepareBody prep;
+  prep.loss = static_cast<std::uint8_t>(c.loss);
+  prep.min_loss_fraction = c.min_loss_fraction;
+  prep.stddevs = stddevs;
+  if (!broadcast(ShardOp::kCrhPrepare, prep.encode())) return std::nullopt;
+
+  truth::Result result;
+  if (!seed.weights.empty()) {
+    if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    auto truths = aggregate_truths();
+    if (!truths.has_value()) return std::nullopt;
+    result.truths = std::move(*truths);
+  } else if (!seed.truths.empty()) {
+    result.truths = seed.truths;
+  } else {
+    if (!set_weights_uniform()) return std::nullopt;
+    auto truths = aggregate_truths();
+    if (!truths.has_value()) return std::nullopt;
+    result.truths = std::move(*truths);
+  }
+
+  mark_iterate_begin();
+  for (std::size_t it = 1; it <= c.convergence.max_iterations; ++it) {
+    // Loss chain: the running total threads through the shards, continuing
+    // the canonical block-chained sum across the fleet.
+    double total = 0.0;
+    for (net::NodeId shard : active_) {
+      CrhLossBody req;
+      req.truths = result.truths;
+      req.total = total;
+      auto reply = call(shard, ShardOp::kCrhLoss, req.encode());
+      if (!reply.has_value()) return std::nullopt;
+      auto resp = decode_or_fail<CrhTotalBody>(shard, *reply,
+                                               malformed_by_node_,
+                                               failed_shard_);
+      if (!resp.has_value()) return std::nullopt;
+      total = resp->total;
+    }
+    CrhTotalBody tot;
+    tot.total = total;
+    if (!broadcast(ShardOp::kCrhWeights, tot.encode())) return std::nullopt;
+
+    auto next = aggregate_truths();
+    if (!next.has_value()) return std::nullopt;
+    const double change = truth::truth_change(result.truths, *next);
+    result.truths = std::move(*next);
+    result.iterations = it;
+    if (change < c.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  mark_iterate_end();
+
+  auto weights = collect_weights();
+  if (!weights.has_value()) return std::nullopt;
+  result.weights = std::move(*weights);
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_gtm(
+    const truth::WarmStart& seed) {
+  const truth::GtmConfig& g = method_.gtm;
+  const std::size_t N = config_.num_objects;
+
+  std::vector<double> shift(N, 0.0);
+  std::vector<double> scale(N, 1.0);
+  if (g.standardize) {
+    auto moments = moments_chain();
+    if (!moments.has_value()) return std::nullopt;
+    truth::gtm_standardization(*moments, shift, scale);
+  }
+  GtmPrepareBody prep;
+  prep.quality_prior_alpha = g.quality_prior_alpha;
+  prep.quality_prior_beta = g.quality_prior_beta;
+  prep.min_variance = g.min_variance;
+  prep.shift = shift;
+  prep.scale = scale;
+  if (!broadcast(ShardOp::kGtmPrepare, prep.encode())) return std::nullopt;
+
+  const double prior_precision = 1.0 / g.truth_prior_variance;
+  const double prior_weighted = g.truth_prior_mean / g.truth_prior_variance;
+
+  std::vector<double> truth_mean(N, 0.0);
+  std::vector<double> truth_var(N, 0.0);
+  const auto posterior_chain = [&]() -> bool {
+    GtmFoldBody body;
+    body.precision.assign(N, prior_precision);
+    body.weighted.assign(N, prior_weighted);
+    for (net::NodeId shard : active_) {
+      auto reply = call(shard, ShardOp::kGtmFold, body.encode());
+      if (!reply.has_value()) return false;
+      auto next = decode_or_fail<GtmFoldBody>(shard, *reply,
+                                              malformed_by_node_,
+                                              failed_shard_);
+      if (!next.has_value() || next->precision.size() != N) {
+        failed_shard_ = shard;
+        return false;
+      }
+      body = std::move(*next);
+    }
+    truth::gtm_posterior_from_stats(body.precision, body.weighted, truth_mean,
+                                    truth_var, nullptr);
+    return true;
+  };
+
+  if (!seed.weights.empty()) {
+    // GTM's weights ARE per-user precisions: seed the E-step with them.
+    if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    if (!posterior_chain()) return std::nullopt;
+  } else if (!seed.truths.empty()) {
+    for (std::size_t n = 0; n < N; ++n) {
+      truth_mean[n] = (seed.truths[n] - shift[n]) / scale[n];
+    }
+  } else {
+    auto columns = gather_columns();
+    if (!columns.has_value()) return std::nullopt;
+    for (std::size_t n = 0; n < N; ++n) {
+      truth_mean[n] =
+          truth::gtm_standardized_median((*columns)[n], shift[n], scale[n]);
+    }
+  }
+
+  std::vector<double> prev_truths = truth_mean;
+  truth::Result result;
+  mark_iterate_begin();
+  for (std::size_t it = 1; it <= g.convergence.max_iterations; ++it) {
+    GtmStepBody step;
+    step.truth_mean = truth_mean;
+    step.truth_var = truth_var;
+    if (!broadcast(ShardOp::kGtmStep, step.encode())) return std::nullopt;
+    if (!posterior_chain()) return std::nullopt;
+
+    result.iterations = it;
+    const double change = truth::truth_change(prev_truths, truth_mean);
+    prev_truths = truth_mean;
+    if (change < g.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  mark_iterate_end();
+
+  result.truths.resize(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    result.truths[n] = truth_mean[n] * scale[n] + shift[n];
+  }
+  auto weights = collect_weights();
+  if (!weights.has_value()) return std::nullopt;
+  result.weights = std::move(*weights);
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_catd(
+    const truth::WarmStart& seed) {
+  const truth::CatdConfig& c = method_.catd;
+  const std::size_t N = config_.num_objects;
+
+  CatdPrepareBody prep;
+  prep.significance = c.significance;
+  prep.min_residual = c.min_residual;
+  if (!broadcast(ShardOp::kCatdPrepare, prep.encode())) return std::nullopt;
+
+  truth::Result result;
+  if (!seed.weights.empty()) {
+    if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    auto truths = aggregate_truths();
+    if (!truths.has_value()) return std::nullopt;
+    result.truths = std::move(*truths);
+  } else if (!seed.truths.empty()) {
+    result.truths = seed.truths;
+  } else {
+    auto columns = gather_columns();
+    if (!columns.has_value()) return std::nullopt;
+    result.truths.resize(N);
+    for (std::size_t n = 0; n < N; ++n) {
+      DPTD_REQUIRE(!(*columns)[n].empty(),
+                   "Coordinator: object with no claims");
+      result.truths[n] = median((*columns)[n]);
+    }
+  }
+
+  mark_iterate_begin();
+  for (std::size_t it = 1; it <= c.convergence.max_iterations; ++it) {
+    TruthsBody req;
+    req.truths = result.truths;
+    if (!broadcast(ShardOp::kCatdWeights, req.encode())) return std::nullopt;
+
+    auto next = aggregate_truths();
+    if (!next.has_value()) return std::nullopt;
+    const double change = truth::truth_change(result.truths, *next);
+    result.truths = std::move(*next);
+    result.iterations = it;
+    if (change < c.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  mark_iterate_end();
+
+  auto weights = collect_weights();
+  if (!weights.has_value()) return std::nullopt;
+  result.weights = std::move(*weights);
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_mean() {
+  truth::Result result;
+  mark_iterate_begin();
+  if (!set_weights_uniform()) return std::nullopt;
+  auto truths = aggregate_truths();
+  if (!truths.has_value()) return std::nullopt;
+  mark_iterate_end();
+  result.truths = std::move(*truths);
+  result.weights.assign(plan_.num_users, 1.0);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_median() {
+  truth::Result result;
+  mark_iterate_begin();
+  auto columns = gather_columns();
+  if (!columns.has_value()) return std::nullopt;
+  mark_iterate_end();
+  result.truths.resize(config_.num_objects);
+  for (std::size_t n = 0; n < config_.num_objects; ++n) {
+    DPTD_REQUIRE(!(*columns)[n].empty(),
+                 "Coordinator: object with no claims");
+    result.truths[n] = median((*columns)[n]);
+  }
+  result.weights.assign(plan_.num_users, 1.0);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace dptd::dist

@@ -1,0 +1,215 @@
+// The distributed truth-discovery coordinator: a net::Node that drives the
+// iterative methods over a fleet of ShardNodes purely through serialized
+// messages (crowd::StatsEnvelope + dist/stats_wire.h bodies) on the simulated
+// network.
+//
+// Determinism contract: with zero link drops and no churn, a K-shard
+// distributed round is bitwise identical to the in-process
+// TruthDiscovery::run_sharded over the same matrix at the same K — the
+// coordinator runs the exact run_impl control flow, with every mergeable
+// statistic threaded through the shards as a chained fold (stats_wire.h) and
+// every per-user pass executed by the owning shard's local kernels.
+//
+// Failure model: every RPC has a timeout; a timed-out request is resent with
+// the SAME op id (shards execute exactly-once and replay responses), so
+// stragglers cost latency, never correctness. A shard that exhausts
+// max_resends is declared failed: the round aborts, the shard leaves the
+// roster, and the next begin_round re-plans over the surviving shards —
+// re-routing the dead shard's users — while the stable-id warm-start remap
+// (crowd::remap_warm_weights) keeps seeding from the last successful round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crowd/protocol.h"
+#include "crowd/server.h"
+#include "data/sharding.h"
+#include "dist/stats_wire.h"
+#include "net/network.h"
+#include "truth/catd.h"
+#include "truth/crh.h"
+#include "truth/gtm.h"
+#include "truth/interface.h"
+
+namespace dptd::dist {
+
+struct CoordinatorConfig {
+  net::NodeId id = 9'000'000;  ///< out of the user- and shard-id ranges
+  std::size_t num_objects = 0;
+  /// Canonical block size; distributed and in-process runs compare bitwise
+  /// only at equal block sizes.
+  std::size_t block_size = data::kDefaultStatsBlockSize;
+  /// RPC timeout before a resend. Must exceed one network round trip or every
+  /// op pays a pointless duplicate.
+  double op_timeout_seconds = 0.25;
+  /// Resends per op before the target is declared failed.
+  std::size_t max_resends = 5;
+  /// Seed each round from the previous successful round (stable-id remap).
+  bool warm_start = false;
+};
+
+/// Which method the coordinator drives, with its full configuration (the
+/// coordinator needs the config itself — not a TruthDiscovery instance —
+/// because it executes the iteration loop).
+struct MethodSpec {
+  enum class Kind { kCrh, kGtm, kCatd, kMean, kMedian };
+  Kind kind = Kind::kCrh;
+  truth::CrhConfig crh;
+  truth::GtmConfig gtm;
+  truth::CatdConfig catd;
+
+  bool supports_warm_start() const {
+    return kind == Kind::kCrh || kind == Kind::kGtm || kind == Kind::kCatd;
+  }
+};
+
+/// The in-process twin of a MethodSpec (equivalence tests and fallbacks).
+std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec);
+
+struct DistributedOutcome {
+  std::uint64_t round = 0;
+  /// The protocol ran to the end (false = a shard failed mid-round; the
+  /// round must be retried after the automatic re-plan).
+  bool completed = false;
+  /// Coverage held and `result` is valid (false with completed=true means
+  /// uncovered objects made the round skip aggregation, like the in-process
+  /// servers do).
+  bool aggregated = false;
+  std::optional<net::NodeId> failed_shard;
+  bool warm_started = false;
+  std::size_t reports_routed = 0;      ///< forwarded to owning shards
+  std::size_t reports_unroutable = 0;  ///< unknown user / undecodable / late
+  std::vector<crowd::ShardIngestStats> shard_stats;  ///< active-shard order
+  truth::Result result;
+  net::NetworkStats network;  ///< whole-round traffic delta
+  /// Protocol traffic of the iterate phase alone (divide by
+  /// result.iterations for the per-iteration cost the bench reports).
+  std::size_t iteration_messages = 0;
+  std::size_t iteration_bytes = 0;
+  std::size_t resends = 0;  ///< straggler recoveries this round
+};
+
+class Coordinator final : public net::Node {
+ public:
+  Coordinator(CoordinatorConfig config, MethodSpec method,
+              net::Network& network);
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Roster management. Shards added mid-round participate from the next
+  /// round. remove_shard returns false for an unknown id.
+  void add_shard(net::NodeId id);
+  bool remove_shard(net::NodeId id);
+  const std::vector<net::NodeId>& roster() const { return roster_; }
+
+  /// Opens round `round` over `participants` (stable user ids): plans the
+  /// shard split, pushes each shard its Setup (blocking, with resends), and
+  /// starts routing kReport messages. Shards that fail setup are removed and
+  /// the round is re-planned over the survivors; returns false only when no
+  /// shard survives.
+  bool begin_round(std::uint64_t round,
+                   std::vector<net::NodeId> participants);
+  bool round_open() const { return round_open_; }
+
+  /// Closes ingestion, runs the configured method over the fleet, collects
+  /// the result, and updates the warm state on success. Blocking: pumps the
+  /// simulator until the protocol finishes or a shard fails.
+  DistributedOutcome close_round();
+
+  void on_message(const net::Message& message) override;
+
+  const crowd::WarmState& warm() const { return warm_; }
+  /// DecodeError'd kShardResponse payloads per source node (the byzantine
+  /// counter the truncation fuzz test exercises).
+  const std::unordered_map<net::NodeId, std::size_t>& malformed_by_node()
+      const {
+    return malformed_by_node_;
+  }
+  std::size_t stale_responses() const { return stale_responses_; }
+  std::size_t total_resends() const { return total_resends_; }
+
+ private:
+  struct Pending {
+    net::NodeId shard = 0;
+    std::vector<std::uint8_t> payload;  ///< encoded envelope, for resends
+    double deadline = 0.0;
+    std::size_t resends = 0;
+  };
+
+  // RPC core: send one request per target, pump the simulator (with
+  // timeout-and-resend) until every response arrives. nullopt on shard
+  // failure, with failed_shard_ set.
+  std::optional<std::vector<std::vector<std::uint8_t>>> call_all(
+      ShardOp op, const std::vector<net::NodeId>& targets,
+      const std::function<std::vector<std::uint8_t>(std::size_t)>& body_of);
+  std::optional<std::vector<std::uint8_t>> call(net::NodeId target, ShardOp op,
+                                                std::vector<std::uint8_t> body);
+  bool broadcast(ShardOp op, const std::vector<std::uint8_t>& body);
+  bool pump();
+
+  // Statistics collectives over the active shards (ascending shard order).
+  bool set_weights_uniform();
+  bool set_weights_explicit(const std::vector<double>& global);
+  std::optional<truth::AggregateStats> aggregate_chain();
+  std::optional<std::vector<double>> aggregate_truths();
+  std::optional<std::vector<RunningStats>> moments_chain();
+  std::optional<std::vector<std::vector<double>>> gather_columns();
+  std::optional<std::vector<double>> collect_weights();
+
+  // Per-method drivers: the exact run_impl control flow over the wire.
+  std::optional<truth::Result> run_method(const truth::WarmStart& seed);
+  std::optional<truth::Result> run_crh(const truth::WarmStart& seed);
+  std::optional<truth::Result> run_gtm(const truth::WarmStart& seed);
+  std::optional<truth::Result> run_catd(const truth::WarmStart& seed);
+  std::optional<truth::Result> run_mean();
+  std::optional<truth::Result> run_median();
+
+  void route_report(const net::Message& message);
+  void handle_response(const net::Message& message);
+  /// Snapshot / delta helpers for the iterate-phase traffic telemetry.
+  void mark_iterate_begin();
+  void mark_iterate_end();
+
+  CoordinatorConfig config_;
+  MethodSpec method_;
+  net::Network* network_;
+  net::Simulator* sim_;
+
+  std::vector<net::NodeId> roster_;
+
+  // Open-round state.
+  bool round_open_ = false;
+  bool round_planned_ = false;  ///< begin_round succeeded, close pending
+  std::uint64_t round_ = 0;
+  std::vector<net::NodeId> participants_;
+  crowd::ParticipantIndex index_;
+  data::ShardPlan plan_;
+  std::vector<net::NodeId> active_;  ///< shard_index -> node id this round
+  std::size_t reports_routed_ = 0;
+  std::size_t reports_unroutable_ = 0;
+  net::NetworkStats stats_at_begin_;
+  net::NetworkStats stats_at_iterate_;
+  std::size_t iteration_messages_ = 0;
+  std::size_t iteration_bytes_ = 0;
+
+  crowd::WarmState warm_;
+
+  // RPC state.
+  std::uint64_t next_op_id_ = 0;
+  std::unordered_map<std::uint64_t, Pending> outstanding_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> arrived_;
+  std::optional<net::NodeId> failed_shard_;
+  std::size_t round_resends_ = 0;
+  std::size_t total_resends_ = 0;
+  std::size_t stale_responses_ = 0;
+  std::unordered_map<net::NodeId, std::size_t> malformed_by_node_;
+};
+
+}  // namespace dptd::dist

@@ -1,0 +1,363 @@
+#include "dist/shard_node.h"
+
+#include "common/check.h"
+#include "truth/catd.h"
+#include "truth/crh.h"
+#include "truth/gtm.h"
+#include "truth/sharded_stats.h"
+
+namespace dptd::dist {
+
+ShardNode::ShardNode(net::NodeId id, net::Network& network)
+    : id_(id), network_(&network) {
+  network_->attach(id_, *this);
+  attached_ = true;
+}
+
+ShardNode::~ShardNode() {
+  if (attached_) network_->detach(id_);
+}
+
+void ShardNode::fail() {
+  if (attached_) {
+    network_->detach(id_);
+    attached_ = false;
+  }
+  reset_round_state();
+}
+
+void ShardNode::rejoin() {
+  reset_round_state();
+  if (!attached_) {
+    network_->attach(id_, *this);
+    attached_ = true;
+  }
+}
+
+void ShardNode::go_offline() {
+  if (attached_) {
+    network_->detach(id_);
+    attached_ = false;
+  }
+}
+
+void ShardNode::come_online() {
+  if (!attached_) {
+    network_->attach(id_, *this);
+    attached_ = true;
+  }
+}
+
+void ShardNode::reset_round_state() {
+  round_open_ = false;
+  round_ = 0;
+  num_objects_ = 0;
+  index_.build({});
+  builder_.reset();
+  ingest_stats_ = {};
+  view_.reset();
+  matrix_.reset();
+  weights_.clear();
+  losses_.clear();
+  quality_.clear();
+  chi2_.clear();
+  crh_ = {};
+  gtm_ = {};
+  catd_ = {};
+  last_op_id_.reset();
+  last_response_.clear();
+}
+
+void ShardNode::on_message(const net::Message& message) {
+  switch (static_cast<crowd::MessageType>(message.type)) {
+    case crowd::MessageType::kReport:
+      handle_report(message);
+      return;
+    case crowd::MessageType::kShardRequest:
+      handle_request(message);
+      return;
+    default:
+      return;  // not addressed to the shard protocol
+  }
+}
+
+void ShardNode::handle_report(const net::Message& message) {
+  if (!round_open_ || !builder_.has_value()) {
+    ++ingest_stats_.rejected_reports;  // round closed (or never set up)
+    return;
+  }
+  crowd::Report report;
+  try {
+    report = crowd::Report::decode(message.payload);
+  } catch (const DecodeError&) {
+    ++ingest_stats_.rejected_reports;
+    return;
+  }
+  if (report.round != round_) {
+    ++ingest_stats_.rejected_reports;  // late straggler from another round
+    return;
+  }
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row.has_value()) {
+    ++ingest_stats_.rejected_reports;  // not in this shard's roster slice
+    return;
+  }
+  if (builder_->has_row(*row)) {
+    ++ingest_stats_.duplicates_ignored;
+    return;
+  }
+  if (crowd::ingest_report_claims(*builder_, *row, report, num_objects_)) {
+    ++ingest_stats_.malformed_reports;
+  }
+  ++ingest_stats_.reports_received;
+}
+
+void ShardNode::handle_request(const net::Message& message) {
+  crowd::StatsEnvelope env;
+  try {
+    env = crowd::StatsEnvelope::decode(message.payload);
+  } catch (const DecodeError&) {
+    ++malformed_messages_;
+    return;
+  }
+  if (last_op_id_.has_value() && *last_op_id_ == env.op_id) {
+    // Exactly-once replay: the op already executed but the coordinator did
+    // not see the response (lost, or a resend raced it). Re-executing would
+    // be wrong for non-idempotent ops (kFinalizeIngest), so replay the bytes.
+    crowd::StatsEnvelope reply;
+    reply.op_id = env.op_id;
+    reply.op = env.op;
+    reply.body = last_response_;
+    network_->send(crowd::make_message(id_, message.source,
+                                       crowd::MessageType::kShardResponse,
+                                       reply.encode()));
+    return;
+  }
+  std::vector<std::uint8_t> body;
+  try {
+    body = execute(static_cast<ShardOp>(env.op), env.body);
+  } catch (const DecodeError&) {
+    // Malformed body (or an op that needs state this shard does not have):
+    // count and stay silent. The coordinator's resend/timeout machinery owns
+    // recovery; a corrupt message must never kill the shard.
+    ++malformed_messages_;
+    return;
+  }
+  last_op_id_ = env.op_id;
+  last_response_ = body;
+  crowd::StatsEnvelope reply;
+  reply.op_id = env.op_id;
+  reply.op = env.op;
+  reply.body = std::move(body);
+  network_->send(crowd::make_message(
+      id_, message.source, crowd::MessageType::kShardResponse, reply.encode()));
+}
+
+const data::ShardedMatrix& ShardNode::view() const {
+  if (!view_.has_value()) throw DecodeError("shard: no finalized matrix");
+  return *view_;
+}
+
+std::vector<std::uint8_t> ShardNode::execute(
+    ShardOp op, std::span<const std::uint8_t> body) {
+  switch (op) {
+    case ShardOp::kSetup: {
+      const SetupBody setup = SetupBody::decode(body);
+      if (setup.num_users == 0 || setup.num_objects == 0 ||
+          setup.block_size == 0 || setup.num_shards == 0 ||
+          setup.shard_index >= setup.num_shards) {
+        throw DecodeError("SetupBody: invalid plan");
+      }
+      const data::ShardPlan plan = data::ShardPlan::create(
+          static_cast<std::size_t>(setup.num_users),
+          static_cast<std::size_t>(setup.num_shards),
+          static_cast<std::size_t>(setup.block_size));
+      if (plan.num_shards != setup.num_shards ||
+          setup.participants.size() !=
+              plan.shard_num_users(
+                  static_cast<std::size_t>(setup.shard_index))) {
+        throw DecodeError("SetupBody: roster slice does not match plan");
+      }
+      round_ = setup.round;
+      round_open_ = true;
+      num_objects_ = static_cast<std::size_t>(setup.num_objects);
+      block_size_ = static_cast<std::size_t>(setup.block_size);
+      index_.build(setup.participants);
+      const std::size_t local_users = setup.participants.size();
+      if (builder_.has_value()) {
+        builder_->reshape(local_users, num_objects_);
+      } else {
+        builder_.emplace(local_users, num_objects_);
+      }
+      ingest_stats_ = {};
+      view_.reset();
+      matrix_.reset();
+      weights_.clear();
+      losses_.clear();
+      quality_.clear();
+      chi2_.clear();
+      return {};
+    }
+    case ShardOp::kFinalizeIngest: {
+      if (!builder_.has_value()) throw DecodeError("shard: no open round");
+      round_open_ = false;
+      const std::size_t local_users = builder_->num_users();
+      view_.reset();
+      matrix_ = builder_->finalize();
+      view_.emplace(data::ShardedMatrix::single(*matrix_, block_size_));
+      weights_.assign(local_users, 1.0);
+      losses_.assign(local_users, 0.0);
+      quality_.assign(local_users, 1.0);
+      chi2_.assign(local_users, 0.0);
+      IngestSummaryBody summary;
+      summary.reports_received = ingest_stats_.reports_received;
+      summary.duplicates_ignored = ingest_stats_.duplicates_ignored;
+      summary.malformed_reports = ingest_stats_.malformed_reports;
+      summary.rejected_reports = ingest_stats_.rejected_reports;
+      summary.object_counts.resize(num_objects_);
+      matrix_->ensure_object_index();
+      for (std::size_t n = 0; n < num_objects_; ++n) {
+        summary.object_counts[n] = matrix_->object_entries(n).size();
+      }
+      return summary.encode();
+    }
+    case ShardOp::kSetWeights: {
+      const WeightsBody req = WeightsBody::decode(body);
+      const std::size_t local_users = view().num_users();
+      if (req.uniform) {
+        weights_.assign(local_users, 1.0);
+      } else {
+        if (req.weights.size() != local_users) {
+          throw DecodeError("WeightsBody: slice size mismatch");
+        }
+        weights_ = req.weights;
+      }
+      return {};
+    }
+    case ShardOp::kMoments: {
+      std::vector<RunningStats> moments = decode_moments(body);
+      if (moments.size() != num_objects_) {
+        throw DecodeError("moments: size != num objects");
+      }
+      truth::fold_object_moments(view(), nullptr, moments);
+      return encode_moments(moments);
+    }
+    case ShardOp::kGather: {
+      const data::ShardedMatrix& v = view();
+      GatherBody out;
+      out.lengths.resize(num_objects_);
+      matrix_->ensure_object_index();
+      std::size_t total = 0;
+      for (std::size_t n = 0; n < num_objects_; ++n) {
+        out.lengths[n] = matrix_->object_entries(n).size();
+        total += matrix_->object_entries(n).size();
+      }
+      out.values.reserve(total);
+      for (std::size_t n = 0; n < num_objects_; ++n) {
+        const auto col = matrix_->object_entries(n);
+        out.values.insert(out.values.end(), col.values.begin(),
+                          col.values.end());
+      }
+      (void)v;
+      return out.encode();
+    }
+    case ShardOp::kAggregate: {
+      AggregateBody req = AggregateBody::decode(body);
+      if (req.stats.counts.size() != num_objects_) {
+        throw DecodeError("AggregateBody: size != num objects");
+      }
+      truth::weighted_aggregate_fold(view(), weights_, req.stats, nullptr);
+      return req.encode();
+    }
+    case ShardOp::kCollectWeights: {
+      (void)view();  // weights are meaningless before finalize
+      WeightsBody out;
+      out.uniform = false;
+      out.weights = weights_;
+      return out.encode();
+    }
+    case ShardOp::kCrhPrepare: {
+      CrhPrepareBody req = CrhPrepareBody::decode(body);
+      if (req.stddevs.size() != num_objects_) {
+        throw DecodeError("CrhPrepareBody: stddevs size != num objects");
+      }
+      crh_ = std::move(req);
+      return {};
+    }
+    case ShardOp::kCrhLoss: {
+      const CrhLossBody req = CrhLossBody::decode(body);
+      if (req.truths.size() != num_objects_ ||
+          crh_.stddevs.size() != num_objects_) {
+        throw DecodeError("CrhLossBody: size mismatch or unprepared");
+      }
+      truth::crh_user_losses(view(), nullptr,
+                             static_cast<truth::CrhLoss>(crh_.loss),
+                             req.truths, crh_.stddevs, losses_);
+      CrhTotalBody out;
+      // Continue the global block-chained loss sum from the preceding
+      // shards' running total; local blocks are the global blocks.
+      out.total = truth::block_chain_sum(losses_, block_size_, req.total);
+      return out.encode();
+    }
+    case ShardOp::kCrhWeights: {
+      const CrhTotalBody req = CrhTotalBody::decode(body);
+      (void)view();
+      weights_ = truth::crh_weights_from_losses(losses_, req.total,
+                                                crh_.min_loss_fraction);
+      return {};
+    }
+    case ShardOp::kGtmPrepare: {
+      GtmPrepareBody req = GtmPrepareBody::decode(body);
+      if (req.shift.size() != num_objects_) {
+        throw DecodeError("GtmPrepareBody: size != num objects");
+      }
+      gtm_ = std::move(req);
+      return {};
+    }
+    case ShardOp::kGtmStep: {
+      const GtmStepBody req = GtmStepBody::decode(body);
+      if (req.truth_mean.size() != num_objects_ ||
+          gtm_.shift.size() != num_objects_) {
+        throw DecodeError("GtmStepBody: size mismatch or unprepared");
+      }
+      truth::GtmConfig config;
+      config.quality_prior_alpha = gtm_.quality_prior_alpha;
+      config.quality_prior_beta = gtm_.quality_prior_beta;
+      config.min_variance = gtm_.min_variance;
+      truth::gtm_m_step(view(), nullptr, config, gtm_.shift, gtm_.scale,
+                        req.truth_mean, req.truth_var, quality_, weights_);
+      return {};
+    }
+    case ShardOp::kGtmFold: {
+      GtmFoldBody req = GtmFoldBody::decode(body);
+      if (req.precision.size() != num_objects_ ||
+          gtm_.shift.size() != num_objects_) {
+        throw DecodeError("GtmFoldBody: size mismatch or unprepared");
+      }
+      truth::gtm_posterior_fold(view(), nullptr, gtm_.shift, gtm_.scale,
+                                weights_, req.precision, req.weighted);
+      return req.encode();
+    }
+    case ShardOp::kCatdPrepare: {
+      catd_ = CatdPrepareBody::decode(body);
+      if (catd_.significance <= 0.0 || catd_.significance >= 1.0) {
+        throw DecodeError("CatdPrepareBody: significance out of range");
+      }
+      chi2_.assign(view().num_users(), 0.0);
+      truth::catd_chi_squared(view(), nullptr, catd_.significance, chi2_);
+      return {};
+    }
+    case ShardOp::kCatdWeights: {
+      const TruthsBody req = TruthsBody::decode(body);
+      if (req.truths.size() != num_objects_) {
+        throw DecodeError("TruthsBody: size != num objects");
+      }
+      truth::catd_user_weights(view(), nullptr, chi2_, req.truths,
+                               catd_.min_residual, weights_);
+      return {};
+    }
+  }
+  throw DecodeError("shard: unknown op");
+}
+
+}  // namespace dptd::dist

@@ -1,0 +1,102 @@
+// One shard of the distributed truth-discovery deployment: a net::Node that
+// owns its user range's streaming ingestion builder and answers the
+// coordinator's sufficient-statistics RPCs (dist/stats_wire.h) by running the
+// exact shard-side kernels the in-process run_sharded uses. Because its local
+// user range is block-aligned, every chained fold it continues reproduces the
+// global fold's bits (see stats_wire.h for the full argument).
+//
+// RPC semantics: exactly-once per op_id. The node memoizes the last executed
+// op's response and replays it when the same op_id arrives again, so a
+// coordinator resend after a lost response never re-executes a
+// non-idempotent op (kFinalizeIngest moves the builder's rows out). Malformed
+// envelopes or bodies are counted, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crowd/protocol.h"
+#include "crowd/server.h"
+#include "data/builder.h"
+#include "data/sharding.h"
+#include "dist/stats_wire.h"
+#include "net/network.h"
+
+namespace dptd::dist {
+
+class ShardNode final : public net::Node {
+ public:
+  /// Attaches to the network under `id`. The node must outlive the network's
+  /// in-flight traffic or detach first (fail()/go_offline()).
+  ShardNode(net::NodeId id, net::Network& network);
+  ~ShardNode() override;
+
+  ShardNode(const ShardNode&) = delete;
+  ShardNode& operator=(const ShardNode&) = delete;
+
+  void on_message(const net::Message& message) override;
+
+  net::NodeId id() const { return id_; }
+
+  /// Crash: detach from the network and drop ALL state (round, matrix,
+  /// registers, RPC memo) — what a process restart would lose.
+  void fail();
+  /// Rejoin after fail(): reattach blank; the next kSetup re-enrolls it.
+  void rejoin();
+
+  /// Straggler injection: detach/reattach WITHOUT touching state, so requests
+  /// sent while offline go undeliverable and the coordinator's resends hit a
+  /// live node again after come_online().
+  void go_offline();
+  void come_online();
+  bool online() const { return attached_; }
+
+  /// Envelopes/bodies that failed to decode (satellite of the byzantine
+  /// robustness story: a corrupt coordinator message must not kill a shard).
+  std::size_t malformed_messages() const { return malformed_messages_; }
+
+ private:
+  void handle_report(const net::Message& message);
+  void handle_request(const net::Message& message);
+  /// Executes one decoded request; returns the response body.
+  std::vector<std::uint8_t> execute(ShardOp op,
+                                    std::span<const std::uint8_t> body);
+  void reset_round_state();
+  const data::ShardedMatrix& view() const;
+
+  net::NodeId id_;
+  net::Network* network_;
+  bool attached_ = false;
+
+  // Round state.
+  bool round_open_ = false;
+  std::uint64_t round_ = 0;
+  std::size_t num_objects_ = 0;
+  std::size_t block_size_ = data::kDefaultStatsBlockSize;
+  crowd::ParticipantIndex index_;  ///< stable id -> local row, roster slice
+  std::optional<data::ObservationMatrixBuilder> builder_;
+  crowd::ShardIngestStats ingest_stats_;
+  std::optional<data::ObservationMatrix> matrix_;   ///< finalized local rows
+  std::optional<data::ShardedMatrix> view_;         ///< borrows matrix_
+
+  // Per-local-user registers (CRH weights / GTM precisions / CATD weights all
+  // live in weights_ — each method's flow writes it before collection).
+  std::vector<double> weights_;
+  std::vector<double> losses_;   // CRH
+  std::vector<double> quality_;  // GTM
+  std::vector<double> chi2_;     // CATD
+
+  // Prepared per-round constants.
+  CrhPrepareBody crh_;
+  GtmPrepareBody gtm_;
+  CatdPrepareBody catd_;
+
+  // Exactly-once RPC memo.
+  std::optional<std::uint64_t> last_op_id_;
+  std::vector<std::uint8_t> last_response_;
+
+  std::size_t malformed_messages_ = 0;
+};
+
+}  // namespace dptd::dist

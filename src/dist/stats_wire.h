@@ -1,0 +1,194 @@
+// Bodies of the coordinator <-> shard sufficient-statistics RPCs, framed by
+// crowd::StatsEnvelope inside kShardRequest/kShardResponse messages.
+//
+// The protocol is built around one invariant: floating-point addition is not
+// associative, so a shard can NEVER compute a partial "from zero" for the
+// coordinator to re-associate. Every mergeable statistic instead travels as a
+// *chain*: the coordinator sends the current accumulator state to shard 0,
+// shard 0 folds its (block-aligned) users on top and replies, the coordinator
+// forwards the updated state to shard 1, and so on in ascending shard order.
+// Because shard user ranges are block-aligned, each shard's local fold
+// reproduces the exact per-block segments of the global fold, and threading
+// the accumulator through shards reproduces the exact chain — so a K-node
+// distributed run is bitwise identical to the in-process run_sharded at the
+// same K (and, by the block-fold contract, at every K).
+//
+// Per-user state (weights, losses, qualities) never crosses the wire during
+// iterations: it lives on the owning shard and only the final weight slices
+// are collected. Broadcast ops (truths, scalars, prepared constants) are
+// idempotent by construction; chained ops carry their full input state in the
+// request body, so a timeout-and-resend re-executes deterministically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/statistics.h"
+#include "net/network.h"
+#include "truth/interface.h"
+
+namespace dptd::dist {
+
+/// Opcode inside a crowd::StatsEnvelope. Requests flow coordinator -> shard;
+/// every request gets exactly one response under the same op_id.
+enum class ShardOp : std::uint8_t {
+  // Round lifecycle.
+  kSetup = 1,           ///< SetupBody -> empty ack
+  kFinalizeIngest = 2,  ///< empty -> IngestSummaryBody
+  // Generic statistics collectives.
+  kSetWeights = 3,      ///< WeightsBody -> empty ack
+  kMoments = 4,         ///< moments chain: MomentsBody -> MomentsBody
+  kGather = 5,          ///< empty -> GatherBody (this shard's column fragments)
+  kAggregate = 6,       ///< aggregate chain: AggregateBody -> AggregateBody
+  kCollectWeights = 7,  ///< empty -> WeightsBody (this shard's weight slice)
+  // CRH.
+  kCrhPrepare = 8,      ///< CrhPrepareBody -> empty ack
+  kCrhLoss = 9,         ///< loss chain: CrhLossBody -> CrhTotalBody
+  kCrhWeights = 10,     ///< CrhTotalBody broadcast -> empty ack
+  // GTM.
+  kGtmPrepare = 11,     ///< GtmPrepareBody -> empty ack
+  kGtmStep = 12,        ///< GtmStepBody broadcast (M-step) -> empty ack
+  kGtmFold = 13,        ///< posterior chain: GtmFoldBody -> GtmFoldBody
+  // CATD.
+  kCatdPrepare = 14,    ///< CatdPrepareBody -> empty ack
+  kCatdWeights = 15,    ///< TruthsBody broadcast -> empty ack
+};
+
+/// Round setup: the shard derives its global user range from the plan fields
+/// and builds a local participant index over its roster slice.
+struct SetupBody {
+  std::uint64_t round = 0;
+  std::uint64_t num_users = 0;   ///< global (= roster size)
+  std::uint64_t num_shards = 0;  ///< plan shard count this round
+  std::uint64_t shard_index = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t block_size = 0;
+  std::vector<net::NodeId> participants;  ///< this shard's roster slice
+
+  std::vector<std::uint8_t> encode() const;
+  static SetupBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Ingestion accounting + per-object local claim counts (the coordinator sums
+/// them across shards for the coverage check).
+struct IngestSummaryBody {
+  std::uint64_t reports_received = 0;
+  std::uint64_t duplicates_ignored = 0;
+  std::uint64_t malformed_reports = 0;
+  std::uint64_t rejected_reports = 0;
+  std::vector<std::uint64_t> object_counts;
+
+  std::vector<std::uint8_t> encode() const;
+  static IngestSummaryBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// A per-user weight slice: uniform 1.0 (empty vector on the wire) or
+/// explicit values, local-user indexed.
+struct WeightsBody {
+  bool uniform = false;
+  std::vector<double> weights;
+
+  std::vector<std::uint8_t> encode() const;
+  static WeightsBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Per-object RunningStats accumulators, bit-exact (count, mean, M2, min,
+/// max per object). The moments chain's carried state.
+std::vector<std::uint8_t> encode_moments(std::span<const RunningStats> moments);
+std::vector<RunningStats> decode_moments(std::span<const std::uint8_t> bytes);
+
+/// One shard's column fragments in local user order: per-object lengths plus
+/// the flat value array. Concatenating fragments in ascending shard order
+/// reproduces gather_object_values' global columns.
+struct GatherBody {
+  std::vector<std::uint64_t> lengths;  ///< claims per object on this shard
+  std::vector<double> values;          ///< flat, column-major
+
+  std::vector<std::uint8_t> encode() const;
+  static GatherBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// The weighted-aggregation chain's carried state (truth::AggregateStats).
+struct AggregateBody {
+  truth::AggregateStats stats;
+
+  std::vector<std::uint8_t> encode() const;
+  static AggregateBody decode(std::span<const std::uint8_t> bytes);
+};
+
+struct CrhPrepareBody {
+  std::uint8_t loss = 0;  ///< truth::CrhLoss
+  double min_loss_fraction = 0.0;
+  std::vector<double> stddevs;  ///< per object
+
+  std::vector<std::uint8_t> encode() const;
+  static CrhPrepareBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// CRH loss chain request: current truths plus the running block-chained loss
+/// total of the preceding shards (the shard's block_chain_sum init).
+struct CrhLossBody {
+  std::vector<double> truths;
+  double total = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static CrhLossBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// The chained loss total — CrhLoss response and CrhWeights broadcast body.
+struct CrhTotalBody {
+  double total = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static CrhTotalBody decode(std::span<const std::uint8_t> bytes);
+};
+
+struct GtmPrepareBody {
+  double quality_prior_alpha = 0.0;
+  double quality_prior_beta = 0.0;
+  double min_variance = 0.0;
+  std::vector<double> shift;  ///< per object
+  std::vector<double> scale;  ///< per object
+
+  std::vector<std::uint8_t> encode() const;
+  static GtmPrepareBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// GTM M-step broadcast: current truth posteriors.
+struct GtmStepBody {
+  std::vector<double> truth_mean;
+  std::vector<double> truth_var;
+
+  std::vector<std::uint8_t> encode() const;
+  static GtmStepBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// GTM posterior chain state: per-object precision and precision-weighted
+/// sums (the coordinator pre-fills both with the prior terms).
+struct GtmFoldBody {
+  std::vector<double> precision;
+  std::vector<double> weighted;
+
+  std::vector<std::uint8_t> encode() const;
+  static GtmFoldBody decode(std::span<const std::uint8_t> bytes);
+};
+
+struct CatdPrepareBody {
+  double significance = 0.0;
+  double min_residual = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static CatdPrepareBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// A bare truth vector (CATD weight-update broadcast).
+struct TruthsBody {
+  std::vector<double> truths;
+
+  std::vector<std::uint8_t> encode() const;
+  static TruthsBody decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace dptd::dist

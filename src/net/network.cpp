@@ -35,25 +35,26 @@ void Network::send(Message message) {
     ++stats_.messages_dropped;
     return;
   }
-  const auto it = nodes_.find(message.destination);
-  if (it == nodes_.end()) {
-    ++stats_.messages_dropped;
+  if (!attached(message.destination)) {
+    ++stats_.messages_undeliverable;
     return;
   }
   const double delay =
       latency_.base_seconds +
       (latency_.jitter_seconds > 0.0 ? uniform(rng_, 0.0, latency_.jitter_seconds)
                                      : 0.0);
-  Node* target = it->second;
-  sim_->schedule(delay, [this, target,
-                         msg = std::move(message)]() mutable {
-    // Destination may have detached between send and delivery.
-    if (!attached(msg.destination)) {
-      ++stats_.messages_dropped;
+  sim_->schedule(delay, [this, msg = std::move(message)]() mutable {
+    // Resolve the destination NOW, not at send time: the original node may
+    // have detached (undeliverable) or been replaced under the same id (the
+    // replacement receives). A send-time Node* would dangle across a
+    // detach + destroy + re-attach cycle — the shard failure/rejoin flow.
+    const auto it = nodes_.find(msg.destination);
+    if (it == nodes_.end()) {
+      ++stats_.messages_undeliverable;
       return;
     }
     ++stats_.messages_delivered;
-    target->on_message(msg);
+    it->second->on_message(msg);
   });
 }
 

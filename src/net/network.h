@@ -42,7 +42,12 @@ struct LatencyModel {
 struct NetworkStats {
   std::size_t messages_sent = 0;
   std::size_t messages_delivered = 0;
+  /// Lost on the link (the probabilistic LatencyModel drop). Distinct from
+  /// routing failures so loss telemetry stays trustworthy for protocols that
+  /// react to it (the dist/ coordinator's straggler detection).
   std::size_t messages_dropped = 0;
+  /// Destination unknown at send time, or detached by delivery time.
+  std::size_t messages_undeliverable = 0;
   std::size_t bytes_sent = 0;
 };
 
@@ -56,7 +61,10 @@ class Network {
   bool attached(NodeId id) const;
 
   /// Sends a message; delivery is scheduled on the simulator (or dropped).
-  /// Sending to an unknown destination counts as a drop.
+  /// Sending to an unknown destination counts as undeliverable. The
+  /// destination is resolved again at delivery time, so a node that detaches
+  /// and is replaced under the same id between send and delivery receives the
+  /// message — never the stale original.
   void send(Message message);
 
   const NetworkStats& stats() const { return stats_; }

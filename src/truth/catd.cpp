@@ -35,6 +35,35 @@ Result Catd::run_sharded(const data::ShardedMatrix& shards,
   return run_impl(shards, &warm);
 }
 
+void catd_chi_squared(const data::ShardedMatrix& shards, ThreadPool* pool,
+                      double significance, std::span<double> chi2) {
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    if (!row.empty()) {
+      // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
+      chi2[s] = chi_squared_quantile(1.0 - significance / 2.0,
+                                     static_cast<double>(row.size()));
+    }
+  });
+}
+
+void catd_user_weights(const data::ShardedMatrix& shards, ThreadPool* pool,
+                       std::span<const double> chi2,
+                       const std::vector<double>& truths, double min_residual,
+                       std::span<double> weights) {
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    if (row.empty()) {
+      weights[s] = 0.0;
+      return;
+    }
+    double residual = 0.0;
+    for (const auto& e : row) {
+      const double d = e.value - truths[e.object];
+      residual += d * d;
+    }
+    weights[s] = chi2[s] / std::max(residual, min_residual);
+  });
+}
+
 Result Catd::run_impl(const data::ShardedMatrix& shards,
                       const WarmStart* warm) const {
   const std::size_t S = shards.num_users();
@@ -71,30 +100,14 @@ Result Catd::run_impl(const data::ShardedMatrix& shards,
   // Chi-squared quantiles depend only on each user's claim count; cache them.
   // Shard-local: a user's row lives wholly on one shard.
   std::vector<double> chi2(S, 0.0);
-  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
-    if (!row.empty()) {
-      // Lower-tail quantile at alpha/2 == upper-tail at 1 - alpha/2.
-      chi2[s] = chi_squared_quantile(1.0 - config_.significance / 2.0,
-                                     static_cast<double>(row.size()));
-    }
-  });
+  catd_chi_squared(shards, pool, config_.significance, chi2);
 
   result.weights.assign(S, 0.0);
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
     // Weight update: w_s = chi2_s / sum of squared residuals, each user's
     // residual accumulated from its own row in object order.
-    for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
-      if (row.empty()) {
-        result.weights[s] = 0.0;
-        return;
-      }
-      double residual = 0.0;
-      for (const auto& e : row) {
-        const double d = e.value - result.truths[e.object];
-        residual += d * d;
-      }
-      result.weights[s] = chi2[s] / std::max(residual, config_.min_residual);
-    });
+    catd_user_weights(shards, pool, chi2, result.truths, config_.min_residual,
+                      result.weights);
 
     std::vector<double> next = weighted_aggregate(shards, result.weights, pool);
     const double change = truth_change(result.truths, next);

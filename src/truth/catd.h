@@ -9,6 +9,8 @@
 //   w_s = chi^2_{alpha/2, N_s} / sum_n (x_s_n - truth_n)^2
 #pragma once
 
+#include <span>
+
 #include "truth/interface.h"
 
 namespace dptd::truth {
@@ -52,5 +54,21 @@ class Catd final : public TruthDiscovery {
                   const WarmStart* warm) const;
   CatdConfig config_;
 };
+
+// Shard-side kernels of one CATD iteration, shared between run_impl and the
+// distributed coordinator (dist/). run_impl composes exactly these, so a
+// remote execution that feeds them the same inputs lands on the same bits.
+
+/// Loop-invariant chi-squared quantiles per user (0 for empty rows), written
+/// into `chi2` (indexed by the matrix's own user ids). Shard-local.
+void catd_chi_squared(const data::ShardedMatrix& shards, ThreadPool* pool,
+                      double significance, std::span<double> chi2);
+
+/// Weight update w_s = chi2_s / max(sum of squared residuals, min_residual)
+/// given current truths; empty rows get weight 0. Shard-local.
+void catd_user_weights(const data::ShardedMatrix& shards, ThreadPool* pool,
+                       std::span<const double> chi2,
+                       const std::vector<double>& truths, double min_residual,
+                       std::span<double> weights);
 
 }  // namespace dptd::truth

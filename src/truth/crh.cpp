@@ -9,15 +9,21 @@
 namespace dptd::truth {
 namespace {
 
-/// Per-object claim standard deviations for the normalized loss; zero-spread
-/// objects get 1.0 so they contribute raw squared distance. Depends only on
-/// the observations — run() computes it once and reuses it every iteration.
-/// Block-chained Welford merge: identical for any shard count.
+/// Per-object claim standard deviations for the normalized loss. Depends only
+/// on the observations — run() computes it once and reuses it every
+/// iteration. Block-chained Welford merge: identical for any shard count.
 std::vector<double> object_stddevs(const data::ShardedMatrix& shards,
                                    ThreadPool* pool) {
   std::vector<RunningStats> moments(shards.num_objects());
   fold_object_moments(shards, pool, moments);
-  std::vector<double> out(shards.num_objects(), 1.0);
+  return crh_stddevs_from_moments(moments);
+}
+
+}  // namespace
+
+std::vector<double> crh_stddevs_from_moments(
+    std::span<const RunningStats> moments) {
+  std::vector<double> out(moments.size(), 1.0);
   for (std::size_t n = 0; n < out.size(); ++n) {
     if (moments[n].count() >= 2) {
       const double sd = moments[n].stddev();
@@ -27,7 +33,48 @@ std::vector<double> object_stddevs(const data::ShardedMatrix& shards,
   return out;
 }
 
-}  // namespace
+void crh_user_losses(const data::ShardedMatrix& shards, ThreadPool* pool,
+                     CrhLoss loss_kind, const std::vector<double>& truths,
+                     const std::vector<double>& stddevs,
+                     std::span<double> losses) {
+  DPTD_REQUIRE(losses.size() == shards.num_users(),
+               "crh_user_losses: losses size != num users");
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    double loss = 0.0;
+    for (const auto& e : row) {
+      const double diff = e.value - truths[e.object];
+      switch (loss_kind) {
+        case CrhLoss::kNormalizedSquared:
+          loss += diff * diff / stddevs[e.object];
+          break;
+        case CrhLoss::kSquared:
+          loss += diff * diff;
+          break;
+        case CrhLoss::kAbsolute:
+          loss += std::abs(diff);
+          break;
+      }
+    }
+    losses[s] = loss;
+  });
+}
+
+std::vector<double> crh_weights_from_losses(std::span<const double> losses,
+                                            double total,
+                                            double min_loss_fraction) {
+  std::vector<double> weights(losses.size(), 0.0);
+  if (total <= 0.0) {
+    // All users agree exactly with the truths: equal (unit) weights.
+    std::fill(weights.begin(), weights.end(), 1.0);
+    return weights;
+  }
+  for (std::size_t s = 0; s < losses.size(); ++s) {
+    const double fraction = std::max(losses[s] / total, min_loss_fraction);
+    // Eq. (3): w_s = -log(loss_s / total); non-negative since fraction <= 1.
+    weights[s] = -std::log(fraction);
+  }
+  return weights;
+}
 
 Crh::Crh(CrhConfig config) : config_(config) {
   DPTD_REQUIRE(config_.convergence.tolerance > 0.0,
@@ -48,42 +95,13 @@ std::vector<double> Crh::estimate_weights_with_stddevs(
   // Per-user loss pass: each user's loss is accumulated from its own row in
   // object order — shard-local, nothing to merge.
   std::vector<double> losses(shards.num_users(), 0.0);
-  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
-    double loss = 0.0;
-    for (const auto& e : row) {
-      const double diff = e.value - truths[e.object];
-      switch (config_.loss) {
-        case CrhLoss::kNormalizedSquared:
-          loss += diff * diff / stddevs[e.object];
-          break;
-        case CrhLoss::kSquared:
-          loss += diff * diff;
-          break;
-        case CrhLoss::kAbsolute:
-          loss += std::abs(diff);
-          break;
-      }
-    }
-    losses[s] = loss;
-  });
+  crh_user_losses(shards, pool, config_.loss, truths, stddevs, losses);
 
   // The only cross-user scalar: canonical block-chained sum, so the total is
   // identical however users are sharded.
   const double total = block_chain_sum(losses, shards.plan().block_size);
 
-  std::vector<double> weights(shards.num_users(), 0.0);
-  if (total <= 0.0) {
-    // All users agree exactly with the truths: equal (unit) weights.
-    std::fill(weights.begin(), weights.end(), 1.0);
-    return weights;
-  }
-  for (std::size_t s = 0; s < shards.num_users(); ++s) {
-    const double fraction =
-        std::max(losses[s] / total, config_.min_loss_fraction);
-    // Eq. (3): w_s = -log(loss_s / total); non-negative since fraction <= 1.
-    weights[s] = -std::log(fraction);
-  }
-  return weights;
+  return crh_weights_from_losses(losses, total, config_.min_loss_fraction);
 }
 
 std::vector<double> Crh::estimate_weights(

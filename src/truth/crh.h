@@ -7,6 +7,9 @@
 // where loss_s = sum_n d(x_s_n, truth_n) over the user's present claims.
 #pragma once
 
+#include <span>
+
+#include "common/statistics.h"
 #include "truth/interface.h"
 
 namespace dptd::truth {
@@ -69,5 +72,30 @@ class Crh final : public TruthDiscovery {
 
   CrhConfig config_;
 };
+
+// Shard-side kernels of one CRH iteration, shared between run_impl and the
+// distributed coordinator (dist/). run_impl composes exactly these, so a
+// remote execution that feeds them the same inputs lands on the same bits.
+
+/// Per-object stddevs for the normalized loss from fully merged claim
+/// moments; count < 2 or zero spread yields 1.0 (raw squared distance).
+std::vector<double> crh_stddevs_from_moments(
+    std::span<const RunningStats> moments);
+
+/// Per-user losses sum_n d(x_s_n, truth_n) given current truths, written into
+/// `losses` (indexed by the matrix's own user ids). Shard-local: each user's
+/// row lives wholly on one shard, nothing to merge.
+void crh_user_losses(const data::ShardedMatrix& shards, ThreadPool* pool,
+                     CrhLoss loss, const std::vector<double>& truths,
+                     const std::vector<double>& stddevs,
+                     std::span<double> losses);
+
+/// Eq. (3) weights from per-user losses and the (block-chained) global loss
+/// total: w_s = -log(max(loss_s / total, min_loss_fraction)), or all-ones
+/// when total <= 0. Slice-wise: a shard applies it to its own losses once
+/// the coordinator broadcasts the total.
+std::vector<double> crh_weights_from_losses(std::span<const double> losses,
+                                            double total,
+                                            double min_loss_fraction);
 
 }  // namespace dptd::truth

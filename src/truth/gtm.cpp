@@ -35,6 +35,88 @@ Result Gtm::run_sharded(const data::ShardedMatrix& shards,
   return run_impl(shards, &warm);
 }
 
+void gtm_standardization(std::span<const RunningStats> moments,
+                         std::span<double> shift, std::span<double> scale) {
+  DPTD_REQUIRE(shift.size() == moments.size() && scale.size() == moments.size(),
+               "gtm_standardization: output size != num objects");
+  for (std::size_t n = 0; n < moments.size(); ++n) {
+    DPTD_REQUIRE(moments[n].count() > 0, "Gtm::run: object with no claims");
+    shift[n] = moments[n].mean();
+    scale[n] = 1.0;
+    if (moments[n].count() >= 2) {
+      const double sd = moments[n].stddev();
+      if (sd > 0.0) scale[n] = sd;
+    }
+  }
+}
+
+double gtm_standardized_median(std::span<const double> column, double shift,
+                               double scale) {
+  DPTD_REQUIRE(!column.empty(), "Gtm::run: object with no claims");
+  std::vector<double> values(column.begin(), column.end());
+  for (double& v : values) v = (v - shift) / scale;
+  return median(values);
+}
+
+void gtm_m_step(const data::ShardedMatrix& shards, ThreadPool* pool,
+                const GtmConfig& config, std::span<const double> shift,
+                std::span<const double> scale,
+                std::span<const double> truth_mean,
+                std::span<const double> truth_var, std::span<double> quality,
+                std::span<double> precisions) {
+  // M-step: MAP variance per user given current truth posteriors.
+  //   sigma_s^2 = (beta + 0.5 sum_n [(z - m_n)^2 + v_n]) / (alpha + 1 + N_s/2)
+  // Each user's residual comes from its own row — shard-local, no merge.
+  for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
+    if (row.empty()) {
+      quality[s] = 1.0 / config.min_variance;  // no data: prior-dominated
+      precisions[s] = 1.0 / quality[s];
+      return;
+    }
+    double resid = 0.0;
+    for (const auto& e : row) {
+      const double z = (e.value - shift[e.object]) / scale[e.object];
+      const double d = z - truth_mean[e.object];
+      resid += d * d + truth_var[e.object];
+    }
+    const double numerator = config.quality_prior_beta + 0.5 * resid;
+    const double denominator = config.quality_prior_alpha + 1.0 +
+                               0.5 * static_cast<double>(row.size());
+    quality[s] = std::max(numerator / denominator, config.min_variance);
+    precisions[s] = 1.0 / quality[s];
+  });
+}
+
+void gtm_posterior_fold(const data::ShardedMatrix& shards, ThreadPool* pool,
+                        std::span<const double> shift,
+                        std::span<const double> scale,
+                        std::span<const double> precisions,
+                        std::span<double> precision_acc,
+                        std::span<double> weighted_acc) {
+  fold_object_stats<2>(
+      shards, pool,
+      [&](std::size_t user, std::size_t n, double value,
+          std::array<double, 2>& contrib) {
+        const double p = precisions[user];
+        contrib[0] = p;
+        contrib[1] = p * ((value - shift[n]) / scale[n]);
+      },
+      {precision_acc.data(), weighted_acc.data()});
+}
+
+void gtm_posterior_from_stats(std::span<const double> precision_acc,
+                              std::span<const double> weighted_acc,
+                              std::span<double> truth_mean,
+                              std::span<double> truth_var, ThreadPool* pool) {
+  for_each_range(pool, truth_mean.size(),
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t n = begin; n < end; ++n) {
+                     truth_mean[n] = weighted_acc[n] / precision_acc[n];
+                     truth_var[n] = 1.0 / precision_acc[n];
+                   }
+                 });
+}
+
 Result Gtm::run_impl(const data::ShardedMatrix& shards,
                      const WarmStart* warm) const {
   const std::size_t S = shards.num_users();
@@ -50,18 +132,8 @@ Result Gtm::run_impl(const data::ShardedMatrix& shards,
   if (config_.standardize) {
     std::vector<RunningStats> moments(N);
     fold_object_moments(shards, pool, moments);
-    for (std::size_t n = 0; n < N; ++n) {
-      DPTD_REQUIRE(moments[n].count() > 0, "Gtm::run: object with no claims");
-      shift[n] = moments[n].mean();
-      if (moments[n].count() >= 2) {
-        const double sd = moments[n].stddev();
-        if (sd > 0.0) scale[n] = sd;
-      }
-    }
+    gtm_standardization(moments, shift, scale);
   }
-  const auto standardized = [&](std::size_t n, double v) {
-    return (v - shift[n]) / scale[n];
-  };
 
   const double prior_precision = 1.0 / config_.truth_prior_variance;
   const double prior_weighted =
@@ -77,21 +149,10 @@ Result Gtm::run_impl(const data::ShardedMatrix& shards,
   const auto posterior_pass = [&](const std::vector<double>& precisions) {
     std::fill(precision.begin(), precision.end(), prior_precision);
     std::fill(weighted_sum.begin(), weighted_sum.end(), prior_weighted);
-    fold_object_stats<2>(
-        shards, pool,
-        [&](std::size_t user, std::size_t n, double value,
-            std::array<double, 2>& contrib) {
-          const double p = precisions[user];
-          contrib[0] = p;
-          contrib[1] = p * standardized(n, value);
-        },
-        {precision.data(), weighted_sum.data()});
-    for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t n = begin; n < end; ++n) {
-        truth_mean[n] = weighted_sum[n] / precision[n];
-        truth_var[n] = 1.0 / precision[n];
-      }
-    });
+    gtm_posterior_fold(shards, pool, shift, scale, precisions, precision,
+                       weighted_sum);
+    gtm_posterior_from_stats(precision, weighted_sum, truth_mean, truth_var,
+                             pool);
   };
 
   // Initialize truths at the per-object median (robust start), in
@@ -103,18 +164,14 @@ Result Gtm::run_impl(const data::ShardedMatrix& shards,
     posterior_pass(warm->weights);
   } else if (warm != nullptr && !warm->truths.empty()) {
     for (std::size_t n = 0; n < N; ++n) {
-      truth_mean[n] = standardized(n, warm->truths[n]);
+      truth_mean[n] = (warm->truths[n] - shift[n]) / scale[n];
     }
   } else {
     const GatheredColumns columns = gather_object_values(shards, pool);
     for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
-      std::vector<double> values;  // per-range scratch for the median copy
       for (std::size_t n = begin; n < end; ++n) {
-        const auto col = columns.column(n);
-        DPTD_REQUIRE(!col.empty(), "Gtm::run: object with no claims");
-        values.assign(col.begin(), col.end());
-        for (double& v : values) v = standardized(n, v);
-        truth_mean[n] = median(values);
+        truth_mean[n] =
+            gtm_standardized_median(columns.column(n), shift[n], scale[n]);
       }
     });
   }
@@ -125,27 +182,8 @@ Result Gtm::run_impl(const data::ShardedMatrix& shards,
 
   Result result;
   for (std::size_t it = 1; it <= config_.convergence.max_iterations; ++it) {
-    // M-step: MAP variance per user given current truth posteriors.
-    //   sigma_s^2 = (beta + 0.5 sum_n [(z - m_n)^2 + v_n]) / (alpha + 1 + N_s/2)
-    // Each user's residual comes from its own row — shard-local, no merge.
-    for_each_user_row(shards, pool, [&](std::size_t s, auto row) {
-      if (row.empty()) {
-        quality[s] = 1.0 / config_.min_variance;  // no data: prior-dominated
-        precisions[s] = 1.0 / quality[s];
-        return;
-      }
-      double resid = 0.0;
-      for (const auto& e : row) {
-        const double z = standardized(e.object, e.value);
-        const double d = z - truth_mean[e.object];
-        resid += d * d + truth_var[e.object];
-      }
-      const double numerator = config_.quality_prior_beta + 0.5 * resid;
-      const double denominator = config_.quality_prior_alpha + 1.0 +
-                                 0.5 * static_cast<double>(row.size());
-      quality[s] = std::max(numerator / denominator, config_.min_variance);
-      precisions[s] = 1.0 / quality[s];
-    });
+    gtm_m_step(shards, pool, config_, shift, scale, truth_mean, truth_var,
+               quality, precisions);
 
     // E-step: Gaussian posterior of each truth from the merged per-object
     // precision statistics.

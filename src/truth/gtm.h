@@ -12,6 +12,9 @@
 // and truths are de-standardized on output.
 #pragma once
 
+#include <span>
+
+#include "common/statistics.h"
 #include "truth/interface.h"
 
 namespace dptd::truth {
@@ -57,5 +60,47 @@ class Gtm final : public TruthDiscovery {
                   const WarmStart* warm) const;
   GtmConfig config_;
 };
+
+// Shard-side kernels of one GTM iteration, shared between run_impl and the
+// distributed coordinator (dist/). run_impl composes exactly these, so a
+// remote execution that feeds them the same inputs lands on the same bits.
+
+/// Per-object standardization shift/scale from fully merged claim moments
+/// (z = (x - shift) / scale). Throws on an object with no claims; count < 2
+/// or zero spread keeps scale at 1.0.
+void gtm_standardization(std::span<const RunningStats> moments,
+                         std::span<double> shift, std::span<double> scale);
+
+/// Median of one object's standardized claims — the cold-start truth estimate.
+double gtm_standardized_median(std::span<const double> column, double shift,
+                               double scale);
+
+/// M-step: MAP variance (quality) and precision per user given current truth
+/// posteriors. Outputs are indexed by the matrix's own user ids. Shard-local.
+void gtm_m_step(const data::ShardedMatrix& shards, ThreadPool* pool,
+                const GtmConfig& config, std::span<const double> shift,
+                std::span<const double> scale,
+                std::span<const double> truth_mean,
+                std::span<const double> truth_var, std::span<double> quality,
+                std::span<double> precisions);
+
+/// E-step fold: ADDS each claim's precision and precision-weighted
+/// standardized value into per-object accumulators in canonical block order.
+/// The caller pre-fills the accumulators with the prior terms (or the chain
+/// state of preceding shards). `precisions` is indexed by the matrix's own
+/// user ids.
+void gtm_posterior_fold(const data::ShardedMatrix& shards, ThreadPool* pool,
+                        std::span<const double> shift,
+                        std::span<const double> scale,
+                        std::span<const double> precisions,
+                        std::span<double> precision_acc,
+                        std::span<double> weighted_acc);
+
+/// Finalizes fully folded posterior statistics into truth_mean/truth_var.
+void gtm_posterior_from_stats(std::span<const double> precision_acc,
+                              std::span<const double> weighted_acc,
+                              std::span<double> truth_mean,
+                              std::span<double> truth_var,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace dptd::truth

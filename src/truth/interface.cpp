@@ -54,20 +54,15 @@ Result TruthDiscovery::run_sharded(const data::ShardedMatrix& shards,
   return run_warm(shards.concatenated(), warm);
 }
 
-std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
-                                       const std::vector<double>& weights,
-                                       ThreadPool* pool) {
+void weighted_aggregate_fold(const data::ShardedMatrix& shards,
+                             const std::vector<double>& weights,
+                             AggregateStats& acc, ThreadPool* pool) {
   const std::size_t N = shards.num_objects();
   DPTD_REQUIRE(weights.size() == shards.num_users(),
                "weighted_aggregate: weight vector size != num users");
-  for (double w : weights) {
-    DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
-                 "weighted_aggregate: weights must be finite and >= 0");
-  }
-  std::vector<double> weighted_sum(N, 0.0);
-  std::vector<double> weight_sum(N, 0.0);
-  std::vector<double> plain_sum(N, 0.0);
-  std::vector<std::size_t> counts(N, 0);
+  DPTD_REQUIRE(acc.weighted_sum.size() == N && acc.weight_sum.size() == N &&
+                   acc.plain_sum.size() == N && acc.counts.size() == N,
+               "weighted_aggregate_fold: accumulator size != num objects");
   fold_object_stats<3>(
       shards, pool,
       [&](std::size_t user, std::size_t, double value,
@@ -76,23 +71,41 @@ std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
         contrib[1] = weights[user];
         contrib[2] = value;
       },
-      {weighted_sum.data(), weight_sum.data(), plain_sum.data()},
-      counts.data());
+      {acc.weighted_sum.data(), acc.weight_sum.data(), acc.plain_sum.data()},
+      acc.counts.data());
+}
 
+std::vector<double> truths_from_aggregate(const AggregateStats& acc,
+                                          ThreadPool* pool) {
+  const std::size_t N = acc.counts.size();
   std::vector<double> truths(N, 0.0);
   for_each_range(pool, N, [&](std::size_t begin, std::size_t end) {
     for (std::size_t n = begin; n < end; ++n) {
-      DPTD_REQUIRE(counts[n] > 0, "weighted_aggregate: object with no claims");
-      if (weight_sum[n] > 0.0) {
-        truths[n] = weighted_sum[n] / weight_sum[n];
+      DPTD_REQUIRE(acc.counts[n] > 0,
+                   "weighted_aggregate: object with no claims");
+      if (acc.weight_sum[n] > 0.0) {
+        truths[n] = acc.weighted_sum[n] / acc.weight_sum[n];
       } else {
         // Every claimant has zero weight; fall back to the unweighted mean so
         // the object still gets a defined estimate.
-        truths[n] = plain_sum[n] / static_cast<double>(counts[n]);
+        truths[n] = acc.plain_sum[n] / static_cast<double>(acc.counts[n]);
       }
     }
   });
   return truths;
+}
+
+std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool) {
+  for (double w : weights) {
+    DPTD_REQUIRE(std::isfinite(w) && w >= 0.0,
+                 "weighted_aggregate: weights must be finite and >= 0");
+  }
+  AggregateStats acc;
+  acc.reset(shards.num_objects());
+  weighted_aggregate_fold(shards, weights, acc, pool);
+  return truths_from_aggregate(acc, pool);
 }
 
 std::vector<double> weighted_aggregate(const data::ObservationMatrix& obs,

@@ -103,6 +103,39 @@ std::vector<double> weighted_aggregate(const data::ShardedMatrix& shards,
                                        const std::vector<double>& weights,
                                        ThreadPool* pool = nullptr);
 
+/// Sufficient statistics of one weighted-aggregation pass. The fold is
+/// resumable: weighted_aggregate_fold ADDS into an existing accumulator in
+/// canonical block order, so a distributed deployment can thread the same
+/// accumulator through block-aligned shards (each continuing where the
+/// previous one stopped) and land on the exact bits of the in-process pass.
+struct AggregateStats {
+  std::vector<double> weighted_sum;  ///< sum_s w_s x_s_n per object
+  std::vector<double> weight_sum;    ///< sum_s w_s per object
+  std::vector<double> plain_sum;     ///< sum_s x_s_n per object
+  std::vector<std::size_t> counts;   ///< claims per object
+
+  void reset(std::size_t num_objects) {
+    weighted_sum.assign(num_objects, 0.0);
+    weight_sum.assign(num_objects, 0.0);
+    plain_sum.assign(num_objects, 0.0);
+    counts.assign(num_objects, 0);
+  }
+};
+
+/// Folds `shards`' claims into `acc` (which the caller resets or pre-loads
+/// with the chain state of preceding shards). `weights` is indexed by the
+/// matrix's own user ids — global for a partitioned matrix, local for a
+/// shard's borrowed single() view.
+void weighted_aggregate_fold(const data::ShardedMatrix& shards,
+                             const std::vector<double>& weights,
+                             AggregateStats& acc, ThreadPool* pool = nullptr);
+
+/// Finalizes a fully folded accumulator into truths: weighted mean per
+/// object, falling back to the plain mean when every claimant has zero
+/// weight. Throws on an object with no claims.
+std::vector<double> truths_from_aggregate(const AggregateStats& acc,
+                                          ThreadPool* pool = nullptr);
+
 /// Pool shared by one truth-discovery run. Owns nothing when the configured
 /// thread count is 1 (serial); otherwise owns a ThreadPool for the run's
 /// lifetime (0 = hardware concurrency).

@@ -76,9 +76,9 @@ GatheredColumns gather_object_values(const data::ShardedMatrix& m,
 }
 
 double block_chain_sum(std::span<const double> per_user,
-                       std::size_t block_size) {
+                       std::size_t block_size, double init) {
   DPTD_REQUIRE(block_size > 0, "block_chain_sum: block_size must be positive");
-  double acc = 0.0;
+  double acc = init;
   for (std::size_t begin = 0; begin < per_user.size(); begin += block_size) {
     const std::size_t end = std::min(begin + block_size, per_user.size());
     double seg = 0.0;

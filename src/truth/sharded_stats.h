@@ -128,8 +128,11 @@ void for_each_user_row(const data::ShardedMatrix& m, ThreadPool* pool,
 
 /// Canonical block-chained sum of a per-user vector (e.g. CRH's total loss):
 /// flat within each block of `block_size` users, block partials chained in
-/// ascending order. Independent of how users are sharded.
+/// ascending order, starting from `init`. Independent of how users are
+/// sharded: a shard holding a block-aligned slice continues the global chain
+/// exactly by passing the running total of the preceding shards as `init` —
+/// the primitive the distributed coordinator's loss collective is built on.
 double block_chain_sum(std::span<const double> per_user,
-                       std::size_t block_size);
+                       std::size_t block_size, double init = 0.0);
 
 }  // namespace dptd::truth

@@ -1,0 +1,378 @@
+// Failure-model behaviours of the distributed coordinator: straggler timeout
+// and same-op-id resend (exactly-once on the shard), shard failure aborting
+// the round and shrinking the roster, rejoin with the stable-id warm-start
+// remap across churn, and byzantine robustness — a truncated protocol message
+// at ANY byte offset is counted, never fatal, on both ends.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/sharding.h"
+#include "data/synthetic.h"
+#include "dist/coordinator.h"
+#include "dist/shard_node.h"
+#include "truth/interface.h"
+
+namespace dptd::dist {
+namespace {
+
+constexpr std::size_t kTestBlock = 8;
+constexpr net::NodeId kCoordinatorId = 9'000'000;
+constexpr net::NodeId kShardBase = 1000;
+
+data::Dataset random_dataset(std::uint64_t seed, std::size_t users,
+                             std::size_t objects, double missing) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.missing_rate = missing;
+  config.lambda1 = 1.0;
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+MethodSpec crh_spec() {
+  MethodSpec spec;
+  spec.kind = MethodSpec::Kind::kCrh;
+  return spec;
+}
+
+void expect_bitwise_equal(const truth::Result& a, const truth::Result& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.truths.size(), b.truths.size()) << label;
+  for (std::size_t n = 0; n < a.truths.size(); ++n) {
+    EXPECT_EQ(a.truths[n], b.truths[n]) << label << " truth " << n;
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size()) << label;
+  for (std::size_t s = 0; s < a.weights.size(); ++s) {
+    EXPECT_EQ(a.weights[s], b.weights[s]) << label << " weight " << s;
+  }
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+}
+
+struct Fleet {
+  net::Simulator sim;
+  net::Network network{sim, net::LatencyModel{0.01, 0.0, 0.0}, 7};
+  std::vector<std::unique_ptr<ShardNode>> shards;
+  std::unique_ptr<Coordinator> coordinator;
+
+  Fleet(std::size_t num_shards, const MethodSpec& spec,
+        std::size_t num_objects, bool warm_start = false) {
+    CoordinatorConfig config;
+    config.id = kCoordinatorId;
+    config.num_objects = num_objects;
+    config.block_size = kTestBlock;
+    config.warm_start = warm_start;
+    coordinator = std::make_unique<Coordinator>(config, spec, network);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shards.push_back(std::make_unique<ShardNode>(kShardBase + i, network));
+      coordinator->add_shard(kShardBase + i);
+    }
+  }
+};
+
+std::vector<net::NodeId> participant_ids(std::size_t count,
+                                         net::NodeId first = 0) {
+  std::vector<net::NodeId> ids;
+  for (std::size_t s = 0; s < count; ++s) ids.push_back(first + s);
+  return ids;
+}
+
+void send_dataset(Fleet& fleet, const data::Dataset& dataset,
+                  std::uint64_t round, net::NodeId first_id = 0) {
+  for (std::size_t s = 0; s < dataset.num_users(); ++s) {
+    const auto entries = dataset.observations.user_entries(s);
+    if (entries.empty()) continue;
+    crowd::Report report;
+    report.round = round;
+    report.user_id = first_id + s;
+    for (const auto& entry : entries) {
+      report.objects.push_back(entry.object);
+      report.values.push_back(entry.value);
+    }
+    fleet.network.send(crowd::make_message(report.user_id, kCoordinatorId,
+                                           crowd::MessageType::kReport,
+                                           report.encode()));
+  }
+  fleet.sim.run();
+}
+
+TEST(DistributedProtocol, StragglerResendsRecoverTheExactResult) {
+  const data::Dataset dataset = random_dataset(11, 64, 5, 0.3);
+  Fleet fleet(4, crh_spec(), dataset.num_objects());
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+
+  // Shard 2 drops off AFTER ingestion with its state intact; requests sent
+  // while it is dark go undeliverable and the coordinator must resend (same
+  // op id) until the node is back. op_timeout 0.25s, offline window 0.6s:
+  // roughly two lost rounds, well inside max_resends.
+  fleet.shards[2]->go_offline();
+  fleet.sim.schedule(0.6, [&] { fleet.shards[2]->come_online(); });
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+
+  ASSERT_TRUE(outcome.completed);
+  ASSERT_TRUE(outcome.aggregated);
+  EXPECT_GT(outcome.resends, 0u);
+  EXPECT_GT(outcome.network.messages_undeliverable, 0u);
+  EXPECT_EQ(fleet.coordinator->roster().size(), 4u);  // nobody got expelled
+
+  // Stragglers cost latency, never correctness: bitwise identical anyway.
+  const truth::Result reference = make_method(crh_spec())->run_sharded(
+      data::ShardedMatrix::partition(dataset.observations, 4, kTestBlock));
+  expect_bitwise_equal(reference, outcome.result, "straggler");
+}
+
+TEST(DistributedProtocol, RepeatedStragglingNeverDoubleExecutes) {
+  // Two separate dark windows force resends for several distinct ops. The
+  // shard's exactly-once memo must keep non-idempotent ops (finalize) single-
+  // shot, which the bitwise check would expose immediately if violated.
+  const data::Dataset dataset = random_dataset(12, 32, 4, 0.25);
+  Fleet fleet(2, crh_spec(), dataset.num_objects());
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+
+  fleet.shards[0]->go_offline();
+  fleet.sim.schedule(0.3, [&] { fleet.shards[0]->come_online(); });
+  fleet.sim.schedule(0.9, [&] { fleet.shards[1]->go_offline(); });
+  fleet.sim.schedule(1.2, [&] { fleet.shards[1]->come_online(); });
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+
+  ASSERT_TRUE(outcome.aggregated);
+  EXPECT_GT(outcome.resends, 0u);
+  const truth::Result reference = make_method(crh_spec())->run_sharded(
+      data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock));
+  expect_bitwise_equal(reference, outcome.result, "double straggler");
+}
+
+TEST(DistributedProtocol, DeadShardAbortsTheRoundAndLeavesTheRoster) {
+  const data::Dataset dataset = random_dataset(13, 48, 4, 0.3);
+  Fleet fleet(3, crh_spec(), dataset.num_objects());
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+
+  fleet.shards[1]->fail();  // crash: state gone, never comes back
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_FALSE(outcome.aggregated);
+  ASSERT_TRUE(outcome.failed_shard.has_value());
+  EXPECT_EQ(*outcome.failed_shard, kShardBase + 1);
+  EXPECT_GT(outcome.resends, 0u);
+  ASSERT_EQ(fleet.coordinator->roster().size(), 2u);
+  EXPECT_FALSE(fleet.coordinator->warm().valid);
+
+  // The retry round re-plans over the survivors, re-routing the dead shard's
+  // users, and must land on the canonical (K-invariant) result.
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(2, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 2);
+  const DistributedOutcome retry = fleet.coordinator->close_round();
+  ASSERT_TRUE(retry.aggregated);
+  const truth::Result reference = make_method(crh_spec())->run_sharded(
+      data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock));
+  expect_bitwise_equal(reference, retry.result, "post-failure retry");
+}
+
+TEST(DistributedProtocol, RejoinAndChurnReuseTheStableIdWarmRemap) {
+  const data::Dataset first = random_dataset(21, 64, 5, 0.25);
+  const data::Dataset second = random_dataset(22, 64, 5, 0.25);
+  Fleet fleet(3, crh_spec(), first.num_objects(), /*warm_start=*/true);
+  const auto roster1 = participant_ids(64);       // users 0..63
+  const auto roster2 = participant_ids(64, 8);    // churn: 8 leave, 8 join
+
+  ASSERT_TRUE(fleet.coordinator->begin_round(1, roster1));
+  send_dataset(fleet, first, 1);
+  ASSERT_TRUE(fleet.coordinator->close_round().aggregated);
+  ASSERT_TRUE(fleet.coordinator->warm().valid);
+
+  // Round 2 dies mid-protocol; the warm state from round 1 must survive.
+  ASSERT_TRUE(fleet.coordinator->begin_round(2, roster2));
+  send_dataset(fleet, second, 2, /*first_id=*/8);
+  fleet.shards[2]->fail();
+  const DistributedOutcome aborted = fleet.coordinator->close_round();
+  EXPECT_FALSE(aborted.completed);
+  EXPECT_EQ(fleet.coordinator->roster().size(), 2u);
+  EXPECT_TRUE(fleet.coordinator->warm().valid);
+
+  // The crashed node rejoins blank and re-enrolls for the retry round.
+  fleet.shards[2]->rejoin();
+  fleet.coordinator->add_shard(kShardBase + 2);
+  ASSERT_TRUE(fleet.coordinator->begin_round(3, roster2));
+  send_dataset(fleet, second, 3, /*first_id=*/8);
+  const DistributedOutcome retry = fleet.coordinator->close_round();
+  ASSERT_TRUE(retry.aggregated);
+  EXPECT_TRUE(retry.warm_started);
+
+  // In-process twin of the same churned warm start: remap round 1's weights
+  // through stable ids (survivors keep theirs, joiners start at the mean).
+  const auto method = make_method(crh_spec());
+  const truth::Result prior = method->run_sharded(
+      data::ShardedMatrix::partition(first.observations, 3, kTestBlock));
+  crowd::WarmState warm;
+  warm.result = prior;
+  warm.participants = roster1;
+  warm.valid = true;
+  truth::WarmStart seed;
+  seed.truths = prior.truths;
+  seed.weights = crowd::remap_warm_weights(warm, roster2, 64);
+  const truth::Result reference = method->run_sharded(
+      data::ShardedMatrix::partition(second.observations, 3, kTestBlock),
+      seed);
+  expect_bitwise_equal(reference, retry.result, "churned warm rejoin");
+}
+
+TEST(DistributedProtocol, SetupFailureReplansOverSurvivors) {
+  const data::Dataset dataset = random_dataset(31, 48, 4, 0.3);
+  Fleet fleet(3, crh_spec(), dataset.num_objects());
+  fleet.shards[0]->fail();  // dead before the round even opens
+
+  // begin_round must burn through the dead shard's resends, expel it,
+  // re-plan over the two survivors, and still succeed.
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  EXPECT_EQ(fleet.coordinator->roster().size(), 2u);
+  EXPECT_GT(fleet.coordinator->total_resends(), 0u);
+
+  send_dataset(fleet, dataset, 1);
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+  ASSERT_TRUE(outcome.aggregated);
+  const truth::Result reference = make_method(crh_spec())->run_sharded(
+      data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock));
+  expect_bitwise_equal(reference, outcome.result, "setup re-plan");
+}
+
+TEST(DistributedProtocol, EmptyRosterFailsBeginRoundCleanly) {
+  Fleet fleet(1, crh_spec(), 3);
+  fleet.shards[0]->fail();
+  EXPECT_FALSE(fleet.coordinator->begin_round(1, participant_ids(8)));
+  EXPECT_TRUE(fleet.coordinator->roster().empty());
+}
+
+TEST(DistributedProtocol, TruncatedResponsesAreCountedNeverFatal) {
+  // Satellite bugfix: the coordinator decode path must treat DecodeError /
+  // short payloads as a per-node malformed_messages stat instead of aborting.
+  // Fuzz: a valid stats response truncated at EVERY byte offset.
+  Fleet fleet(2, crh_spec(), 3);
+  const net::NodeId byzantine = 4242;
+
+  crowd::StatsEnvelope env;
+  env.op_id = 77;
+  env.op = static_cast<std::uint8_t>(ShardOp::kAggregate);
+  AggregateBody body;
+  body.stats.reset(3);
+  env.body = body.encode();
+  const std::vector<std::uint8_t> wire = env.encode();
+  ASSERT_GT(wire.size(), 8u);
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    net::Message message;
+    message.source = byzantine;
+    message.destination = kCoordinatorId;
+    message.type = static_cast<std::uint32_t>(
+        crowd::MessageType::kShardResponse);
+    message.payload.assign(wire.begin(),
+                           wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_NO_THROW(fleet.coordinator->on_message(message)) << len;
+  }
+  // The intact envelope decodes but matches no outstanding op: stale.
+  net::Message full;
+  full.source = byzantine;
+  full.destination = kCoordinatorId;
+  full.type = static_cast<std::uint32_t>(crowd::MessageType::kShardResponse);
+  full.payload = wire;
+  EXPECT_NO_THROW(fleet.coordinator->on_message(full));
+
+  const auto& malformed = fleet.coordinator->malformed_by_node();
+  ASSERT_TRUE(malformed.contains(byzantine));
+  EXPECT_EQ(malformed.at(byzantine) + fleet.coordinator->stale_responses(),
+            wire.size() + 1);
+
+  // And the coordinator is still fully operational afterwards.
+  const data::Dataset dataset = random_dataset(51, 32, 3, 0.2);
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+  EXPECT_TRUE(fleet.coordinator->close_round().aggregated);
+}
+
+TEST(DistributedProtocol, TruncatedRequestsNeverKillAShard) {
+  Fleet fleet(1, crh_spec(), 3);
+  ShardNode& shard = *fleet.shards[0];
+
+  crowd::StatsEnvelope env;
+  env.op_id = 99;
+  env.op = static_cast<std::uint8_t>(ShardOp::kSetup);
+  SetupBody setup;
+  setup.round = 1;
+  setup.num_users = 16;
+  setup.num_shards = 1;
+  setup.shard_index = 0;
+  setup.num_objects = 3;
+  setup.block_size = kTestBlock;
+  for (std::size_t s = 0; s < 16; ++s) setup.participants.push_back(s);
+  env.body = setup.encode();
+  const std::vector<std::uint8_t> wire = env.encode();
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    net::Message message;
+    message.source = kCoordinatorId;
+    message.destination = shard.id();
+    message.type =
+        static_cast<std::uint32_t>(crowd::MessageType::kShardRequest);
+    message.payload.assign(wire.begin(),
+                           wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_NO_THROW(shard.on_message(message)) << len;
+  }
+  EXPECT_EQ(shard.malformed_messages(), wire.size());
+
+  // The shard still serves a full round after the garbage barrage.
+  const data::Dataset dataset = random_dataset(52, 24, 3, 0.2);
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+  EXPECT_TRUE(fleet.coordinator->close_round().aggregated);
+}
+
+TEST(DistributedProtocol, UnroutableReportsAreCountedNotFatal) {
+  const data::Dataset dataset = random_dataset(61, 24, 3, 0.2);
+  Fleet fleet(2, crh_spec(), dataset.num_objects());
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  send_dataset(fleet, dataset, 1);
+
+  // Unknown user, stale round, and an undecodable payload: all unroutable.
+  crowd::Report unknown;
+  unknown.round = 1;
+  unknown.user_id = 9999;
+  unknown.objects = {0};
+  unknown.values = {1.0};
+  fleet.network.send(crowd::make_message(9999, kCoordinatorId,
+                                         crowd::MessageType::kReport,
+                                         unknown.encode()));
+  crowd::Report stale;
+  stale.round = 0;
+  stale.user_id = 1;
+  stale.objects = {0};
+  stale.values = {1.0};
+  fleet.network.send(crowd::make_message(
+      1, kCoordinatorId, crowd::MessageType::kReport, stale.encode()));
+  fleet.network.send(crowd::make_message(2, kCoordinatorId,
+                                         crowd::MessageType::kReport,
+                                         {0xff, 0xff, 0xff}));
+  fleet.sim.run();
+
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+  ASSERT_TRUE(outcome.aggregated);
+  EXPECT_EQ(outcome.reports_unroutable, 3u);
+}
+
+}  // namespace
+}  // namespace dptd::dist

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace dptd::net {
@@ -61,13 +62,15 @@ TEST(Network, JitterStaysWithinConfiguredRange) {
   EXPECT_GE(sim.now(), 0.1);
 }
 
-TEST(Network, UnknownDestinationCountsAsDrop) {
+TEST(Network, UnknownDestinationCountsAsUndeliverable) {
   Simulator sim;
   Network net(sim, LatencyModel{0.01, 0.0, 0.0});
   net.send(make(0, 99));
   sim.run();
   EXPECT_EQ(net.stats().messages_sent, 1u);
-  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().messages_undeliverable, 1u);
+  // Routing failure is not link loss: the drop counter stays clean.
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
   EXPECT_EQ(net.stats().messages_delivered, 0u);
 }
 
@@ -97,7 +100,7 @@ TEST(Network, StatsCountBytes) {
   EXPECT_EQ(net.stats().bytes_sent, 6u);
 }
 
-TEST(Network, DetachedNodeDropsInFlightMessages) {
+TEST(Network, DetachedNodeMakesInFlightMessagesUndeliverable) {
   Simulator sim;
   Network net(sim, LatencyModel{1.0, 0.0, 0.0});
   RecordingNode node;
@@ -106,7 +109,29 @@ TEST(Network, DetachedNodeDropsInFlightMessages) {
   net.detach(1);  // before delivery fires
   sim.run();
   EXPECT_TRUE(node.received.empty());
-  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().messages_undeliverable, 1u);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+}
+
+TEST(Network, ReattachUnderSameIdReceivesInFlightMessages) {
+  // Regression: delivery used to invoke the Node* captured at send time and
+  // only re-check attached(id), so a detach + destroy + re-attach under the
+  // same id delivered through a dangling pointer (UAF under ASan). The
+  // destination must be resolved in the routing table at delivery time.
+  Simulator sim;
+  Network net(sim, LatencyModel{1.0, 0.0, 0.0});
+  auto stale = std::make_unique<RecordingNode>();
+  net.attach(1, *stale);
+  net.send(make(7, 1, 42));
+  net.detach(1);
+  stale.reset();  // the shard "crashes": its memory is gone
+  RecordingNode replacement;
+  net.attach(1, replacement);  // rejoin under the same id
+  sim.run();
+  ASSERT_EQ(replacement.received.size(), 1u);
+  EXPECT_EQ(replacement.received[0].type, 42u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_EQ(net.stats().messages_undeliverable, 0u);
 }
 
 TEST(Network, DuplicateAttachThrows) {
