@@ -377,6 +377,13 @@ bool Coordinator::begin_round(std::uint64_t round,
 DistributedOutcome Coordinator::close_round() {
   DPTD_REQUIRE(round_planned_, "Coordinator: no open round");
   round_open_ = false;  // reports from here on are late: unroutable
+  // Drain the forward pipeline before finalizing: a report routed before the
+  // close is on time, but with jittered links the kFinalizeIngest below could
+  // overtake it on the shard link and the shard would reject it as late. One
+  // worst-case one-way interval delivers every in-flight forwarded report
+  // (only a link drop can still lose one).
+  const net::LatencyModel& link = network_->latency();
+  sim_->run_until(sim_->now() + link.base_seconds + link.jitter_seconds);
   DistributedOutcome out;
   out.round = round_;
   out.reports_routed = reports_routed_;

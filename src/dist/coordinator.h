@@ -11,8 +11,10 @@
 // every per-user pass executed by the owning shard's local kernels.
 //
 // Failure model: every RPC has a timeout; a timed-out request is resent with
-// the SAME op id (shards execute exactly-once and replay responses), so
-// stragglers cost latency, never correctness. A shard that exhausts
+// the SAME op id (shards execute exactly-once behind a monotonic op-id
+// watermark: equal ids replay the memoized response, older ids — delayed
+// duplicates, abandoned pre-re-plan requests — are dropped), so stragglers
+// and jitter reordering cost latency, never correctness. A shard that exhausts
 // max_resends is declared failed: the round aborts, the shard leaves the
 // roster, and the next begin_round re-plans over the surviving shards —
 // re-routing the dead shard's users — while the stable-id warm-start remap
@@ -118,9 +120,11 @@ class Coordinator final : public net::Node {
                    std::vector<net::NodeId> participants);
   bool round_open() const { return round_open_; }
 
-  /// Closes ingestion, runs the configured method over the fleet, collects
-  /// the result, and updates the warm state on success. Blocking: pumps the
-  /// simulator until the protocol finishes or a shard fails.
+  /// Closes ingestion (after draining in-flight routed reports for one
+  /// worst-case link latency, so finalize cannot overtake an on-time report),
+  /// runs the configured method over the fleet, collects the result, and
+  /// updates the warm state on success. Blocking: pumps the simulator until
+  /// the protocol finishes or a shard fails.
   DistributedOutcome close_round();
 
   void on_message(const net::Message& message) override;

@@ -64,8 +64,11 @@ void ShardNode::reset_round_state() {
   crh_ = {};
   gtm_ = {};
   catd_ = {};
-  last_op_id_.reset();
-  last_response_.clear();
+  // last_op_id_ is deliberately NOT reset: the exactly-once watermark is the
+  // dedup floor a real replica persists across restarts, and it is what keeps
+  // delayed duplicates of pre-crash ops from re-executing after a rejoin.
+  // The cached response bytes ARE volatile.
+  last_response_.reset();
 }
 
 void ShardNode::on_message(const net::Message& message) {
@@ -120,17 +123,29 @@ void ShardNode::handle_request(const net::Message& message) {
     ++malformed_messages_;
     return;
   }
-  if (last_op_id_.has_value() && *last_op_id_ == env.op_id) {
-    // Exactly-once replay: the op already executed but the coordinator did
-    // not see the response (lost, or a resend raced it). Re-executing would
-    // be wrong for non-idempotent ops (kFinalizeIngest), so replay the bytes.
-    crowd::StatsEnvelope reply;
-    reply.op_id = env.op_id;
-    reply.op = env.op;
-    reply.body = last_response_;
-    network_->send(crowd::make_message(id_, message.source,
-                                       crowd::MessageType::kShardResponse,
-                                       reply.encode()));
+  if (last_op_id_.has_value() && env.op_id <= *last_op_id_) {
+    if (env.op_id == *last_op_id_ && last_response_.has_value()) {
+      // Exactly-once replay: the op already executed but the coordinator did
+      // not see the response (lost, or a resend raced it). Re-executing would
+      // be wrong for non-idempotent ops (kFinalizeIngest), so replay the
+      // bytes.
+      crowd::StatsEnvelope reply;
+      reply.op_id = env.op_id;
+      reply.op = env.op;
+      reply.body = *last_response_;
+      network_->send(crowd::make_message(id_, message.source,
+                                         crowd::MessageType::kShardResponse,
+                                         reply.encode()));
+      return;
+    }
+    // Op ids are globally monotonic per coordinator, so anything below the
+    // watermark is a delayed duplicate of an older op or an abandoned
+    // pre-re-plan request that jitter delivered after newer ops executed.
+    // Executing it would replay a state mutation out of order (a late
+    // kFinalizeIngest resetting weights after kSetWeights, a stale kSetup
+    // re-imposing an abandoned plan); the coordinator stopped waiting for it
+    // long ago, so drop and count.
+    ++stale_requests_;
     return;
   }
   std::vector<std::uint8_t> body;

@@ -5,10 +5,19 @@
 // user range is block-aligned, every chained fold it continues reproduces the
 // global fold's bits (see stats_wire.h for the full argument).
 //
-// RPC semantics: exactly-once per op_id. The node memoizes the last executed
-// op's response and replays it when the same op_id arrives again, so a
-// coordinator resend after a lost response never re-executes a
-// non-idempotent op (kFinalizeIngest moves the builder's rows out). Malformed
+// RPC semantics: exactly-once per op_id, enforced with a monotonic watermark.
+// Coordinator op ids are globally increasing, so the node keeps the highest
+// executed op id: a request BELOW it is a delayed duplicate or an abandoned
+// pre-re-plan request and is dropped (executing it would replay a state
+// mutation out of order — a late kFinalizeIngest resetting weights, a stale
+// kSetup re-imposing an abandoned shard plan); a request EQUAL to it replays
+// the memoized response bytes without re-executing (so a coordinator resend
+// after a lost response never re-runs a non-idempotent op — kFinalizeIngest
+// moves the builder's rows out); only a request ABOVE it executes. The
+// watermark survives fail()/rejoin() the way real replicas persist their
+// dedup floor; the cached response bytes are volatile and a crash loses them
+// (an equal-id duplicate then drops instead of replaying, which is safe: the
+// coordinator has already declared the shard failed by then). Malformed
 // envelopes or bodies are counted, never fatal.
 #pragma once
 
@@ -39,8 +48,10 @@ class ShardNode final : public net::Node {
 
   net::NodeId id() const { return id_; }
 
-  /// Crash: detach from the network and drop ALL state (round, matrix,
-  /// registers, RPC memo) — what a process restart would lose.
+  /// Crash: detach from the network and drop all volatile state (round,
+  /// matrix, registers, cached RPC response) — what a process restart would
+  /// lose. The exactly-once op-id watermark survives, like a persisted
+  /// dedup floor.
   void fail();
   /// Rejoin after fail(): reattach blank; the next kSetup re-enrolls it.
   void rejoin();
@@ -55,6 +66,10 @@ class ShardNode final : public net::Node {
   /// Envelopes/bodies that failed to decode (satellite of the byzantine
   /// robustness story: a corrupt coordinator message must not kill a shard).
   std::size_t malformed_messages() const { return malformed_messages_; }
+
+  /// Requests dropped by the exactly-once watermark: op id below the newest
+  /// executed op (delayed duplicates, abandoned pre-re-plan requests).
+  std::size_t stale_requests() const { return stale_requests_; }
 
  private:
   void handle_report(const net::Message& message);
@@ -92,11 +107,14 @@ class ShardNode final : public net::Node {
   GtmPrepareBody gtm_;
   CatdPrepareBody catd_;
 
-  // Exactly-once RPC memo.
+  // Exactly-once RPC state: the highest executed op id (monotonic watermark,
+  // never reset — see class comment) plus the response bytes of that op for
+  // resend replay (volatile: a crash clears them).
   std::optional<std::uint64_t> last_op_id_;
-  std::vector<std::uint8_t> last_response_;
+  std::optional<std::vector<std::uint8_t>> last_response_;
 
   std::size_t malformed_messages_ = 0;
+  std::size_t stale_requests_ = 0;
 };
 
 }  // namespace dptd::dist

@@ -68,6 +68,9 @@ class Network {
   void send(Message message);
 
   const NetworkStats& stats() const { return stats_; }
+  /// The link model in force, e.g. for protocols that need the worst-case
+  /// one-way delay (base + jitter) to drain in-flight traffic.
+  const LatencyModel& latency() const { return latency_; }
   Simulator& simulator() { return *sim_; }
 
  private:

@@ -56,12 +56,14 @@ void expect_bitwise_equal(const truth::Result& a, const truth::Result& b,
 
 struct Fleet {
   net::Simulator sim;
-  net::Network network{sim, net::LatencyModel{0.01, 0.0, 0.0}, 7};
+  net::Network network;
   std::vector<std::unique_ptr<ShardNode>> shards;
   std::unique_ptr<Coordinator> coordinator;
 
   Fleet(std::size_t num_shards, const MethodSpec& spec,
-        std::size_t num_objects, bool warm_start = false) {
+        std::size_t num_objects, bool warm_start = false,
+        net::LatencyModel latency = net::LatencyModel{0.01, 0.0, 0.0})
+      : network(sim, latency, 7) {
     CoordinatorConfig config;
     config.id = kCoordinatorId;
     config.num_objects = num_objects;
@@ -82,8 +84,11 @@ std::vector<net::NodeId> participant_ids(std::size_t count,
   return ids;
 }
 
-void send_dataset(Fleet& fleet, const data::Dataset& dataset,
-                  std::uint64_t round, net::NodeId first_id = 0) {
+/// Sends every user's report toward the coordinator WITHOUT pumping the
+/// simulator; returns the number of reports sent.
+std::size_t send_reports(Fleet& fleet, const data::Dataset& dataset,
+                         std::uint64_t round, net::NodeId first_id = 0) {
+  std::size_t sent = 0;
   for (std::size_t s = 0; s < dataset.num_users(); ++s) {
     const auto entries = dataset.observations.user_entries(s);
     if (entries.empty()) continue;
@@ -97,9 +102,25 @@ void send_dataset(Fleet& fleet, const data::Dataset& dataset,
     fleet.network.send(crowd::make_message(report.user_id, kCoordinatorId,
                                            crowd::MessageType::kReport,
                                            report.encode()));
+    ++sent;
   }
+  return sent;
+}
+
+void send_dataset(Fleet& fleet, const data::Dataset& dataset,
+                  std::uint64_t round, net::NodeId first_id = 0) {
+  send_reports(fleet, dataset, round, first_id);
   fleet.sim.run();
 }
+
+/// Test endpoint that records everything delivered to it (captures shard
+/// responses when a test drives a ShardNode with hand-crafted envelopes).
+struct Recorder final : public net::Node {
+  std::vector<net::Message> received;
+  void on_message(const net::Message& message) override {
+    received.push_back(message);
+  }
+};
 
 TEST(DistributedProtocol, StragglerResendsRecoverTheExactResult) {
   const data::Dataset dataset = random_dataset(11, 64, 5, 0.3);
@@ -372,6 +393,161 @@ TEST(DistributedProtocol, UnroutableReportsAreCountedNotFatal) {
   const DistributedOutcome outcome = fleet.coordinator->close_round();
   ASSERT_TRUE(outcome.aggregated);
   EXPECT_EQ(outcome.reports_unroutable, 3u);
+}
+
+// Drives a ShardNode with a hand-crafted request envelope, as the coordinator
+// (or a jittered link replaying an old copy) would.
+void deliver_request(ShardNode& shard, net::NodeId source,
+                     std::uint64_t op_id, ShardOp op,
+                     std::vector<std::uint8_t> body) {
+  crowd::StatsEnvelope env;
+  env.op_id = op_id;
+  env.op = static_cast<std::uint8_t>(op);
+  env.body = std::move(body);
+  shard.on_message(crowd::make_message(
+      source, shard.id(), crowd::MessageType::kShardRequest, env.encode()));
+}
+
+TEST(DistributedProtocol, DelayedDuplicateOfAnOlderOpIsDroppedNotReexecuted) {
+  // Regression: the exactly-once memo used to hold only the LAST op id, so a
+  // delayed duplicate of an OLDER op (a resent copy overtaken by newer ops —
+  // possible whenever jitter exceeds the op timeout) was re-executed instead
+  // of dropped. Here a late duplicate kFinalizeIngest must not re-finalize
+  // and reset the weights that kSetWeights installed after it.
+  Fleet fleet(1, crh_spec(), 2);
+  ShardNode& shard = *fleet.shards[0];
+  Recorder recorder;
+  const net::NodeId kRecorder = 7777;
+  fleet.network.attach(kRecorder, recorder);
+
+  SetupBody setup;
+  setup.round = 1;
+  setup.num_users = 4;
+  setup.num_shards = 1;
+  setup.shard_index = 0;
+  setup.num_objects = 2;
+  setup.block_size = kTestBlock;
+  for (std::size_t s = 0; s < 4; ++s) setup.participants.push_back(s);
+  deliver_request(shard, kRecorder, 1, ShardOp::kSetup, setup.encode());
+
+  for (std::size_t s = 0; s < 4; ++s) {
+    crowd::Report report;
+    report.round = 1;
+    report.user_id = s;
+    report.objects = {0, 1};
+    report.values = {1.0 + static_cast<double>(s),
+                     2.0 + static_cast<double>(s)};
+    shard.on_message(crowd::make_message(
+        s, shard.id(), crowd::MessageType::kReport, report.encode()));
+  }
+  deliver_request(shard, kRecorder, 2, ShardOp::kFinalizeIngest, {});
+
+  WeightsBody weights;
+  weights.uniform = false;
+  weights.weights = {2.0, 3.0, 4.0, 5.0};
+  deliver_request(shard, kRecorder, 3, ShardOp::kSetWeights,
+                  weights.encode());
+
+  // The delayed duplicate of op 2 arrives after op 3 executed: dropped.
+  deliver_request(shard, kRecorder, 2, ShardOp::kFinalizeIngest, {});
+  EXPECT_EQ(shard.stale_requests(), 1u);
+
+  deliver_request(shard, kRecorder, 4, ShardOp::kCollectWeights, {});
+  fleet.sim.run();
+  ASSERT_FALSE(recorder.received.empty());
+  const crowd::StatsEnvelope reply =
+      crowd::StatsEnvelope::decode(recorder.received.back().payload);
+  EXPECT_EQ(reply.op_id, 4u);
+  const WeightsBody collected = WeightsBody::decode(reply.body);
+  EXPECT_EQ(collected.weights, weights.weights);
+  // And the stale duplicate produced no response at all: one reply per
+  // executed op (4 ops), nothing for the drop.
+  EXPECT_EQ(recorder.received.size(), 4u);
+}
+
+TEST(DistributedProtocol, StaleSetupFromAnAbandonedPlanIsRejected) {
+  // Regression companion to the re-plan loop: when a shard fails setup, the
+  // coordinator abandons the outstanding kSetups and re-plans over the
+  // survivors — but the abandoned (older-id) kSetup may still be in flight
+  // and, under jitter, deliver AFTER the re-planned one. The op-id watermark
+  // must reject it, or the shard would run the round on the dead plan's
+  // smaller roster slice.
+  Fleet fleet(1, crh_spec(), 2);
+  ShardNode& shard = *fleet.shards[0];
+  Recorder recorder;
+  const net::NodeId kRecorder = 7778;
+  fleet.network.attach(kRecorder, recorder);
+
+  SetupBody fresh;  // the re-planned split: 1 surviving shard, all 16 users
+  fresh.round = 1;
+  fresh.num_users = 16;
+  fresh.num_shards = 1;
+  fresh.shard_index = 0;
+  fresh.num_objects = 2;
+  fresh.block_size = kTestBlock;
+  for (std::size_t s = 0; s < 16; ++s) fresh.participants.push_back(s);
+  deliver_request(shard, kRecorder, 7, ShardOp::kSetup, fresh.encode());
+
+  SetupBody stale = fresh;  // the abandoned 2-shard split: first block only
+  stale.num_shards = 2;
+  stale.participants.resize(kTestBlock);
+  deliver_request(shard, kRecorder, 3, ShardOp::kSetup, stale.encode());
+  EXPECT_EQ(shard.stale_requests(), 1u);
+
+  // All 16 users of the fresh plan must still be in the roster slice.
+  for (std::size_t s = 0; s < 16; ++s) {
+    crowd::Report report;
+    report.round = 1;
+    report.user_id = s;
+    report.objects = {0, 1};
+    report.values = {1.0, 2.0};
+    shard.on_message(crowd::make_message(
+        s, shard.id(), crowd::MessageType::kReport, report.encode()));
+  }
+  deliver_request(shard, kRecorder, 8, ShardOp::kFinalizeIngest, {});
+  fleet.sim.run();
+  ASSERT_FALSE(recorder.received.empty());
+  const crowd::StatsEnvelope reply =
+      crowd::StatsEnvelope::decode(recorder.received.back().payload);
+  ASSERT_EQ(reply.op_id, 8u);
+  const IngestSummaryBody summary = IngestSummaryBody::decode(reply.body);
+  EXPECT_EQ(summary.reports_received, 16u);
+  EXPECT_EQ(summary.rejected_reports, 0u);
+}
+
+TEST(DistributedProtocol, CloseRoundDrainsInFlightRoutedReports) {
+  // Regression: close_round used to send kFinalizeIngest immediately, so on
+  // jittered links the finalize could overtake a report the coordinator had
+  // already forwarded and the shard rejected an on-time report as late.
+  // Jitter is 5x base latency here, so without the pre-finalize drain many
+  // of the in-flight forwards below would lose that race.
+  const data::Dataset dataset = random_dataset(71, 64, 4, 0.2);
+  Fleet fleet(2, crh_spec(), dataset.num_objects(), /*warm_start=*/false,
+              net::LatencyModel{0.01, 0.05, 0.0});
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+
+  const std::size_t sent = send_reports(fleet, dataset, 1);
+  // Deliver every device->coordinator leg (worst case 0.06s one-way) but
+  // leave coordinator->shard forwards in flight, then close immediately.
+  fleet.sim.run_until(fleet.sim.now() + 0.06);
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+
+  ASSERT_TRUE(outcome.aggregated);
+  EXPECT_EQ(outcome.reports_routed, sent);
+  std::size_t received = 0;
+  std::size_t rejected = 0;
+  for (const auto& stats : outcome.shard_stats) {
+    received += stats.reports_received;
+    rejected += stats.rejected_reports;
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(rejected, 0u);
+
+  // With every routed report ingested, jitter costs latency, not bits.
+  const truth::Result reference = make_method(crh_spec())->run_sharded(
+      data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock));
+  expect_bitwise_equal(reference, outcome.result, "drained close");
 }
 
 }  // namespace
