@@ -14,14 +14,25 @@
 //    README's distributed-mode section describes.
 #include <benchmark/benchmark.h>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "crowd/protocol.h"
 #include "dist/coordinator.h"
 #include "dist/shard_node.h"
+#include "net/network.h"
+#include "net/socket_transport.h"
 
 namespace {
 
@@ -49,9 +60,9 @@ inline std::uint64_t xorshift(std::uint64_t& state) {
 
 /// One user's report, generated procedurally (cheap xorshift noise around a
 /// per-object truth) so data generation never dominates the round timing.
-dptd::crowd::Report make_report(std::size_t user) {
+dptd::crowd::Report make_report(std::size_t user, std::uint64_t round = 1) {
   dptd::crowd::Report report;
-  report.round = 1;
+  report.round = round;
   report.user_id = user;
   report.objects.reserve(kClaimsPerUser);
   report.values.reserve(kClaimsPerUser);
@@ -156,6 +167,159 @@ void BM_DistributedRoundCrh(benchmark::State& state) {
       benchmark::Counter(per_round(static_cast<double>(iterations)));
 }
 BENCHMARK(BM_DistributedRoundCrh)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// The same round over real processes: K forked shard servers on UDS loopback
+// (net::SocketTransport), driven by the identical coordinator protocol. A
+// smaller fleet (100k users) keeps the row a smoke-scale measurement of the
+// socket stack — framing, poll loop, kernel round trips — rather than of the
+// shard kernels, which the simulator row already times at the million-user
+// scale. Results stay bitwise identical to the simulator rows' method output
+// at equal K and block size (the multiprocess equivalence suite enforces it);
+// this row exists to price the transport swap.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kUdsUsers = 100'000;
+
+pid_t spawn_bench_shard(dptd::net::NodeId id, const std::string& path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  {
+    dptd::net::SocketTransportConfig cfg;
+    cfg.listen = "unix:" + path;
+    dptd::net::SocketTransport transport(cfg);
+    dptd::dist::ShardNode node(id, transport);
+    dptd::dist::ShardServiceConfig service;
+    service.poll_interval_seconds = 0.002;
+    service.idle_timeout_seconds = 600.0;
+    dptd::dist::serve_shard(transport, node, service);
+  }
+  _exit(0);
+}
+
+void BM_DistributedRoundCrhUdsLoopback(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+
+  MethodSpec spec;
+  spec.kind = MethodSpec::Kind::kCrh;
+  spec.crh.convergence.tolerance = 1e-6;
+  spec.crh.convergence.max_iterations = 10;
+
+  char tmpl[] = "/tmp/dptd_bench_XXXXXX";
+  const std::string dir = mkdtemp(tmpl);
+  std::vector<pid_t> pids;
+  dptd::net::SocketTransportConfig net_config;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::string path = dir + "/s" + std::to_string(i) + ".sock";
+    pids.push_back(spawn_bench_shard(kShardBase + i, path));
+    net_config.peers[kShardBase + i] = "unix:" + path;
+  }
+  for (const auto& [id, endpoint] : net_config.peers) {
+    const std::string path = endpoint.substr(5);
+    struct stat st{};
+    while (::stat(path.c_str(), &st) != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  dptd::net::SocketTransport network(net_config);
+
+  CoordinatorConfig config;
+  config.id = kCoordinatorId;
+  config.num_objects = kObjects;
+  config.block_size = kBlock;
+  Coordinator coordinator(config, spec, network);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    coordinator.add_shard(kShardBase + i);
+  }
+
+  std::vector<dptd::net::NodeId> participants(kUdsUsers);
+  for (std::size_t s = 0; s < kUdsUsers; ++s) participants[s] = s;
+
+  double close_seconds = 0.0;
+  double ingest_seconds = 0.0;
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  std::size_t iteration_messages = 0;
+  std::size_t iteration_bytes = 0;
+  std::size_t round_bytes = 0;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    if (!coordinator.begin_round(round, participants)) {
+      state.SkipWithError("begin_round failed");
+      break;
+    }
+
+    dptd::Stopwatch ingest_timer;
+    for (std::size_t user = 0; user < kUdsUsers; ++user) {
+      coordinator.on_message(dptd::crowd::make_message(
+          user, kCoordinatorId, dptd::crowd::MessageType::kReport,
+          make_report(user, round).encode()));
+      // Periodic pumping flushes routed reports into the shard sockets so
+      // the coordinator's write queues stay bounded.
+      if ((user & 0xfff) == 0xfff) network.run_until_idle();
+    }
+    network.run_until_idle();
+    ingest_seconds += ingest_timer.elapsed_seconds();
+
+    dptd::Stopwatch close_timer;
+    const DistributedOutcome outcome = coordinator.close_round();
+    close_seconds += close_timer.elapsed_seconds();
+    if (!outcome.aggregated) {
+      state.SkipWithError("round did not aggregate");
+      break;
+    }
+    benchmark::DoNotOptimize(outcome.result.truths.data());
+    ++rounds;
+    iterations += outcome.result.iterations;
+    iteration_messages += outcome.iteration_messages;
+    iteration_bytes += outcome.iteration_bytes;
+    round_bytes += outcome.network.bytes_sent;
+  }
+
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    network.send(dptd::crowd::make_message(
+        kCoordinatorId, kShardBase + i, dptd::crowd::MessageType::kShutdown,
+        {}));
+  }
+  network.run_until_idle();
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+  std::filesystem::remove_all(dir);
+
+  const auto per_round = [&](double total) {
+    return rounds > 0 ? total / static_cast<double>(rounds) : 0.0;
+  };
+  const auto per_iteration = [&](std::size_t total) {
+    return iterations > 0
+               ? static_cast<double>(total) / static_cast<double>(iterations)
+               : 0.0;
+  };
+  state.counters["iterations_per_sec"] = benchmark::Counter(
+      close_seconds > 0.0 ? static_cast<double>(iterations) / close_seconds
+                          : 0.0);
+  state.counters["bytes_per_iteration"] =
+      benchmark::Counter(per_iteration(iteration_bytes));
+  state.counters["messages_per_iteration"] =
+      benchmark::Counter(per_iteration(iteration_messages));
+  state.counters["round_bytes"] =
+      benchmark::Counter(per_round(static_cast<double>(round_bytes)));
+  state.counters["ingest_seconds"] = benchmark::Counter(per_round(ingest_seconds));
+  state.counters["close_seconds"] = benchmark::Counter(per_round(close_seconds));
+  state.counters["td_iterations"] =
+      benchmark::Counter(per_round(static_cast<double>(iterations)));
+}
+BENCHMARK(BM_DistributedRoundCrhUdsLoopback)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

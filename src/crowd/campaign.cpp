@@ -256,6 +256,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     record.network.messages_undeliverable = stats_after.messages_undeliverable -
                                             stats_before.messages_undeliverable;
     record.network.bytes_sent = stats_after.bytes_sent - stats_before.bytes_sent;
+    record.network.bytes_delivered =
+        stats_after.bytes_delivered - stats_before.bytes_delivered;
     stats_before = stats_after;
 
     if (!outcome.result.truths.empty()) {

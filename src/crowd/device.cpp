@@ -51,6 +51,7 @@ void UserDevice::on_message(const net::Message& message) {
     case MessageType::kReport:
     case MessageType::kShardRequest:
     case MessageType::kShardResponse:
+    case MessageType::kShutdown:
       // Devices never receive reports or coordinator RPC traffic; ignore
       // (robustness against misrouted traffic rather than an invariant
       // violation).

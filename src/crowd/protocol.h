@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/serialize.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace dptd::crowd {
 
@@ -26,6 +26,10 @@ enum class MessageType : std::uint32_t {
   kShardRequest = 4,
   /// Shard -> coordinator RPC response.
   kShardResponse = 5,
+  /// Orderly-exit request for a remote shard process (empty payload): the
+  /// dist::ShardNode sets shutdown_requested() and its service loop returns.
+  /// Fire-and-forget — no response, no exactly-once bookkeeping.
+  kShutdown = 6,
 };
 
 struct TaskAnnounce {

@@ -107,7 +107,8 @@ std::vector<double> remap_warm_weights(
 }
 
 bool aggregate_and_publish(const ServerConfig& config,
-                           truth::TruthDiscovery& method, net::Network& network,
+                           truth::TruthDiscovery& method,
+                           net::Transport& network,
                            std::uint64_t round,
                            const std::vector<net::NodeId>& participants,
                            const data::ShardedMatrix& matrix, WarmState& warm,
@@ -148,7 +149,7 @@ bool aggregate_and_publish(const ServerConfig& config,
 
 CrowdServer::CrowdServer(ServerConfig config,
                          std::unique_ptr<truth::TruthDiscovery> method,
-                         net::Network& network)
+                         net::Transport& network)
     : config_(config), method_(std::move(method)), network_(&network) {
   DPTD_REQUIRE(method_ != nullptr, "CrowdServer: null truth-discovery method");
   DPTD_REQUIRE(config_.lambda2 > 0.0, "CrowdServer: lambda2 must be positive");
@@ -184,7 +185,7 @@ void CrowdServer::start_round(std::uint64_t round,
                                 payload));
   }
 
-  network_->simulator().schedule(config_.collection_window_seconds,
+  network_->schedule(config_.collection_window_seconds,
                                  [this] { finish_round(); });
 }
 

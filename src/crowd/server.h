@@ -23,7 +23,7 @@
 #include "data/builder.h"
 #include "data/dataset.h"
 #include "data/sharding.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "truth/interface.h"
 
 namespace dptd::crowd {
@@ -136,7 +136,8 @@ std::vector<double> remap_warm_weights(
 /// to skip aggregation. Keeping this in one place is what guarantees the two
 /// servers publish bitwise-identical outcomes.
 bool aggregate_and_publish(const ServerConfig& config,
-                           truth::TruthDiscovery& method, net::Network& network,
+                           truth::TruthDiscovery& method,
+                           net::Transport& network,
                            std::uint64_t round,
                            const std::vector<net::NodeId>& participants,
                            const data::ShardedMatrix& matrix, WarmState& warm,
@@ -145,7 +146,7 @@ bool aggregate_and_publish(const ServerConfig& config,
 class CrowdServer final : public net::Node {
  public:
   CrowdServer(ServerConfig config, std::unique_ptr<truth::TruthDiscovery> method,
-              net::Network& network);
+              net::Transport& network);
 
   void on_message(const net::Message& message) override;
 
@@ -165,7 +166,7 @@ class CrowdServer final : public net::Node {
 
   ServerConfig config_;
   std::unique_ptr<truth::TruthDiscovery> method_;
-  net::Network* network_;
+  net::Transport* network_;
 
   std::uint64_t current_round_ = 0;
   bool round_open_ = false;

@@ -8,7 +8,7 @@ namespace dptd::crowd {
 
 ShardedServer::ShardedServer(ServerConfig config,
                              std::unique_ptr<truth::TruthDiscovery> method,
-                             net::Network& network)
+                             net::Transport& network)
     : config_(config), method_(std::move(method)), network_(&network) {
   DPTD_REQUIRE(method_ != nullptr, "ShardedServer: null truth-discovery method");
   DPTD_REQUIRE(config_.lambda2 > 0.0, "ShardedServer: lambda2 must be positive");
@@ -70,7 +70,7 @@ void ShardedServer::start_round(std::uint64_t round,
                                 payload));
   }
 
-  network_->simulator().schedule(config_.collection_window_seconds,
+  network_->schedule(config_.collection_window_seconds,
                                  [this] { finish_round(); });
 }
 

@@ -36,7 +36,7 @@
 #include "crowd/server.h"
 #include "data/builder.h"
 #include "data/sharding.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "truth/interface.h"
 
 namespace dptd::crowd {
@@ -48,7 +48,7 @@ class ShardedServer final : public net::Node {
   /// (see data::ShardPlan::create).
   ShardedServer(ServerConfig config,
                 std::unique_ptr<truth::TruthDiscovery> method,
-                net::Network& network);
+                net::Transport& network);
 
   void on_message(const net::Message& message) override;
 
@@ -75,7 +75,7 @@ class ShardedServer final : public net::Node {
 
   ServerConfig config_;
   std::unique_ptr<truth::TruthDiscovery> method_;
-  net::Network* network_;
+  net::Transport* network_;
 
   std::uint64_t current_round_ = 0;
   bool round_open_ = false;
@@ -109,7 +109,7 @@ class RoundServer {
  public:
   RoundServer(const ServerConfig& config,
               std::unique_ptr<truth::TruthDiscovery> method,
-              net::Network& network) {
+              net::Transport& network) {
     if (config.num_shards > 1 || config.ingest_threads > 0) {
       sharded_.emplace(config, std::move(method), network);
     } else {

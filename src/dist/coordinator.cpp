@@ -28,17 +28,13 @@ std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec) {
 }
 
 Coordinator::Coordinator(CoordinatorConfig config, MethodSpec method,
-                         net::Network& network)
-    : config_(config),
-      method_(method),
-      network_(&network),
-      sim_(&network.simulator()) {
+                         net::Transport& network)
+    : config_(config), method_(method), network_(&network) {
   DPTD_REQUIRE(config_.num_objects > 0,
                "Coordinator: num_objects must be positive");
   DPTD_REQUIRE(config_.block_size > 0,
                "Coordinator: block_size must be positive");
-  DPTD_REQUIRE(config_.op_timeout_seconds > 0.0,
-               "Coordinator: op_timeout_seconds must be positive");
+  config_.rpc.validate();
   network_->attach(config_.id, *this);
 }
 
@@ -119,11 +115,15 @@ bool Coordinator::pump() {
   while (!outstanding_.empty()) {
     double next = std::numeric_limits<double>::infinity();
     for (const auto& [id, p] : outstanding_) next = std::min(next, p.deadline);
-    sim_->run_until(next);
-    const double now = sim_->now();
+    // poll() may return early once something was delivered (the socket
+    // transport does; the simulator runs straight to the deadline) — the
+    // loop re-checks outstanding_ either way, so responses cut the wait
+    // short instead of paying the full timeout.
+    network_->poll(next);
+    const double now = network_->now();
     for (auto& [id, p] : outstanding_) {
       if (p.deadline > now) continue;
-      if (p.resends >= config_.max_resends) {
+      if (p.resends >= config_.rpc.max_resends) {
         failed_shard_ = p.shard;
         outstanding_.clear();
         arrived_.clear();
@@ -132,7 +132,7 @@ bool Coordinator::pump() {
       ++p.resends;
       ++round_resends_;
       ++total_resends_;
-      p.deadline = now + config_.op_timeout_seconds;
+      p.deadline = now + config_.rpc.op_timeout_seconds;
       network_->send(crowd::make_message(config_.id, p.shard,
                                          crowd::MessageType::kShardRequest,
                                          p.payload));
@@ -154,7 +154,7 @@ std::optional<std::vector<std::vector<std::uint8_t>>> Coordinator::call_all(
     Pending pending;
     pending.shard = targets[i];
     pending.payload = env.encode();
-    pending.deadline = sim_->now() + config_.op_timeout_seconds;
+    pending.deadline = network_->now() + config_.rpc.op_timeout_seconds;
     network_->send(crowd::make_message(config_.id, targets[i],
                                        crowd::MessageType::kShardRequest,
                                        pending.payload));
@@ -301,6 +301,20 @@ std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns() {
   return columns;
 }
 
+bool Coordinator::collect_telemetry() {
+  auto replies = call_all(ShardOp::kGetTelemetry, active_,
+                          [](std::size_t) { return std::vector<std::uint8_t>{}; });
+  if (!replies.has_value()) return false;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    auto body = decode_or_fail<TelemetryBody>(active_[i], (*replies)[i],
+                                              malformed_by_node_,
+                                              failed_shard_);
+    if (!body.has_value()) return false;
+    telemetry_by_node_[active_[i]] = *body;
+  }
+  return true;
+}
+
 std::optional<std::vector<double>> Coordinator::collect_weights() {
   auto replies = call_all(ShardOp::kCollectWeights, active_,
                           [](std::size_t) { return std::vector<std::uint8_t>{}; });
@@ -338,6 +352,16 @@ bool Coordinator::begin_round(std::uint64_t round,
     failed_shard_.reset();
     round_resends_ = 0;
     stats_at_begin_ = network_->stats();
+    stale_at_begin_ = stale_responses_;
+    undeliverable_at_begin_.clear();
+    malformed_at_begin_.clear();
+    telemetry_by_node_.clear();
+    for (net::NodeId shard : active_) {
+      undeliverable_at_begin_[shard] = network_->undeliverable_to(shard);
+      const auto it = malformed_by_node_.find(shard);
+      malformed_at_begin_[shard] =
+          it == malformed_by_node_.end() ? 0 : it->second;
+    }
     const bool ok =
         call_all(ShardOp::kSetup, active_,
                  [&](std::size_t i) {
@@ -378,12 +402,12 @@ DistributedOutcome Coordinator::close_round() {
   DPTD_REQUIRE(round_planned_, "Coordinator: no open round");
   round_open_ = false;  // reports from here on are late: unroutable
   // Drain the forward pipeline before finalizing: a report routed before the
-  // close is on time, but with jittered links the kFinalizeIngest below could
-  // overtake it on the shard link and the shard would reject it as late. One
-  // worst-case one-way interval delivers every in-flight forwarded report
-  // (only a link drop can still lose one).
-  const net::LatencyModel& link = network_->latency();
-  sim_->run_until(sim_->now() + link.base_seconds + link.jitter_seconds);
+  // close is on time, but the kFinalizeIngest below could overtake it (on a
+  // jittered simulator link; over sockets the per-connection FIFO already
+  // orders them, the window only covers cross-connection skew). One
+  // transport drain window delivers every in-flight forwarded report (only
+  // a drop or connection failure can still lose one).
+  network_->drain_for(network_->drain_window_seconds());
   DistributedOutcome out;
   out.round = round_;
   out.reports_routed = reports_routed_;
@@ -392,6 +416,7 @@ DistributedOutcome Coordinator::close_round() {
     out.reports_routed = reports_routed_;
     out.reports_unroutable = reports_unroutable_;
     out.resends = round_resends_;
+    out.stale_responses = stale_responses_ - stale_at_begin_;
     const net::NetworkStats now = network_->stats();
     out.network.messages_sent =
         now.messages_sent - stats_at_begin_.messages_sent;
@@ -402,6 +427,24 @@ DistributedOutcome Coordinator::close_round() {
     out.network.messages_undeliverable =
         now.messages_undeliverable - stats_at_begin_.messages_undeliverable;
     out.network.bytes_sent = now.bytes_sent - stats_at_begin_.bytes_sent;
+    out.network.bytes_delivered =
+        now.bytes_delivered - stats_at_begin_.bytes_delivered;
+    for (net::NodeId shard : active_) {
+      NodeCounters counters;
+      counters.node = shard;
+      const auto tit = telemetry_by_node_.find(shard);
+      if (tit != telemetry_by_node_.end()) {
+        counters.stale_requests = tit->second.stale_requests;
+        counters.malformed_messages = tit->second.malformed_messages;
+      }
+      const auto mit = malformed_by_node_.find(shard);
+      counters.malformed_responses =
+          (mit == malformed_by_node_.end() ? 0 : mit->second) -
+          malformed_at_begin_[shard];
+      counters.messages_undeliverable =
+          network_->undeliverable_to(shard) - undeliverable_at_begin_[shard];
+      out.node_counters.push_back(counters);
+    }
     round_planned_ = false;
     active_.clear();
   };
@@ -447,6 +490,7 @@ DistributedOutcome Coordinator::close_round() {
       // in-process servers. The warm state is left untouched.
       DPTD_LOG_WARN << "round " << round_
                     << ": uncovered objects, skipping aggregation";
+      if (!collect_telemetry()) return fail();
       out.completed = true;
       out.aggregated = false;
       finish();
@@ -466,6 +510,9 @@ DistributedOutcome Coordinator::close_round() {
 
   auto result = run_method(seed);
   if (!result.has_value()) return fail();
+  // Shard-side robustness counters, collected after the method so the
+  // iterate-phase telemetry (mark_iterate_*) never includes these RPCs.
+  if (!collect_telemetry()) return fail();
   out.result = std::move(*result);
   out.completed = true;
   out.aggregated = true;

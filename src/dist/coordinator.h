@@ -32,7 +32,7 @@
 #include "crowd/server.h"
 #include "data/sharding.h"
 #include "dist/stats_wire.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "truth/catd.h"
 #include "truth/crh.h"
 #include "truth/gtm.h"
@@ -46,11 +46,9 @@ struct CoordinatorConfig {
   /// Canonical block size; distributed and in-process runs compare bitwise
   /// only at equal block sizes.
   std::size_t block_size = data::kDefaultStatsBlockSize;
-  /// RPC timeout before a resend. Must exceed one network round trip or every
-  /// op pays a pointless duplicate.
-  double op_timeout_seconds = 0.25;
-  /// Resends per op before the target is declared failed.
-  std::size_t max_resends = 5;
+  /// Timeout-and-resend policy for every shard RPC (shared definition in
+  /// net/transport.h).
+  net::RpcPolicy rpc;
   /// Seed each round from the previous successful round (stable-id remap).
   bool warm_start = false;
 };
@@ -73,6 +71,23 @@ struct MethodSpec {
 /// The in-process twin of a MethodSpec (equivalence tests and fallbacks).
 std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec);
 
+/// Per-shard robustness counters of one round, surfaced uniformly in
+/// DistributedOutcome (the same schema whether the shard is an in-process
+/// simulator node or a remote socket process).
+struct NodeCounters {
+  net::NodeId node = 0;
+  /// Shard-reported (kGetTelemetry), lifetime counters as of round close:
+  /// requests dropped by the exactly-once watermark, and undecodable
+  /// envelopes/bodies seen by the shard. Zero when the round failed before
+  /// telemetry collection.
+  std::uint64_t stale_requests = 0;
+  std::uint64_t malformed_messages = 0;
+  /// Coordinator-side, this round only: undecodable responses from this
+  /// shard, and sends toward it the transport could not deliver.
+  std::size_t malformed_responses = 0;
+  std::size_t messages_undeliverable = 0;
+};
+
 struct DistributedOutcome {
   std::uint64_t round = 0;
   /// The protocol ran to the end (false = a shard failed mid-round; the
@@ -94,12 +109,19 @@ struct DistributedOutcome {
   std::size_t iteration_messages = 0;
   std::size_t iteration_bytes = 0;
   std::size_t resends = 0;  ///< straggler recoveries this round
+  /// Duplicate/abandoned responses the coordinator dropped this round.
+  std::size_t stale_responses = 0;
+  /// Per-shard counters in active-shard order (see NodeCounters).
+  std::vector<NodeCounters> node_counters;
 };
 
 class Coordinator final : public net::Node {
  public:
+  /// Binds to any Transport: the simulator Network for in-process fleets,
+  /// a SocketTransport for real multi-process deployments. The protocol
+  /// bytes — and, with zero drops and no churn, the results — are identical.
   Coordinator(CoordinatorConfig config, MethodSpec method,
-              net::Network& network);
+              net::Transport& network);
   ~Coordinator() override;
 
   Coordinator(const Coordinator&) = delete;
@@ -121,9 +143,9 @@ class Coordinator final : public net::Node {
   bool round_open() const { return round_open_; }
 
   /// Closes ingestion (after draining in-flight routed reports for one
-  /// worst-case link latency, so finalize cannot overtake an on-time report),
+  /// transport drain window, so finalize cannot overtake an on-time report),
   /// runs the configured method over the fleet, collects the result, and
-  /// updates the warm state on success. Blocking: pumps the simulator until
+  /// updates the warm state on success. Blocking: polls the transport until
   /// the protocol finishes or a shard fails.
   DistributedOutcome close_round();
 
@@ -166,6 +188,8 @@ class Coordinator final : public net::Node {
   std::optional<std::vector<RunningStats>> moments_chain();
   std::optional<std::vector<std::vector<double>>> gather_columns();
   std::optional<std::vector<double>> collect_weights();
+  /// kGetTelemetry over the active shards into telemetry_by_node_.
+  bool collect_telemetry();
 
   // Per-method drivers: the exact run_impl control flow over the wire.
   std::optional<truth::Result> run_method(const truth::WarmStart& seed);
@@ -183,8 +207,7 @@ class Coordinator final : public net::Node {
 
   CoordinatorConfig config_;
   MethodSpec method_;
-  net::Network* network_;
-  net::Simulator* sim_;
+  net::Transport* network_;
 
   std::vector<net::NodeId> roster_;
 
@@ -202,6 +225,11 @@ class Coordinator final : public net::Node {
   net::NetworkStats stats_at_iterate_;
   std::size_t iteration_messages_ = 0;
   std::size_t iteration_bytes_ = 0;
+  /// Per-round deltas for NodeCounters: snapshots taken at begin_round.
+  std::unordered_map<net::NodeId, std::size_t> undeliverable_at_begin_;
+  std::unordered_map<net::NodeId, std::size_t> malformed_at_begin_;
+  std::size_t stale_at_begin_ = 0;
+  std::unordered_map<net::NodeId, TelemetryBody> telemetry_by_node_;
 
   crowd::WarmState warm_;
 

@@ -8,7 +8,7 @@
 
 namespace dptd::dist {
 
-ShardNode::ShardNode(net::NodeId id, net::Network& network)
+ShardNode::ShardNode(net::NodeId id, net::Transport& network)
     : id_(id), network_(&network) {
   network_->attach(id_, *this);
   attached_ = true;
@@ -78,6 +78,9 @@ void ShardNode::on_message(const net::Message& message) {
       return;
     case crowd::MessageType::kShardRequest:
       handle_request(message);
+      return;
+    case crowd::MessageType::kShutdown:
+      shutdown_requested_ = true;
       return;
     default:
       return;  // not addressed to the shard protocol
@@ -371,8 +374,36 @@ std::vector<std::uint8_t> ShardNode::execute(
                                catd_.min_residual, weights_);
       return {};
     }
+    case ShardOp::kGetTelemetry: {
+      TelemetryBody out;
+      out.stale_requests = stale_requests_;
+      out.malformed_messages = malformed_messages_;
+      return out.encode();
+    }
   }
   throw DecodeError("shard: unknown op");
+}
+
+bool serve_shard(net::Transport& transport, const ShardNode& node,
+                 const ShardServiceConfig& config) {
+  DPTD_REQUIRE(config.poll_interval_seconds > 0.0,
+               "serve_shard: poll interval must be positive");
+  double last_activity = transport.now();
+  while (!node.shutdown_requested()) {
+    const std::size_t delivered =
+        transport.poll(transport.now() + config.poll_interval_seconds);
+    const double now = transport.now();
+    if (delivered > 0) last_activity = now;
+    if (config.idle_timeout_seconds > 0.0 && delivered == 0 &&
+        now - last_activity >= config.idle_timeout_seconds) {
+      transport.run_until_idle();
+      return false;
+    }
+  }
+  // Flush responses already queued (the reply to the op that preceded the
+  // shutdown may still be in the write queue).
+  transport.run_until_idle();
+  return true;
 }
 
 }  // namespace dptd::dist

@@ -30,15 +30,17 @@
 #include "data/builder.h"
 #include "data/sharding.h"
 #include "dist/stats_wire.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace dptd::dist {
 
 class ShardNode final : public net::Node {
  public:
-  /// Attaches to the network under `id`. The node must outlive the network's
-  /// in-flight traffic or detach first (fail()/go_offline()).
-  ShardNode(net::NodeId id, net::Network& network);
+  /// Attaches to the transport under `id` (the in-process simulator Network
+  /// or a per-process SocketTransport — the node is transport-agnostic). The
+  /// node must outlive the transport's in-flight traffic toward it or detach
+  /// first (fail()/go_offline()).
+  ShardNode(net::NodeId id, net::Transport& network);
   ~ShardNode() override;
 
   ShardNode(const ShardNode&) = delete;
@@ -71,6 +73,10 @@ class ShardNode final : public net::Node {
   /// executed op (delayed duplicates, abandoned pre-re-plan requests).
   std::size_t stale_requests() const { return stale_requests_; }
 
+  /// Set by a crowd::MessageType::kShutdown message; serve_shard() returns
+  /// once it is observed. Never set by the RPC path.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
  private:
   void handle_report(const net::Message& message);
   void handle_request(const net::Message& message);
@@ -81,8 +87,9 @@ class ShardNode final : public net::Node {
   const data::ShardedMatrix& view() const;
 
   net::NodeId id_;
-  net::Network* network_;
+  net::Transport* network_;
   bool attached_ = false;
+  bool shutdown_requested_ = false;
 
   // Round state.
   bool round_open_ = false;
@@ -116,5 +123,17 @@ class ShardNode final : public net::Node {
   std::size_t malformed_messages_ = 0;
   std::size_t stale_requests_ = 0;
 };
+
+/// Service loop of a shard process: polls the transport until the node sees
+/// a kShutdown (returns true) or, with idle_timeout_seconds > 0, until no
+/// message has been delivered for that long (returns false — the orphan
+/// protection that keeps a forgotten shard process from living forever).
+/// Queued responses are flushed before returning.
+struct ShardServiceConfig {
+  double poll_interval_seconds = 0.05;
+  double idle_timeout_seconds = 0.0;  ///< 0 = wait forever
+};
+bool serve_shard(net::Transport& transport, const ShardNode& node,
+                 const ShardServiceConfig& config = {});
 
 }  // namespace dptd::dist

@@ -326,4 +326,20 @@ TruthsBody TruthsBody::decode(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::vector<std::uint8_t> TelemetryBody::encode() const {
+  Encoder enc;
+  enc.write_varint(stale_requests);
+  enc.write_varint(malformed_messages);
+  return enc.take();
+}
+
+TelemetryBody TelemetryBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  TelemetryBody msg;
+  msg.stale_requests = dec.read_varint();
+  msg.malformed_messages = dec.read_varint();
+  require_done(dec, "TelemetryBody");
+  return msg;
+}
+
 }  // namespace dptd::dist

@@ -26,7 +26,7 @@
 
 #include "common/serialize.h"
 #include "common/statistics.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "truth/interface.h"
 
 namespace dptd::dist {
@@ -54,6 +54,8 @@ enum class ShardOp : std::uint8_t {
   // CATD.
   kCatdPrepare = 14,    ///< CatdPrepareBody -> empty ack
   kCatdWeights = 15,    ///< TruthsBody broadcast -> empty ack
+  // Telemetry.
+  kGetTelemetry = 16,   ///< empty -> TelemetryBody (lifetime shard counters)
 };
 
 /// Round setup: the shard derives its global user range from the plan fields
@@ -189,6 +191,17 @@ struct TruthsBody {
 
   std::vector<std::uint8_t> encode() const;
   static TruthsBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// A shard's lifetime robustness counters, collected at round close so
+/// DistributedOutcome surfaces them uniformly per node (not just through
+/// in-process accessors the coordinator cannot reach over a socket).
+struct TelemetryBody {
+  std::uint64_t stale_requests = 0;     ///< watermark-dropped requests
+  std::uint64_t malformed_messages = 0; ///< undecodable envelopes/bodies
+
+  std::vector<std::uint8_t> encode() const;
+  static TelemetryBody decode(std::span<const std::uint8_t> bytes);
 };
 
 }  // namespace dptd::dist

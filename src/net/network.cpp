@@ -26,6 +26,11 @@ void Network::detach(NodeId id) { nodes_.erase(id); }
 
 bool Network::attached(NodeId id) const { return nodes_.count(id) != 0; }
 
+std::size_t Network::undeliverable_to(NodeId destination) const {
+  const auto it = undeliverable_by_dest_.find(destination);
+  return it == undeliverable_by_dest_.end() ? 0 : it->second;
+}
+
 void Network::send(Message message) {
   ++stats_.messages_sent;
   stats_.bytes_sent += message.payload.size();
@@ -37,6 +42,7 @@ void Network::send(Message message) {
   }
   if (!attached(message.destination)) {
     ++stats_.messages_undeliverable;
+    ++undeliverable_by_dest_[message.destination];
     return;
   }
   const double delay =
@@ -51,11 +57,25 @@ void Network::send(Message message) {
     const auto it = nodes_.find(msg.destination);
     if (it == nodes_.end()) {
       ++stats_.messages_undeliverable;
+      ++undeliverable_by_dest_[msg.destination];
       return;
     }
     ++stats_.messages_delivered;
+    stats_.bytes_delivered += msg.payload.size();
     it->second->on_message(msg);
   });
+}
+
+std::size_t Network::poll(double deadline) {
+  const std::size_t before = stats_.messages_delivered;
+  sim_->run_until(deadline);
+  return stats_.messages_delivered - before;
+}
+
+std::size_t Network::run_until_idle() {
+  const std::size_t before = stats_.messages_delivered;
+  sim_->run();
+  return stats_.messages_delivered - before;
 }
 
 }  // namespace dptd::net

@@ -1,5 +1,7 @@
 // Message-passing layer over the discrete-event simulator: registered nodes,
 // per-link latency with jitter, probabilistic drops, and traffic accounting.
+// This is the simulator-backed implementation of net::Transport; the
+// socket-backed twin lives in net/socket_transport.h.
 #pragma once
 
 #include <cstdint>
@@ -10,25 +12,9 @@
 
 #include "common/rng.h"
 #include "net/simulator.h"
+#include "net/transport.h"
 
 namespace dptd::net {
-
-using NodeId = std::uint64_t;
-
-/// A wire message: opaque payload plus routing metadata.
-struct Message {
-  NodeId source = 0;
-  NodeId destination = 0;
-  std::uint32_t type = 0;
-  std::vector<std::uint8_t> payload;
-};
-
-/// Anything attached to the network: receives delivered messages.
-class Node {
- public:
-  virtual ~Node() = default;
-  virtual void on_message(const Message& message) = 0;
-};
 
 /// Link model: fixed base latency + uniform jitter, i.i.d. drop probability.
 struct LatencyModel {
@@ -39,37 +25,41 @@ struct LatencyModel {
   void validate() const;
 };
 
-struct NetworkStats {
-  std::size_t messages_sent = 0;
-  std::size_t messages_delivered = 0;
-  /// Lost on the link (the probabilistic LatencyModel drop). Distinct from
-  /// routing failures so loss telemetry stays trustworthy for protocols that
-  /// react to it (the dist/ coordinator's straggler detection).
-  std::size_t messages_dropped = 0;
-  /// Destination unknown at send time, or detached by delivery time.
-  std::size_t messages_undeliverable = 0;
-  std::size_t bytes_sent = 0;
-};
-
-class Network {
+class Network final : public Transport {
  public:
   Network(Simulator& sim, LatencyModel latency, std::uint64_t seed = 1);
 
   /// Registers a node under `id`; the node must outlive the network.
-  void attach(NodeId id, Node& node);
-  void detach(NodeId id);
-  bool attached(NodeId id) const;
+  void attach(NodeId id, Node& node) override;
+  void detach(NodeId id) override;
+  bool attached(NodeId id) const override;
 
   /// Sends a message; delivery is scheduled on the simulator (or dropped).
   /// Sending to an unknown destination counts as undeliverable. The
   /// destination is resolved again at delivery time, so a node that detaches
   /// and is replaced under the same id between send and delivery receives the
   /// message — never the stale original.
-  void send(Message message);
+  void send(Message message) override;
 
-  const NetworkStats& stats() const { return stats_; }
-  /// The link model in force, e.g. for protocols that need the worst-case
-  /// one-way delay (base + jitter) to drain in-flight traffic.
+  /// Transport progress contract, delegated to the simulator: poll runs the
+  /// event queue up to `deadline` and jumps virtual time there (trivially
+  /// conformant — delivery "waits" cost nothing), run_until_idle drains the
+  /// queue.
+  double now() const override { return sim_->now(); }
+  std::size_t poll(double deadline) override;
+  std::size_t run_until_idle() override;
+  void schedule(double delay, std::function<void()> fn) override {
+    sim_->schedule(delay, std::move(fn));
+  }
+
+  const NetworkStats& stats() const override { return stats_; }
+  std::size_t undeliverable_to(NodeId destination) const override;
+  /// Worst-case one-way delay: base + jitter.
+  double drain_window_seconds() const override {
+    return latency_.base_seconds + latency_.jitter_seconds;
+  }
+
+  /// The link model in force, e.g. for tests that shape traffic.
   const LatencyModel& latency() const { return latency_; }
   Simulator& simulator() { return *sim_; }
 
@@ -79,6 +69,7 @@ class Network {
   Rng rng_;
   std::unordered_map<NodeId, Node*> nodes_;
   NetworkStats stats_;
+  std::unordered_map<NodeId, std::size_t> undeliverable_by_dest_;
 };
 
 }  // namespace dptd::net

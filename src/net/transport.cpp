@@ -1,0 +1,19 @@
+#include "net/transport.h"
+
+#include "common/check.h"
+
+namespace dptd::net {
+
+void RpcPolicy::validate() const {
+  DPTD_REQUIRE(op_timeout_seconds > 0.0,
+               "RpcPolicy: op_timeout_seconds must be positive");
+}
+
+std::size_t Transport::drain_for(double seconds) {
+  std::size_t delivered = 0;
+  const double until = now() + seconds;
+  while (now() < until) delivered += poll(until);
+  return delivered;
+}
+
+}  // namespace dptd::net

@@ -1,0 +1,136 @@
+// The pluggable messaging seam of the distributed deployment: an abstract
+// Transport over the Message/Node surface, with an explicit progress
+// contract so callers (the dist/ coordinator, the crowd servers) drive any
+// implementation the same way:
+//
+//   - send() enqueues a message toward its destination; it never blocks and
+//     never delivers inline.
+//   - poll(deadline) makes progress until `deadline` (in the transport's own
+//     clock, see now()); it MAY return early as soon as at least one message
+//     has been delivered to a locally attached node, and returns the number
+//     delivered. The discrete-event simulator satisfies this trivially with
+//     Simulator::run_until (virtual time jumps to the deadline when the
+//     queue drains); a socket event loop satisfies it with poll(2).
+//   - run_until_idle() delivers everything currently deliverable without
+//     advancing past external waits (simulator: drain the event queue;
+//     sockets: zero-timeout poll passes while progress is being made).
+//   - schedule() posts a timer callback on the transport's clock — the hook
+//     the crowd servers use for round deadlines.
+//
+// Timeout/resend policy (RpcPolicy) lives here too: it is a property of how
+// a caller drives RPCs over a transport, shared by every protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dptd::net {
+
+using NodeId = std::uint64_t;
+
+/// A wire message: opaque payload plus routing metadata.
+struct Message {
+  NodeId source = 0;
+  NodeId destination = 0;
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Anything attached to a transport: receives delivered messages.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_message(const Message& message) = 0;
+};
+
+/// Traffic accounting, identical semantics on every transport: byte counters
+/// cover payload bytes only (framing overhead is an implementation detail),
+/// so per-round byte telemetry is comparable across the simulator and the
+/// socket transport.
+struct NetworkStats {
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  /// Lost on the link (the probabilistic LatencyModel drop). Distinct from
+  /// routing failures so loss telemetry stays trustworthy for protocols that
+  /// react to it (the dist/ coordinator's straggler detection).
+  std::size_t messages_dropped = 0;
+  /// Destination unknown at send time, detached by delivery time, or — on a
+  /// socket transport — unreachable/disconnected when its queued frames were
+  /// discarded.
+  std::size_t messages_undeliverable = 0;
+  std::size_t bytes_sent = 0;
+  /// Payload bytes of messages actually handed to an attached node. With
+  /// zero drops and no routing failures, bytes_delivered == bytes_sent on
+  /// the simulator; on a socket transport each endpoint counts its own
+  /// sides (bytes_sent = what it sent, bytes_delivered = what it received).
+  std::size_t bytes_delivered = 0;
+};
+
+/// Timeout-and-resend policy for request/response RPCs driven over a
+/// Transport (dist::Coordinator today). Factored out of the coordinator's
+/// config so every layer — config structs, tests, docs — shares one
+/// definition of the two knobs.
+struct RpcPolicy {
+  /// RPC timeout before a resend. Must exceed one transport round trip or
+  /// every op pays a pointless duplicate.
+  double op_timeout_seconds = 0.25;
+  /// Resends per op before the target is declared failed.
+  std::size_t max_resends = 5;
+
+  void validate() const;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a node under `id`; the node must outlive the transport's
+  /// in-flight traffic toward it (or detach first).
+  virtual void attach(NodeId id, Node& node) = 0;
+  virtual void detach(NodeId id) = 0;
+  virtual bool attached(NodeId id) const = 0;
+
+  /// Enqueues `message` toward its destination. Never delivers inline; the
+  /// caller observes delivery through poll()/run_until_idle().
+  virtual void send(Message message) = 0;
+
+  /// The transport's clock, in seconds. Virtual time on the simulator,
+  /// monotonic wall time on a socket transport. Only differences are
+  /// meaningful.
+  virtual double now() const = 0;
+
+  /// Makes progress until now() >= deadline, returning the number of
+  /// messages delivered to locally attached nodes. MAY return early once at
+  /// least one message has been delivered — callers waiting on a specific
+  /// event must re-check their condition and call again.
+  virtual std::size_t poll(double deadline) = 0;
+
+  /// Delivers everything currently deliverable (no waiting on external
+  /// events); returns the number delivered.
+  virtual std::size_t run_until_idle() = 0;
+
+  /// Runs `fn` once at now() + delay. Fires from inside poll()/
+  /// run_until_idle(), never concurrently with other callbacks.
+  virtual void schedule(double delay, std::function<void()> fn) = 0;
+
+  virtual const NetworkStats& stats() const = 0;
+
+  /// Sends toward `destination` that were counted undeliverable, for
+  /// per-peer failure attribution (dist round telemetry).
+  virtual std::size_t undeliverable_to(NodeId destination) const = 0;
+
+  /// Worst-case interval after which every message already sent to a
+  /// reachable destination has been delivered (absent drops/failures):
+  /// base + jitter on the simulator, a small configured settle window on a
+  /// socket transport. Protocol code uses it to drain in-flight traffic
+  /// before a phase change (Coordinator::close_round).
+  virtual double drain_window_seconds() const = 0;
+
+  /// Convenience: polls until now() has advanced by `seconds` (the
+  /// early-return contract of poll() makes a single call insufficient).
+  /// Returns the number of messages delivered.
+  std::size_t drain_for(double seconds);
+};
+
+}  // namespace dptd::net

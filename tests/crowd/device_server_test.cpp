@@ -9,6 +9,7 @@
 #include "crowd/device.h"
 #include "crowd/server.h"
 #include "truth/registry.h"
+#include "net/network.h"
 
 namespace dptd::crowd {
 namespace {

@@ -18,6 +18,7 @@
 #include "crowd/server.h"
 #include "crowd/sharded_server.h"
 #include "data/sharding.h"
+#include "net/network.h"
 #include "truth/registry.h"
 
 namespace dptd::crowd {

@@ -12,6 +12,7 @@
 #include "crowd/server.h"
 #include "crowd/sharded_server.h"
 #include "truth/registry.h"
+#include "net/network.h"
 
 namespace dptd::crowd {
 namespace {

@@ -15,6 +15,7 @@
 #include "dist/coordinator.h"
 #include "dist/shard_node.h"
 #include "truth/interface.h"
+#include "net/network.h"
 
 namespace dptd::dist {
 namespace {

@@ -1,0 +1,347 @@
+// The PR-7 acceptance test: a real K-process deployment — one forked OS
+// process per shard, each serving its ShardNode over its own Unix-domain
+// listener — runs the identical protocol bytes and produces bitwise-identical
+// DistributedOutcome results to the simulator-backed fleet at the same K and
+// block size. Plus the churn story: SIGKILL a shard mid-round and the
+// coordinator declares it failed after max_resends, re-plans over the
+// survivors, and re-admits a restarted process on the same socket path.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/sharding.h"
+#include "data/synthetic.h"
+#include "dist/coordinator.h"
+#include "dist/shard_node.h"
+#include "net/network.h"
+#include "net/socket_transport.h"
+#include "truth/interface.h"
+
+namespace dptd::dist {
+namespace {
+
+constexpr std::size_t kTestBlock = 8;
+constexpr net::NodeId kCoordinatorId = 9'000'000;
+constexpr net::NodeId kShardBase = 1000;
+
+data::Dataset random_dataset(std::uint64_t seed, std::size_t users,
+                             std::size_t objects, double missing) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.missing_rate = missing;
+  config.lambda1 = 1.0;
+  config.seed = seed;
+  return data::generate_synthetic(config);
+}
+
+MethodSpec spec_for(const std::string& name) {
+  MethodSpec spec;
+  if (name == "crh") {
+    spec.kind = MethodSpec::Kind::kCrh;
+  } else if (name == "gtm") {
+    spec.kind = MethodSpec::Kind::kGtm;
+  } else if (name == "catd") {
+    spec.kind = MethodSpec::Kind::kCatd;
+  } else if (name == "mean") {
+    spec.kind = MethodSpec::Kind::kMean;
+  } else if (name == "median") {
+    spec.kind = MethodSpec::Kind::kMedian;
+  } else {
+    ADD_FAILURE() << "unknown method " << name;
+  }
+  return spec;
+}
+
+void expect_bitwise_equal(const truth::Result& a, const truth::Result& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.truths.size(), b.truths.size()) << label;
+  for (std::size_t n = 0; n < a.truths.size(); ++n) {
+    EXPECT_EQ(a.truths[n], b.truths[n]) << label << " truth " << n;
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size()) << label;
+  for (std::size_t s = 0; s < a.weights.size(); ++s) {
+    EXPECT_EQ(a.weights[s], b.weights[s]) << label << " weight " << s;
+  }
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+}
+
+std::vector<net::NodeId> participant_ids(std::size_t count) {
+  std::vector<net::NodeId> ids;
+  for (std::size_t s = 0; s < count; ++s) ids.push_back(s);
+  return ids;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/dptd_mp_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string sock(std::size_t i) const {
+    return path + "/s" + std::to_string(i) + ".sock";
+  }
+};
+
+/// Forks one shard process: it binds its own UDS listener, serves its
+/// ShardNode until a kShutdown message (or a 60s idle orphan timeout), and
+/// _exit()s without touching the parent's gtest state.
+pid_t spawn_shard(net::NodeId id, const std::string& path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int status = 0;
+  {
+    net::SocketTransportConfig cfg;
+    cfg.listen = "unix:" + path;
+    net::SocketTransport transport(cfg);
+    ShardNode node(id, transport);
+    ShardServiceConfig service;
+    service.poll_interval_seconds = 0.005;
+    service.idle_timeout_seconds = 60.0;
+    status = serve_shard(transport, node, service) ? 0 : 2;
+  }
+  _exit(status);
+}
+
+bool wait_for_path(const std::string& path, double timeout_seconds = 10.0) {
+  const auto start = std::chrono::steady_clock::now();
+  struct stat st{};
+  while (::stat(path.c_str(), &st) != 0) {
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() > timeout_seconds) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+/// Hands every user's claims to the coordinator directly (the coordinator is
+/// the report sink either way; what is under test is its socket-side routing
+/// to the owning shard processes).
+void inject_reports(Coordinator& coordinator, const data::Dataset& dataset,
+                    std::uint64_t round) {
+  for (std::size_t s = 0; s < dataset.num_users(); ++s) {
+    const auto entries = dataset.observations.user_entries(s);
+    if (entries.empty()) continue;
+    crowd::Report report;
+    report.round = round;
+    report.user_id = s;
+    for (const auto& entry : entries) {
+      report.objects.push_back(entry.object);
+      report.values.push_back(entry.value);
+    }
+    coordinator.on_message(crowd::make_message(report.user_id, kCoordinatorId,
+                                               crowd::MessageType::kReport,
+                                               report.encode()));
+  }
+}
+
+void shutdown_shards(net::Transport& transport,
+                     const std::vector<net::NodeId>& ids,
+                     const std::vector<pid_t>& pids) {
+  for (const net::NodeId id : ids) {
+    transport.send(crowd::make_message(kCoordinatorId, id,
+                                       crowd::MessageType::kShutdown, {}));
+  }
+  transport.run_until_idle();
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+}
+
+/// A simulator-backed fleet with the same topology, for the reference run.
+truth::Result run_simulator_round(std::size_t k, const MethodSpec& spec,
+                                  const data::Dataset& dataset) {
+  net::Simulator sim;
+  net::Network network(sim, net::LatencyModel{0.01, 0.0, 0.0}, 7);
+  CoordinatorConfig config;
+  config.id = kCoordinatorId;
+  config.num_objects = dataset.num_objects();
+  config.block_size = kTestBlock;
+  Coordinator coordinator(config, spec, network);
+  std::vector<std::unique_ptr<ShardNode>> shards;
+  for (std::size_t i = 0; i < k; ++i) {
+    shards.push_back(std::make_unique<ShardNode>(kShardBase + i, network));
+    coordinator.add_shard(kShardBase + i);
+  }
+  EXPECT_TRUE(
+      coordinator.begin_round(1, participant_ids(dataset.num_users())));
+  inject_reports(coordinator, dataset, 1);
+  sim.run();
+  const DistributedOutcome outcome = coordinator.close_round();
+  EXPECT_TRUE(outcome.aggregated);
+  return outcome.result;
+}
+
+class MultiProcessEquivalence : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
+  const std::string name = GetParam();
+  const MethodSpec spec = spec_for(name);
+  const data::Dataset dataset = random_dataset(101, 32, 4, 0.3);
+
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const std::string label = name + " K=" + std::to_string(k);
+    TempDir dir;
+    std::vector<pid_t> pids;
+    std::vector<net::NodeId> shard_ids;
+    net::SocketTransportConfig net_cfg;
+    for (std::size_t i = 0; i < k; ++i) {
+      shard_ids.push_back(kShardBase + i);
+      pids.push_back(spawn_shard(kShardBase + i, dir.sock(i)));
+      net_cfg.peers[kShardBase + i] = "unix:" + dir.sock(i);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(wait_for_path(dir.sock(i))) << label;
+    }
+
+    net::SocketTransport transport(net_cfg);
+    CoordinatorConfig config;
+    config.id = kCoordinatorId;
+    config.num_objects = dataset.num_objects();
+    config.block_size = kTestBlock;
+    Coordinator coordinator(config, spec, transport);
+    for (const net::NodeId id : shard_ids) coordinator.add_shard(id);
+
+    ASSERT_TRUE(
+        coordinator.begin_round(1, participant_ids(dataset.num_users())))
+        << label;
+    inject_reports(coordinator, dataset, 1);
+    const DistributedOutcome outcome = coordinator.close_round();
+    shutdown_shards(transport, shard_ids, pids);
+
+    ASSERT_TRUE(outcome.completed) << label;
+    ASSERT_TRUE(outcome.aggregated) << label;
+    EXPECT_FALSE(outcome.failed_shard.has_value()) << label;
+    EXPECT_EQ(outcome.reports_unroutable, 0u) << label;
+
+    // Clean loopback round: no stale drops, no malformed traffic, on either
+    // side of any connection — the per-node counters say so uniformly.
+    ASSERT_EQ(outcome.node_counters.size(), outcome.shard_stats.size())
+        << label;
+    for (const NodeCounters& counters : outcome.node_counters) {
+      EXPECT_EQ(counters.stale_requests, 0u) << label;
+      EXPECT_EQ(counters.malformed_messages, 0u) << label;
+      EXPECT_EQ(counters.malformed_responses, 0u) << label;
+      EXPECT_EQ(counters.messages_undeliverable, 0u) << label;
+    }
+    EXPECT_EQ(outcome.stale_responses, 0u) << label;
+    EXPECT_EQ(transport.malformed_frames(), 0u) << label;
+    // End-to-end byte symmetry: every protocol byte the coordinator sent or
+    // received is accounted on both rails.
+    EXPECT_EQ(outcome.network.messages_dropped, 0u) << label;
+    EXPECT_GT(outcome.network.bytes_sent, 0u) << label;
+    EXPECT_GT(outcome.network.bytes_delivered, 0u) << label;
+
+    // The tentpole claim: identical bits to the simulator fleet at same K.
+    const truth::Result reference = run_simulator_round(k, spec, dataset);
+    expect_bitwise_equal(reference, outcome.result, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MultiProcessEquivalence,
+                         ::testing::Values("crh", "gtm", "catd", "mean",
+                                           "median"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(MultiProcessChurn, KilledShardFailsRoundThenRestartRejoins) {
+  const MethodSpec spec = spec_for("crh");
+  const data::Dataset dataset = random_dataset(202, 32, 4, 0.25);
+  const auto participants = participant_ids(dataset.num_users());
+
+  TempDir dir;
+  pid_t pid_a = spawn_shard(kShardBase + 0, dir.sock(0));
+  pid_t pid_b = spawn_shard(kShardBase + 1, dir.sock(1));
+  ASSERT_TRUE(wait_for_path(dir.sock(0)));
+  ASSERT_TRUE(wait_for_path(dir.sock(1)));
+
+  net::SocketTransportConfig net_cfg;
+  net_cfg.peers[kShardBase + 0] = "unix:" + dir.sock(0);
+  net_cfg.peers[kShardBase + 1] = "unix:" + dir.sock(1);
+  net_cfg.reconnect_backoff_seconds = 0.01;
+  net_cfg.reconnect_backoff_max_seconds = 0.05;
+  net::SocketTransport transport(net_cfg);
+
+  CoordinatorConfig config;
+  config.id = kCoordinatorId;
+  config.num_objects = dataset.num_objects();
+  config.block_size = kTestBlock;
+  config.rpc.op_timeout_seconds = 0.1;
+  config.rpc.max_resends = 2;
+  Coordinator coordinator(config, spec, transport);
+  coordinator.add_shard(kShardBase + 0);
+  coordinator.add_shard(kShardBase + 1);
+
+  // Round 1: both shards healthy, K=2 bits match the simulator.
+  ASSERT_TRUE(coordinator.begin_round(1, participants));
+  inject_reports(coordinator, dataset, 1);
+  const DistributedOutcome round1 = coordinator.close_round();
+  ASSERT_TRUE(round1.aggregated);
+  expect_bitwise_equal(run_simulator_round(2, spec, dataset), round1.result,
+                       "round1 K=2");
+
+  // Round 2: SIGKILL shard B after setup. The coordinator must burn through
+  // max_resends against the dead process (connect refusals on the stale
+  // socket path) and declare the round failed with B as the culprit.
+  ASSERT_TRUE(coordinator.begin_round(2, participants));
+  kill(pid_b, SIGKILL);
+  int status = 0;
+  waitpid(pid_b, &status, 0);
+  inject_reports(coordinator, dataset, 2);
+  const DistributedOutcome round2 = coordinator.close_round();
+  EXPECT_FALSE(round2.completed);
+  ASSERT_TRUE(round2.failed_shard.has_value());
+  EXPECT_EQ(*round2.failed_shard, kShardBase + 1);
+  EXPECT_GT(round2.resends, 0u);
+  ASSERT_EQ(coordinator.roster().size(), 1u);  // B left the roster
+  EXPECT_EQ(coordinator.roster()[0], kShardBase + 0);
+
+  // Round 3: the automatic re-plan routes every user to the survivor; the
+  // K=1 round completes and matches the K=1 simulator bits.
+  ASSERT_TRUE(coordinator.begin_round(3, participants));
+  inject_reports(coordinator, dataset, 3);
+  const DistributedOutcome round3 = coordinator.close_round();
+  ASSERT_TRUE(round3.aggregated);
+  expect_bitwise_equal(run_simulator_round(1, spec, dataset), round3.result,
+                       "round3 K=1");
+
+  // Restart B as a fresh process on the SAME socket path (the listener
+  // unlinks the stale inode and rebinds), re-admit it, and the K=2 fleet is
+  // whole again — bitwise.
+  ::unlink(dir.sock(1).c_str());
+  pid_b = spawn_shard(kShardBase + 1, dir.sock(1));
+  ASSERT_TRUE(wait_for_path(dir.sock(1)));
+  coordinator.add_shard(kShardBase + 1);
+  ASSERT_TRUE(coordinator.begin_round(4, participants));
+  inject_reports(coordinator, dataset, 4);
+  const DistributedOutcome round4 = coordinator.close_round();
+  ASSERT_TRUE(round4.aggregated);
+  EXPECT_EQ(round4.shard_stats.size(), 2u);
+  expect_bitwise_equal(run_simulator_round(2, spec, dataset), round4.result,
+                       "round4 K=2 after rejoin");
+
+  shutdown_shards(transport, {kShardBase + 0, kShardBase + 1},
+                  {pid_a, pid_b});
+}
+
+}  // namespace
+}  // namespace dptd::dist

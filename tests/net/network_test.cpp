@@ -98,6 +98,49 @@ TEST(Network, StatsCountBytes) {
   net.send(make(0, 1));
   sim.run();
   EXPECT_EQ(net.stats().bytes_sent, 6u);
+  // Drop-free link: the delivered mirror matches byte for byte (the same
+  // end-to-end assertion the socket transport suite makes across processes).
+  EXPECT_EQ(net.stats().bytes_delivered, 6u);
+  EXPECT_EQ(net.stats().bytes_delivered, net.stats().bytes_sent);
+}
+
+TEST(Network, DroppedBytesNeverCountDelivered) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.001, 0.0, 0.5}, 13);
+  RecordingNode node;
+  net.attach(1, node);
+  for (int i = 0; i < 200; ++i) net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(net.stats().bytes_sent, 600u);
+  EXPECT_EQ(net.stats().bytes_delivered,
+            3 * net.stats().messages_delivered);
+  EXPECT_LT(net.stats().bytes_delivered, net.stats().bytes_sent);
+}
+
+TEST(Network, PollDeliversAndReportsProgress) {
+  // The Transport progress contract on the simulator: poll(deadline) runs
+  // virtual time forward and reports how many messages landed.
+  Simulator sim;
+  Network net(sim, LatencyModel{0.5, 0.0, 0.0});
+  RecordingNode node;
+  net.attach(1, node);
+  net.send(make(0, 1));
+  EXPECT_EQ(net.poll(0.25), 0u);  // too early: in flight
+  EXPECT_EQ(net.poll(1.0), 1u);
+  EXPECT_EQ(net.poll(2.0), 0u);  // idle network
+  EXPECT_EQ(node.received.size(), 1u);
+}
+
+TEST(Network, UndeliverableToAttributesPerDestination) {
+  Simulator sim;
+  Network net(sim, LatencyModel{0.01, 0.0, 0.0});
+  net.send(make(0, 42));
+  net.send(make(0, 42));
+  net.send(make(0, 43));
+  EXPECT_EQ(net.run_until_idle(), 0u);
+  EXPECT_EQ(net.undeliverable_to(42), 2u);
+  EXPECT_EQ(net.undeliverable_to(43), 1u);
+  EXPECT_EQ(net.undeliverable_to(44), 0u);
 }
 
 TEST(Network, DetachedNodeMakesInFlightMessagesUndeliverable) {
