@@ -1,74 +1,222 @@
-// Extension bench: the categorical analogue of the Fig. 2 trade-off —
-// weighted voting vs majority voting accuracy under user-sampled k-ary
-// randomized response, as the mean per-user epsilon shrinks.
-#include <iomanip>
-#include <iostream>
+// Million-user capacity benchmark for the categorical (label-claim) stack —
+// the categorical twin of bench/sharded.cpp.
+//
+// Suites:
+//  - BM_MillionUserWeightedVote / BM_MillionUserMajorityVote: a synthetic
+//    round of 1,000,000 label reports streamed into K per-shard
+//    LabelMatrixBuilders, finalized into a ShardedLabelMatrix, and closed
+//    with the mergeable voting kernels. Results are bitwise identical at
+//    every K, so rows differ only in time.
+//  - BM_RandomizedResponseVote: the LDP deployment at a smaller fleet —
+//    user-sampled k-RR perturbation plus weighted voting — reporting label
+//    accuracy against ground truth as counters (the utility-under-privacy
+//    row the extension's accuracy story tracks).
+//
+// Thread-scaling caveats match bench/sharded.cpp: the voting folds use all
+// cores, so cross-machine comparisons of the timed rows only make sense at
+// equal core counts.
+#include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "categorical/label_builder.h"
+#include "categorical/label_matrix.h"
+#include "categorical/label_sharding.h"
 #include "categorical/randomized_response.h"
 #include "categorical/synthetic.h"
 #include "categorical/voting.h"
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/sharding.h"
 
-int main(int argc, char** argv) {
-  using namespace dptd;
-  using namespace dptd::categorical;
+namespace {
 
-  CliParser cli("Categorical extension: accuracy vs mean epsilon under k-RR");
-  cli.add_int("users", 150, "number of users");
-  cli.add_int("objects", 100, "number of objects");
-  cli.add_int("labels", 4, "number of labels");
-  cli.add_double("lambda-err", 8.0, "user error rate parameter");
-  cli.add_int("trials", 5, "repetitions per grid point");
-  cli.add_int("seed", 51, "root RNG seed");
-  if (!cli.parse(argc, argv)) return 0;
+using dptd::ThreadPool;
+using dptd::categorical::Label;
+using dptd::categorical::LabelMatrix;
+using dptd::categorical::LabelMatrixBuilder;
+using dptd::categorical::ShardedLabelMatrix;
+using dptd::categorical::VotingResult;
+using dptd::data::ShardPlan;
 
-  const double mean_eps_grid[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+constexpr std::size_t kMillionUsers = 1'000'000;
+constexpr std::size_t kObjects = 1'000;
+constexpr std::size_t kLabels = 8;
+constexpr std::size_t kClaimsPerUser = 6;
+/// Big blocks keep the canonical fold coarse at this scale; every run in
+/// this file uses the same block size, so all K compare bitwise.
+constexpr std::size_t kBlock = 4'096;
 
-  std::cout << "== Categorical: accuracy vs mean eps (k-RR, "
-            << cli.get_int("labels") << " labels) ==\n";
-  std::cout << std::setw(12) << "mean eps" << std::setw(14) << "flip rate"
-            << std::setw(14) << "weighted" << std::setw(14) << "majority"
-            << std::setw(14) << "no-noise" << '\n';
+struct LabelRow {
+  std::vector<std::uint64_t> objects;
+  std::vector<Label> labels;
+};
 
-  for (double mean_eps : mean_eps_grid) {
-    RunningStats weighted_acc;
-    RunningStats majority_acc;
-    RunningStats clean_acc;
-    RunningStats flip_rate;
-    for (std::int64_t trial = 0; trial < cli.get_int("trials"); ++trial) {
-      CategoricalConfig config;
-      config.num_users = static_cast<std::size_t>(cli.get_int("users"));
-      config.num_objects = static_cast<std::size_t>(cli.get_int("objects"));
-      config.num_labels = static_cast<std::size_t>(cli.get_int("labels"));
-      config.lambda_err = cli.get_double("lambda-err");
-      config.seed = derive_seed(
-          static_cast<std::uint64_t>(cli.get_int("seed")), trial,
-          static_cast<std::uint64_t>(mean_eps * 100));
-      const LabelDataset dataset = generate_categorical(config);
-
-      clean_acc.add(label_accuracy(weighted_vote(dataset.claims).truths,
-                                   dataset.ground_truth));
-
-      const UserSampledRandomizedResponse mech(
-          {.lambda_rr = 1.0 / mean_eps,
-           .seed = derive_seed(config.seed, 0xbb)});
-      const RandomizedResponseOutcome outcome = mech.perturb(dataset.claims);
-      flip_rate.add(static_cast<double>(outcome.report.flipped_cells) /
-                    static_cast<double>(outcome.report.total_cells));
-      weighted_acc.add(label_accuracy(weighted_vote(outcome.perturbed).truths,
-                                      dataset.ground_truth));
-      majority_acc.add(label_accuracy(majority_vote(outcome.perturbed).truths,
-                                      dataset.ground_truth));
-    }
-    std::cout << std::setw(12) << std::setprecision(3) << mean_eps
-              << std::setw(14) << std::setprecision(3) << flip_rate.mean()
-              << std::setw(14) << weighted_acc.mean() << std::setw(14)
-              << majority_acc.mean() << std::setw(14) << clean_acc.mean()
-              << '\n';
-  }
-  std::cout << "\nWeighted voting holds accuracy as privacy tightens; the "
-               "same quality-aware story as the continuous mechanism.\n";
-  return 0;
+inline std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
 }
+
+/// One user's label report, generated procedurally (cheap xorshift noise
+/// around a per-object true label) so data generation never dominates the
+/// ingest timing. ~12% of claims flip to a wrong label, giving weighted
+/// voting real disagreement to weigh.
+LabelRow make_row(std::size_t user) {
+  LabelRow row;
+  row.objects.reserve(kClaimsPerUser);
+  row.labels.reserve(kClaimsPerUser);
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ (user * 0xbf58476d1ce4e5b9ull);
+  const std::size_t start = xorshift(rng) % kObjects;
+  const std::size_t stride = 1 + xorshift(rng) % 97;
+  for (std::size_t j = 0; j < kClaimsPerUser; ++j) {
+    const std::size_t object = (start + j * stride) % kObjects;
+    Label label = static_cast<Label>(object % kLabels);
+    if (xorshift(rng) % 100 < 12) {
+      label = static_cast<Label>(
+          (label + 1 + xorshift(rng) % (kLabels - 1)) % kLabels);
+    }
+    row.objects.push_back(object);
+    row.labels.push_back(label);
+  }
+  return row;
+}
+
+/// Streams `users` synthetic label reports into K per-shard builders and
+/// finalizes them into the sharded label matrix (the ShardedServer /
+/// ShardNode ingestion path). Returns the matrix and the pure-ingest time.
+ShardedLabelMatrix ingest_round(std::size_t users, std::size_t num_shards,
+                                double* ingest_seconds) {
+  const ShardPlan plan = ShardPlan::create(users, num_shards, kBlock);
+  std::vector<LabelMatrixBuilder> builders;
+  builders.reserve(plan.num_shards);
+  for (std::size_t i = 0; i < plan.num_shards; ++i) {
+    builders.emplace_back(plan.shard_num_users(i), kObjects, kLabels);
+  }
+
+  dptd::Stopwatch timer;
+  for (std::size_t user = 0; user < users; ++user) {
+    const LabelRow row = make_row(user);
+    const std::size_t shard = plan.shard_of_user(user);
+    builders[shard].add_row(user - plan.user_begin(shard), row.objects,
+                            row.labels);
+  }
+  std::vector<LabelMatrix> shards;
+  shards.reserve(builders.size());
+  for (LabelMatrixBuilder& builder : builders) {
+    shards.push_back(builder.finalize());
+  }
+  *ingest_seconds = timer.elapsed_seconds();
+  return ShardedLabelMatrix::from_shards(plan, std::move(shards), kObjects,
+                                         kLabels);
+}
+
+/// Full capacity round at 1M users: label ingest + sharded voting. Arg 0 =
+/// shard count; all counts publish bitwise-identical truths.
+void million_user_round(benchmark::State& state, bool weighted) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(0);  // all cores
+  double ingest_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    double ingest = 0.0;
+    const ShardedLabelMatrix matrix =
+        ingest_round(kMillionUsers, num_shards, &ingest);
+    dptd::Stopwatch agg;
+    const VotingResult result =
+        weighted ? dptd::categorical::weighted_vote(matrix, {}, &pool)
+                 : dptd::categorical::majority_vote(matrix, &pool);
+    aggregate_seconds += agg.elapsed_seconds();
+    benchmark::DoNotOptimize(result.truths.data());
+    ingest_seconds += ingest;
+    ++rounds;
+    iterations += result.iterations;
+  }
+  const auto per_round = [&](double total) {
+    return rounds > 0 ? total / static_cast<double>(rounds) : 0.0;
+  };
+  state.counters["ingest_rows_per_sec"] = benchmark::Counter(
+      ingest_seconds > 0.0
+          ? static_cast<double>(rounds * kMillionUsers) / ingest_seconds
+          : 0.0);
+  state.counters["ingest_seconds"] =
+      benchmark::Counter(per_round(ingest_seconds));
+  state.counters["aggregate_seconds"] =
+      benchmark::Counter(per_round(aggregate_seconds));
+  state.counters["vote_iterations"] =
+      benchmark::Counter(per_round(static_cast<double>(iterations)));
+}
+
+void BM_MillionUserWeightedVote(benchmark::State& state) {
+  million_user_round(state, /*weighted=*/true);
+}
+BENCHMARK(BM_MillionUserWeightedVote)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_MillionUserMajorityVote(benchmark::State& state) {
+  million_user_round(state, /*weighted=*/false);
+}
+BENCHMARK(BM_MillionUserMajorityVote)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgName("shards")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The LDP utility row: a 150k-user fleet perturbing labels with
+/// user-sampled k-RR (mean eps = 1/lambda_rr), closed with weighted voting.
+/// Accuracy counters track the privacy-utility trade-off alongside the
+/// timing; lower lambda_rr = weaker privacy = higher accuracy.
+void BM_RandomizedResponseVote(benchmark::State& state) {
+  const double lambda_rr = static_cast<double>(state.range(0)) / 100.0;
+  dptd::categorical::CategoricalConfig config;
+  config.num_users = 150'000;
+  config.num_objects = 500;
+  config.num_labels = kLabels;
+  config.lambda_err = 5.0;
+  config.missing_rate = 0.2;
+  config.seed = 51;
+  const dptd::categorical::LabelDataset dataset =
+      dptd::categorical::generate_categorical(config);
+  const dptd::categorical::UserSampledRandomizedResponse mech(
+      {.lambda_rr = lambda_rr, .seed = 52});
+  ThreadPool pool(0);
+  double accuracy = 0.0;
+  double flip_rate = 0.0;
+  for (auto _ : state) {
+    const dptd::categorical::RandomizedResponseOutcome outcome =
+        mech.perturb(dataset.claims);
+    const VotingResult result = dptd::categorical::weighted_vote(
+        ShardedLabelMatrix::single(outcome.perturbed, kBlock), {}, &pool);
+    benchmark::DoNotOptimize(result.truths.data());
+    accuracy = dptd::categorical::label_accuracy(result.truths,
+                                                 dataset.ground_truth);
+    flip_rate = static_cast<double>(outcome.report.flipped_cells) /
+                static_cast<double>(outcome.report.total_cells);
+  }
+  state.counters["label_accuracy"] = benchmark::Counter(accuracy);
+  state.counters["flip_rate"] = benchmark::Counter(flip_rate);
+}
+BENCHMARK(BM_RandomizedResponseVote)
+    ->Arg(50)    // lambda_rr = 0.5: mean eps 2, mild flipping
+    ->Arg(200)   // lambda_rr = 2.0: mean eps 0.5, heavy flipping
+    ->ArgName("lambda_rr_x100")
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

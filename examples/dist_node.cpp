@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "categorical/synthetic.h"
 #include "common/cli.h"
 #include "data/synthetic.h"
 #include "dist/coordinator.h"
@@ -51,7 +53,7 @@ std::uint64_t bit_digest(const std::vector<double>& values,
   return hash;
 }
 
-dist::MethodSpec spec_for(const std::string& name) {
+dist::MethodSpec spec_for(const std::string& name, std::size_t num_labels) {
   dist::MethodSpec spec;
   if (name == "crh") {
     spec.kind = dist::MethodSpec::Kind::kCrh;
@@ -63,6 +65,12 @@ dist::MethodSpec spec_for(const std::string& name) {
     spec.kind = dist::MethodSpec::Kind::kMean;
   } else if (name == "median") {
     spec.kind = dist::MethodSpec::Kind::kMedian;
+  } else if (name == "majority") {
+    spec.kind = dist::MethodSpec::Kind::kMajority;
+    spec.majority.num_labels = num_labels;
+  } else if (name == "vote") {
+    spec.kind = dist::MethodSpec::Kind::kVote;
+    spec.vote.num_labels = num_labels;
   } else {
     throw std::invalid_argument("unknown --method: " + name);
   }
@@ -125,6 +133,39 @@ void inject_reports(dist::Coordinator& coordinator,
   }
 }
 
+/// Categorical twin of workload(): the label claims every process can derive
+/// locally from the same flags.
+categorical::LabelDataset label_workload(std::uint64_t seed, std::size_t users,
+                                         std::size_t objects,
+                                         std::size_t labels) {
+  categorical::CategoricalConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.num_labels = labels;
+  config.missing_rate = 0.3;
+  config.seed = seed;
+  return categorical::generate_categorical(config);
+}
+
+void inject_label_reports(dist::Coordinator& coordinator,
+                          const categorical::LabelDataset& dataset,
+                          std::uint64_t round) {
+  for (std::size_t s = 0; s < dataset.claims.num_users(); ++s) {
+    const auto entries = dataset.claims.user_entries(s);
+    if (entries.empty()) continue;
+    crowd::LabelReport report;
+    report.round = round;
+    report.user_id = s;
+    for (const auto& entry : entries) {
+      report.objects.push_back(entry.object);
+      report.labels.push_back(entry.label);
+    }
+    coordinator.on_message(crowd::make_message(report.user_id, kCoordinatorId,
+                                               crowd::MessageType::kLabelReport,
+                                               report.encode()));
+  }
+}
+
 int run_shard(const CliParser& cli) {
   net::SocketTransportConfig config;
   config.listen = cli.get_string("listen");
@@ -151,18 +192,32 @@ int run_shard(const CliParser& cli) {
 }
 
 int run_rounds(net::Transport& transport, const CliParser& cli,
-               const std::vector<net::NodeId>& shard_ids,
-               const data::Dataset& dataset) {
+               const std::vector<net::NodeId>& shard_ids) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto users = static_cast<std::size_t>(cli.get_int("users"));
+  const auto objects = static_cast<std::size_t>(cli.get_int("objects"));
+  const auto labels = static_cast<std::size_t>(cli.get_int("labels"));
+  const dist::MethodSpec spec = spec_for(cli.get_string("method"), labels);
+
+  // Every process derives the same workload locally from the flags; only the
+  // coordinator injects it (as kReport or kLabelReport uploads by kind).
+  std::optional<data::Dataset> dataset;
+  std::optional<categorical::LabelDataset> label_dataset;
+  if (spec.categorical()) {
+    label_dataset = label_workload(seed, users, objects, labels);
+  } else {
+    dataset = workload(seed, users, objects);
+  }
+
   dist::CoordinatorConfig config;
   config.id = kCoordinatorId;
-  config.num_objects = dataset.num_objects();
+  config.num_objects = objects;
   config.block_size = static_cast<std::size_t>(cli.get_int("block"));
-  dist::Coordinator coordinator(config, spec_for(cli.get_string("method")),
-                                transport);
+  dist::Coordinator coordinator(config, spec, transport);
   for (const net::NodeId id : shard_ids) coordinator.add_shard(id);
 
   std::vector<net::NodeId> participants;
-  for (std::size_t s = 0; s < dataset.num_users(); ++s) participants.push_back(s);
+  for (std::size_t s = 0; s < users; ++s) participants.push_back(s);
 
   const auto rounds = static_cast<std::uint64_t>(cli.get_int("rounds"));
   for (std::uint64_t round = 1; round <= rounds; ++round) {
@@ -171,7 +226,11 @@ int run_rounds(net::Transport& transport, const CliParser& cli,
                    static_cast<unsigned long long>(round));
       return 1;
     }
-    inject_reports(coordinator, dataset, round);
+    if (label_dataset.has_value()) {
+      inject_label_reports(coordinator, *label_dataset, round);
+    } else {
+      inject_reports(coordinator, *dataset, round);
+    }
     const dist::DistributedOutcome outcome = coordinator.close_round();
     if (!outcome.completed) {
       std::fprintf(stderr, "round %llu: failed (shard %llu)\n",
@@ -194,11 +253,6 @@ int run_rounds(net::Transport& transport, const CliParser& cli,
 }
 
 int run_coordinator(const CliParser& cli) {
-  const data::Dataset dataset =
-      workload(static_cast<std::uint64_t>(cli.get_int("seed")),
-               static_cast<std::size_t>(cli.get_int("users")),
-               static_cast<std::size_t>(cli.get_int("objects")));
-
   if (cli.get_string("transport") == "sim") {
     // In-process reference fleet: same K, same digests as the socket run.
     const auto k = static_cast<std::size_t>(cli.get_int("sim-shards"));
@@ -210,7 +264,7 @@ int run_coordinator(const CliParser& cli) {
       ids.push_back(1000 + i);
       shards.push_back(std::make_unique<dist::ShardNode>(1000 + i, network));
     }
-    return run_rounds(network, cli, ids, dataset);
+    return run_rounds(network, cli, ids);
   }
 
   net::SocketTransportConfig config;
@@ -219,7 +273,7 @@ int run_coordinator(const CliParser& cli) {
   for (const auto& [id, endpoint] : config.peers) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   net::SocketTransport transport(config);
-  const int status = run_rounds(transport, cli, ids, dataset);
+  const int status = run_rounds(transport, cli, ids);
 
   // Tell every shard process to exit, and flush the frames out.
   for (const net::NodeId id : ids) {
@@ -248,9 +302,12 @@ int main(int argc, char** argv) {
   cli.add_string("shards", "",
                  "coordinator only: comma-separated id=endpoint routes");
   cli.add_int("sim-shards", 2, "coordinator --transport=sim only: fleet size");
-  cli.add_string("method", "crh", "crh | gtm | catd | mean | median");
+  cli.add_string("method", "crh",
+                 "crh | gtm | catd | mean | median | majority | vote");
   cli.add_int("users", 64, "synthetic workload: number of users");
   cli.add_int("objects", 8, "synthetic workload: number of objects");
+  cli.add_int("labels", 4,
+              "majority/vote only: label alphabet of the synthetic workload");
   cli.add_int("rounds", 1, "protocol rounds to run");
   cli.add_int("seed", 7, "synthetic workload seed");
   cli.add_int("block", 8,

@@ -9,8 +9,8 @@
 #                                               # BENCH_*.json baselines
 #
 # Produces OUTPUT_DIR/BENCH_scalability.json, OUTPUT_DIR/BENCH_campaign.json,
-# OUTPUT_DIR/BENCH_sharded.json, OUTPUT_DIR/BENCH_distributed.json and
-# OUTPUT_DIR/BENCH_fig8_efficiency.json.
+# OUTPUT_DIR/BENCH_sharded.json, OUTPUT_DIR/BENCH_distributed.json,
+# OUTPUT_DIR/BENCH_categorical.json and OUTPUT_DIR/BENCH_fig8_efficiency.json.
 # Compare against the checked-in baselines with: scripts/compare_benchmarks.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,7 +36,8 @@ cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" -DCMAKE_BUILD_TYPE=Release \
   -DDPTD_BUILD_TESTS=OFF -DDPTD_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target dptd_bench_scalability dptd_bench_fig8_efficiency \
-           dptd_bench_campaign dptd_bench_sharded dptd_bench_distributed
+           dptd_bench_campaign dptd_bench_sharded dptd_bench_distributed \
+           dptd_bench_categorical
 
 # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
 # older releases reject it; probe which dialect this build speaks.
@@ -64,11 +65,13 @@ run_bench dptd_bench_fig8_efficiency BENCH_fig8_efficiency.json
 run_bench dptd_bench_campaign BENCH_campaign.json
 run_bench dptd_bench_sharded BENCH_sharded.json
 run_bench dptd_bench_distributed BENCH_distributed.json
+run_bench dptd_bench_categorical BENCH_categorical.json
 
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp "$OUT_DIR/BENCH_scalability.json" BENCH_scalability.json
   cp "$OUT_DIR/BENCH_campaign.json" BENCH_campaign.json
   cp "$OUT_DIR/BENCH_sharded.json" BENCH_sharded.json
   cp "$OUT_DIR/BENCH_distributed.json" BENCH_distributed.json
-  echo "baselines BENCH_scalability.json + BENCH_campaign.json + BENCH_sharded.json + BENCH_distributed.json refreshed"
+  cp "$OUT_DIR/BENCH_categorical.json" BENCH_categorical.json
+  echo "baselines BENCH_scalability.json + BENCH_campaign.json + BENCH_sharded.json + BENCH_distributed.json + BENCH_categorical.json refreshed"
 fi

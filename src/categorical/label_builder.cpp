@@ -1,0 +1,95 @@
+#include "categorical/label_builder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dptd::categorical {
+
+LabelMatrixBuilder::LabelMatrixBuilder(std::size_t num_users,
+                                       std::size_t num_objects,
+                                       std::size_t num_labels)
+    : num_users_(num_users),
+      num_objects_(num_objects),
+      num_labels_(num_labels),
+      rows_(num_users),
+      ingested_(num_users, 0) {
+  DPTD_REQUIRE(num_users > 0 && num_objects > 0,
+               "LabelMatrixBuilder: dimensions must be positive");
+  DPTD_REQUIRE(num_labels >= 2, "LabelMatrixBuilder: need at least 2 labels");
+}
+
+bool LabelMatrixBuilder::add_row(std::size_t user,
+                                 std::span<const std::uint64_t> objects,
+                                 std::span<const Label> labels) {
+  DPTD_REQUIRE(user < num_users_, "LabelMatrixBuilder: user out of range");
+  DPTD_REQUIRE(objects.size() == labels.size(),
+               "LabelMatrixBuilder: objects/labels size mismatch");
+  if (ingested_[user]) return false;
+
+  std::vector<Entry>& row = rows_[user];
+  row.reserve(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto object = static_cast<std::size_t>(objects[i]);
+    DPTD_REQUIRE(object < num_objects_,
+                 "LabelMatrixBuilder: object out of range");
+    DPTD_REQUIRE(labels[i] < num_labels_,
+                 "LabelMatrixBuilder: label out of range");
+    // Same insertion scheme as LabelMatrix::set, so a streamed row is bitwise
+    // identical to a batch-assembled one: ascending append fast path,
+    // otherwise sorted insert with last-claim-wins overwrite.
+    if (row.empty() || row.back().object < object) {
+      row.push_back({object, labels[i]});
+      ++nnz_;
+      continue;
+    }
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), object,
+        [](const Entry& e, std::size_t n) { return e.object < n; });
+    if (it != row.end() && it->object == object) {
+      it->label = labels[i];
+    } else {
+      row.insert(it, {object, labels[i]});
+      ++nnz_;
+    }
+  }
+  ingested_[user] = 1;
+  ++rows_ingested_;
+  return true;
+}
+
+bool LabelMatrixBuilder::has_row(std::size_t user) const {
+  DPTD_REQUIRE(user < num_users_, "LabelMatrixBuilder: user out of range");
+  return ingested_[user] != 0;
+}
+
+void LabelMatrixBuilder::reshape(std::size_t num_users, std::size_t num_objects,
+                                 std::size_t num_labels) {
+  DPTD_REQUIRE(num_users > 0 && num_objects > 0,
+               "LabelMatrixBuilder: dimensions must be positive");
+  DPTD_REQUIRE(num_labels >= 2, "LabelMatrixBuilder: need at least 2 labels");
+  num_users_ = num_users;
+  num_objects_ = num_objects;
+  num_labels_ = num_labels;
+  rows_.resize(num_users_);
+  for (std::vector<Entry>& row : rows_) row.clear();
+  ingested_.assign(num_users_, 0);
+  nnz_ = 0;
+  rows_ingested_ = 0;
+}
+
+void LabelMatrixBuilder::reset() {
+  rows_.assign(num_users_, {});
+  ingested_.assign(num_users_, 0);
+  nnz_ = 0;
+  rows_ingested_ = 0;
+}
+
+LabelMatrix LabelMatrixBuilder::finalize() {
+  LabelMatrix out =
+      LabelMatrix::from_rows(std::move(rows_), num_objects_, num_labels_);
+  reset();
+  return out;
+}
+
+}  // namespace dptd::categorical

@@ -1,0 +1,77 @@
+// Incremental construction of a sparse LabelMatrix, one user row at a time —
+// the categorical twin of data::ObservationMatrixBuilder. Each label report
+// is decoded and folded in on arrival (deduplicated by user id), so a round
+// deadline only has to finalize: no burst of matrix assembly at round close,
+// and no dense intermediate at any point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "categorical/label_matrix.h"
+
+namespace dptd::categorical {
+
+/// Builds a LabelMatrix row-by-row. Rows are ingested at most once per user
+/// (re-sends are rejected, not merged), claims within a row may arrive in any
+/// order and may repeat (last claim per object wins — the same semantics as
+/// calling LabelMatrix::set in claim order, so a streamed matrix is bitwise
+/// identical to a batch-assembled one).
+///
+/// The builder is reusable: finalize() moves the accumulated rows out and
+/// leaves the builder empty with the same shape, ready for the next round.
+class LabelMatrixBuilder {
+ public:
+  using Entry = LabelMatrix::Entry;
+
+  LabelMatrixBuilder(std::size_t num_users, std::size_t num_objects,
+                     std::size_t num_labels);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_objects() const { return num_objects_; }
+  std::size_t num_labels() const { return num_labels_; }
+
+  /// Ingests `user`'s claims (`objects[i]` ↦ `labels[i]`). Returns false and
+  /// ignores the row entirely if this user already has an ingested row.
+  /// Throws std::invalid_argument for an out-of-range user, object, or
+  /// label, or mismatched array lengths — callers on untrusted input (the
+  /// crowd server) sanitize claims before ingesting.
+  bool add_row(std::size_t user, std::span<const std::uint64_t> objects,
+               std::span<const Label> labels);
+
+  /// True if `user`'s row has been ingested since the last reset/finalize.
+  bool has_row(std::size_t user) const;
+
+  /// Number of distinct users ingested so far (the round-close signal:
+  /// duplicates never inflate it).
+  std::size_t rows_ingested() const { return rows_ingested_; }
+
+  /// Present cells ingested so far.
+  std::size_t observation_count() const { return nnz_; }
+
+  /// Discards all ingested rows, keeping the shape.
+  void reset();
+
+  /// Resets AND re-shapes in place: the builder afterwards accepts users in
+  /// [0, num_users), objects in [0, num_objects), and labels < num_labels,
+  /// with no ingested rows. Reuses the row/flag storage where possible, so a
+  /// long-lived worker serves rounds of varying shape without reallocation.
+  void reshape(std::size_t num_users, std::size_t num_objects,
+               std::size_t num_labels);
+
+  /// Moves the ingested rows into a dual-indexed LabelMatrix (O(nnz), no
+  /// dense pass) and resets the builder for reuse.
+  LabelMatrix finalize();
+
+ private:
+  std::size_t num_users_ = 0;
+  std::size_t num_objects_ = 0;
+  std::size_t num_labels_ = 0;
+  std::size_t nnz_ = 0;
+  std::size_t rows_ingested_ = 0;
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<char> ingested_;  ///< per-user flag (row may be legally empty)
+};
+
+}  // namespace dptd::categorical

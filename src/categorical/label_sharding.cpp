@@ -1,0 +1,97 @@
+#include "categorical/label_sharding.h"
+
+#include "common/check.h"
+
+namespace dptd::categorical {
+
+ShardedLabelMatrix ShardedLabelMatrix::single(const LabelMatrix& claims,
+                                              std::size_t block_size) {
+  ShardedLabelMatrix out;
+  out.plan_ = data::ShardPlan::create(claims.num_users(), 1, block_size);
+  out.num_objects_ = claims.num_objects();
+  out.num_labels_ = claims.num_labels();
+  out.shards_.push_back(&claims);
+  return out;
+}
+
+ShardedLabelMatrix ShardedLabelMatrix::partition(const LabelMatrix& claims,
+                                                 std::size_t num_shards,
+                                                 std::size_t block_size) {
+  const data::ShardPlan plan =
+      data::ShardPlan::create(claims.num_users(), num_shards, block_size);
+  std::vector<LabelMatrix> shards;
+  shards.reserve(plan.num_shards);
+  for (std::size_t i = 0; i < plan.num_shards; ++i) {
+    std::vector<std::vector<LabelMatrix::Entry>> rows(plan.shard_num_users(i));
+    for (std::size_t local = 0; local < rows.size(); ++local) {
+      const auto row = claims.user_entries(plan.user_begin(i) + local);
+      rows[local].assign(row.begin(), row.end());
+    }
+    shards.push_back(LabelMatrix::from_rows(
+        std::move(rows), claims.num_objects(), claims.num_labels()));
+  }
+  return from_shards(plan, std::move(shards), claims.num_objects(),
+                     claims.num_labels());
+}
+
+ShardedLabelMatrix ShardedLabelMatrix::from_shards(
+    const data::ShardPlan& plan, std::vector<LabelMatrix> shards,
+    std::size_t num_objects, std::size_t num_labels) {
+  DPTD_REQUIRE(plan == data::ShardPlan::create(plan.num_users, plan.num_shards,
+                                               plan.block_size),
+               "ShardedLabelMatrix: plan is not normalized");
+  DPTD_REQUIRE(shards.size() == plan.num_shards,
+               "ShardedLabelMatrix: shard count does not match the plan");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    DPTD_REQUIRE(shards[i].num_users() == plan.shard_num_users(i),
+                 "ShardedLabelMatrix: shard user count does not match plan");
+    DPTD_REQUIRE(shards[i].num_objects() == num_objects,
+                 "ShardedLabelMatrix: shard object count mismatch");
+    DPTD_REQUIRE(shards[i].num_labels() == num_labels,
+                 "ShardedLabelMatrix: shard label count mismatch");
+  }
+  ShardedLabelMatrix out;
+  out.plan_ = plan;
+  out.num_objects_ = num_objects;
+  out.num_labels_ = num_labels;
+  out.owned_ = std::move(shards);
+  out.shards_.reserve(out.owned_.size());
+  for (const LabelMatrix& m : out.owned_) out.shards_.push_back(&m);
+  return out;
+}
+
+std::size_t ShardedLabelMatrix::observation_count() const {
+  std::size_t total = 0;
+  for (const LabelMatrix* m : shards_) total += m->observation_count();
+  return total;
+}
+
+std::span<const LabelMatrix::Entry> ShardedLabelMatrix::user_row(
+    std::size_t user) const {
+  DPTD_REQUIRE(user < num_users(), "ShardedLabelMatrix: user out of range");
+  const std::size_t s = plan_.shard_of_user(user);
+  return shards_[s]->user_entries(user - plan_.user_begin(s));
+}
+
+std::size_t ShardedLabelMatrix::object_observation_count(
+    std::size_t object) const {
+  std::size_t total = 0;
+  for (const LabelMatrix* m : shards_) {
+    total += m->object_observation_count(object);
+  }
+  return total;
+}
+
+LabelMatrix ShardedLabelMatrix::concatenated() const {
+  std::vector<std::vector<LabelMatrix::Entry>> rows(num_users());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t base = user_base(i);
+    for (std::size_t local = 0; local < shards_[i]->num_users(); ++local) {
+      const auto row = shards_[i]->user_entries(local);
+      rows[base + local].assign(row.begin(), row.end());
+    }
+  }
+  return LabelMatrix::from_rows(std::move(rows), num_objects_, num_labels_);
+}
+
+}  // namespace dptd::categorical

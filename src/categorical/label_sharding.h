@@ -1,0 +1,84 @@
+// User-sharded view of a LabelMatrix — the categorical twin of
+// data::ShardedMatrix. Users are grouped into the same canonical blocks
+// (data::ShardPlan), blocks are split contiguously across K shards, and each
+// shard owns the sub-matrix of its users' rows (local user ids, global
+// object ids).
+//
+// The block structure — not the shard count — defines the reduction order of
+// every mergeable voting statistic (see categorical/voting.h), so a K-shard
+// run is bitwise identical to the single-shard run for any K that uses the
+// same block size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "categorical/label_matrix.h"
+#include "data/sharding.h"
+
+namespace dptd::categorical {
+
+/// K per-user-range sub-matrices behind one logical S×N label matrix. Shard i
+/// holds the rows of global users [plan.user_begin(i), plan.user_end(i))
+/// under local ids starting at 0; objects are not partitioned. Movable, not
+/// copyable (a single-shard view may borrow the underlying matrix).
+class ShardedLabelMatrix {
+ public:
+  /// Single-shard view over an existing matrix — no copy; the view must not
+  /// outlive `claims`. This is the canonical reference every K-shard run is
+  /// bitwise compared against.
+  static ShardedLabelMatrix single(
+      const LabelMatrix& claims,
+      std::size_t block_size = data::kDefaultStatsBlockSize);
+
+  /// Partitions a copy of `claims` into `num_shards` owned sub-matrices.
+  static ShardedLabelMatrix partition(
+      const LabelMatrix& claims, std::size_t num_shards,
+      std::size_t block_size = data::kDefaultStatsBlockSize);
+
+  /// Adopts pre-built shard sub-matrices (the sharded server's ingestion
+  /// path). `shards[i]` must have exactly plan.shard_num_users(i) users,
+  /// `num_objects` objects, and `num_labels` labels; throws
+  /// std::invalid_argument otherwise.
+  static ShardedLabelMatrix from_shards(const data::ShardPlan& plan,
+                                        std::vector<LabelMatrix> shards,
+                                        std::size_t num_objects,
+                                        std::size_t num_labels);
+
+  ShardedLabelMatrix(ShardedLabelMatrix&&) = default;
+  ShardedLabelMatrix& operator=(ShardedLabelMatrix&&) = default;
+  ShardedLabelMatrix(const ShardedLabelMatrix&) = delete;
+  ShardedLabelMatrix& operator=(const ShardedLabelMatrix&) = delete;
+
+  const data::ShardPlan& plan() const { return plan_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_users() const { return plan_.num_users; }
+  std::size_t num_objects() const { return num_objects_; }
+  std::size_t num_labels() const { return num_labels_; }
+  std::size_t observation_count() const;
+
+  const LabelMatrix& shard(std::size_t i) const { return *shards_[i]; }
+  /// Global id of shard i's first user (its local user 0).
+  std::size_t user_base(std::size_t i) const { return plan_.user_begin(i); }
+
+  /// Row of a *global* user id, routed to the owning shard. Allocation-free.
+  std::span<const LabelMatrix::Entry> user_row(std::size_t user) const;
+
+  /// Claims on `object` summed across shards. O(num_shards).
+  std::size_t object_observation_count(std::size_t object) const;
+
+  /// Rebuilds the full unsharded matrix (tests and generic fallbacks).
+  LabelMatrix concatenated() const;
+
+ private:
+  ShardedLabelMatrix() = default;
+
+  data::ShardPlan plan_;
+  std::size_t num_objects_ = 0;
+  std::size_t num_labels_ = 0;
+  std::vector<LabelMatrix> owned_;
+  std::vector<const LabelMatrix*> shards_;
+};
+
+}  // namespace dptd::categorical

@@ -64,14 +64,15 @@ RandomizedResponseOutcome UserSampledRandomizedResponse::perturb(
     const double keep = krr_keep_probability(eps, original.num_labels());
     keep_sum += keep;
     Rng rng(derive_seed(config_.seed, kFlipStream, s));
-    for (std::size_t n = 0; n < original.num_objects(); ++n) {
-      const auto truth = original.get(s, n);
-      if (!truth) continue;
+    // Sparse row walk (object-ascending, so set() hits the append fast path).
+    // The flip stream only ever advanced on present cells, so this consumes
+    // the exact same draws as the historical dense scan.
+    for (const LabelMatrix::Entry& e : original.user_entries(s)) {
       const Label noisy =
-          krr_perturb(*truth, keep, original.num_labels(), rng);
-      out.perturbed.set(s, n, noisy);
+          krr_perturb(e.label, keep, original.num_labels(), rng);
+      out.perturbed.set(s, e.object, noisy);
       ++out.report.total_cells;
-      if (noisy != *truth) ++out.report.flipped_cells;
+      if (noisy != e.label) ++out.report.flipped_cells;
     }
   }
   if (original.num_users() > 0) {

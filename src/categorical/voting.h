@@ -1,15 +1,26 @@
 // Truth discovery for categorical claims (extension module).
 //
-//  - MajorityVoting: quality-blind plurality per object.
-//  - WeightedVoting: the CRH-style iteration on labels — weight users by
+//  - majority_vote: quality-blind plurality per object.
+//  - weighted_vote: the CRH-style iteration on labels — weight users by
 //    -log of their share of total disagreement with the current estimates,
 //    then take the weighted plurality. Same two principles as Algorithm 1.
+//
+// Both are built on mergeable sufficient statistics in the style of
+// truth/sharded_stats.h: per-object label histograms folded in canonical
+// user-block order (flat within a block of plan.block_size users, block
+// partials chained ascending) and per-user disagreement counts totalled by
+// truth::block_chain_sum. Shard boundaries are block-aligned, so a K-shard
+// run is bitwise identical to the single-shard run for any K — and the
+// distributed coordinator reproduces the exact same chain over the wire.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "categorical/label_matrix.h"
+#include "categorical/label_sharding.h"
+#include "common/thread_pool.h"
 
 namespace dptd::categorical {
 
@@ -20,17 +31,80 @@ struct VotingResult {
   bool converged = false;
 };
 
-/// Plurality vote per object; ties break toward the smaller label id
-/// (deterministic).
-VotingResult majority_vote(const LabelMatrix& claims);
-
 struct WeightedVotingConfig {
   std::size_t max_iterations = 50;
   /// Stop when no object's estimate changed between iterations.
   double min_disagreement_fraction = 1e-12;  ///< clamp before the log
 };
 
-/// CRH-style iterative weighted voting.
+// ---------------------------------------------------------------------------
+// Mergeable kernels (the sharded/distributed building blocks).
+// ---------------------------------------------------------------------------
+
+/// Adds each shard's weighted per-object label histogram into `scores`
+/// (row-major num_objects x num_labels; callers pre-initialize with zeros or
+/// the preceding shards' partial). Weights are indexed by *global* user id.
+/// Claims are summed flat within a canonical user block and block partials
+/// are chained in ascending order, so the result is bitwise identical for
+/// any shard count and any `pool` size.
+void fold_label_scores(const ShardedLabelMatrix& m, ThreadPool* pool,
+                       std::span<const double> weights,
+                       std::span<double> scores);
+
+/// Plurality per object from a score table: argmax over labels, ties break
+/// toward the smaller label id (deterministic). Objects with no support
+/// (all-zero scores) resolve to label 0.
+std::vector<Label> truths_from_scores(std::span<const double> scores,
+                                      std::size_t num_objects,
+                                      std::size_t num_labels);
+
+/// Inverts k-RR expectation in place: with keep probability p and flip
+/// probability q = (1-p)/(L-1) per other label, an observed (weighted) count
+/// c_l on an object with total support W becomes (c_l - q*W) / (p - q) — the
+/// unbiased estimate of the true support. The map is affine with positive
+/// slope (requires p > 1/L), so per-object argmax is unchanged; the value is
+/// honest support/confidence figures under LDP. p = 1 is the identity.
+/// Throws std::invalid_argument for p outside (1/L, 1].
+void debias_scores(std::span<double> scores, std::size_t num_objects,
+                   std::size_t num_labels, double keep_probability);
+
+/// Per-user count of claims disagreeing with `truths`. Purely per-user state
+/// (no merge): each user's count comes from their own row. `disagreement` is
+/// indexed by global user id and fully overwritten.
+void vote_disagreement(const ShardedLabelMatrix& m, ThreadPool* pool,
+                       std::span<const Label> truths,
+                       std::span<double> disagreement);
+
+/// CRH Eq. (3) on 0/1 loss: weights[s] = -log(max(d_s/total, min_fraction)).
+/// Call with the block-chained total (truth::block_chain_sum over the
+/// disagreement vector); total <= 0 means unanimous agreement and the caller
+/// short-circuits to uniform weights.
+void vote_weights_from_disagreement(std::span<const double> disagreement,
+                                    double total, double min_fraction,
+                                    std::span<double> weights);
+
+// ---------------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------------
+
+/// Plurality vote per object; ties break toward the smaller label id.
+/// Bitwise identical for any shard count of `m` and any `pool` size.
+VotingResult majority_vote(const ShardedLabelMatrix& m,
+                           ThreadPool* pool = nullptr);
+
+/// CRH-style iterative weighted voting. `warm_weights` (global user ids)
+/// seeds the first aggregation when non-empty; empty seeds uniformly — a
+/// warm start with all-1.0 weights is bitwise identical to a cold run.
+/// `warm_truths` (one label per object) skips the initial aggregation
+/// entirely and starts the iteration from the given estimates.
+VotingResult weighted_vote(const ShardedLabelMatrix& m,
+                           const WeightedVotingConfig& config = {},
+                           ThreadPool* pool = nullptr,
+                           std::span<const double> warm_weights = {},
+                           std::span<const Label> warm_truths = {});
+
+/// Convenience single-shard entry points over a flat matrix.
+VotingResult majority_vote(const LabelMatrix& claims);
 VotingResult weighted_vote(const LabelMatrix& claims,
                            const WeightedVotingConfig& config = {});
 

@@ -49,6 +49,7 @@ void UserDevice::on_message(const net::Message& message) {
       break;
     }
     case MessageType::kReport:
+    case MessageType::kLabelReport:
     case MessageType::kShardRequest:
     case MessageType::kShardResponse:
     case MessageType::kShutdown:

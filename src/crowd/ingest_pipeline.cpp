@@ -15,7 +15,8 @@ IngestPipeline::IngestPipeline(IngestPipelineConfig config) : config_(config) {
 IngestPipeline::~IngestPipeline() { stop_workers(); }
 
 void IngestPipeline::begin_round(const data::ShardPlan& plan,
-                                 std::size_t num_objects) {
+                                 std::size_t num_objects, std::uint64_t round,
+                                 const LabelIngestPolicy& labels) {
   DPTD_REQUIRE(num_objects > 0, "IngestPipeline: num_objects must be positive");
   const std::size_t num_shards = plan.num_shards;
   const std::size_t num_workers =
@@ -39,6 +40,8 @@ void IngestPipeline::begin_round(const data::ShardPlan& plan,
 
   plan_ = plan;
   num_objects_ = num_objects;
+  round_ = round;
+  labels_ = labels;
   worker_of_shard_.resize(num_shards);
   for (std::size_t w = 0; w < num_workers; ++w) {
     Worker& worker = *workers_[w];
@@ -69,16 +72,20 @@ void IngestPipeline::begin_round(const data::ShardPlan& plan,
   }
 }
 
-void IngestPipeline::submit(std::size_t row, std::vector<std::uint8_t> payload) {
+void IngestPipeline::submit(std::size_t row, std::vector<std::uint8_t> payload,
+                            bool is_label) {
   Item item;
+  item.is_label = is_label;
   item.owned = std::move(payload);
   item.view = item.owned;
   enqueue(row, std::move(item));
 }
 
 void IngestPipeline::submit_view(std::size_t row,
-                                 std::span<const std::uint8_t> payload) {
+                                 std::span<const std::uint8_t> payload,
+                                 bool is_label) {
   Item item;
+  item.is_label = is_label;
   item.view = payload;
   enqueue(row, std::move(item));
 }
@@ -165,22 +172,46 @@ void IngestPipeline::worker_loop(Worker& worker) {
 
 void IngestPipeline::process_item(Worker& worker, Item& item) {
   ShardState& shard = shards_[item.shard];
-  Report report;
-  try {
-    report = Report::decode(item.view);
-  } catch (const DecodeError&) {
-    // The header peeked fine (it routed here) but the claim arrays are
-    // garbage: count it on the owning shard, exactly once.
-    ++shard.stats.rejected_reports;
-    return;
-  }
   data::ObservationMatrixBuilder& builder = *shard.builder;
-  if (builder.has_row(item.local_user)) {
-    ++shard.stats.duplicates_ignored;
-    return;
-  }
-  if (ingest_report_claims(builder, item.local_user, report, num_objects_)) {
-    ++shard.stats.malformed_reports;
+  if (item.is_label) {
+    LabelReport report;
+    try {
+      report = LabelReport::decode(item.view);
+    } catch (const DecodeError&) {
+      ++shard.stats.rejected_reports;
+      return;
+    }
+    if (builder.has_row(item.local_user)) {
+      ++shard.stats.duplicates_ignored;
+      return;
+    }
+    // Label-range validation and the policy's k-RR sampling run here, on the
+    // worker that owns the shard — never on the network thread. The stream is
+    // keyed by the GLOBAL row, so the bits match serial ingestion exactly.
+    const std::size_t global_user =
+        plan_.user_begin(item.shard) + item.local_user;
+    const LabelIngestOutcome outcome =
+        ingest_label_claims(builder, item.local_user, global_user, report,
+                            num_objects_, labels_, round_);
+    if (outcome.malformed) ++shard.stats.malformed_reports;
+    shard.stats.invalid_labels += outcome.invalid_labels;
+  } else {
+    Report report;
+    try {
+      report = Report::decode(item.view);
+    } catch (const DecodeError&) {
+      // The header peeked fine (it routed here) but the claim arrays are
+      // garbage: count it on the owning shard, exactly once.
+      ++shard.stats.rejected_reports;
+      return;
+    }
+    if (builder.has_row(item.local_user)) {
+      ++shard.stats.duplicates_ignored;
+      return;
+    }
+    if (ingest_report_claims(builder, item.local_user, report, num_objects_)) {
+      ++shard.stats.malformed_reports;
+    }
   }
   ++shard.stats.reports_received;
   // Uncontended mirror for the coordinator's early-close poll; its own cache

@@ -57,16 +57,27 @@ class IngestPipeline {
   /// zeroed, workers started (re-used across rounds when the shard/worker
   /// topology is unchanged — the builder storage is recycled via reshape()).
   /// The previous round, if any, must have been drained (finalize_shards or
-  /// drain); this is the caller's round-close barrier.
-  void begin_round(const data::ShardPlan& plan, std::size_t num_objects);
+  /// drain); this is the caller's round-close barrier. Categorical rounds
+  /// additionally pass the round number and the label policy: label-range
+  /// validation and the policy's optional k-RR sampling run on the worker
+  /// that owns the report's shard (never on the producer/network thread),
+  /// seeded by (round, global row) so the bits match serial ingestion for
+  /// every worker count.
+  void begin_round(const data::ShardPlan& plan, std::size_t num_objects,
+                   std::uint64_t round = 0,
+                   const LabelIngestPolicy& labels = {});
 
   /// Producer side (one thread): enqueues the encoded report `payload` for
   /// the matrix row `row` (the caller has already peeked the header and
-  /// resolved row + round). Blocks when the owning worker's queue is full.
-  void submit(std::size_t row, std::vector<std::uint8_t> payload);
+  /// resolved row + round, and verified the message kind matches the round —
+  /// `is_label` selects the LabelReport decode path on the worker). Blocks
+  /// when the owning worker's queue is full.
+  void submit(std::size_t row, std::vector<std::uint8_t> payload,
+              bool is_label = false);
   /// Zero-copy variant: `payload` must outlive the next drain() (e.g. a
   /// pre-encoded benchmark corpus).
-  void submit_view(std::size_t row, std::span<const std::uint8_t> payload);
+  void submit_view(std::size_t row, std::span<const std::uint8_t> payload,
+                   bool is_label = false);
 
   /// Blocks until every submitted report has been fully ingested (the round
   /// close barrier). After drain() returns, counters and builders are exact
@@ -93,6 +104,7 @@ class IngestPipeline {
   struct Item {
     std::size_t shard = 0;
     std::size_t local_user = 0;
+    bool is_label = false;  ///< decode as LabelReport instead of Report
     /// The encoded report: `view` points into `owned` or into caller-owned
     /// memory (the zero-copy path). Moving an Item keeps `view` valid —
     /// vector moves never relocate the heap buffer.
@@ -129,6 +141,8 @@ class IngestPipeline {
   IngestPipelineConfig config_;
   data::ShardPlan plan_;
   std::size_t num_objects_ = 0;
+  std::uint64_t round_ = 0;
+  LabelIngestPolicy labels_;
   std::vector<ShardState> shards_;
   std::vector<std::size_t> worker_of_shard_;
   std::vector<std::unique_ptr<Worker>> workers_;

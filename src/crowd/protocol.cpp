@@ -66,6 +66,41 @@ std::optional<ReportHeader> Report::peek_header(
   }
 }
 
+std::vector<std::uint8_t> LabelReport::encode() const {
+  DPTD_REQUIRE(objects.size() == labels.size(),
+               "LabelReport: objects/labels size mismatch");
+  Encoder enc;
+  enc.write_varint(round);
+  enc.write_varint(user_id);
+  enc.write_varint(objects.size());
+  for (std::uint64_t object : objects) enc.write_varint(object);
+  for (std::uint32_t label : labels) enc.write_varint(label);
+  return enc.take();
+}
+
+LabelReport LabelReport::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  LabelReport msg;
+  msg.round = dec.read_varint();
+  msg.user_id = dec.read_varint();
+  const std::uint64_t count = dec.read_varint();
+  if (count > (1u << 26)) {
+    throw DecodeError("LabelReport: implausible claim count");
+  }
+  msg.objects.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    msg.objects.push_back(dec.read_varint());
+  }
+  msg.labels.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t label = dec.read_varint();
+    if (label > 0xffffffffULL) throw DecodeError("LabelReport: label overflow");
+    msg.labels.push_back(static_cast<std::uint32_t>(label));
+  }
+  if (!dec.done()) throw DecodeError("LabelReport: trailing bytes");
+  return msg;
+}
+
 std::vector<std::uint8_t> ResultPublish::encode() const {
   Encoder enc;
   enc.write_varint(round);

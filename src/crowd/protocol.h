@@ -30,6 +30,10 @@ enum class MessageType : std::uint32_t {
   /// dist::ShardNode sets shutdown_requested() and its service loop returns.
   /// Fire-and-forget — no response, no exactly-once bookkeeping.
   kShutdown = 6,
+  /// A categorical upload: same leading round/user varints as kReport (so
+  /// Report::peek_header routes both), but claims carry label ids instead of
+  /// perturbed readings.
+  kLabelReport = 7,
 };
 
 struct TaskAnnounce {
@@ -62,6 +66,20 @@ struct Report {
   /// is undecodable. A successful peek does NOT validate the claim arrays.
   static std::optional<ReportHeader> peek_header(
       std::span<const std::uint8_t> bytes);
+};
+
+/// Categorical upload: (object, label) claims. The leading two varints are
+/// identical to Report's, so the O(1) routing peek (Report::peek_header)
+/// works unchanged on both report kinds — the ingestion front end never
+/// needs to know which one it is holding.
+struct LabelReport {
+  std::uint64_t round = 0;
+  std::uint64_t user_id = 0;
+  std::vector<std::uint64_t> objects;  ///< parallel arrays
+  std::vector<std::uint32_t> labels;   ///< client-side k-RR output
+
+  std::vector<std::uint8_t> encode() const;
+  static LabelReport decode(std::span<const std::uint8_t> bytes);
 };
 
 struct ResultPublish {

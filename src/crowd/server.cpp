@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "categorical/randomized_response.h"
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 
@@ -34,6 +36,49 @@ bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
   }
   builder.add_row(local_user, objects, values);
   return true;
+}
+
+LabelIngestOutcome ingest_label_claims(data::ObservationMatrixBuilder& builder,
+                                       std::size_t local_user,
+                                       std::size_t global_user,
+                                       const LabelReport& report,
+                                       std::size_t num_objects,
+                                       const LabelIngestPolicy& policy,
+                                       std::uint64_t round) {
+  LabelIngestOutcome outcome;
+  const std::size_t count =
+      std::min(report.objects.size(), report.labels.size());
+  outcome.malformed =
+      count != report.objects.size() || count != report.labels.size();
+  std::vector<std::uint64_t> objects;
+  std::vector<double> values;
+  objects.reserve(count);
+  values.reserve(count);
+  // One lazily-created stream per report, keyed by (round, global user): the
+  // draws consumed are a function of the report alone, never of which thread
+  // or shard ingests it, so every ingestion mode lands identical bits.
+  std::optional<Rng> rng;
+  const bool sample = policy.rr_keep_probability < 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (report.objects[i] >= num_objects) {
+      outcome.malformed = true;
+      continue;
+    }
+    if (report.labels[i] >= policy.num_labels) {
+      ++outcome.invalid_labels;
+      continue;
+    }
+    categorical::Label label = report.labels[i];
+    if (sample) {
+      if (!rng) rng.emplace(derive_seed(policy.rr_seed, round, global_user));
+      label = categorical::krr_perturb(label, policy.rr_keep_probability,
+                                       policy.num_labels, *rng);
+    }
+    objects.push_back(report.objects[i]);
+    values.push_back(static_cast<double>(label));
+  }
+  builder.add_row(local_user, objects, values);
+  return outcome;
 }
 
 void ParticipantIndex::build(const std::vector<net::NodeId>& participants) {
@@ -159,6 +204,13 @@ CrowdServer::CrowdServer(ServerConfig config,
                "CrowdServer: num_objects must be positive");
   DPTD_REQUIRE(config_.stats_block_size > 0,
                "CrowdServer: stats_block_size must be positive");
+  if (config_.labels.enabled()) {
+    DPTD_REQUIRE(
+        config_.labels.rr_keep_probability <= 1.0 &&
+            config_.labels.rr_keep_probability >
+                1.0 / static_cast<double>(config_.labels.num_labels),
+        "CrowdServer: rr_keep_probability must be in (1/num_labels, 1]");
+  }
   network_->attach(config_.id, *this);
 }
 
@@ -174,6 +226,7 @@ void CrowdServer::start_round(std::uint64_t round,
   rejected_ = 0;
   duplicates_ = 0;
   malformed_ = 0;
+  invalid_labels_ = 0;
 
   TaskAnnounce task;
   task.round = round;
@@ -190,19 +243,53 @@ void CrowdServer::start_round(std::uint64_t round,
 }
 
 void CrowdServer::on_message(const net::Message& message) {
-  if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
-  if (!round_open_) return;  // straggler after deadline
-  Report report;
-  try {
-    report = Report::decode(message.payload);
-  } catch (const DecodeError& error) {
-    DPTD_LOG_WARN << "round " << current_round_
-                  << ": dropping undecodable report (" << error.what() << ")";
-    ++rejected_;
+  const MessageType type = static_cast<MessageType>(message.type);
+  if (type != MessageType::kReport && type != MessageType::kLabelReport) {
     return;
   }
-  if (report.round != current_round_) return;
-  ingest_report(report);
+  if (!round_open_) return;  // straggler after deadline
+  // A categorical round ingests kLabelReport only; a continuous round
+  // kReport only. The wrong kind is a protocol violation — drop and count,
+  // exactly like a byzantine user id.
+  if (type == MessageType::kReport) {
+    if (config_.labels.enabled()) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": continuous report in a categorical round, dropped";
+      ++rejected_;
+      return;
+    }
+    Report report;
+    try {
+      report = Report::decode(message.payload);
+    } catch (const DecodeError& error) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping undecodable report (" << error.what()
+                    << ")";
+      ++rejected_;
+      return;
+    }
+    if (report.round != current_round_) return;
+    ingest_report(report);
+  } else {
+    if (!config_.labels.enabled()) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": label report in a continuous round, dropped";
+      ++rejected_;
+      return;
+    }
+    LabelReport report;
+    try {
+      report = LabelReport::decode(message.payload);
+    } catch (const DecodeError& error) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping undecodable label report (" << error.what()
+                    << ")";
+      ++rejected_;
+      return;
+    }
+    if (report.round != current_round_) return;
+    ingest_label_report(report);
+  }
   if (builder_->rows_ingested() == participants_.size()) {
     // Every *distinct* participant answered; no need to wait out the window
     // (duplicate re-sends never inflate this count). The deadline event
@@ -235,6 +322,34 @@ void CrowdServer::ingest_report(const Report& report) {
   }
 }
 
+void CrowdServer::ingest_label_report(const LabelReport& report) {
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping label report from unknown user id "
+                  << report.user_id;
+    ++rejected_;
+    return;
+  }
+  const std::size_t user = *row;
+  if (builder_->has_row(user)) {
+    ++duplicates_;
+    return;
+  }
+
+  // The matrix row doubles as the global user index for the sampling stream;
+  // sharded paths derive the same value as shard base + local row.
+  const LabelIngestOutcome outcome = ingest_label_claims(
+      *builder_, user, user, report, config_.num_objects, config_.labels,
+      current_round_);
+  if (outcome.malformed) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": user " << user
+                  << " sent malformed label claims, ingested the valid subset";
+    ++malformed_;
+  }
+  invalid_labels_ += outcome.invalid_labels;
+}
+
 void CrowdServer::finish_round() {
   if (!round_open_) return;
   round_open_ = false;
@@ -246,7 +361,8 @@ void CrowdServer::finish_round() {
   outcome.reports_rejected = rejected_;
   outcome.duplicates_ignored = duplicates_;
   outcome.shard_stats = {ShardIngestStats{builder_->rows_ingested(),
-                                          duplicates_, malformed_, 0}};
+                                          duplicates_, malformed_, 0,
+                                          invalid_labels_}};
 
   if (builder_->rows_ingested() == 0) {
     DPTD_LOG_WARN << "round " << current_round_ << ": no reports received";

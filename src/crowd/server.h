@@ -28,6 +28,26 @@
 
 namespace dptd::crowd {
 
+/// Categorical-round ingestion policy, shared verbatim by CrowdServer, the
+/// ShardedServer serial path, and the IngestPipeline workers so every
+/// ingestion mode applies identical mechanisms and lands identical bits.
+struct LabelIngestPolicy {
+  /// Label alphabet size of the round; 0 (or 1) means a continuous campaign
+  /// and disables label ingestion entirely.
+  std::size_t num_labels = 0;
+  /// Server-side empirical k-RR sampling applied per ingested claim (the
+  /// pipeline-side mechanism: it runs on the ingest worker that owns the
+  /// user's shard, never on the network thread). 1.0 disables it — clients
+  /// that already perturbed locally are the normal LDP deployment.
+  double rr_keep_probability = 1.0;
+  /// Root seed of the sampling stream; each report's draws come from
+  /// Rng(derive_seed(rr_seed, round, global_row)), so results are identical
+  /// for every worker count and every shard count.
+  std::uint64_t rr_seed = 0x6c61626cULL;  // "labl"
+
+  bool enabled() const { return num_labels >= 2; }
+};
+
 struct ServerConfig {
   net::NodeId id = 1'000'000;  ///< out of the user-id range
   double lambda2 = 1.0;
@@ -54,6 +74,10 @@ struct ServerConfig {
   /// queue is FIFO from the single network thread, so per-shard ingestion
   /// order matches the serial path exactly. CrowdServer ignores it.
   std::size_t ingest_threads = 0;
+  /// Categorical campaign knobs; labels.enabled() switches the round to
+  /// kLabelReport ingestion (kReport uploads are then rejected, and vice
+  /// versa for continuous rounds).
+  LabelIngestPolicy labels;
 };
 
 /// Per-shard ingestion accounting for one round. CrowdServer reports one
@@ -65,6 +89,7 @@ struct ShardIngestStats {
   std::size_t duplicates_ignored = 0; ///< re-sends routed to this shard
   std::size_t malformed_reports = 0;  ///< reports needing claim sanitization
   std::size_t rejected_reports = 0;   ///< undecodable after routing (pipeline)
+  std::size_t invalid_labels = 0;     ///< label claims >= num_labels, dropped
 };
 
 struct RoundOutcome {
@@ -91,6 +116,28 @@ struct RoundOutcome {
 bool ingest_report_claims(data::ObservationMatrixBuilder& builder,
                           std::size_t local_user, const Report& report,
                           std::size_t num_objects);
+
+/// What ingest_label_claims had to drop or rewrite.
+struct LabelIngestOutcome {
+  bool malformed = false;          ///< array mismatch / out-of-range objects
+  std::size_t invalid_labels = 0;  ///< claims with label >= num_labels
+};
+
+/// The categorical twin of ingest_report_claims: validates every claim's
+/// object range AND label range (out-of-alphabet labels are dropped and
+/// counted, never aborting the report), optionally applies the policy's
+/// server-side k-RR sampling (seeded by (round, global_user), so the result
+/// is identical on every ingestion mode), and ingests the surviving claims
+/// as exact label-id doubles under `local_user`. Shared by CrowdServer, the
+/// ShardedServer serial path, and the pipeline workers. The caller must have
+/// dedup-checked `local_user` already.
+LabelIngestOutcome ingest_label_claims(data::ObservationMatrixBuilder& builder,
+                                       std::size_t local_user,
+                                       std::size_t global_user,
+                                       const LabelReport& report,
+                                       std::size_t num_objects,
+                                       const LabelIngestPolicy& policy,
+                                       std::uint64_t round);
 
 /// Maps a report's stable user/node id to its row in the round's observation
 /// matrix (= its position in the participants roster). The common dense
@@ -163,6 +210,7 @@ class CrowdServer final : public net::Node {
  private:
   void finish_round();
   void ingest_report(const Report& report);
+  void ingest_label_report(const LabelReport& report);
 
   ServerConfig config_;
   std::unique_ptr<truth::TruthDiscovery> method_;
@@ -177,6 +225,7 @@ class CrowdServer final : public net::Node {
   std::size_t rejected_ = 0;
   std::size_t duplicates_ = 0;
   std::size_t malformed_ = 0;
+  std::size_t invalid_labels_ = 0;
   WarmState warm_;
   std::vector<RoundOutcome> outcomes_;
 };

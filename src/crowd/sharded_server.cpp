@@ -20,6 +20,13 @@ ShardedServer::ShardedServer(ServerConfig config,
                "ShardedServer: num_shards must be positive");
   DPTD_REQUIRE(config_.stats_block_size > 0,
                "ShardedServer: stats_block_size must be positive");
+  if (config_.labels.enabled()) {
+    DPTD_REQUIRE(
+        config_.labels.rr_keep_probability <= 1.0 &&
+            config_.labels.rr_keep_probability >
+                1.0 / static_cast<double>(config_.labels.num_labels),
+        "ShardedServer: rr_keep_probability must be in (1/num_labels, 1]");
+  }
   network_->attach(config_.id, *this);
 }
 
@@ -46,7 +53,7 @@ void ShardedServer::start_round(std::uint64_t round,
       pipeline_config.num_workers = config_.ingest_threads;
       pipeline_.emplace(pipeline_config);
     }
-    pipeline_->begin_round(plan_, config_.num_objects);
+    pipeline_->begin_round(plan_, config_.num_objects, round, config_.labels);
     submitted_rows_.assign(participants_.size(), 0);
     producer_distinct_ = 0;
   } else {
@@ -75,13 +82,31 @@ void ShardedServer::start_round(std::uint64_t round,
 }
 
 void ShardedServer::on_message(const net::Message& message) {
-  if (static_cast<MessageType>(message.type) != MessageType::kReport) return;
+  const MessageType type = static_cast<MessageType>(message.type);
+  if (type != MessageType::kReport && type != MessageType::kLabelReport) {
+    return;
+  }
   if (!round_open_) return;  // straggler after deadline
+  // Wrong-kind uploads (continuous report in a categorical round or vice
+  // versa) are protocol violations, dropped at the coordinator — in pipelined
+  // mode this keeps the type check off the workers: a routed item is always
+  // of the round's kind.
+  const bool is_label = type == MessageType::kLabelReport;
+  if (is_label != config_.labels.enabled()) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": dropping "
+                  << (is_label ? "label" : "continuous")
+                  << " report in a "
+                  << (config_.labels.enabled() ? "categorical" : "continuous")
+                  << " round";
+    ++unroutable_rejected_;
+    return;
+  }
 
   if (pipeline_) {
     // Pipelined ingestion: the network thread only routes. One O(1) header
-    // peek resolves round + user; the full decode happens on the owning
-    // shard's worker.
+    // peek resolves round + user (LabelReport shares Report's leading
+    // varints, so the same peek covers both kinds); the full decode happens
+    // on the owning shard's worker.
     const std::optional<ReportHeader> header =
         Report::peek_header(message.payload);
     if (!header) {
@@ -99,7 +124,7 @@ void ShardedServer::on_message(const net::Message& message) {
       ++unroutable_rejected_;
       return;
     }
-    pipeline_->submit(*row, message.payload);
+    pipeline_->submit(*row, message.payload, is_label);
     // Early close: only a row's FIRST submission can complete the roster
     // (re-sends are guaranteed duplicates on the owning shard), so the exact
     // check — a drain barrier, then the workers' distinct count — runs at
@@ -120,17 +145,33 @@ void ShardedServer::on_message(const net::Message& message) {
     return;
   }
 
-  Report report;
-  try {
-    report = Report::decode(message.payload);
-  } catch (const DecodeError& error) {
-    DPTD_LOG_WARN << "round " << current_round_
-                  << ": dropping undecodable report (" << error.what() << ")";
-    ++unroutable_rejected_;
-    return;
+  if (is_label) {
+    LabelReport report;
+    try {
+      report = LabelReport::decode(message.payload);
+    } catch (const DecodeError& error) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping undecodable label report (" << error.what()
+                    << ")";
+      ++unroutable_rejected_;
+      return;
+    }
+    if (report.round != current_round_) return;
+    ingest_label_report_serial(report);
+  } else {
+    Report report;
+    try {
+      report = Report::decode(message.payload);
+    } catch (const DecodeError& error) {
+      DPTD_LOG_WARN << "round " << current_round_
+                    << ": dropping undecodable report (" << error.what()
+                    << ")";
+      ++unroutable_rejected_;
+      return;
+    }
+    if (report.round != current_round_) return;
+    ingest_report_serial(report);
   }
-  if (report.round != current_round_) return;
-  ingest_report_serial(report);
   if (distinct_reporters_ == participants_.size()) {
     // Every *distinct* participant answered across all shards; no need to
     // wait out the window (duplicate re-sends never inflate this count). The
@@ -168,6 +209,41 @@ void ShardedServer::ingest_report_serial(const Report& report) {
                   << " shard " << shard;
     ++stats.malformed_reports;
   }
+  ++stats.reports_received;
+  ++distinct_reporters_;
+}
+
+void ShardedServer::ingest_label_report_serial(const LabelReport& report) {
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row) {
+    DPTD_LOG_WARN << "round " << current_round_
+                  << ": dropping label report from unknown user id "
+                  << report.user_id;
+    ++unroutable_rejected_;
+    return;
+  }
+  const std::size_t user = *row;
+  const std::size_t shard = plan_.shard_of_user(user);
+  const std::size_t local = user - plan_.user_begin(shard);
+  data::ObservationMatrixBuilder& builder = builders_[shard];
+  ShardIngestStats& stats = shard_stats_[shard];
+  if (builder.has_row(local)) {
+    ++stats.duplicates_ignored;
+    return;
+  }
+
+  // The sampling stream is keyed by the GLOBAL row (shard base + local), so
+  // the ingested bits are identical to CrowdServer's for every shard count.
+  const LabelIngestOutcome outcome =
+      ingest_label_claims(builder, local, user, report, config_.num_objects,
+                          config_.labels, current_round_);
+  if (outcome.malformed) {
+    DPTD_LOG_WARN << "round " << current_round_ << ": user " << report.user_id
+                  << " sent malformed label claims, ingested the valid subset"
+                  << " on shard " << shard;
+    ++stats.malformed_reports;
+  }
+  stats.invalid_labels += outcome.invalid_labels;
   ++stats.reports_received;
   ++distinct_reporters_;
 }

@@ -72,6 +72,7 @@ class ShardedServer final : public net::Node {
  private:
   void finish_round();
   void ingest_report_serial(const Report& report);
+  void ingest_label_report_serial(const LabelReport& report);
 
   ServerConfig config_;
   std::unique_ptr<truth::TruthDiscovery> method_;

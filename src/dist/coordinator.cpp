@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "categorical/voting.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/statistics.h"
@@ -23,6 +24,10 @@ std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec) {
       return std::make_unique<truth::MeanAggregator>();
     case MethodSpec::Kind::kMedian:
       return std::make_unique<truth::MedianAggregator>();
+    case MethodSpec::Kind::kMajority:
+      return std::make_unique<truth::MajorityVote>(spec.majority);
+    case MethodSpec::Kind::kVote:
+      return std::make_unique<truth::WeightedVote>(spec.vote);
   }
   throw std::invalid_argument("MethodSpec: unknown kind");
 }
@@ -34,6 +39,11 @@ Coordinator::Coordinator(CoordinatorConfig config, MethodSpec method,
                "Coordinator: num_objects must be positive");
   DPTD_REQUIRE(config_.block_size > 0,
                "Coordinator: block_size must be positive");
+  DPTD_REQUIRE(!method_.categorical() ||
+                   (method_.num_labels() >= 2 &&
+                    method_.num_labels() <= truth::kMaxBridgedLabels),
+               "Coordinator: categorical method needs an explicit label "
+               "alphabet (2 <= num_labels <= kMaxBridgedLabels)");
   config_.rpc.validate();
   network_->attach(config_.id, *this);
 }
@@ -59,6 +69,7 @@ bool Coordinator::remove_shard(net::NodeId id) {
 void Coordinator::on_message(const net::Message& message) {
   switch (static_cast<crowd::MessageType>(message.type)) {
     case crowd::MessageType::kReport:
+    case crowd::MessageType::kLabelReport:
       route_report(message);
       return;
     case crowd::MessageType::kShardResponse:
@@ -86,8 +97,12 @@ void Coordinator::route_report(const net::Message& message) {
     return;
   }
   const std::size_t shard = plan_.shard_of_user(*row);
+  // Forward under the ORIGINAL message type: continuous and categorical
+  // uploads share the peekable header, and the owning shard enforces the
+  // round's kind itself (wrong-kind uploads are rejected there, counted).
   network_->send(crowd::make_message(config_.id, active_[shard],
-                                     crowd::MessageType::kReport,
+                                     static_cast<crowd::MessageType>(
+                                         message.type),
                                      message.payload));
   ++reports_routed_;
 }
@@ -315,6 +330,29 @@ bool Coordinator::collect_telemetry() {
   return true;
 }
 
+std::optional<std::vector<double>> Coordinator::vote_scores_chain(
+    std::size_t num_labels) {
+  // Same shape as aggregate_chain: the score table threads through the
+  // shards in ascending order, each continuing categorical::fold_label_scores
+  // exactly where the previous shard stopped.
+  VoteScoresBody body;
+  body.scores.assign(config_.num_objects * num_labels, 0.0);
+  for (net::NodeId shard : active_) {
+    auto reply = call(shard, ShardOp::kVoteScores, body.encode());
+    if (!reply.has_value()) return std::nullopt;
+    auto next = decode_or_fail<VoteScoresBody>(shard, *reply,
+                                               malformed_by_node_,
+                                               failed_shard_);
+    if (!next.has_value() ||
+        next->scores.size() != config_.num_objects * num_labels) {
+      failed_shard_ = shard;
+      return std::nullopt;
+    }
+    body = std::move(*next);
+  }
+  return std::move(body.scores);
+}
+
 std::optional<std::vector<double>> Coordinator::collect_weights() {
   auto replies = call_all(ShardOp::kCollectWeights, active_,
                           [](std::size_t) { return std::vector<std::uint8_t>{}; });
@@ -372,6 +410,7 @@ bool Coordinator::begin_round(std::uint64_t round,
                    setup.shard_index = i;
                    setup.num_objects = config_.num_objects;
                    setup.block_size = config_.block_size;
+                   setup.num_labels = method_.num_labels();
                    setup.participants.assign(
                        participants.begin() +
                            static_cast<std::ptrdiff_t>(plan_.user_begin(i)),
@@ -479,6 +518,7 @@ DistributedOutcome Coordinator::close_round() {
         static_cast<std::size_t>(summary->malformed_reports);
     stats.rejected_reports =
         static_cast<std::size_t>(summary->rejected_reports);
+    stats.invalid_labels = static_cast<std::size_t>(summary->invalid_labels);
     out.shard_stats.push_back(stats);
     for (std::size_t n = 0; n < coverage.size(); ++n) {
       coverage[n] += summary->object_counts[n];
@@ -555,6 +595,10 @@ std::optional<truth::Result> Coordinator::run_method(
       return run_mean();
     case MethodSpec::Kind::kMedian:
       return run_median();
+    case MethodSpec::Kind::kMajority:
+      return run_majority();
+    case MethodSpec::Kind::kVote:
+      return run_vote(seed);
   }
   return std::nullopt;
 }
@@ -805,6 +849,117 @@ std::optional<truth::Result> Coordinator::run_median() {
   result.weights.assign(plan_.num_users, 1.0);
   result.iterations = 1;
   result.converged = true;
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_majority() {
+  const std::size_t L = method_.majority.num_labels;
+  VotePrepareBody prep;
+  prep.num_labels = L;
+  prep.min_disagreement_fraction =
+      categorical::WeightedVotingConfig{}.min_disagreement_fraction;
+  if (!broadcast(ShardOp::kVotePrepare, prep.encode())) return std::nullopt;
+
+  truth::Result result;
+  mark_iterate_begin();
+  if (!set_weights_uniform()) return std::nullopt;
+  auto scores = vote_scores_chain(L);
+  if (!scores.has_value()) return std::nullopt;
+  mark_iterate_end();
+  const std::vector<categorical::Label> truths =
+      categorical::truths_from_scores(*scores, config_.num_objects, L);
+  result.truths.resize(truths.size());
+  for (std::size_t n = 0; n < truths.size(); ++n) {
+    result.truths[n] = static_cast<double>(truths[n]);
+  }
+  result.weights.assign(plan_.num_users, 1.0);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+std::optional<truth::Result> Coordinator::run_vote(
+    const truth::WarmStart& seed) {
+  // The exact categorical::weighted_vote control flow over the wire — same
+  // seed precedence, same unanimity short-circuit, same stop rule — so a
+  // K-node round is bitwise identical to the in-process run_sharded at any K.
+  const truth::WeightedVoteConfig& c = method_.vote;
+  const categorical::WeightedVotingConfig& v = c.voting;
+  const std::size_t L = c.num_labels;
+  const std::size_t N = config_.num_objects;
+
+  VotePrepareBody prep;
+  prep.num_labels = L;
+  prep.min_disagreement_fraction = v.min_disagreement_fraction;
+  if (!broadcast(ShardOp::kVotePrepare, prep.encode())) return std::nullopt;
+
+  std::vector<categorical::Label> truths;
+  if (!seed.truths.empty()) {
+    // Prior truths skip the initial aggregation entirely; prior weights are
+    // irrelevant on this path (the first iteration overwrites them before
+    // any fold reads them), exactly like the in-process driver.
+    truths = truth::labels_from_doubles(seed.truths, L);
+  } else {
+    if (!seed.weights.empty()) {
+      if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    } else {
+      if (!set_weights_uniform()) return std::nullopt;
+    }
+    auto scores = vote_scores_chain(L);
+    if (!scores.has_value()) return std::nullopt;
+    truths = categorical::truths_from_scores(*scores, N, L);
+  }
+
+  truth::Result result;
+  mark_iterate_begin();
+  for (std::size_t it = 1; it <= v.max_iterations; ++it) {
+    // Disagreement chain: the running total threads through the shards,
+    // continuing the canonical block-chained sum across the fleet.
+    double total = 0.0;
+    for (net::NodeId shard : active_) {
+      VoteDisagreeBody req;
+      req.truths = truths;
+      req.total = total;
+      auto reply = call(shard, ShardOp::kVoteDisagree, req.encode());
+      if (!reply.has_value()) return std::nullopt;
+      auto resp = decode_or_fail<CrhTotalBody>(shard, *reply,
+                                               malformed_by_node_,
+                                               failed_shard_);
+      if (!resp.has_value()) return std::nullopt;
+      total = resp->total;
+    }
+    // Broadcast even a non-positive total: the shards then land on uniform
+    // weights, matching the in-process unanimity short-circuit bit for bit.
+    CrhTotalBody tot;
+    tot.total = total;
+    if (!broadcast(ShardOp::kVoteWeights, tot.encode())) return std::nullopt;
+    if (total <= 0.0) {
+      result.iterations = it;
+      result.converged = true;
+      break;
+    }
+
+    auto scores = vote_scores_chain(L);
+    if (!scores.has_value()) return std::nullopt;
+    std::vector<categorical::Label> next =
+        categorical::truths_from_scores(*scores, N, L);
+    const bool unchanged = next == truths;
+    truths = std::move(next);
+    result.iterations = it;
+    if (unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+  mark_iterate_end();
+
+  result.truths.resize(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    result.truths[n] = static_cast<double>(truths[n]);
+  }
+  auto weights = collect_weights();
+  if (!weights.has_value()) return std::nullopt;
+  result.weights = std::move(*weights);
   return result;
 }
 

@@ -33,6 +33,7 @@
 #include "data/sharding.h"
 #include "dist/stats_wire.h"
 #include "net/transport.h"
+#include "truth/categorical.h"
 #include "truth/catd.h"
 #include "truth/crh.h"
 #include "truth/gtm.h"
@@ -57,14 +58,36 @@ struct CoordinatorConfig {
 /// coordinator needs the config itself — not a TruthDiscovery instance —
 /// because it executes the iteration loop).
 struct MethodSpec {
-  enum class Kind { kCrh, kGtm, kCatd, kMean, kMedian };
+  enum class Kind { kCrh, kGtm, kCatd, kMean, kMedian, kMajority, kVote };
   Kind kind = Kind::kCrh;
   truth::CrhConfig crh;
   truth::GtmConfig gtm;
   truth::CatdConfig catd;
+  /// Categorical kinds: the label alphabet must be explicit (>= 2) — shards
+  /// cannot infer it locally without diverging, so it rides in SetupBody.
+  truth::MajorityVoteConfig majority;
+  truth::WeightedVoteConfig vote;
 
   bool supports_warm_start() const {
-    return kind == Kind::kCrh || kind == Kind::kGtm || kind == Kind::kCatd;
+    return kind == Kind::kCrh || kind == Kind::kGtm || kind == Kind::kCatd ||
+           kind == Kind::kVote;
+  }
+
+  /// True for the label-claim kinds (the round ingests kLabelReport uploads).
+  bool categorical() const {
+    return kind == Kind::kMajority || kind == Kind::kVote;
+  }
+
+  /// Label alphabet of a categorical kind; 0 for continuous kinds.
+  std::size_t num_labels() const {
+    switch (kind) {
+      case Kind::kMajority:
+        return majority.num_labels;
+      case Kind::kVote:
+        return vote.num_labels;
+      default:
+        return 0;
+    }
   }
 };
 
@@ -188,6 +211,8 @@ class Coordinator final : public net::Node {
   std::optional<std::vector<RunningStats>> moments_chain();
   std::optional<std::vector<std::vector<double>>> gather_columns();
   std::optional<std::vector<double>> collect_weights();
+  /// Chained categorical score fold (kVoteScores) over the active shards.
+  std::optional<std::vector<double>> vote_scores_chain(std::size_t num_labels);
   /// kGetTelemetry over the active shards into telemetry_by_node_.
   bool collect_telemetry();
 
@@ -198,6 +223,8 @@ class Coordinator final : public net::Node {
   std::optional<truth::Result> run_catd(const truth::WarmStart& seed);
   std::optional<truth::Result> run_mean();
   std::optional<truth::Result> run_median();
+  std::optional<truth::Result> run_majority();
+  std::optional<truth::Result> run_vote(const truth::WarmStart& seed);
 
   void route_report(const net::Message& message);
   void handle_response(const net::Message& message);

@@ -1,6 +1,8 @@
 #include "dist/shard_node.h"
 
+#include "categorical/voting.h"
 #include "common/check.h"
+#include "truth/categorical.h"
 #include "truth/catd.h"
 #include "truth/crh.h"
 #include "truth/gtm.h"
@@ -52,6 +54,8 @@ void ShardNode::reset_round_state() {
   round_open_ = false;
   round_ = 0;
   num_objects_ = 0;
+  num_labels_ = 0;
+  user_base_ = 0;
   index_.build({});
   builder_.reset();
   ingest_stats_ = {};
@@ -61,9 +65,12 @@ void ShardNode::reset_round_state() {
   losses_.clear();
   quality_.clear();
   chi2_.clear();
+  disagreement_.clear();
   crh_ = {};
   gtm_ = {};
   catd_ = {};
+  vote_ = {};
+  label_view_.reset();
   // last_op_id_ is deliberately NOT reset: the exactly-once watermark is the
   // dedup floor a real replica persists across restarts, and it is what keeps
   // delayed duplicates of pre-crash ops from re-executing after a rejoin.
@@ -75,6 +82,9 @@ void ShardNode::on_message(const net::Message& message) {
   switch (static_cast<crowd::MessageType>(message.type)) {
     case crowd::MessageType::kReport:
       handle_report(message);
+      return;
+    case crowd::MessageType::kLabelReport:
+      handle_label_report(message);
       return;
     case crowd::MessageType::kShardRequest:
       handle_request(message);
@@ -90,6 +100,10 @@ void ShardNode::on_message(const net::Message& message) {
 void ShardNode::handle_report(const net::Message& message) {
   if (!round_open_ || !builder_.has_value()) {
     ++ingest_stats_.rejected_reports;  // round closed (or never set up)
+    return;
+  }
+  if (num_labels_ >= 2) {
+    ++ingest_stats_.rejected_reports;  // continuous upload, categorical round
     return;
   }
   crowd::Report report;
@@ -115,6 +129,46 @@ void ShardNode::handle_report(const net::Message& message) {
   if (crowd::ingest_report_claims(*builder_, *row, report, num_objects_)) {
     ++ingest_stats_.malformed_reports;
   }
+  ++ingest_stats_.reports_received;
+}
+
+void ShardNode::handle_label_report(const net::Message& message) {
+  if (!round_open_ || !builder_.has_value()) {
+    ++ingest_stats_.rejected_reports;  // round closed (or never set up)
+    return;
+  }
+  if (num_labels_ < 2) {
+    ++ingest_stats_.rejected_reports;  // label upload, continuous round
+    return;
+  }
+  crowd::LabelReport report;
+  try {
+    report = crowd::LabelReport::decode(message.payload);
+  } catch (const DecodeError&) {
+    ++ingest_stats_.rejected_reports;
+    return;
+  }
+  if (report.round != round_) {
+    ++ingest_stats_.rejected_reports;  // late straggler from another round
+    return;
+  }
+  const std::optional<std::size_t> row = index_.row_of(report.user_id);
+  if (!row.has_value()) {
+    ++ingest_stats_.rejected_reports;  // not in this shard's roster slice
+    return;
+  }
+  if (builder_->has_row(*row)) {
+    ++ingest_stats_.duplicates_ignored;
+    return;
+  }
+  // LDP stays on the device in the distributed deployment: the policy only
+  // carries the alphabet for range validation, never a sampling probability.
+  crowd::LabelIngestPolicy policy;
+  policy.num_labels = num_labels_;
+  const crowd::LabelIngestOutcome outcome = crowd::ingest_label_claims(
+      *builder_, *row, user_base_ + *row, report, num_objects_, policy, round_);
+  if (outcome.malformed) ++ingest_stats_.malformed_reports;
+  ingest_stats_.invalid_labels += outcome.invalid_labels;
   ++ingest_stats_.reports_received;
 }
 
@@ -196,10 +250,17 @@ std::vector<std::uint8_t> ShardNode::execute(
                   static_cast<std::size_t>(setup.shard_index))) {
         throw DecodeError("SetupBody: roster slice does not match plan");
       }
+      if (setup.num_labels == 1 ||
+          setup.num_labels > truth::kMaxBridgedLabels) {
+        throw DecodeError("SetupBody: invalid label alphabet");
+      }
       round_ = setup.round;
       round_open_ = true;
       num_objects_ = static_cast<std::size_t>(setup.num_objects);
       block_size_ = static_cast<std::size_t>(setup.block_size);
+      num_labels_ = static_cast<std::size_t>(setup.num_labels);
+      user_base_ =
+          plan.user_begin(static_cast<std::size_t>(setup.shard_index));
       index_.build(setup.participants);
       const std::size_t local_users = setup.participants.size();
       if (builder_.has_value()) {
@@ -214,6 +275,9 @@ std::vector<std::uint8_t> ShardNode::execute(
       losses_.clear();
       quality_.clear();
       chi2_.clear();
+      disagreement_.clear();
+      vote_ = {};
+      label_view_.reset();
       return {};
     }
     case ShardOp::kFinalizeIngest: {
@@ -221,17 +285,20 @@ std::vector<std::uint8_t> ShardNode::execute(
       round_open_ = false;
       const std::size_t local_users = builder_->num_users();
       view_.reset();
+      label_view_.reset();
       matrix_ = builder_->finalize();
       view_.emplace(data::ShardedMatrix::single(*matrix_, block_size_));
       weights_.assign(local_users, 1.0);
       losses_.assign(local_users, 0.0);
       quality_.assign(local_users, 1.0);
       chi2_.assign(local_users, 0.0);
+      disagreement_.assign(local_users, 0.0);
       IngestSummaryBody summary;
       summary.reports_received = ingest_stats_.reports_received;
       summary.duplicates_ignored = ingest_stats_.duplicates_ignored;
       summary.malformed_reports = ingest_stats_.malformed_reports;
       summary.rejected_reports = ingest_stats_.rejected_reports;
+      summary.invalid_labels = ingest_stats_.invalid_labels;
       summary.object_counts.resize(num_objects_);
       matrix_->ensure_object_index();
       for (std::size_t n = 0; n < num_objects_; ++n) {
@@ -372,6 +439,65 @@ std::vector<std::uint8_t> ShardNode::execute(
       }
       truth::catd_user_weights(view(), nullptr, chi2_, req.truths,
                                catd_.min_residual, weights_);
+      return {};
+    }
+    case ShardOp::kVotePrepare: {
+      const VotePrepareBody req = VotePrepareBody::decode(body);
+      if (req.num_labels < 2 || req.num_labels > truth::kMaxBridgedLabels ||
+          !(req.min_disagreement_fraction > 0.0) ||
+          req.min_disagreement_fraction >= 1.0) {
+        throw DecodeError("VotePrepareBody: invalid parameters");
+      }
+      const data::ShardedMatrix& v = view();
+      vote_ = req;
+      // Owned reinterpretation of the local sub-matrix: same sanitize-drop
+      // rule as the in-process bridge, so both deployments see identical
+      // label views.
+      label_view_.emplace(truth::label_view(
+          v, static_cast<std::size_t>(req.num_labels)));
+      disagreement_.assign(v.num_users(), 0.0);
+      return {};
+    }
+    case ShardOp::kVoteScores: {
+      VoteScoresBody req = VoteScoresBody::decode(body);
+      if (!label_view_.has_value() ||
+          req.scores.size() !=
+              num_objects_ * static_cast<std::size_t>(vote_.num_labels)) {
+        throw DecodeError("VoteScoresBody: size mismatch or unprepared");
+      }
+      // Continue the global score chain: local blocks are the global blocks
+      // (the shard base is block-aligned), so folding on top of the carried
+      // table reproduces the in-process fold's bits.
+      categorical::fold_label_scores(*label_view_, nullptr, weights_,
+                                     req.scores);
+      return req.encode();
+    }
+    case ShardOp::kVoteDisagree: {
+      const VoteDisagreeBody req = VoteDisagreeBody::decode(body);
+      if (!label_view_.has_value() || req.truths.size() != num_objects_) {
+        throw DecodeError("VoteDisagreeBody: size mismatch or unprepared");
+      }
+      categorical::vote_disagreement(*label_view_, nullptr, req.truths,
+                                     disagreement_);
+      CrhTotalBody out;
+      out.total = truth::block_chain_sum(disagreement_, block_size_, req.total);
+      return out.encode();
+    }
+    case ShardOp::kVoteWeights: {
+      const CrhTotalBody req = CrhTotalBody::decode(body);
+      if (!label_view_.has_value() ||
+          disagreement_.size() != weights_.size()) {
+        throw DecodeError("kVoteWeights: shard not vote-prepared");
+      }
+      if (req.total <= 0.0) {
+        // Unanimous agreement — the in-process driver short-circuits to
+        // uniform weights; mirror it so collected weights match bitwise.
+        weights_.assign(weights_.size(), 1.0);
+      } else {
+        categorical::vote_weights_from_disagreement(
+            disagreement_, req.total, vote_.min_disagreement_fraction,
+            weights_);
+      }
       return {};
     }
     case ShardOp::kGetTelemetry: {

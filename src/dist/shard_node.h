@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "categorical/label_sharding.h"
 #include "crowd/protocol.h"
 #include "crowd/server.h"
 #include "data/builder.h"
@@ -79,6 +80,7 @@ class ShardNode final : public net::Node {
 
  private:
   void handle_report(const net::Message& message);
+  void handle_label_report(const net::Message& message);
   void handle_request(const net::Message& message);
   /// Executes one decoded request; returns the response body.
   std::vector<std::uint8_t> execute(ShardOp op,
@@ -96,6 +98,8 @@ class ShardNode final : public net::Node {
   std::uint64_t round_ = 0;
   std::size_t num_objects_ = 0;
   std::size_t block_size_ = data::kDefaultStatsBlockSize;
+  std::size_t num_labels_ = 0;  ///< >= 2 in a categorical round, else 0
+  std::size_t user_base_ = 0;   ///< global user id of local row 0
   crowd::ParticipantIndex index_;  ///< stable id -> local row, roster slice
   std::optional<data::ObservationMatrixBuilder> builder_;
   crowd::ShardIngestStats ingest_stats_;
@@ -105,14 +109,19 @@ class ShardNode final : public net::Node {
   // Per-local-user registers (CRH weights / GTM precisions / CATD weights all
   // live in weights_ — each method's flow writes it before collection).
   std::vector<double> weights_;
-  std::vector<double> losses_;   // CRH
-  std::vector<double> quality_;  // GTM
-  std::vector<double> chi2_;     // CATD
+  std::vector<double> losses_;        // CRH
+  std::vector<double> quality_;       // GTM
+  std::vector<double> chi2_;          // CATD
+  std::vector<double> disagreement_;  // categorical voting
 
   // Prepared per-round constants.
   CrhPrepareBody crh_;
   GtmPrepareBody gtm_;
   CatdPrepareBody catd_;
+  VotePrepareBody vote_;
+  /// Sparse label reinterpretation of the finalized local sub-matrix, built
+  /// by kVotePrepare (owned copy; the chained vote folds run over it).
+  std::optional<categorical::ShardedLabelMatrix> label_view_;
 
   // Exactly-once RPC state: the highest executed op id (monotonic watermark,
   // never reset — see class comment) plus the response bytes of that op for

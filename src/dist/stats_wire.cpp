@@ -35,6 +35,7 @@ std::vector<std::uint8_t> SetupBody::encode() const {
   enc.write_varint(shard_index);
   enc.write_varint(num_objects);
   enc.write_varint(block_size);
+  enc.write_varint(num_labels);
   write_varints(enc, participants);
   return enc.take();
 }
@@ -48,6 +49,7 @@ SetupBody SetupBody::decode(std::span<const std::uint8_t> bytes) {
   msg.shard_index = dec.read_varint();
   msg.num_objects = dec.read_varint();
   msg.block_size = dec.read_varint();
+  msg.num_labels = dec.read_varint();
   msg.participants = read_varints(dec);
   require_done(dec, "SetupBody");
   return msg;
@@ -59,6 +61,7 @@ std::vector<std::uint8_t> IngestSummaryBody::encode() const {
   enc.write_varint(duplicates_ignored);
   enc.write_varint(malformed_reports);
   enc.write_varint(rejected_reports);
+  enc.write_varint(invalid_labels);
   write_varints(enc, object_counts);
   return enc.take();
 }
@@ -71,6 +74,7 @@ IngestSummaryBody IngestSummaryBody::decode(
   msg.duplicates_ignored = dec.read_varint();
   msg.malformed_reports = dec.read_varint();
   msg.rejected_reports = dec.read_varint();
+  msg.invalid_labels = dec.read_varint();
   msg.object_counts = read_varints(dec);
   require_done(dec, "IngestSummaryBody");
   return msg;
@@ -323,6 +327,63 @@ TruthsBody TruthsBody::decode(std::span<const std::uint8_t> bytes) {
   TruthsBody msg;
   msg.truths = dec.read_doubles();
   require_done(dec, "TruthsBody");
+  return msg;
+}
+
+std::vector<std::uint8_t> VotePrepareBody::encode() const {
+  Encoder enc;
+  enc.write_varint(num_labels);
+  enc.write_double(min_disagreement_fraction);
+  return enc.take();
+}
+
+VotePrepareBody VotePrepareBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  VotePrepareBody msg;
+  msg.num_labels = dec.read_varint();
+  if (msg.num_labels > kMaxEntries) {
+    throw DecodeError("VotePrepareBody: label alphabet too large");
+  }
+  msg.min_disagreement_fraction = dec.read_double();
+  require_done(dec, "VotePrepareBody");
+  return msg;
+}
+
+std::vector<std::uint8_t> VoteScoresBody::encode() const {
+  Encoder enc;
+  enc.write_doubles(scores);
+  return enc.take();
+}
+
+VoteScoresBody VoteScoresBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  VoteScoresBody msg;
+  msg.scores = dec.read_doubles();
+  require_done(dec, "VoteScoresBody");
+  return msg;
+}
+
+std::vector<std::uint8_t> VoteDisagreeBody::encode() const {
+  Encoder enc;
+  enc.write_varint(truths.size());
+  for (std::uint32_t t : truths) enc.write_varint(t);
+  enc.write_double(total);
+  return enc.take();
+}
+
+VoteDisagreeBody VoteDisagreeBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  VoteDisagreeBody msg;
+  const std::uint64_t count = dec.read_varint();
+  if (count > kMaxEntries) throw DecodeError("VoteDisagreeBody: too long");
+  msg.truths.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t t = dec.read_varint();
+    if (t > 0xffffffffULL) throw DecodeError("VoteDisagreeBody: label overflow");
+    msg.truths.push_back(static_cast<std::uint32_t>(t));
+  }
+  msg.total = dec.read_double();
+  require_done(dec, "VoteDisagreeBody");
   return msg;
 }
 

@@ -56,6 +56,11 @@ enum class ShardOp : std::uint8_t {
   kCatdWeights = 15,    ///< TruthsBody broadcast -> empty ack
   // Telemetry.
   kGetTelemetry = 16,   ///< empty -> TelemetryBody (lifetime shard counters)
+  // Categorical voting (majority / weighted vote over label claims).
+  kVotePrepare = 17,    ///< VotePrepareBody -> empty ack (builds label view)
+  kVoteScores = 18,     ///< score chain: VoteScoresBody -> VoteScoresBody
+  kVoteDisagree = 19,   ///< disagreement chain: VoteDisagreeBody -> CrhTotalBody
+  kVoteWeights = 20,    ///< CrhTotalBody broadcast -> empty ack
 };
 
 /// Round setup: the shard derives its global user range from the plan fields
@@ -67,6 +72,10 @@ struct SetupBody {
   std::uint64_t shard_index = 0;
   std::uint64_t num_objects = 0;
   std::uint64_t block_size = 0;
+  /// Label alphabet size of a categorical round; 0 = continuous round. A
+  /// categorical round ingests crowd::LabelReport uploads (kReport uploads
+  /// are rejected, and vice versa).
+  std::uint64_t num_labels = 0;
   std::vector<net::NodeId> participants;  ///< this shard's roster slice
 
   std::vector<std::uint8_t> encode() const;
@@ -80,6 +89,7 @@ struct IngestSummaryBody {
   std::uint64_t duplicates_ignored = 0;
   std::uint64_t malformed_reports = 0;
   std::uint64_t rejected_reports = 0;
+  std::uint64_t invalid_labels = 0;  ///< out-of-alphabet label claims dropped
   std::vector<std::uint64_t> object_counts;
 
   std::vector<std::uint8_t> encode() const;
@@ -191,6 +201,40 @@ struct TruthsBody {
 
   std::vector<std::uint8_t> encode() const;
   static TruthsBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Arms a shard for categorical voting: it materializes the sparse label
+/// view of its finalized sub-matrix (out-of-domain values sanitize-dropped,
+/// the same rule as the in-process bridge) and allocates the disagreement
+/// register.
+struct VotePrepareBody {
+  std::uint64_t num_labels = 0;
+  double min_disagreement_fraction = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static VotePrepareBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// The weighted label-score chain's carried state: the row-major
+/// num_objects x num_labels histogram, folded in canonical block order. Each
+/// shard adds its claims on top and passes the table on — the exact
+/// categorical::fold_label_scores chain, shard ranges being block-aligned.
+struct VoteScoresBody {
+  std::vector<double> scores;
+
+  std::vector<std::uint8_t> encode() const;
+  static VoteScoresBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Vote disagreement chain request: the current truth estimates (label ids)
+/// plus the running block-chained disagreement total of the preceding shards
+/// (the shard's block_chain_sum init). Response is CrhTotalBody.
+struct VoteDisagreeBody {
+  std::vector<std::uint32_t> truths;  ///< one label per object
+  double total = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static VoteDisagreeBody decode(std::span<const std::uint8_t> bytes);
 };
 
 /// A shard's lifetime robustness counters, collected at round close so

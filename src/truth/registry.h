@@ -10,18 +10,26 @@
 
 namespace dptd::truth {
 
-/// Builds "crh", "gtm", "catd", "mean" or "median" with the given
-/// convergence criteria (ignored by single-pass baselines) and worker thread
-/// count (1 = serial, 0 = hardware concurrency; every method is bit-identical
-/// across thread counts). The iterative methods ("crh", "gtm", "catd") honor
-/// TruthDiscovery::run_warm for multi-round warm starts; the single-pass
-/// baselines ignore the seed. Throws std::invalid_argument for unknown names.
+/// Builds "crh", "gtm", "catd", "mean", "median", or the categorical
+/// bridges "majority"/"vote", with the given convergence criteria (ignored
+/// by single-pass baselines; "vote" uses max_iterations only) and worker
+/// thread count (1 = serial, 0 = hardware concurrency; every method is
+/// bit-identical across thread counts). The iterative methods ("crh",
+/// "gtm", "catd", "vote") honor TruthDiscovery::run_warm for multi-round
+/// warm starts; the single-pass baselines ignore the seed. Throws
+/// std::invalid_argument for unknown names.
 std::unique_ptr<TruthDiscovery> make_method(
     const std::string& name, const ConvergenceCriteria& convergence = {},
     std::size_t num_threads = 1);
 
-/// Names accepted by make_method, in display order.
+/// Continuous-data names accepted by make_method, in display order. Drivers
+/// that sweep methods over real-valued datasets iterate this list.
 std::vector<std::string> method_names();
+
+/// Categorical names accepted by make_method ("majority", "vote"), in
+/// display order. These expect label-id claims (small exact doubles) — see
+/// truth/categorical.h.
+std::vector<std::string> categorical_method_names();
 
 /// True when `name` builds a method whose run_warm honors the seed
 /// (supports_warm_start()); false for baselines. Throws for unknown names.

@@ -1,0 +1,260 @@
+// Categorical campaign rounds through the server stack: the same label
+// report stream lands bitwise-identical published truths through the flat
+// CrowdServer, the multi-shard ShardedServer, and the pipelined ingestion
+// path; server-side k-RR sampling is deterministic for every worker and
+// shard count; out-of-alphabet labels are counted and dropped, never fatal;
+// and wrong-kind uploads (continuous report in a label round and vice versa)
+// are rejected and counted.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "categorical/label_matrix.h"
+#include "categorical/synthetic.h"
+#include "crowd/label_client.h"
+#include "crowd/protocol.h"
+#include "crowd/server.h"
+#include "crowd/sharded_server.h"
+#include "net/network.h"
+#include "truth/registry.h"
+
+namespace dptd::crowd {
+namespace {
+
+constexpr net::NodeId kServerId = 1000;
+constexpr std::size_t kLabels = 4;
+
+struct Harness {
+  net::Simulator sim;
+  net::Network network{sim, net::LatencyModel{0.01, 0.0, 0.0}, 5};
+};
+
+categorical::LabelDataset label_workload(std::uint64_t seed,
+                                         std::size_t users,
+                                         std::size_t objects) {
+  categorical::CategoricalConfig config;
+  config.num_users = users;
+  config.num_objects = objects;
+  config.num_labels = kLabels;
+  config.lambda_err = 2.5;
+  config.missing_rate = 0.25;
+  config.seed = seed;
+  return categorical::generate_categorical(config);
+}
+
+ServerConfig label_config(std::size_t num_objects, std::size_t num_shards,
+                          std::size_t ingest_threads,
+                          double rr_keep = 1.0) {
+  ServerConfig config;
+  config.id = kServerId;
+  config.num_objects = num_objects;
+  config.collection_window_seconds = 10.0;
+  config.num_shards = num_shards;
+  config.ingest_threads = ingest_threads;
+  config.stats_block_size = 4;
+  config.labels.num_labels = kLabels;
+  config.labels.rr_keep_probability = rr_keep;
+  return config;
+}
+
+std::vector<net::NodeId> participant_ids(std::size_t count) {
+  std::vector<net::NodeId> ids;
+  for (std::size_t s = 0; s < count; ++s) ids.push_back(s);
+  return ids;
+}
+
+/// Uploads every user's row through the real client-side report builder
+/// (keep probability 1.0: the trusted-aggregator deployment, no client RR).
+void send_label_dataset(Harness& h, const categorical::LabelDataset& dataset,
+                        std::uint64_t round = 1) {
+  for (std::size_t s = 0; s < dataset.claims.num_users(); ++s) {
+    const auto row = dataset.claims.user_entries(s);
+    std::vector<std::uint64_t> objects;
+    std::vector<categorical::Label> labels;
+    for (const auto& entry : row) {
+      objects.push_back(entry.object);
+      labels.push_back(entry.label);
+    }
+    const LabelReport report = make_label_report(
+        round, s, objects, labels, kLabels, /*keep_probability=*/1.0,
+        /*seed=*/round);
+    h.network.send(make_message(s, kServerId, MessageType::kLabelReport,
+                                report.encode()));
+  }
+}
+
+/// Runs one label round through whichever server the config selects and
+/// returns its outcome.
+RoundOutcome run_label_round(const ServerConfig& config,
+                             const categorical::LabelDataset& dataset,
+                             const std::string& method = "vote") {
+  Harness h;
+  std::unique_ptr<CrowdServer> flat;
+  std::unique_ptr<ShardedServer> sharded;
+  const bool use_sharded =
+      config.num_shards > 1 || config.ingest_threads > 0;
+  if (use_sharded) {
+    sharded = std::make_unique<ShardedServer>(
+        config, truth::make_method(method), h.network);
+    sharded->start_round(1, participant_ids(dataset.claims.num_users()));
+  } else {
+    flat = std::make_unique<CrowdServer>(config, truth::make_method(method),
+                                         h.network);
+    flat->start_round(1, participant_ids(dataset.claims.num_users()));
+  }
+  send_label_dataset(h, dataset);
+  h.sim.run();
+  const auto& outcomes = use_sharded ? sharded->outcomes() : flat->outcomes();
+  EXPECT_EQ(outcomes.size(), 1u);
+  return outcomes.empty() ? RoundOutcome{} : outcomes[0];
+}
+
+void expect_results_bitwise_equal(const RoundOutcome& a,
+                                  const RoundOutcome& b,
+                                  const std::string& label) {
+  ASSERT_EQ(a.result.truths.size(), b.result.truths.size()) << label;
+  for (std::size_t n = 0; n < a.result.truths.size(); ++n) {
+    // EXPECT_EQ on doubles is exact comparison — bit-identity.
+    EXPECT_EQ(a.result.truths[n], b.result.truths[n]) << label << " " << n;
+  }
+  ASSERT_EQ(a.result.weights.size(), b.result.weights.size()) << label;
+  for (std::size_t s = 0; s < a.result.weights.size(); ++s) {
+    EXPECT_EQ(a.result.weights[s], b.result.weights[s]) << label << " " << s;
+  }
+  EXPECT_EQ(a.result.iterations, b.result.iterations) << label;
+  EXPECT_EQ(a.reports_received, b.reports_received) << label;
+}
+
+TEST(LabelServer, FlatShardedAndPipelinedPublishIdenticalBits) {
+  const categorical::LabelDataset dataset = label_workload(11, 36, 8);
+  const RoundOutcome flat =
+      run_label_round(label_config(8, 1, 0), dataset);
+  EXPECT_EQ(flat.reports_received, 36u);
+  ASSERT_FALSE(flat.result.truths.empty());
+  // Published truths are exact label ids.
+  for (const double t : flat.result.truths) {
+    EXPECT_EQ(t, static_cast<double>(static_cast<categorical::Label>(t)));
+    EXPECT_LT(t, static_cast<double>(kLabels));
+  }
+
+  const RoundOutcome sharded =
+      run_label_round(label_config(8, 4, 0), dataset);
+  expect_results_bitwise_equal(flat, sharded, "sharded K=4");
+  const RoundOutcome pipelined =
+      run_label_round(label_config(8, 4, 3), dataset);
+  expect_results_bitwise_equal(flat, pipelined, "pipelined K=4 W=3");
+}
+
+TEST(LabelServer, ServerSideRrIsDeterministicAcrossWorkersAndShards) {
+  const categorical::LabelDataset dataset = label_workload(21, 32, 10);
+  const double keep = 0.7;  // > 1/kLabels, real flips
+  const RoundOutcome base =
+      run_label_round(label_config(10, 1, 0, keep), dataset);
+  expect_results_bitwise_equal(
+      base, run_label_round(label_config(10, 4, 0, keep), dataset),
+      "rr sharded");
+  expect_results_bitwise_equal(
+      base, run_label_round(label_config(10, 4, 1, keep), dataset),
+      "rr one worker");
+  expect_results_bitwise_equal(
+      base, run_label_round(label_config(10, 4, 3, keep), dataset),
+      "rr three workers");
+
+  // Sanity: the sampling actually perturbed something — the weighted-vote
+  // outcome differs somewhere from the unperturbed round.
+  const RoundOutcome clean =
+      run_label_round(label_config(10, 1, 0, 1.0), dataset);
+  bool differs = false;
+  for (std::size_t s = 0; s < base.result.weights.size(); ++s) {
+    if (base.result.weights[s] != clean.result.weights[s]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LabelServer, InvalidLabelsAreCountedAndDroppedNotFatal) {
+  Harness h;
+  CrowdServer server(label_config(2, 1, 0), truth::make_method("majority"),
+                     h.network);
+  server.start_round(1, participant_ids(3));
+  for (std::size_t s = 0; s < 3; ++s) {
+    LabelReport report;
+    report.round = 1;
+    report.user_id = s;
+    report.objects = {0, 1};
+    // Object 1's claim is out of the alphabet for user 0: dropped + counted.
+    report.labels = {1, s == 0 ? 99u : 1u};
+    h.network.send(make_message(s, kServerId, MessageType::kLabelReport,
+                                report.encode()));
+  }
+  h.sim.run();
+  ASSERT_EQ(server.outcomes().size(), 1u);
+  const RoundOutcome& outcome = server.outcomes()[0];
+  EXPECT_EQ(outcome.reports_received, 3u);
+  ASSERT_EQ(outcome.shard_stats.size(), 1u);
+  EXPECT_EQ(outcome.shard_stats[0].invalid_labels, 1u);
+  ASSERT_EQ(outcome.result.truths.size(), 2u);
+  EXPECT_EQ(outcome.result.truths[0], 1.0);
+  EXPECT_EQ(outcome.result.truths[1], 1.0);  // 2 valid claims survive
+}
+
+TEST(LabelServer, WrongKindUploadsAreRejectedBothWays) {
+  // A label round rejects a continuous kReport from an enrolled user...
+  {
+    Harness h;
+    ShardedServer server(label_config(2, 2, 0), truth::make_method("majority"),
+                         h.network);
+    server.start_round(1, participant_ids(4));
+    Report continuous;
+    continuous.round = 1;
+    continuous.user_id = 0;
+    continuous.objects = {0, 1};
+    continuous.values = {1.0, 2.0};
+    h.network.send(make_message(0, kServerId, MessageType::kReport,
+                                continuous.encode()));
+    for (std::size_t s = 1; s < 4; ++s) {
+      LabelReport report;
+      report.round = 1;
+      report.user_id = s;
+      report.objects = {0, 1};
+      report.labels = {1, 2};
+      h.network.send(make_message(s, kServerId, MessageType::kLabelReport,
+                                  report.encode()));
+    }
+    h.sim.run();  // user 0 never counts: the deadline closes the round
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_EQ(server.outcomes()[0].reports_received, 3u);
+    EXPECT_GE(server.outcomes()[0].reports_rejected, 1u);
+  }
+  // ...and a continuous round rejects a kLabelReport.
+  {
+    Harness h;
+    ServerConfig config = label_config(2, 1, 0);
+    config.labels = {};  // continuous campaign
+    CrowdServer server(config, truth::make_method("mean"), h.network);
+    server.start_round(1, participant_ids(2));
+    LabelReport label;
+    label.round = 1;
+    label.user_id = 0;
+    label.objects = {0};
+    label.labels = {1};
+    h.network.send(make_message(0, kServerId, MessageType::kLabelReport,
+                                label.encode()));
+    Report continuous;
+    continuous.round = 1;
+    continuous.user_id = 1;
+    continuous.objects = {0, 1};
+    continuous.values = {3.0, 4.0};
+    h.network.send(make_message(1, kServerId, MessageType::kReport,
+                                continuous.encode()));
+    h.sim.run();
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_EQ(server.outcomes()[0].reports_received, 1u);
+    EXPECT_GE(server.outcomes()[0].reports_rejected, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dptd::crowd

@@ -17,10 +17,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "categorical/label_matrix.h"
+#include "categorical/synthetic.h"
 #include "data/sharding.h"
 #include "data/synthetic.h"
 #include "dist/coordinator.h"
@@ -47,6 +50,8 @@ data::Dataset random_dataset(std::uint64_t seed, std::size_t users,
   return data::generate_synthetic(config);
 }
 
+constexpr std::size_t kNumLabels = 4;
+
 MethodSpec spec_for(const std::string& name) {
   MethodSpec spec;
   if (name == "crh") {
@@ -59,10 +64,50 @@ MethodSpec spec_for(const std::string& name) {
     spec.kind = MethodSpec::Kind::kMean;
   } else if (name == "median") {
     spec.kind = MethodSpec::Kind::kMedian;
+  } else if (name == "majority") {
+    spec.kind = MethodSpec::Kind::kMajority;
+    spec.majority.num_labels = kNumLabels;
+  } else if (name == "vote") {
+    spec.kind = MethodSpec::Kind::kVote;
+    spec.vote.num_labels = kNumLabels;
   } else {
     ADD_FAILURE() << "unknown method " << name;
   }
   return spec;
+}
+
+/// One workload serving both round kinds: continuous claims for the
+/// numeric methods, label claims for the categorical ones.
+struct Workload {
+  std::optional<data::Dataset> continuous;
+  std::optional<categorical::LabelDataset> labels;
+
+  std::size_t num_users() const {
+    return continuous ? continuous->num_users() : labels->claims.num_users();
+  }
+  std::size_t num_objects() const {
+    return continuous ? continuous->num_objects()
+                      : labels->claims.num_objects();
+  }
+};
+
+Workload workload_for(const MethodSpec& spec, std::uint64_t seed,
+                      std::size_t users, std::size_t objects,
+                      double missing) {
+  Workload w;
+  if (spec.categorical()) {
+    categorical::CategoricalConfig config;
+    config.num_users = users;
+    config.num_objects = objects;
+    config.num_labels = kNumLabels;
+    config.lambda_err = 2.0;
+    config.missing_rate = missing;
+    config.seed = seed;
+    w.labels = categorical::generate_categorical(config);
+  } else {
+    w.continuous = random_dataset(seed, users, objects, missing);
+  }
+  return w;
 }
 
 void expect_bitwise_equal(const truth::Result& a, const truth::Result& b,
@@ -133,10 +178,28 @@ bool wait_for_path(const std::string& path, double timeout_seconds = 10.0) {
 /// Hands every user's claims to the coordinator directly (the coordinator is
 /// the report sink either way; what is under test is its socket-side routing
 /// to the owning shard processes).
-void inject_reports(Coordinator& coordinator, const data::Dataset& dataset,
+void inject_reports(Coordinator& coordinator, const Workload& workload,
                     std::uint64_t round) {
-  for (std::size_t s = 0; s < dataset.num_users(); ++s) {
-    const auto entries = dataset.observations.user_entries(s);
+  if (workload.labels) {
+    for (std::size_t s = 0; s < workload.num_users(); ++s) {
+      const auto row = workload.labels->claims.user_entries(s);
+      if (row.empty()) continue;
+      crowd::LabelReport report;
+      report.round = round;
+      report.user_id = s;
+      for (const auto& entry : row) {
+        report.objects.push_back(entry.object);
+        report.labels.push_back(entry.label);
+      }
+      coordinator.on_message(
+          crowd::make_message(report.user_id, kCoordinatorId,
+                              crowd::MessageType::kLabelReport,
+                              report.encode()));
+    }
+    return;
+  }
+  for (std::size_t s = 0; s < workload.num_users(); ++s) {
+    const auto entries = workload.continuous->observations.user_entries(s);
     if (entries.empty()) continue;
     crowd::Report report;
     report.round = round;
@@ -167,12 +230,12 @@ void shutdown_shards(net::Transport& transport,
 
 /// A simulator-backed fleet with the same topology, for the reference run.
 truth::Result run_simulator_round(std::size_t k, const MethodSpec& spec,
-                                  const data::Dataset& dataset) {
+                                  const Workload& workload) {
   net::Simulator sim;
   net::Network network(sim, net::LatencyModel{0.01, 0.0, 0.0}, 7);
   CoordinatorConfig config;
   config.id = kCoordinatorId;
-  config.num_objects = dataset.num_objects();
+  config.num_objects = workload.num_objects();
   config.block_size = kTestBlock;
   Coordinator coordinator(config, spec, network);
   std::vector<std::unique_ptr<ShardNode>> shards;
@@ -181,8 +244,8 @@ truth::Result run_simulator_round(std::size_t k, const MethodSpec& spec,
     coordinator.add_shard(kShardBase + i);
   }
   EXPECT_TRUE(
-      coordinator.begin_round(1, participant_ids(dataset.num_users())));
-  inject_reports(coordinator, dataset, 1);
+      coordinator.begin_round(1, participant_ids(workload.num_users())));
+  inject_reports(coordinator, workload, 1);
   sim.run();
   const DistributedOutcome outcome = coordinator.close_round();
   EXPECT_TRUE(outcome.aggregated);
@@ -195,7 +258,7 @@ class MultiProcessEquivalence : public ::testing::TestWithParam<const char*> {
 TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
   const std::string name = GetParam();
   const MethodSpec spec = spec_for(name);
-  const data::Dataset dataset = random_dataset(101, 32, 4, 0.3);
+  const Workload workload = workload_for(spec, 101, 32, 4, 0.3);
 
   for (const std::size_t k : {1u, 2u, 4u}) {
     const std::string label = name + " K=" + std::to_string(k);
@@ -215,15 +278,15 @@ TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
     net::SocketTransport transport(net_cfg);
     CoordinatorConfig config;
     config.id = kCoordinatorId;
-    config.num_objects = dataset.num_objects();
+    config.num_objects = workload.num_objects();
     config.block_size = kTestBlock;
     Coordinator coordinator(config, spec, transport);
     for (const net::NodeId id : shard_ids) coordinator.add_shard(id);
 
     ASSERT_TRUE(
-        coordinator.begin_round(1, participant_ids(dataset.num_users())))
+        coordinator.begin_round(1, participant_ids(workload.num_users())))
         << label;
-    inject_reports(coordinator, dataset, 1);
+    inject_reports(coordinator, workload, 1);
     const DistributedOutcome outcome = coordinator.close_round();
     shutdown_shards(transport, shard_ids, pids);
 
@@ -251,21 +314,21 @@ TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
     EXPECT_GT(outcome.network.bytes_delivered, 0u) << label;
 
     // The tentpole claim: identical bits to the simulator fleet at same K.
-    const truth::Result reference = run_simulator_round(k, spec, dataset);
+    const truth::Result reference = run_simulator_round(k, spec, workload);
     expect_bitwise_equal(reference, outcome.result, label);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, MultiProcessEquivalence,
                          ::testing::Values("crh", "gtm", "catd", "mean",
-                                           "median"),
+                                           "median", "majority", "vote"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });
 
 TEST(MultiProcessChurn, KilledShardFailsRoundThenRestartRejoins) {
   const MethodSpec spec = spec_for("crh");
-  const data::Dataset dataset = random_dataset(202, 32, 4, 0.25);
+  const Workload dataset = workload_for(spec, 202, 32, 4, 0.25);
   const auto participants = participant_ids(dataset.num_users());
 
   TempDir dir;
