@@ -12,6 +12,12 @@
 //    iterate phase alone, from the coordinator's NetworkStats delta. Grows
 //    with K (one chain hop per shard per collective) — the cost model the
 //    README's distributed-mode section describes.
+//
+// The simulator rows carry a second axis, batch:{0,1}: the same round with
+// kBatch collective coalescing off and on. Bits are identical either way (the
+// equivalence suites enforce it); the batched rows exist to show the
+// messages_per_iteration drop the coalescing buys (CRH: 6K -> 4K frames per
+// iteration).
 #include <benchmark/benchmark.h>
 
 #include <sys/stat.h>
@@ -82,6 +88,7 @@ dptd::crowd::Report make_report(std::size_t user, std::uint64_t round = 1) {
 
 void BM_DistributedRoundCrh(benchmark::State& state) {
   const auto num_shards = static_cast<std::size_t>(state.range(0));
+  const bool batch = state.range(1) != 0;
 
   MethodSpec spec;
   spec.kind = MethodSpec::Kind::kCrh;
@@ -106,6 +113,7 @@ void BM_DistributedRoundCrh(benchmark::State& state) {
     config.id = kCoordinatorId;
     config.num_objects = kObjects;
     config.block_size = kBlock;
+    config.batch_collectives = batch;
     Coordinator coordinator(config, spec, network);
     std::vector<std::unique_ptr<ShardNode>> shards;
     for (std::size_t i = 0; i < num_shards; ++i) {
@@ -167,11 +175,8 @@ void BM_DistributedRoundCrh(benchmark::State& state) {
       benchmark::Counter(per_round(static_cast<double>(iterations)));
 }
 BENCHMARK(BM_DistributedRoundCrh)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->ArgName("shards")
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"shards", "batch"})
     ->Unit(benchmark::kSecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
@@ -184,7 +189,9 @@ BENCHMARK(BM_DistributedRoundCrh)
 // shard kernels, which the simulator row already times at the million-user
 // scale. Results stay bitwise identical to the simulator rows' method output
 // at equal K and block size (the multiprocess equivalence suite enforces it);
-// this row exists to price the transport swap.
+// this row exists to price the transport swap. It runs with the production
+// default (batched collectives), so each iteration really does cost 4K
+// kernel round trips, not 6K.
 // ---------------------------------------------------------------------------
 
 constexpr std::size_t kUdsUsers = 100'000;

@@ -102,6 +102,17 @@ std::string Decoder::read_string() {
   return s;
 }
 
+std::vector<std::uint8_t> Decoder::read_bytes() {
+  const std::uint64_t len = read_varint();
+  if (len > kMaxContainerLength) throw DecodeError("byte array too long");
+  need(static_cast<std::size_t>(len));
+  std::vector<std::uint8_t> bytes(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(
+                                                      pos_ + static_cast<std::size_t>(len)));
+  pos_ += static_cast<std::size_t>(len);
+  return bytes;
+}
+
 std::vector<double> Decoder::read_doubles() {
   const std::uint64_t len = read_varint();
   if (len > kMaxContainerLength) throw DecodeError("vector too long");

@@ -51,6 +51,7 @@ class Decoder {
   double read_double();
   std::string read_string();
   std::vector<double> read_doubles();
+  std::vector<std::uint8_t> read_bytes();  // mirror of write_bytes
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }

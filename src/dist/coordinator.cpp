@@ -100,11 +100,20 @@ void Coordinator::route_report(const net::Message& message) {
   // Forward under the ORIGINAL message type: continuous and categorical
   // uploads share the peekable header, and the owning shard enforces the
   // round's kind itself (wrong-kind uploads are rejected there, counted).
-  network_->send(crowd::make_message(config_.id, active_[shard],
+  const net::NodeId target = active_[shard];
+  const std::size_t undeliverable_before = network_->undeliverable_to(target);
+  network_->send(crowd::make_message(config_.id, target,
                                      static_cast<crowd::MessageType>(
                                          message.type),
                                      message.payload));
   ++reports_routed_;
+  // Reports have no resend path: a synchronous transport drop here is real
+  // loss, so make it observable instead of silent. (The simulator's
+  // detached-in-flight drops are counted at delivery time and show up in
+  // NodeCounters::messages_undeliverable.)
+  if (network_->undeliverable_to(target) > undeliverable_before) {
+    ++reports_undeliverable_;
+  }
 }
 
 void Coordinator::handle_response(const net::Message& message) {
@@ -136,6 +145,11 @@ bool Coordinator::pump() {
     // short instead of paying the full timeout.
     network_->poll(next);
     const double now = network_->now();
+    // poll() returning early on an unrelated delivery (a routed report, a
+    // loopback frame) must not trigger the resend scan: nothing can be due
+    // before the nearest deadline, and rescanning every outstanding op on
+    // every delivery would busy-loop the scan under report floods.
+    if (now < next) continue;
     for (auto& [id, p] : outstanding_) {
       if (p.deadline > now) continue;
       if (p.resends >= config_.rpc.max_resends) {
@@ -220,6 +234,37 @@ std::optional<T> decode_or_fail(
 // ---------------------------------------------------------------------------
 // Statistics collectives
 
+std::optional<std::vector<std::uint8_t>> Coordinator::chain_call(
+    net::NodeId shard, std::size_t index, ShardOp op,
+    std::vector<std::uint8_t> body, const BatchPrefixFn& prefix_of) {
+  if (!prefix_of) return call(shard, op, std::move(body));
+  Batch items = prefix_of(index);
+  if (items.empty()) return call(shard, op, std::move(body));
+  items.push_back(BatchItem{op, std::move(body)});
+  BatchBody batch;
+  batch.items = std::move(items);
+  auto reply = call(shard, ShardOp::kBatch, batch.encode());
+  if (!reply.has_value()) return std::nullopt;
+  auto decoded = decode_or_fail<BatchReplyBody>(shard, *reply,
+                                                malformed_by_node_,
+                                                failed_shard_);
+  if (!decoded.has_value() || decoded->bodies.size() != batch.items.size()) {
+    failed_shard_ = shard;
+    return std::nullopt;
+  }
+  return std::move(decoded->bodies.back());
+}
+
+std::vector<std::uint8_t> Coordinator::weights_slice_body(
+    const std::vector<double>& global, std::size_t i) const {
+  WeightsBody body;
+  body.uniform = false;
+  body.weights.assign(
+      global.begin() + static_cast<std::ptrdiff_t>(plan_.user_begin(i)),
+      global.begin() + static_cast<std::ptrdiff_t>(plan_.user_end(i)));
+  return body.encode();
+}
+
 bool Coordinator::set_weights_uniform() {
   WeightsBody body;
   body.uniform = true;
@@ -230,26 +275,20 @@ bool Coordinator::set_weights_explicit(const std::vector<double>& global) {
   DPTD_REQUIRE(global.size() == plan_.num_users,
                "Coordinator: weight vector size != num users");
   return call_all(ShardOp::kSetWeights, active_,
-                  [&](std::size_t i) {
-                    WeightsBody body;
-                    body.uniform = false;
-                    body.weights.assign(
-                        global.begin() +
-                            static_cast<std::ptrdiff_t>(plan_.user_begin(i)),
-                        global.begin() +
-                            static_cast<std::ptrdiff_t>(plan_.user_end(i)));
-                    return body.encode();
-                  })
+                  [&](std::size_t i) { return weights_slice_body(global, i); })
       .has_value();
 }
 
-std::optional<truth::AggregateStats> Coordinator::aggregate_chain() {
+std::optional<truth::AggregateStats> Coordinator::aggregate_chain(
+    const BatchPrefixFn& prefix_of) {
   // The chained fold: each shard continues the accumulator exactly where the
   // previous one stopped, reproducing the in-process ascending-shard fold.
   AggregateBody body;
   body.stats.reset(config_.num_objects);
-  for (net::NodeId shard : active_) {
-    auto reply = call(shard, ShardOp::kAggregate, body.encode());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const net::NodeId shard = active_[i];
+    auto reply = chain_call(shard, i, ShardOp::kAggregate, body.encode(),
+                            prefix_of);
     if (!reply.has_value()) return std::nullopt;
     auto next = decode_or_fail<AggregateBody>(shard, *reply,
                                               malformed_by_node_,
@@ -264,8 +303,9 @@ std::optional<truth::AggregateStats> Coordinator::aggregate_chain() {
   return std::move(body.stats);
 }
 
-std::optional<std::vector<double>> Coordinator::aggregate_truths() {
-  auto stats = aggregate_chain();
+std::optional<std::vector<double>> Coordinator::aggregate_truths(
+    const BatchPrefixFn& prefix_of) {
+  auto stats = aggregate_chain(prefix_of);
   if (!stats.has_value()) return std::nullopt;
   return truth::truths_from_aggregate(*stats, nullptr);
 }
@@ -290,16 +330,40 @@ std::optional<std::vector<RunningStats>> Coordinator::moments_chain() {
   return moments;
 }
 
-std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns() {
-  auto replies = call_all(ShardOp::kGather, active_,
-                          [](std::size_t) { return std::vector<std::uint8_t>{}; });
+std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns(
+    const BatchPrefixFn& prefix_of) {
+  // The gather has no carried state, so prefixed frames still go out in
+  // parallel: each shard executes its prefix (shard-local mutations only)
+  // before its own gather, which no other shard's reply depends on.
+  std::optional<std::vector<std::vector<std::uint8_t>>> replies;
+  if (prefix_of) {
+    replies = call_all(ShardOp::kBatch, active_, [&](std::size_t i) {
+      BatchBody batch;
+      batch.items = prefix_of(i);
+      batch.items.push_back(BatchItem{ShardOp::kGather, {}});
+      return batch.encode();
+    });
+  } else {
+    replies = call_all(ShardOp::kGather, active_,
+                       [](std::size_t) { return std::vector<std::uint8_t>{}; });
+  }
   if (!replies.has_value()) return std::nullopt;
   const std::size_t N = config_.num_objects;
   std::vector<std::vector<double>> columns(N);
   // Fragments concatenated in ascending shard order ARE the global columns
   // in user order (shard ranges are contiguous and ascending).
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    auto frag = decode_or_fail<GatherBody>(active_[i], (*replies)[i],
+    std::vector<std::uint8_t> frag_bytes = std::move((*replies)[i]);
+    if (prefix_of) {
+      auto batched = decode_or_fail<BatchReplyBody>(
+          active_[i], frag_bytes, malformed_by_node_, failed_shard_);
+      if (!batched.has_value() || batched->bodies.empty()) {
+        failed_shard_ = active_[i];
+        return std::nullopt;
+      }
+      frag_bytes = std::move(batched->bodies.back());
+    }
+    auto frag = decode_or_fail<GatherBody>(active_[i], frag_bytes,
                                            malformed_by_node_, failed_shard_);
     if (!frag.has_value() || frag->lengths.size() != N) {
       failed_shard_ = active_[i];
@@ -317,6 +381,14 @@ std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns() {
 }
 
 bool Coordinator::collect_telemetry() {
+  // The batched collect_weights pipelines kGetTelemetry into its frames; if
+  // that already covered every active shard this round, skip the extra RPC.
+  const bool collected =
+      !active_.empty() &&
+      std::all_of(active_.begin(), active_.end(), [&](net::NodeId shard) {
+        return telemetry_by_node_.contains(shard);
+      });
+  if (collected) return true;
   auto replies = call_all(ShardOp::kGetTelemetry, active_,
                           [](std::size_t) { return std::vector<std::uint8_t>{}; });
   if (!replies.has_value()) return false;
@@ -331,14 +403,16 @@ bool Coordinator::collect_telemetry() {
 }
 
 std::optional<std::vector<double>> Coordinator::vote_scores_chain(
-    std::size_t num_labels) {
+    std::size_t num_labels, const BatchPrefixFn& prefix_of) {
   // Same shape as aggregate_chain: the score table threads through the
   // shards in ascending order, each continuing categorical::fold_label_scores
   // exactly where the previous shard stopped.
   VoteScoresBody body;
   body.scores.assign(config_.num_objects * num_labels, 0.0);
-  for (net::NodeId shard : active_) {
-    auto reply = call(shard, ShardOp::kVoteScores, body.encode());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const net::NodeId shard = active_[i];
+    auto reply = chain_call(shard, i, ShardOp::kVoteScores, body.encode(),
+                            prefix_of);
     if (!reply.has_value()) return std::nullopt;
     auto next = decode_or_fail<VoteScoresBody>(shard, *reply,
                                                malformed_by_node_,
@@ -354,13 +428,42 @@ std::optional<std::vector<double>> Coordinator::vote_scores_chain(
 }
 
 std::optional<std::vector<double>> Coordinator::collect_weights() {
-  auto replies = call_all(ShardOp::kCollectWeights, active_,
-                          [](std::size_t) { return std::vector<std::uint8_t>{}; });
-  if (!replies.has_value()) return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> slices;
+  if (config_.batch_collectives) {
+    // Pipeline the two independent round-close collectives in one frame per
+    // shard: the telemetry rides along, so close_round's collect_telemetry
+    // becomes a no-op. Both are reads — batching cannot change any bits.
+    BatchBody batch;
+    batch.items.push_back(BatchItem{ShardOp::kCollectWeights, {}});
+    batch.items.push_back(BatchItem{ShardOp::kGetTelemetry, {}});
+    const std::vector<std::uint8_t> encoded = batch.encode();
+    auto replies = call_all(ShardOp::kBatch, active_,
+                            [&](std::size_t) { return encoded; });
+    if (!replies.has_value()) return std::nullopt;
+    slices.resize(active_.size());
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      auto reply = decode_or_fail<BatchReplyBody>(
+          active_[i], (*replies)[i], malformed_by_node_, failed_shard_);
+      if (!reply.has_value() || reply->bodies.size() != 2) {
+        failed_shard_ = active_[i];
+        return std::nullopt;
+      }
+      auto telemetry = decode_or_fail<TelemetryBody>(
+          active_[i], reply->bodies[1], malformed_by_node_, failed_shard_);
+      if (!telemetry.has_value()) return std::nullopt;
+      telemetry_by_node_[active_[i]] = *telemetry;
+      slices[i] = std::move(reply->bodies[0]);
+    }
+  } else {
+    auto replies = call_all(ShardOp::kCollectWeights, active_,
+                            [](std::size_t) { return std::vector<std::uint8_t>{}; });
+    if (!replies.has_value()) return std::nullopt;
+    slices = std::move(*replies);
+  }
   std::vector<double> weights;
   weights.reserve(plan_.num_users);
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    auto slice = decode_or_fail<WeightsBody>(active_[i], (*replies)[i],
+    auto slice = decode_or_fail<WeightsBody>(active_[i], slices[i],
                                              malformed_by_node_,
                                              failed_shard_);
     if (!slice.has_value() ||
@@ -427,6 +530,7 @@ bool Coordinator::begin_round(std::uint64_t round,
       index_.build(participants_);
       reports_routed_ = 0;
       reports_unroutable_ = 0;
+      reports_undeliverable_ = 0;
       return true;
     }
     // A shard failed setup: drop it and re-plan over the survivors. The
@@ -454,6 +558,7 @@ DistributedOutcome Coordinator::close_round() {
   const auto finish = [&]() {
     out.reports_routed = reports_routed_;
     out.reports_unroutable = reports_unroutable_;
+    out.reports_undeliverable = reports_undeliverable_;
     out.resends = round_resends_;
     out.stale_responses = stale_responses_ - stale_at_begin_;
     const net::NetworkStats now = network_->stats();
@@ -618,19 +723,38 @@ std::optional<truth::Result> Coordinator::run_crh(
   prep.loss = static_cast<std::uint8_t>(c.loss);
   prep.min_loss_fraction = c.min_loss_fraction;
   prep.stddevs = stddevs;
-  if (!broadcast(ShardOp::kCrhPrepare, prep.encode())) return std::nullopt;
+  const bool batched = config_.batch_collectives;
+  const std::vector<std::uint8_t> prep_bytes = prep.encode();
 
   truth::Result result;
-  if (!seed.weights.empty()) {
-    if (!set_weights_explicit(seed.weights)) return std::nullopt;
-    auto truths = aggregate_truths();
-    if (!truths.has_value()) return std::nullopt;
-    result.truths = std::move(*truths);
-  } else if (!seed.truths.empty()) {
+  if (seed.weights.empty() && !seed.truths.empty()) {
+    // Warm truths skip the initial aggregation: there is no following
+    // collective to fold the prepare into, so broadcast it plain.
+    if (!broadcast(ShardOp::kCrhPrepare, prep_bytes)) return std::nullopt;
     result.truths = seed.truths;
   } else {
-    if (!set_weights_uniform()) return std::nullopt;
-    auto truths = aggregate_truths();
+    // Batched: [prepare, weights, aggregate-hop] in one frame per shard —
+    // both folded ops only touch registers this shard's own fold consumes.
+    WeightsBody uniform;
+    uniform.uniform = true;
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t i) {
+        Batch items;
+        items.push_back(BatchItem{ShardOp::kCrhPrepare, prep_bytes});
+        items.push_back(BatchItem{ShardOp::kSetWeights,
+                                  seed.weights.empty()
+                                      ? uniform.encode()
+                                      : weights_slice_body(seed.weights, i)});
+        return items;
+      };
+    } else {
+      if (!broadcast(ShardOp::kCrhPrepare, prep_bytes)) return std::nullopt;
+      const bool ok = seed.weights.empty() ? set_weights_uniform()
+                                           : set_weights_explicit(seed.weights);
+      if (!ok) return std::nullopt;
+    }
+    auto truths = aggregate_truths(prefix);
     if (!truths.has_value()) return std::nullopt;
     result.truths = std::move(*truths);
   }
@@ -654,9 +778,19 @@ std::optional<truth::Result> Coordinator::run_crh(
     }
     CrhTotalBody tot;
     tot.total = total;
-    if (!broadcast(ShardOp::kCrhWeights, tot.encode())) return std::nullopt;
+    // Batched: the weight update rides each shard's aggregate hop instead of
+    // its own broadcast round-trip (6 -> 4 msgs/shard/iteration).
+    BatchPrefixFn weights_prefix;
+    if (batched) {
+      const std::vector<std::uint8_t> tot_bytes = tot.encode();
+      weights_prefix = [tot_bytes](std::size_t) {
+        return Batch{BatchItem{ShardOp::kCrhWeights, tot_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kCrhWeights, tot.encode())) return std::nullopt;
+    }
 
-    auto next = aggregate_truths();
+    auto next = aggregate_truths(weights_prefix);
     if (!next.has_value()) return std::nullopt;
     const double change = truth::truth_change(result.truths, *next);
     result.truths = std::move(*next);
@@ -692,19 +826,22 @@ std::optional<truth::Result> Coordinator::run_gtm(
   prep.min_variance = g.min_variance;
   prep.shift = shift;
   prep.scale = scale;
-  if (!broadcast(ShardOp::kGtmPrepare, prep.encode())) return std::nullopt;
+  const bool batched = config_.batch_collectives;
+  const std::vector<std::uint8_t> prep_bytes = prep.encode();
 
   const double prior_precision = 1.0 / g.truth_prior_variance;
   const double prior_weighted = g.truth_prior_mean / g.truth_prior_variance;
 
   std::vector<double> truth_mean(N, 0.0);
   std::vector<double> truth_var(N, 0.0);
-  const auto posterior_chain = [&]() -> bool {
+  const auto posterior_chain = [&](const BatchPrefixFn& prefix_of) -> bool {
     GtmFoldBody body;
     body.precision.assign(N, prior_precision);
     body.weighted.assign(N, prior_weighted);
-    for (net::NodeId shard : active_) {
-      auto reply = call(shard, ShardOp::kGtmFold, body.encode());
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const net::NodeId shard = active_[i];
+      auto reply = chain_call(shard, i, ShardOp::kGtmFold, body.encode(),
+                              prefix_of);
       if (!reply.has_value()) return false;
       auto next = decode_or_fail<GtmFoldBody>(shard, *reply,
                                               malformed_by_node_,
@@ -722,14 +859,36 @@ std::optional<truth::Result> Coordinator::run_gtm(
 
   if (!seed.weights.empty()) {
     // GTM's weights ARE per-user precisions: seed the E-step with them.
-    if (!set_weights_explicit(seed.weights)) return std::nullopt;
-    if (!posterior_chain()) return std::nullopt;
+    // Batched: prepare + the weight slice ride each shard's fold hop.
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t i) {
+        Batch items;
+        items.push_back(BatchItem{ShardOp::kGtmPrepare, prep_bytes});
+        items.push_back(BatchItem{ShardOp::kSetWeights,
+                                  weights_slice_body(seed.weights, i)});
+        return items;
+      };
+    } else {
+      if (!broadcast(ShardOp::kGtmPrepare, prep_bytes)) return std::nullopt;
+      if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    }
+    if (!posterior_chain(prefix)) return std::nullopt;
   } else if (!seed.truths.empty()) {
+    if (!broadcast(ShardOp::kGtmPrepare, prep_bytes)) return std::nullopt;
     for (std::size_t n = 0; n < N; ++n) {
       truth_mean[n] = (seed.truths[n] - shift[n]) / scale[n];
     }
   } else {
-    auto columns = gather_columns();
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t) {
+        return Batch{BatchItem{ShardOp::kGtmPrepare, prep_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kGtmPrepare, prep_bytes)) return std::nullopt;
+    }
+    auto columns = gather_columns(prefix);
     if (!columns.has_value()) return std::nullopt;
     for (std::size_t n = 0; n < N; ++n) {
       truth_mean[n] =
@@ -744,8 +903,18 @@ std::optional<truth::Result> Coordinator::run_gtm(
     GtmStepBody step;
     step.truth_mean = truth_mean;
     step.truth_var = truth_var;
-    if (!broadcast(ShardOp::kGtmStep, step.encode())) return std::nullopt;
-    if (!posterior_chain()) return std::nullopt;
+    // Batched: the M-step broadcast rides each shard's fold hop instead of
+    // its own round-trip (4 -> 2 msgs/shard/iteration).
+    BatchPrefixFn step_prefix;
+    if (batched) {
+      const std::vector<std::uint8_t> step_bytes = step.encode();
+      step_prefix = [step_bytes](std::size_t) {
+        return Batch{BatchItem{ShardOp::kGtmStep, step_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kGtmStep, step.encode())) return std::nullopt;
+    }
+    if (!posterior_chain(step_prefix)) return std::nullopt;
 
     result.iterations = it;
     const double change = truth::truth_change(prev_truths, truth_mean);
@@ -775,18 +944,40 @@ std::optional<truth::Result> Coordinator::run_catd(
   CatdPrepareBody prep;
   prep.significance = c.significance;
   prep.min_residual = c.min_residual;
-  if (!broadcast(ShardOp::kCatdPrepare, prep.encode())) return std::nullopt;
+  const bool batched = config_.batch_collectives;
+  const std::vector<std::uint8_t> prep_bytes = prep.encode();
 
   truth::Result result;
   if (!seed.weights.empty()) {
-    if (!set_weights_explicit(seed.weights)) return std::nullopt;
-    auto truths = aggregate_truths();
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t i) {
+        Batch items;
+        items.push_back(BatchItem{ShardOp::kCatdPrepare, prep_bytes});
+        items.push_back(BatchItem{ShardOp::kSetWeights,
+                                  weights_slice_body(seed.weights, i)});
+        return items;
+      };
+    } else {
+      if (!broadcast(ShardOp::kCatdPrepare, prep_bytes)) return std::nullopt;
+      if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    }
+    auto truths = aggregate_truths(prefix);
     if (!truths.has_value()) return std::nullopt;
     result.truths = std::move(*truths);
   } else if (!seed.truths.empty()) {
+    if (!broadcast(ShardOp::kCatdPrepare, prep_bytes)) return std::nullopt;
     result.truths = seed.truths;
   } else {
-    auto columns = gather_columns();
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t) {
+        return Batch{BatchItem{ShardOp::kCatdPrepare, prep_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kCatdPrepare, prep_bytes)) return std::nullopt;
+    }
+    auto columns = gather_columns(prefix);
     if (!columns.has_value()) return std::nullopt;
     result.truths.resize(N);
     for (std::size_t n = 0; n < N; ++n) {
@@ -800,9 +991,19 @@ std::optional<truth::Result> Coordinator::run_catd(
   for (std::size_t it = 1; it <= c.convergence.max_iterations; ++it) {
     TruthsBody req;
     req.truths = result.truths;
-    if (!broadcast(ShardOp::kCatdWeights, req.encode())) return std::nullopt;
+    // Batched: the weight update rides each shard's aggregate hop
+    // (4 -> 2 msgs/shard/iteration).
+    BatchPrefixFn weights_prefix;
+    if (batched) {
+      const std::vector<std::uint8_t> req_bytes = req.encode();
+      weights_prefix = [req_bytes](std::size_t) {
+        return Batch{BatchItem{ShardOp::kCatdWeights, req_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kCatdWeights, req.encode())) return std::nullopt;
+    }
 
-    auto next = aggregate_truths();
+    auto next = aggregate_truths(weights_prefix);
     if (!next.has_value()) return std::nullopt;
     const double change = truth::truth_change(result.truths, *next);
     result.truths = std::move(*next);
@@ -823,8 +1024,18 @@ std::optional<truth::Result> Coordinator::run_catd(
 std::optional<truth::Result> Coordinator::run_mean() {
   truth::Result result;
   mark_iterate_begin();
-  if (!set_weights_uniform()) return std::nullopt;
-  auto truths = aggregate_truths();
+  BatchPrefixFn prefix;
+  if (config_.batch_collectives) {
+    WeightsBody uniform;
+    uniform.uniform = true;
+    const std::vector<std::uint8_t> uniform_bytes = uniform.encode();
+    prefix = [uniform_bytes](std::size_t) {
+      return Batch{BatchItem{ShardOp::kSetWeights, uniform_bytes}};
+    };
+  } else {
+    if (!set_weights_uniform()) return std::nullopt;
+  }
+  auto truths = aggregate_truths(prefix);
   if (!truths.has_value()) return std::nullopt;
   mark_iterate_end();
   result.truths = std::move(*truths);
@@ -858,12 +1069,25 @@ std::optional<truth::Result> Coordinator::run_majority() {
   prep.num_labels = L;
   prep.min_disagreement_fraction =
       categorical::WeightedVotingConfig{}.min_disagreement_fraction;
-  if (!broadcast(ShardOp::kVotePrepare, prep.encode())) return std::nullopt;
+  const bool batched = config_.batch_collectives;
+  BatchPrefixFn prefix;
+  if (batched) {
+    WeightsBody uniform;
+    uniform.uniform = true;
+    const std::vector<std::uint8_t> prep_bytes = prep.encode();
+    const std::vector<std::uint8_t> uniform_bytes = uniform.encode();
+    prefix = [prep_bytes, uniform_bytes](std::size_t) {
+      return Batch{BatchItem{ShardOp::kVotePrepare, prep_bytes},
+                   BatchItem{ShardOp::kSetWeights, uniform_bytes}};
+    };
+  } else {
+    if (!broadcast(ShardOp::kVotePrepare, prep.encode())) return std::nullopt;
+  }
 
   truth::Result result;
   mark_iterate_begin();
-  if (!set_weights_uniform()) return std::nullopt;
-  auto scores = vote_scores_chain(L);
+  if (!batched && !set_weights_uniform()) return std::nullopt;
+  auto scores = vote_scores_chain(L, prefix);
   if (!scores.has_value()) return std::nullopt;
   mark_iterate_end();
   const std::vector<categorical::Label> truths =
@@ -891,21 +1115,38 @@ std::optional<truth::Result> Coordinator::run_vote(
   VotePrepareBody prep;
   prep.num_labels = L;
   prep.min_disagreement_fraction = v.min_disagreement_fraction;
-  if (!broadcast(ShardOp::kVotePrepare, prep.encode())) return std::nullopt;
+  const bool batched = config_.batch_collectives;
+  const std::vector<std::uint8_t> prep_bytes = prep.encode();
 
   std::vector<categorical::Label> truths;
   if (!seed.truths.empty()) {
     // Prior truths skip the initial aggregation entirely; prior weights are
     // irrelevant on this path (the first iteration overwrites them before
-    // any fold reads them), exactly like the in-process driver.
+    // any fold reads them), exactly like the in-process driver. There is no
+    // following chain to fold the prepare into, so broadcast it plain.
+    if (!broadcast(ShardOp::kVotePrepare, prep_bytes)) return std::nullopt;
     truths = truth::labels_from_doubles(seed.truths, L);
   } else {
-    if (!seed.weights.empty()) {
-      if (!set_weights_explicit(seed.weights)) return std::nullopt;
+    WeightsBody uniform;
+    uniform.uniform = true;
+    BatchPrefixFn prefix;
+    if (batched) {
+      prefix = [&](std::size_t i) {
+        Batch items;
+        items.push_back(BatchItem{ShardOp::kVotePrepare, prep_bytes});
+        items.push_back(BatchItem{ShardOp::kSetWeights,
+                                  seed.weights.empty()
+                                      ? uniform.encode()
+                                      : weights_slice_body(seed.weights, i)});
+        return items;
+      };
     } else {
-      if (!set_weights_uniform()) return std::nullopt;
+      if (!broadcast(ShardOp::kVotePrepare, prep_bytes)) return std::nullopt;
+      const bool ok = seed.weights.empty() ? set_weights_uniform()
+                                           : set_weights_explicit(seed.weights);
+      if (!ok) return std::nullopt;
     }
-    auto scores = vote_scores_chain(L);
+    auto scores = vote_scores_chain(L, prefix);
     if (!scores.has_value()) return std::nullopt;
     truths = categorical::truths_from_scores(*scores, N, L);
   }
@@ -930,16 +1171,30 @@ std::optional<truth::Result> Coordinator::run_vote(
     }
     // Broadcast even a non-positive total: the shards then land on uniform
     // weights, matching the in-process unanimity short-circuit bit for bit.
+    // (Unanimity ends the iteration, so there is no chain to fold the weight
+    // update into — the decision is known before the frame shape is chosen,
+    // never speculated.)
     CrhTotalBody tot;
     tot.total = total;
-    if (!broadcast(ShardOp::kVoteWeights, tot.encode())) return std::nullopt;
     if (total <= 0.0) {
+      if (!broadcast(ShardOp::kVoteWeights, tot.encode())) return std::nullopt;
       result.iterations = it;
       result.converged = true;
       break;
     }
+    // Batched: the weight update rides each shard's score-chain hop
+    // (6 -> 4 msgs/shard/iteration).
+    BatchPrefixFn weights_prefix;
+    if (batched) {
+      const std::vector<std::uint8_t> tot_bytes = tot.encode();
+      weights_prefix = [tot_bytes](std::size_t) {
+        return Batch{BatchItem{ShardOp::kVoteWeights, tot_bytes}};
+      };
+    } else {
+      if (!broadcast(ShardOp::kVoteWeights, tot.encode())) return std::nullopt;
+    }
 
-    auto scores = vote_scores_chain(L);
+    auto scores = vote_scores_chain(L, weights_prefix);
     if (!scores.has_value()) return std::nullopt;
     std::vector<categorical::Label> next =
         categorical::truths_from_scores(*scores, N, L);

@@ -52,6 +52,13 @@ struct CoordinatorConfig {
   net::RpcPolicy rpc;
   /// Seed each round from the previous successful round (stable-id remap).
   bool warm_start = false;
+  /// Coalesce broadcast ops into the frames of the collective that follows
+  /// them (one kBatch per shard, one op_id per batch) and pipeline the
+  /// independent round-close collectives. Bitwise identical to the unbatched
+  /// protocol: a folded op only mutates shard-local registers consumed by
+  /// that same shard's own fold, so execution order across shards cannot
+  /// change the chain's bits. Off reproduces the one-frame-per-op wire shape.
+  bool batch_collectives = true;
 };
 
 /// Which method the coordinator drives, with its full configuration (the
@@ -124,6 +131,12 @@ struct DistributedOutcome {
   bool warm_started = false;
   std::size_t reports_routed = 0;      ///< forwarded to owning shards
   std::size_t reports_unroutable = 0;  ///< unknown user / undecodable / late
+  /// Routed reports the transport could not deliver (counted synchronously
+  /// at send; the simulator's detached-in-flight drops appear per shard in
+  /// NodeCounters::messages_undeliverable instead). Reports have no resend
+  /// path, so a nonzero value here is real data loss — the no-churn
+  /// equivalence suites assert zero.
+  std::size_t reports_undeliverable = 0;
   std::vector<crowd::ShardIngestStats> shard_stats;  ///< active-shard order
   truth::Result result;
   net::NetworkStats network;  ///< whole-round traffic delta
@@ -203,17 +216,38 @@ class Coordinator final : public net::Node {
   bool broadcast(ShardOp op, const std::vector<std::uint8_t>& body);
   bool pump();
 
+  using Batch = std::vector<BatchItem>;
+  /// Batched-mode coalescing hook: the sub-ops to fold ahead of shard
+  /// `index`'s next chain-hop or gather frame. They execute before the main
+  /// op inside the same exactly-once unit (one op_id for the whole batch).
+  /// An unset function (the default) keeps the plain one-frame-per-op path.
+  using BatchPrefixFn = std::function<Batch(std::size_t)>;
+
+  /// One chain hop to `shard`: plain `op` when `prefix_of` is unset or empty,
+  /// else a kBatch frame [prefix..., op] whose last reply body is returned.
+  std::optional<std::vector<std::uint8_t>> chain_call(
+      net::NodeId shard, std::size_t index, ShardOp op,
+      std::vector<std::uint8_t> body, const BatchPrefixFn& prefix_of);
+  /// Encoded WeightsBody slice of `global` for shard `i` (plan user range).
+  std::vector<std::uint8_t> weights_slice_body(
+      const std::vector<double>& global, std::size_t i) const;
+
   // Statistics collectives over the active shards (ascending shard order).
   bool set_weights_uniform();
   bool set_weights_explicit(const std::vector<double>& global);
-  std::optional<truth::AggregateStats> aggregate_chain();
-  std::optional<std::vector<double>> aggregate_truths();
+  std::optional<truth::AggregateStats> aggregate_chain(
+      const BatchPrefixFn& prefix_of = {});
+  std::optional<std::vector<double>> aggregate_truths(
+      const BatchPrefixFn& prefix_of = {});
   std::optional<std::vector<RunningStats>> moments_chain();
-  std::optional<std::vector<std::vector<double>>> gather_columns();
+  std::optional<std::vector<std::vector<double>>> gather_columns(
+      const BatchPrefixFn& prefix_of = {});
   std::optional<std::vector<double>> collect_weights();
   /// Chained categorical score fold (kVoteScores) over the active shards.
-  std::optional<std::vector<double>> vote_scores_chain(std::size_t num_labels);
-  /// kGetTelemetry over the active shards into telemetry_by_node_.
+  std::optional<std::vector<double>> vote_scores_chain(
+      std::size_t num_labels, const BatchPrefixFn& prefix_of = {});
+  /// kGetTelemetry over the active shards into telemetry_by_node_. No-op when
+  /// the batched collect_weights already piggybacked it this round.
   bool collect_telemetry();
 
   // Per-method drivers: the exact run_impl control flow over the wire.
@@ -248,6 +282,7 @@ class Coordinator final : public net::Node {
   std::vector<net::NodeId> active_;  ///< shard_index -> node id this round
   std::size_t reports_routed_ = 0;
   std::size_t reports_unroutable_ = 0;
+  std::size_t reports_undeliverable_ = 0;
   net::NetworkStats stats_at_begin_;
   net::NetworkStats stats_at_iterate_;
   std::size_t iteration_messages_ = 0;

@@ -506,6 +506,19 @@ std::vector<std::uint8_t> ShardNode::execute(
       out.malformed_messages = malformed_messages_;
       return out.encode();
     }
+    case ShardOp::kBatch: {
+      // Sub-ops execute strictly in order; decode already refused lifecycle
+      // ops and nesting, and every remaining op is idempotent, so a mid-batch
+      // DecodeError abort (reported as one malformed message, watermark not
+      // advanced) is safe for the coordinator to resend.
+      const BatchBody req = BatchBody::decode(body);
+      BatchReplyBody out;
+      out.bodies.reserve(req.items.size());
+      for (const BatchItem& item : req.items) {
+        out.bodies.push_back(execute(item.op, item.body));
+      }
+      return out.encode();
+    }
   }
   throw DecodeError("shard: unknown op");
 }

@@ -387,6 +387,64 @@ VoteDisagreeBody VoteDisagreeBody::decode(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::vector<std::uint8_t> BatchBody::encode() const {
+  Encoder enc;
+  enc.write_varint(items.size());
+  for (const BatchItem& item : items) {
+    enc.write_u8(static_cast<std::uint8_t>(item.op));
+    enc.write_bytes(item.body);
+  }
+  return enc.take();
+}
+
+BatchBody BatchBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  BatchBody msg;
+  const std::uint64_t count = dec.read_varint();
+  if (count == 0) throw DecodeError("BatchBody: empty batch");
+  if (count > kMaxEntries) throw DecodeError("BatchBody: too many items");
+  msg.items.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t op = dec.read_u8();
+    if (op < static_cast<std::uint8_t>(ShardOp::kSetup) ||
+        op > static_cast<std::uint8_t>(ShardOp::kBatch)) {
+      throw DecodeError("BatchBody: unknown op");
+    }
+    // Refused here, before any sub-op executes, so a bad batch never
+    // half-applies: lifecycle ops are not idempotent and nesting would defeat
+    // the one-op_id-per-batch watermark contract.
+    if (op == static_cast<std::uint8_t>(ShardOp::kSetup) ||
+        op == static_cast<std::uint8_t>(ShardOp::kFinalizeIngest) ||
+        op == static_cast<std::uint8_t>(ShardOp::kBatch)) {
+      throw DecodeError("BatchBody: op not batchable");
+    }
+    BatchItem item;
+    item.op = static_cast<ShardOp>(op);
+    item.body = dec.read_bytes();
+    msg.items.push_back(std::move(item));
+  }
+  require_done(dec, "BatchBody");
+  return msg;
+}
+
+std::vector<std::uint8_t> BatchReplyBody::encode() const {
+  Encoder enc;
+  enc.write_varint(bodies.size());
+  for (const std::vector<std::uint8_t>& body : bodies) enc.write_bytes(body);
+  return enc.take();
+}
+
+BatchReplyBody BatchReplyBody::decode(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  BatchReplyBody msg;
+  const std::uint64_t count = dec.read_varint();
+  if (count > kMaxEntries) throw DecodeError("BatchReplyBody: too many items");
+  msg.bodies.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) msg.bodies.push_back(dec.read_bytes());
+  require_done(dec, "BatchReplyBody");
+  return msg;
+}
+
 std::vector<std::uint8_t> TelemetryBody::encode() const {
   Encoder enc;
   enc.write_varint(stale_requests);

@@ -61,6 +61,38 @@ enum class ShardOp : std::uint8_t {
   kVoteScores = 18,     ///< score chain: VoteScoresBody -> VoteScoresBody
   kVoteDisagree = 19,   ///< disagreement chain: VoteDisagreeBody -> CrhTotalBody
   kVoteWeights = 20,    ///< CrhTotalBody broadcast -> empty ack
+  // Batched collectives.
+  kBatch = 21,          ///< BatchBody -> BatchReplyBody (sub-ops in order)
+};
+
+/// One sub-op inside a kBatch frame: the opcode plus its encoded body, exactly
+/// as it would travel alone.
+struct BatchItem {
+  ShardOp op = ShardOp::kBatch;  ///< never actually kBatch (no nesting)
+  std::vector<std::uint8_t> body;
+};
+
+/// Several ShardOps carried in one frame under one op_id. The shard executes
+/// them strictly in order and replies with one body per item; the whole batch
+/// rides the exactly-once watermark as a single unit, so a resend replays the
+/// memoized reply rather than re-executing. Round-lifecycle ops (kSetup,
+/// kFinalizeIngest) and nested batches are refused at decode time — before any
+/// sub-op runs — so a malformed batch can never half-apply; the remaining ops
+/// are all idempotent, which keeps a mid-batch DecodeError abort safe to
+/// resend.
+struct BatchBody {
+  std::vector<BatchItem> items;
+
+  std::vector<std::uint8_t> encode() const;
+  static BatchBody decode(std::span<const std::uint8_t> bytes);
+};
+
+/// One response body per batch item, in the same order.
+struct BatchReplyBody {
+  std::vector<std::vector<std::uint8_t>> bodies;
+
+  std::vector<std::uint8_t> encode() const;
+  static BatchReplyBody decode(std::span<const std::uint8_t> bytes);
 };
 
 /// Round setup: the shard derives its global user range from the plan fields

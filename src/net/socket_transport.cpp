@@ -216,6 +216,19 @@ void SocketTransport::count_undeliverable(NodeId destination) {
 // ---------------------------------------------------------------------------
 // Sending and routing
 
+SocketTransport::OutFrame SocketTransport::make_frame(const Message& message) {
+  std::vector<std::uint8_t> body = encode_frame_body(message);
+  DPTD_REQUIRE(body.size() <= config_.max_frame_bytes,
+               "SocketTransport: frame exceeds max_frame_bytes");
+  OutFrame frame;
+  frame.destination = message.destination;
+  frame.bytes.resize(kFramePrefixBytes + body.size());
+  write_le32(frame.bytes.data(), static_cast<std::uint32_t>(body.size()));
+  std::copy(body.begin(), body.end(),
+            frame.bytes.begin() + kFramePrefixBytes);
+  return frame;
+}
+
 void SocketTransport::send(Message message) {
   ++stats_.messages_sent;
   stats_.bytes_sent += message.payload.size();
@@ -227,32 +240,39 @@ void SocketTransport::send(Message message) {
     inbox_.push_back(std::move(message));
     return;
   }
-  const int fd = route_fd(message.destination);
+  bool backoff_wait = false;
+  const int fd = route_fd(message.destination, &backoff_wait);
   if (fd < 0) {
+    if (backoff_wait) {
+      // The peer's link is down — connect refused just now, or inside the
+      // reconnect-backoff window — but the peer is configured and may be
+      // back any moment. Dropping here would silently lose one-way traffic
+      // (routed reports have no resend path), so park the frame on the link;
+      // it flushes in order on reconnect. Only overflow drops.
+      PeerLink& link = links_[message.destination];
+      if (link.pending.size() < config_.backoff_queue_max_frames) {
+        link.pending.push_back(make_frame(message));
+        return;
+      }
+    }
     count_undeliverable(message.destination);
     return;
   }
   Connection& conn = *connections_.at(fd);
-  std::vector<std::uint8_t> body = encode_frame_body(message);
-  DPTD_REQUIRE(body.size() <= config_.max_frame_bytes,
-               "SocketTransport: frame exceeds max_frame_bytes");
-  OutFrame frame;
-  frame.destination = message.destination;
-  frame.bytes.resize(kFramePrefixBytes + body.size());
-  write_le32(frame.bytes.data(), static_cast<std::uint32_t>(body.size()));
-  std::copy(body.begin(), body.end(),
-            frame.bytes.begin() + kFramePrefixBytes);
-  conn.wqueue.push_back(std::move(frame));
+  conn.wqueue.push_back(make_frame(message));
   try_flush(conn);  // opportunistic: most frames go out without a poll pass
 }
 
-int SocketTransport::route_fd(NodeId destination) {
+int SocketTransport::route_fd(NodeId destination, bool* backoff_wait) {
   const auto pit = config_.peers.find(destination);
   if (pit != config_.peers.end()) {
     PeerLink& link = links_[destination];
     if (link.fd >= 0) return link.fd;
     if (link.backoff == 0.0) link.backoff = config_.reconnect_backoff_seconds;
-    if (now() < link.next_attempt) return -1;
+    if (now() < link.next_attempt) {
+      if (backoff_wait != nullptr) *backoff_wait = true;
+      return -1;
+    }
 
     const SocketEndpoint ep = SocketEndpoint::parse(pit->second);
     int fd = -1;
@@ -298,10 +318,13 @@ int SocketTransport::route_fd(NodeId destination) {
     }
     if (fd < 0) {
       // Immediate refusal (dead peer): arm the backoff so a resend storm
-      // does not busy-connect, and let the caller count undeliverable.
+      // does not busy-connect. The peer is configured and may come back any
+      // moment, so this is a park-don't-drop situation exactly like the
+      // window itself — signal backoff_wait so send() queues the frame.
       link.next_attempt = now() + link.backoff;
       link.backoff = std::min(link.backoff * 2.0,
                               config_.reconnect_backoff_max_seconds);
+      if (backoff_wait != nullptr) *backoff_wait = true;
       return -1;
     }
     auto conn = std::make_unique<Connection>();
@@ -309,6 +332,12 @@ int SocketTransport::route_fd(NodeId destination) {
     conn->inbound = false;
     conn->connecting = connecting;
     conn->peer = destination;
+    // Frames parked during the down window go out first, in send order,
+    // ahead of whatever frame triggered this connect.
+    for (OutFrame& frame : link.pending) {
+      conn->wqueue.push_back(std::move(frame));
+    }
+    link.pending.clear();
     connections_[fd] = std::move(conn);
     link.fd = fd;
     return fd;
@@ -345,11 +374,27 @@ void SocketTransport::close_connection(int fd) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return;
   Connection& conn = *it->second;
-  // Frames still queued (including a partially written front frame) die with
-  // the connection: the socket analogue of the simulator's undeliverable
-  // accounting, and what the coordinator's resend loop keys off.
-  for (const OutFrame& frame : conn.wqueue) {
-    count_undeliverable(frame.destination);
+  if (conn.inbound) {
+    // Source-routed replies queued toward a dying inbound connection die
+    // with it (there is no endpoint to reconnect to): counted undeliverable,
+    // and the peer's resend re-memoizes the reply.
+    for (const OutFrame& frame : conn.wqueue) {
+      count_undeliverable(frame.destination);
+    }
+  } else {
+    // Outbound: unwritten frames survive the connection. They re-park on the
+    // peer link (bounded; overflow counted undeliverable) and flush on
+    // reconnect. The partially written front frame restarts from byte 0 —
+    // a new connection is a fresh byte stream, and the receiver counted the
+    // truncated copy malformed when the old stream died, so no duplicate.
+    PeerLink& link = links_[conn.peer];
+    for (OutFrame& frame : conn.wqueue) {
+      if (link.pending.size() < config_.backoff_queue_max_frames) {
+        link.pending.push_back(std::move(frame));
+      } else {
+        count_undeliverable(frame.destination);
+      }
+    }
   }
   if (!conn.rbuf.empty()) ++malformed_frames_;  // peer died mid-frame
   for (auto rit = source_routes_.begin(); rit != source_routes_.end();) {
@@ -369,6 +414,20 @@ void SocketTransport::close_connection(int fd) {
   }
   ::close(fd);
   connections_.erase(it);
+}
+
+void SocketTransport::retry_backoff_links() {
+  // Collect first: route_fd mutates links_ while opening connections.
+  std::vector<NodeId> due;
+  for (const auto& [peer, link] : links_) {
+    if (link.fd < 0 && !link.pending.empty() && now() >= link.next_attempt) {
+      due.push_back(peer);
+    }
+  }
+  for (NodeId peer : due) {
+    const int fd = route_fd(peer);  // success moves pending into the wqueue
+    if (fd >= 0) try_flush(*connections_.at(fd));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +615,7 @@ std::size_t SocketTransport::poll(double deadline) {
   std::size_t delivered = 0;
   for (;;) {
     fire_due_timers();
+    retry_backoff_links();
     delivered += drain_inbox();
     if (delivered > 0) return delivered;
 
@@ -563,6 +623,13 @@ std::size_t SocketTransport::poll(double deadline) {
     double wait = deadline - current;
     if (!timers_.empty()) {
       wait = std::min(wait, timers_.top().when - current);
+    }
+    // A link holding parked frames must wake the poll at its retry time:
+    // reconnect-and-flush cannot depend on a new send or a timer showing up.
+    for (const auto& [peer, link] : links_) {
+      if (link.fd < 0 && !link.pending.empty()) {
+        wait = std::min(wait, link.next_attempt - current);
+      }
     }
     int timeout_ms = 0;
     if (wait > 0.0) {
@@ -587,6 +654,7 @@ std::size_t SocketTransport::run_until_idle() {
   std::size_t total = 0;
   for (;;) {
     fire_due_timers();
+    retry_backoff_links();  // no wait here: parked links retry when due
     made_io_progress_ = false;
     std::size_t delivered = drain_inbox();
     delivered += poll_pass(0);

@@ -24,12 +24,18 @@
 // zero peer configuration. Anything else is undeliverable.
 //
 // Failure model mapping (vs the simulator's LatencyModel): a dead peer shows
-// up as connect() refusal or a write/EOF error; queued frames for a dying
-// connection are discarded and counted messages_undeliverable (the socket
-// analogue of the simulator's detached-destination accounting), and the next
-// send after the backoff expiry retries the connection — which is exactly
-// the cadence of the coordinator's timeout-and-resend loop, so stragglers
-// and restarts cost resends, never correctness.
+// up as connect() refusal or a write/EOF error. Frames sent while a
+// configured peer's link is down — the connect was refused just now, or the
+// link is inside its reconnect-backoff window — and frames still queued on a
+// dying outbound connection, are NOT dropped: they park on the peer link
+// (bounded by backoff_queue_max_frames; overflow is counted undeliverable)
+// and flush in order when the connection reopens — poll() wakes itself at
+// the next retry time, so no new send is needed to trigger the reconnect.
+// This matters for one-way traffic with no resend path (routed reports): a
+// shard restarting mid-ingest must not silently lose the frames routed
+// during its down window. RPCs additionally ride the coordinator's
+// timeout-and-resend loop, so stragglers and restarts cost resends, never
+// correctness.
 //
 // Single-threaded by design: all progress happens inside poll() /
 // run_until_idle() on the calling thread, mirroring the simulator.
@@ -74,6 +80,12 @@ struct SocketTransportConfig {
   std::unordered_map<NodeId, std::string> peers;
   double reconnect_backoff_seconds = 0.05;       ///< initial, doubles per failure
   double reconnect_backoff_max_seconds = 1.0;
+  /// Frames sent toward a configured peer whose link is down (connect
+  /// refused or inside the reconnect-backoff window), plus unwritten frames
+  /// of a dying outbound connection, queue on the peer link and flush on
+  /// reconnect, up to this many; overflow is counted undeliverable. 0
+  /// disables queueing (every down-link send drops — pre-fix behaviour).
+  std::size_t backoff_queue_max_frames = 1024;
   /// Frame bodies above this are treated as a framing attack: the connection
   /// is closed (no resync is possible once the prefix is untrusted).
   std::size_t max_frame_bytes = std::size_t{64} << 20;
@@ -156,6 +168,10 @@ class SocketTransport final : public Transport {
     int fd = -1;            ///< live outbound connection, -1 when down
     double next_attempt = 0.0;
     double backoff = 0.0;   ///< current wait after the next failure
+    /// Frames parked while the link is down (backoff window or dying
+    /// connection); empty whenever fd >= 0 — opening a connection moves
+    /// them into its write queue ahead of the triggering frame.
+    std::deque<OutFrame> pending;
   };
 
   void open_listener();
@@ -167,8 +183,16 @@ class SocketTransport final : public Transport {
   void accept_ready();
   /// Returns the fd to carry a frame to `destination`, opening an outbound
   /// connection if the peer table has a route and the backoff allows;
-  /// -1 when unroutable right now.
-  int route_fd(NodeId destination);
+  /// -1 when unroutable right now. When the -1 is only the reconnect-backoff
+  /// window (the peer may well be back already), *backoff_wait is set so the
+  /// caller queues the frame on the link instead of dropping it.
+  int route_fd(NodeId destination, bool* backoff_wait = nullptr);
+  /// Reopens peer links whose backoff window expired while frames are parked
+  /// on them, flushing the parked frames (a send is not needed to retry).
+  void retry_backoff_links();
+  /// Length-prefixed wire form of one message (checked against
+  /// max_frame_bytes).
+  OutFrame make_frame(const Message& message);
   void try_flush(Connection& conn);
   std::size_t read_ready(Connection& conn);
   std::size_t parse_frames(Connection& conn);

@@ -516,6 +516,214 @@ TEST(DistributedProtocol, StaleSetupFromAnAbandonedPlanIsRejected) {
   EXPECT_EQ(summary.rejected_reports, 0u);
 }
 
+/// Opens round 1 on a single-shard fleet with 4 users / 2 objects and brings
+/// it to the ready-to-iterate state (setup, 4 reports, finalize) using op ids
+/// 1 and 2 — the staging every kBatch protocol test below builds on.
+void stage_single_shard_round(Fleet& fleet, net::NodeId source) {
+  ShardNode& shard = *fleet.shards[0];
+  SetupBody setup;
+  setup.round = 1;
+  setup.num_users = 4;
+  setup.num_shards = 1;
+  setup.shard_index = 0;
+  setup.num_objects = 2;
+  setup.block_size = kTestBlock;
+  for (std::size_t s = 0; s < 4; ++s) setup.participants.push_back(s);
+  deliver_request(shard, source, 1, ShardOp::kSetup, setup.encode());
+  for (std::size_t s = 0; s < 4; ++s) {
+    crowd::Report report;
+    report.round = 1;
+    report.user_id = s;
+    report.objects = {0, 1};
+    report.values = {1.0 + static_cast<double>(s),
+                     2.0 + static_cast<double>(s)};
+    shard.on_message(crowd::make_message(
+        s, shard.id(), crowd::MessageType::kReport, report.encode()));
+  }
+  deliver_request(shard, source, 2, ShardOp::kFinalizeIngest, {});
+}
+
+/// A two-item batch [kSetWeights(weights), kCollectWeights] — the smallest
+/// batch with a real nested-op boundary in the middle of the frame.
+std::vector<std::uint8_t> set_and_collect_batch(
+    const std::vector<double>& weights) {
+  WeightsBody body;
+  body.uniform = false;
+  body.weights = weights;
+  BatchBody batch;
+  batch.items.push_back({ShardOp::kSetWeights, body.encode()});
+  batch.items.push_back({ShardOp::kCollectWeights, {}});
+  return batch.encode();
+}
+
+TEST(DistributedProtocol, BatchFuzzedAtEveryByteNeverKillsAShard) {
+  // kBatch adds nested structure (item count, per-item op tag, per-item
+  // length-prefixed body) to the wire: truncation at EVERY byte offset and
+  // corruption of every byte must be counted or refused, never fatal — and
+  // must never advance the exactly-once watermark, so the intact frame still
+  // executes afterwards.
+  Fleet fleet(1, crh_spec(), 2);
+  ShardNode& shard = *fleet.shards[0];
+  Recorder recorder;
+  const net::NodeId kRecorder = 7779;
+  fleet.network.attach(kRecorder, recorder);
+  stage_single_shard_round(fleet, kRecorder);
+
+  crowd::StatsEnvelope env;
+  env.op_id = 3;
+  env.op = static_cast<std::uint8_t>(ShardOp::kBatch);
+  env.body = set_and_collect_batch({2.0, 3.0, 4.0, 5.0});
+  const std::vector<std::uint8_t> wire = env.encode();
+
+  const std::size_t malformed_before = shard.malformed_messages();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    net::Message message;
+    message.source = kRecorder;
+    message.destination = shard.id();
+    message.type =
+        static_cast<std::uint32_t>(crowd::MessageType::kShardRequest);
+    message.payload.assign(wire.begin(),
+                           wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_NO_THROW(shard.on_message(message)) << "truncate " << len;
+  }
+  // Every strict prefix dies in a decoder (envelope, batch shell, or nested
+  // item) BEFORE any sub-op runs: all counted, none executed, no replies.
+  EXPECT_EQ(shard.malformed_messages() - malformed_before, wire.size());
+  EXPECT_EQ(shard.stale_requests(), 0u);
+
+  // The watermark never moved, so the intact batch executes now and returns
+  // one reply body per item, the last being the collected weights.
+  deliver_request(shard, kRecorder, 3, ShardOp::kBatch, env.body);
+  fleet.sim.run();
+  ASSERT_FALSE(recorder.received.empty());
+  const crowd::StatsEnvelope reply =
+      crowd::StatsEnvelope::decode(recorder.received.back().payload);
+  EXPECT_EQ(reply.op_id, 3u);
+  const BatchReplyBody bodies = BatchReplyBody::decode(reply.body);
+  ASSERT_EQ(bodies.bodies.size(), 2u);
+  const WeightsBody collected = WeightsBody::decode(bodies.bodies.back());
+  EXPECT_EQ(collected.weights, (std::vector<double>{2.0, 3.0, 4.0, 5.0}));
+
+  // Corruption pass: flip every single byte of the valid frame (hitting the
+  // batch count, each nested op tag, and each nested length in turn). Any
+  // outcome is acceptable — refused, stale, or reinterpreted as some other
+  // well-formed request — except a crash.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    net::Message message;
+    message.source = kRecorder;
+    message.destination = shard.id();
+    message.type =
+        static_cast<std::uint32_t>(crowd::MessageType::kShardRequest);
+    message.payload = wire;
+    message.payload[i] ^= 0xFF;
+    EXPECT_NO_THROW(shard.on_message(message)) << "corrupt " << i;
+  }
+}
+
+TEST(DistributedProtocol, ForbiddenOpsInsideABatchRefuseBeforeAnySubOpRuns) {
+  // Lifecycle ops (kSetup, kFinalizeIngest) and nested kBatch are refused at
+  // DECODE time, before the first sub-op executes — otherwise a mid-batch
+  // abort could leave half a lifecycle transition applied, which a resend of
+  // the same op id would then replay from the memo without repairing.
+  Fleet fleet(1, crh_spec(), 2);
+  ShardNode& shard = *fleet.shards[0];
+  Recorder recorder;
+  const net::NodeId kRecorder = 7780;
+  fleet.network.attach(kRecorder, recorder);
+  stage_single_shard_round(fleet, kRecorder);
+
+  WeightsBody good;
+  good.uniform = false;
+  good.weights = {2.0, 3.0, 4.0, 5.0};
+  deliver_request(shard, kRecorder, 3, ShardOp::kSetWeights, good.encode());
+
+  // A batch that would first overwrite the weights, then smuggle a kSetup.
+  WeightsBody overwrite;
+  overwrite.uniform = false;
+  overwrite.weights = {9.0, 9.0, 9.0, 9.0};
+  SetupBody smuggled;
+  smuggled.round = 2;
+  smuggled.num_users = 4;
+  smuggled.num_shards = 1;
+  smuggled.shard_index = 0;
+  smuggled.num_objects = 2;
+  smuggled.block_size = kTestBlock;
+  for (std::size_t s = 0; s < 4; ++s) smuggled.participants.push_back(s);
+  BatchBody lifecycle;
+  lifecycle.items.push_back({ShardOp::kSetWeights, overwrite.encode()});
+  lifecycle.items.push_back({ShardOp::kSetup, smuggled.encode()});
+  deliver_request(shard, kRecorder, 4, ShardOp::kBatch, lifecycle.encode());
+  EXPECT_EQ(shard.malformed_messages(), 1u);
+
+  // Nested batch and the empty batch: refused the same way.
+  BatchBody nested;
+  nested.items.push_back({ShardOp::kBatch, set_and_collect_batch({1, 1, 1, 1})});
+  deliver_request(shard, kRecorder, 5, ShardOp::kBatch, nested.encode());
+  BatchBody empty;
+  deliver_request(shard, kRecorder, 6, ShardOp::kBatch, empty.encode());
+  EXPECT_EQ(shard.malformed_messages(), 3u);
+  EXPECT_EQ(shard.stale_requests(), 0u);
+
+  // None of the refused frames executed their first item or advanced the
+  // watermark: the weights are still the op-3 ones, served under op id 4.
+  deliver_request(shard, kRecorder, 4, ShardOp::kCollectWeights, {});
+  fleet.sim.run();
+  ASSERT_FALSE(recorder.received.empty());
+  const crowd::StatsEnvelope reply =
+      crowd::StatsEnvelope::decode(recorder.received.back().payload);
+  EXPECT_EQ(reply.op_id, 4u);
+  EXPECT_EQ(WeightsBody::decode(reply.body).weights, good.weights);
+}
+
+TEST(DistributedProtocol, DelayedDuplicateBatchReplaysMemoNeverReexecutes) {
+  // One op id covers the whole batch, so the exactly-once rules apply to the
+  // batch as a unit: an immediate duplicate replays the memoized reply bytes
+  // without re-running any sub-op, and a delayed duplicate that arrives after
+  // newer ops is dropped on the watermark with no reply at all.
+  Fleet fleet(1, crh_spec(), 2);
+  ShardNode& shard = *fleet.shards[0];
+  Recorder recorder;
+  const net::NodeId kRecorder = 7781;
+  fleet.network.attach(kRecorder, recorder);
+  stage_single_shard_round(fleet, kRecorder);
+
+  const std::vector<std::uint8_t> batch =
+      set_and_collect_batch({2.0, 3.0, 4.0, 5.0});
+  deliver_request(shard, kRecorder, 3, ShardOp::kBatch, batch);
+  fleet.sim.run();
+  ASSERT_EQ(recorder.received.size(), 3u);  // setup, finalize, batch
+  const std::vector<std::uint8_t> first_reply =
+      recorder.received.back().payload;
+
+  // Resend of the in-flight op id: the reply bytes are replayed verbatim
+  // from the memo (a re-executed kCollectWeights would produce the same
+  // numbers — the envelope bytes being identical proves it came from the
+  // memo path, which is also what keeps non-idempotent batches safe).
+  deliver_request(shard, kRecorder, 3, ShardOp::kBatch, batch);
+  fleet.sim.run();
+  ASSERT_EQ(recorder.received.size(), 4u);
+  EXPECT_EQ(recorder.received.back().payload, first_reply);
+  EXPECT_EQ(shard.stale_requests(), 0u);
+
+  // Overwrite the weights with a newer op, then replay the batch once more:
+  // now it is BELOW the watermark — dropped, counted, no reply, and the
+  // newer weights survive (re-execution would clobber them back).
+  WeightsBody newer;
+  newer.uniform = false;
+  newer.weights = {7.0, 7.0, 7.0, 7.0};
+  deliver_request(shard, kRecorder, 4, ShardOp::kSetWeights, newer.encode());
+  deliver_request(shard, kRecorder, 3, ShardOp::kBatch, batch);
+  EXPECT_EQ(shard.stale_requests(), 1u);
+  deliver_request(shard, kRecorder, 5, ShardOp::kCollectWeights, {});
+  fleet.sim.run();
+  // Replies for ops 4 and 5 only — nothing at all for the stale drop.
+  ASSERT_EQ(recorder.received.size(), 6u);
+  const crowd::StatsEnvelope reply =
+      crowd::StatsEnvelope::decode(recorder.received.back().payload);
+  EXPECT_EQ(reply.op_id, 5u);
+  EXPECT_EQ(WeightsBody::decode(reply.body).weights, newer.weights);
+}
+
 TEST(DistributedProtocol, CloseRoundDrainsInFlightRoutedReports) {
   // Regression: close_round used to send kFinalizeIngest immediately, so on
   // jittered links the finalize could overtake a report the coordinator had

@@ -78,12 +78,13 @@ struct Fleet {
   std::unique_ptr<Coordinator> coordinator;
 
   Fleet(std::size_t num_shards, const MethodSpec& spec,
-        std::size_t num_objects, bool warm_start = false) {
+        std::size_t num_objects, bool warm_start = false, bool batch = true) {
     CoordinatorConfig config;
     config.id = kCoordinatorId;
     config.num_objects = num_objects;
     config.block_size = kTestBlock;
     config.warm_start = warm_start;
+    config.batch_collectives = batch;
     coordinator = std::make_unique<Coordinator>(config, spec, network);
     for (std::size_t i = 0; i < num_shards; ++i) {
       shards.push_back(
@@ -185,6 +186,48 @@ TEST_P(DistributedEquivalence, WarmRoundMatchesInProcessBitwise) {
   }
 }
 
+// The PR-9 batching contract, stated directly: the kBatch-coalesced protocol
+// and the one-op-per-frame protocol produce the same bits at every K, and the
+// coalescing buys a strictly smaller frame count for every method that has a
+// broadcast to fold (median's single plain gather is the one exception).
+TEST_P(DistributedEquivalence,
+       BatchedCollectivesMatchUnbatchedBitwiseAndSendFewerMessages) {
+  const std::string name = GetParam();
+  const data::Dataset dataset = random_dataset(909, 64, 6, 0.3);
+  const MethodSpec spec = spec_for(name);
+  const auto participants = participant_ids(dataset.num_users());
+
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    const std::string label = name + " K=" + std::to_string(k);
+    Fleet batched(k, spec, dataset.num_objects());
+    ASSERT_TRUE(batched.coordinator->begin_round(1, participants)) << label;
+    send_dataset(batched, dataset, 1);
+    const DistributedOutcome on = batched.coordinator->close_round();
+    ASSERT_TRUE(on.aggregated) << label;
+
+    Fleet unbatched(k, spec, dataset.num_objects(), /*warm_start=*/false,
+                    /*batch=*/false);
+    ASSERT_TRUE(unbatched.coordinator->begin_round(1, participants)) << label;
+    send_dataset(unbatched, dataset, 1);
+    const DistributedOutcome off = unbatched.coordinator->close_round();
+    ASSERT_TRUE(off.aggregated) << label;
+
+    expect_bitwise_equal(off.result, on.result, label);
+    EXPECT_EQ(on.reports_undeliverable, 0u) << label;
+    EXPECT_EQ(off.reports_undeliverable, 0u) << label;
+    if (name == "median") {
+      EXPECT_EQ(on.network.messages_sent, off.network.messages_sent) << label;
+    } else {
+      EXPECT_LT(on.network.messages_sent, off.network.messages_sent) << label;
+    }
+    if (name == "crh" || name == "gtm" || name == "catd") {
+      // Iterative methods fold the per-iteration broadcast into the first
+      // chain hop, so the savings recur every iteration.
+      EXPECT_LT(on.iteration_messages, off.iteration_messages) << label;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllMethods, DistributedEquivalence,
                          ::testing::Values("crh", "gtm", "catd", "mean",
                                            "median"),
@@ -225,6 +268,7 @@ TEST(DistributedEquivalence, RoundTelemetryAccountsForProtocolTraffic) {
   }
   EXPECT_EQ(outcome.reports_routed, routed_expected);
   EXPECT_EQ(outcome.reports_unroutable, 0u);
+  EXPECT_EQ(outcome.reports_undeliverable, 0u);
   ASSERT_EQ(outcome.shard_stats.size(), 4u);
   std::size_t received = 0;
   for (const crowd::ShardIngestStats& stats : outcome.shard_stats) {

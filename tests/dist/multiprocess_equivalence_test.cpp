@@ -2,9 +2,13 @@
 // process per shard, each serving its ShardNode over its own Unix-domain
 // listener — runs the identical protocol bytes and produces bitwise-identical
 // DistributedOutcome results to the simulator-backed fleet at the same K and
-// block size. Plus the churn story: SIGKILL a shard mid-round and the
-// coordinator declares it failed after max_resends, re-plans over the
-// survivors, and re-admits a restarted process on the same socket path.
+// block size. The simulator reference runs UNBATCHED, so each comparison also
+// proves the batched socket protocol bit-identical to the unbatched one.
+// Plus the churn story: SIGKILL a shard mid-round and the coordinator
+// declares it failed after max_resends, re-plans over the survivors, and
+// re-admits a restarted process on the same socket path — and the PR-9
+// regression: reports routed into a reconnect-backoff window park on the
+// peer link and flush on reconnect instead of silently dropping.
 #include <gtest/gtest.h>
 
 #include <csignal>
@@ -12,6 +16,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdlib>
@@ -175,13 +180,15 @@ bool wait_for_path(const std::string& path, double timeout_seconds = 10.0) {
   return true;
 }
 
-/// Hands every user's claims to the coordinator directly (the coordinator is
-/// the report sink either way; what is under test is its socket-side routing
-/// to the owning shard processes).
+/// Hands users [user_begin, user_end)'s claims to the coordinator directly
+/// (the coordinator is the report sink either way; what is under test is its
+/// socket-side routing to the owning shard processes).
 void inject_reports(Coordinator& coordinator, const Workload& workload,
-                    std::uint64_t round) {
+                    std::uint64_t round, std::size_t user_begin = 0,
+                    std::size_t user_end = static_cast<std::size_t>(-1)) {
+  user_end = std::min(user_end, workload.num_users());
   if (workload.labels) {
-    for (std::size_t s = 0; s < workload.num_users(); ++s) {
+    for (std::size_t s = user_begin; s < user_end; ++s) {
       const auto row = workload.labels->claims.user_entries(s);
       if (row.empty()) continue;
       crowd::LabelReport report;
@@ -198,7 +205,7 @@ void inject_reports(Coordinator& coordinator, const Workload& workload,
     }
     return;
   }
-  for (std::size_t s = 0; s < workload.num_users(); ++s) {
+  for (std::size_t s = user_begin; s < user_end; ++s) {
     const auto entries = workload.continuous->observations.user_entries(s);
     if (entries.empty()) continue;
     crowd::Report report;
@@ -237,6 +244,10 @@ truth::Result run_simulator_round(std::size_t k, const MethodSpec& spec,
   config.id = kCoordinatorId;
   config.num_objects = workload.num_objects();
   config.block_size = kTestBlock;
+  // The reference deliberately runs the UNBATCHED wire protocol: matching it
+  // bitwise from a batched socket fleet proves kBatch coalescing changes the
+  // frame shapes but not one bit of the arithmetic.
+  config.batch_collectives = false;
   Coordinator coordinator(config, spec, network);
   std::vector<std::unique_ptr<ShardNode>> shards;
   for (std::size_t i = 0; i < k; ++i) {
@@ -258,9 +269,11 @@ class MultiProcessEquivalence : public ::testing::TestWithParam<const char*> {
 TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
   const std::string name = GetParam();
   const MethodSpec spec = spec_for(name);
-  const Workload workload = workload_for(spec, 101, 32, 4, 0.3);
+  // 64 users / block 8 = 8 blocks, so K=8 is a real one-block-per-shard
+  // fleet rather than a clamped roster.
+  const Workload workload = workload_for(spec, 101, 64, 4, 0.3);
 
-  for (const std::size_t k : {1u, 2u, 4u}) {
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
     const std::string label = name + " K=" + std::to_string(k);
     TempDir dir;
     std::vector<pid_t> pids;
@@ -294,6 +307,7 @@ TEST_P(MultiProcessEquivalence, UdsFleetMatchesSimulatorBitwiseAtEveryK) {
     ASSERT_TRUE(outcome.aggregated) << label;
     EXPECT_FALSE(outcome.failed_shard.has_value()) << label;
     EXPECT_EQ(outcome.reports_unroutable, 0u) << label;
+    EXPECT_EQ(outcome.reports_undeliverable, 0u) << label;
 
     // Clean loopback round: no stale drops, no malformed traffic, on either
     // side of any connection — the per-node counters say so uniformly.
@@ -404,6 +418,119 @@ TEST(MultiProcessChurn, KilledShardFailsRoundThenRestartRejoins) {
 
   shutdown_shards(transport, {kShardBase + 0, kShardBase + 1},
                   {pid_a, pid_b});
+}
+
+// The PR-9 headline regression: a shard process that dies and restarts
+// mid-ingest leaves the coordinator's peer link down (EPIPE on the stale
+// connection, then refused/backed-off reconnects). Every report routed while
+// the link is down must park on the link and flush to the restarted process —
+// not silently drop. The restarted process lost its in-memory round state, so
+// the ROUND still fails and the re-plan evicts it (churn-by-design); the
+// transport-level claim is that not one routed frame vanished:
+// outcome.reports_undeliverable stays zero. The final section replays the
+// identical choreography with the backoff queue disabled
+// (backoff_queue_max_frames = 0 — the pre-fix behaviour) and watches the same
+// counter go positive: that is the silent loss this fix removes.
+TEST(MultiProcessChurn, ReportsRoutedDuringBackoffWindowAreNeverLost) {
+  const MethodSpec spec = spec_for("mean");
+  // missing_rate 0 so all 64 users report; 64 users / block 8 at K=2 puts
+  // users 0..31 on shard A and 32..63 on shard B.
+  const Workload dataset = workload_for(spec, 303, 64, 4, 0.0);
+  const auto participants = participant_ids(dataset.num_users());
+
+  TempDir dir;
+  pid_t pid_a = spawn_shard(kShardBase + 0, dir.sock(0));
+  pid_t pid_b = spawn_shard(kShardBase + 1, dir.sock(1));
+  ASSERT_TRUE(wait_for_path(dir.sock(0)));
+  ASSERT_TRUE(wait_for_path(dir.sock(1)));
+
+  net::SocketTransportConfig net_cfg;
+  net_cfg.peers[kShardBase + 0] = "unix:" + dir.sock(0);
+  net_cfg.peers[kShardBase + 1] = "unix:" + dir.sock(1);
+  net_cfg.reconnect_backoff_seconds = 0.05;
+  net_cfg.reconnect_backoff_max_seconds = 0.2;
+  net::SocketTransport transport(net_cfg);
+
+  CoordinatorConfig config;
+  config.id = kCoordinatorId;
+  config.num_objects = dataset.num_objects();
+  config.block_size = kTestBlock;
+  config.rpc.op_timeout_seconds = 0.2;
+  config.rpc.max_resends = 2;
+  Coordinator coordinator(config, spec, transport);
+  coordinator.add_shard(kShardBase + 0);
+  coordinator.add_shard(kShardBase + 1);
+
+  // Round 1: ingest shard A's half, SIGKILL B, then route B's entire half
+  // while the process is down. The first report dies on the stale connection
+  // (EPIPE) and re-parks; the reconnect probe is refused (dead path) and
+  // arms the backoff; the remaining 30 reports land inside the window. All
+  // 32 park on the link. Restart B before close: the retry reconnects and
+  // flushes every parked frame, in order, to the fresh process.
+  ASSERT_TRUE(coordinator.begin_round(1, participants));
+  inject_reports(coordinator, dataset, 1, 0, 32);
+  kill(pid_b, SIGKILL);
+  int status = 0;
+  waitpid(pid_b, &status, 0);
+  inject_reports(coordinator, dataset, 1, 32, 64);
+  ::unlink(dir.sock(1).c_str());
+  pid_b = spawn_shard(kShardBase + 1, dir.sock(1));
+  ASSERT_TRUE(wait_for_path(dir.sock(1)));
+  const DistributedOutcome round1 = coordinator.close_round();
+  // The fresh process has no round-1 setup state, so finalize fails and the
+  // round fails — but nothing was silently dropped: every routed report was
+  // handed to a live process (which counts strays as rejected, an observable
+  // outcome, unlike a transport drop).
+  EXPECT_FALSE(round1.completed);
+  ASSERT_TRUE(round1.failed_shard.has_value());
+  EXPECT_EQ(*round1.failed_shard, kShardBase + 1);
+  EXPECT_EQ(round1.reports_unroutable, 0u);
+  EXPECT_EQ(round1.reports_undeliverable, 0u);
+
+  // Re-admit the (alive, fresh) process: the K=2 fleet completes a clean
+  // round, bitwise identical to the unbatched simulator reference.
+  coordinator.add_shard(kShardBase + 1);
+  ASSERT_TRUE(coordinator.begin_round(2, participants));
+  inject_reports(coordinator, dataset, 2);
+  const DistributedOutcome round2 = coordinator.close_round();
+  ASSERT_TRUE(round2.aggregated);
+  EXPECT_EQ(round2.reports_undeliverable, 0u);
+  expect_bitwise_equal(run_simulator_round(2, spec, dataset), round2.result,
+                       "round2 K=2 after mid-ingest restart");
+  shutdown_shards(transport, {kShardBase + 0, kShardBase + 1},
+                  {pid_a, pid_b});
+
+  // Pre-fix control: the same kill-during-ingest choreography with the
+  // backoff queue disabled. Reports routed while B's link is down are
+  // counted undeliverable — silently lost on the wire, with no resend path
+  // to save them. This is the exact failure the queue removes.
+  TempDir ctrl_dir;
+  pid_t ctrl_a = spawn_shard(kShardBase + 0, ctrl_dir.sock(0));
+  pid_t ctrl_b = spawn_shard(kShardBase + 1, ctrl_dir.sock(1));
+  ASSERT_TRUE(wait_for_path(ctrl_dir.sock(0)));
+  ASSERT_TRUE(wait_for_path(ctrl_dir.sock(1)));
+  net::SocketTransportConfig ctrl_cfg;
+  ctrl_cfg.peers[kShardBase + 0] = "unix:" + ctrl_dir.sock(0);
+  ctrl_cfg.peers[kShardBase + 1] = "unix:" + ctrl_dir.sock(1);
+  ctrl_cfg.reconnect_backoff_seconds = 0.05;
+  ctrl_cfg.reconnect_backoff_max_seconds = 0.2;
+  ctrl_cfg.backoff_queue_max_frames = 0;  // pre-fix: drop instead of park
+  net::SocketTransport ctrl_transport(ctrl_cfg);
+  Coordinator ctrl(config, spec, ctrl_transport);
+  ctrl.add_shard(kShardBase + 0);
+  ctrl.add_shard(kShardBase + 1);
+  ASSERT_TRUE(ctrl.begin_round(1, participants));
+  inject_reports(ctrl, dataset, 1, 0, 32);
+  kill(ctrl_b, SIGKILL);
+  waitpid(ctrl_b, &status, 0);
+  inject_reports(ctrl, dataset, 1, 32, 64);
+  ::unlink(ctrl_dir.sock(1).c_str());
+  ctrl_b = spawn_shard(kShardBase + 1, ctrl_dir.sock(1));
+  ASSERT_TRUE(wait_for_path(ctrl_dir.sock(1)));
+  const DistributedOutcome ctrl_round = ctrl.close_round();
+  EXPECT_GT(ctrl_round.reports_undeliverable, 0u);
+  shutdown_shards(ctrl_transport, {kShardBase + 0, kShardBase + 1},
+                  {ctrl_a, ctrl_b});
 }
 
 }  // namespace
