@@ -37,6 +37,7 @@
 #include "crowd/protocol.h"
 #include "dist/coordinator.h"
 #include "dist/shard_node.h"
+#include "net/fault_transport.h"
 #include "net/network.h"
 #include "net/socket_transport.h"
 
@@ -86,7 +87,13 @@ dptd::crowd::Report make_report(std::size_t user, std::uint64_t round = 1) {
   return report;
 }
 
-void BM_DistributedRoundCrh(benchmark::State& state) {
+/// One simulated million-user round per iteration. With `fault_passthrough`
+/// the whole protocol runs through a zero-schedule FaultInjectionTransport —
+/// no fault ever fires, so the row prices the decorator's overhead (one
+/// virtual hop plus an Rng draw per send) against the bare-Network rows at
+/// equal (shards, batch).
+void run_distributed_round_crh(benchmark::State& state,
+                               bool fault_passthrough) {
   const auto num_shards = static_cast<std::size_t>(state.range(0));
   const bool batch = state.range(1) != 0;
 
@@ -107,8 +114,11 @@ void BM_DistributedRoundCrh(benchmark::State& state) {
   std::size_t round_bytes = 0;
   for (auto _ : state) {
     dptd::net::Simulator sim;
-    dptd::net::Network network(sim, dptd::net::LatencyModel{0.001, 0.0, 0.0},
-                               1);
+    dptd::net::Network inner(sim, dptd::net::LatencyModel{0.001, 0.0, 0.0}, 1);
+    dptd::net::FaultInjectionTransport faulty(inner,
+                                              dptd::net::FaultSchedule{});
+    dptd::net::Transport& network =
+        fault_passthrough ? static_cast<dptd::net::Transport&>(faulty) : inner;
     CoordinatorConfig config;
     config.id = kCoordinatorId;
     config.num_objects = kObjects;
@@ -174,8 +184,26 @@ void BM_DistributedRoundCrh(benchmark::State& state) {
   state.counters["td_iterations"] =
       benchmark::Counter(per_round(static_cast<double>(iterations)));
 }
+
+void BM_DistributedRoundCrh(benchmark::State& state) {
+  run_distributed_round_crh(state, /*fault_passthrough=*/false);
+}
 BENCHMARK(BM_DistributedRoundCrh)
     ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"shards", "batch"})
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// The chaos suites decorate every transport with FaultInjectionTransport;
+// this row proves the decorator is free when its schedule is empty, so the
+// fault layer can stay in integration rigs without distorting measurements.
+// Compare against BM_DistributedRoundCrh at equal (shards, batch).
+void BM_DistributedRoundCrhFaultPassthrough(benchmark::State& state) {
+  run_distributed_round_crh(state, /*fault_passthrough=*/true);
+}
+BENCHMARK(BM_DistributedRoundCrhFaultPassthrough)
+    ->ArgsProduct({{1, 4}, {1}})
     ->ArgNames({"shards", "batch"})
     ->Unit(benchmark::kSecond)
     ->MeasureProcessCPUTime()

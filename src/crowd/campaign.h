@@ -65,6 +65,13 @@ struct RoundRecord {
   std::size_t iterations = 0;          ///< truth-discovery iterations
   bool converged = false;
   bool warm_started = false;
+  /// Distributed deployments only (dist::to_round_record): the round closed
+  /// over a strict subset of its shards, with the excluded shard ids and the
+  /// exact count of routed reports whose shard could no longer account for
+  /// them. In-process campaigns always report a non-degraded round.
+  bool degraded = false;
+  std::vector<net::NodeId> excluded_shards;
+  std::size_t reports_lost = 0;
   double mae_vs_truth = 0.0;        ///< NaN if the round failed coverage
   double mae_vs_unperturbed = 0.0;  ///< vs same-round no-noise aggregation
                                     ///< (NaN when compute_reference_mae off)

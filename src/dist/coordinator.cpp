@@ -32,6 +32,29 @@ std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec) {
   throw std::invalid_argument("MethodSpec: unknown kind");
 }
 
+crowd::RoundRecord to_round_record(const DistributedOutcome& outcome) {
+  crowd::RoundRecord record;
+  record.round = static_cast<std::size_t>(outcome.round);
+  record.reports_expected = outcome.reports_routed;
+  for (const crowd::ShardIngestStats& stats : outcome.shard_stats) {
+    record.reports_received += stats.reports_received;
+    record.reports_rejected += stats.rejected_reports;
+    record.duplicates_ignored += stats.duplicates_ignored;
+  }
+  record.reports_rejected += outcome.reports_unroutable;
+  record.iterations = outcome.result.iterations;
+  record.converged = outcome.result.converged;
+  record.warm_started = outcome.warm_started;
+  record.degraded = outcome.degraded;
+  record.excluded_shards = outcome.excluded_shards;
+  record.reports_lost = outcome.reports_lost;
+  record.mae_vs_truth = std::numeric_limits<double>::quiet_NaN();
+  record.mae_vs_unperturbed = std::numeric_limits<double>::quiet_NaN();
+  if (outcome.aggregated) record.truths = outcome.result.truths;
+  record.network = outcome.network;
+  return record;
+}
+
 Coordinator::Coordinator(CoordinatorConfig config, MethodSpec method,
                          net::Transport& network)
     : config_(config), method_(method), network_(&network) {
@@ -107,12 +130,15 @@ void Coordinator::route_report(const net::Message& message) {
                                          message.type),
                                      message.payload));
   ++reports_routed_;
+  ++routed_by_shard_[shard];
   // Reports have no resend path: a synchronous transport drop here is real
   // loss, so make it observable instead of silent. (The simulator's
   // detached-in-flight drops are counted at delivery time and show up in
-  // NodeCounters::messages_undeliverable.)
+  // NodeCounters::messages_undeliverable.) The per-shard ledger is what
+  // makes a degraded close's reports_lost exact.
   if (network_->undeliverable_to(target) > undeliverable_before) {
     ++reports_undeliverable_;
+    ++undeliverable_by_shard_[shard];
   }
 }
 
@@ -208,7 +234,21 @@ std::optional<std::vector<std::uint8_t>> Coordinator::call(
 
 bool Coordinator::broadcast(ShardOp op,
                             const std::vector<std::uint8_t>& body) {
-  return call_all(op, active_, [&](std::size_t) { return body; }).has_value();
+  return call_all(op, live_nodes(), [&](std::size_t) { return body; })
+      .has_value();
+}
+
+std::vector<net::NodeId> Coordinator::live_nodes() const {
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(live_.size());
+  for (std::size_t i : live_) nodes.push_back(active_[i]);
+  return nodes;
+}
+
+std::size_t Coordinator::live_num_users() const {
+  std::size_t users = 0;
+  for (std::size_t i : live_) users += plan_.shard_num_users(i);
+  return users;
 }
 
 namespace {
@@ -274,8 +314,10 @@ bool Coordinator::set_weights_uniform() {
 bool Coordinator::set_weights_explicit(const std::vector<double>& global) {
   DPTD_REQUIRE(global.size() == plan_.num_users,
                "Coordinator: weight vector size != num users");
-  return call_all(ShardOp::kSetWeights, active_,
-                  [&](std::size_t i) { return weights_slice_body(global, i); })
+  return call_all(ShardOp::kSetWeights, live_nodes(),
+                  [&](std::size_t j) {
+                    return weights_slice_body(global, live_[j]);
+                  })
       .has_value();
 }
 
@@ -285,7 +327,7 @@ std::optional<truth::AggregateStats> Coordinator::aggregate_chain(
   // previous one stopped, reproducing the in-process ascending-shard fold.
   AggregateBody body;
   body.stats.reset(config_.num_objects);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
+  for (std::size_t i : live_) {
     const net::NodeId shard = active_[i];
     auto reply = chain_call(shard, i, ShardOp::kAggregate, body.encode(),
                             prefix_of);
@@ -312,7 +354,7 @@ std::optional<std::vector<double>> Coordinator::aggregate_truths(
 
 std::optional<std::vector<RunningStats>> Coordinator::moments_chain() {
   std::vector<RunningStats> moments(config_.num_objects);
-  for (net::NodeId shard : active_) {
+  for (net::NodeId shard : live_nodes()) {
     auto reply = call(shard, ShardOp::kMoments, encode_moments(moments));
     if (!reply.has_value()) return std::nullopt;
     try {
@@ -336,37 +378,39 @@ std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns(
   // parallel: each shard executes its prefix (shard-local mutations only)
   // before its own gather, which no other shard's reply depends on.
   std::optional<std::vector<std::vector<std::uint8_t>>> replies;
+  const std::vector<net::NodeId> targets = live_nodes();
   if (prefix_of) {
-    replies = call_all(ShardOp::kBatch, active_, [&](std::size_t i) {
+    replies = call_all(ShardOp::kBatch, targets, [&](std::size_t j) {
       BatchBody batch;
-      batch.items = prefix_of(i);
+      batch.items = prefix_of(live_[j]);
       batch.items.push_back(BatchItem{ShardOp::kGather, {}});
       return batch.encode();
     });
   } else {
-    replies = call_all(ShardOp::kGather, active_,
+    replies = call_all(ShardOp::kGather, targets,
                        [](std::size_t) { return std::vector<std::uint8_t>{}; });
   }
   if (!replies.has_value()) return std::nullopt;
   const std::size_t N = config_.num_objects;
   std::vector<std::vector<double>> columns(N);
   // Fragments concatenated in ascending shard order ARE the global columns
-  // in user order (shard ranges are contiguous and ascending).
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    std::vector<std::uint8_t> frag_bytes = std::move((*replies)[i]);
+  // in user order (shard ranges are contiguous and ascending; excluded
+  // shards just leave their users out).
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    std::vector<std::uint8_t> frag_bytes = std::move((*replies)[j]);
     if (prefix_of) {
       auto batched = decode_or_fail<BatchReplyBody>(
-          active_[i], frag_bytes, malformed_by_node_, failed_shard_);
+          targets[j], frag_bytes, malformed_by_node_, failed_shard_);
       if (!batched.has_value() || batched->bodies.empty()) {
-        failed_shard_ = active_[i];
+        failed_shard_ = targets[j];
         return std::nullopt;
       }
       frag_bytes = std::move(batched->bodies.back());
     }
-    auto frag = decode_or_fail<GatherBody>(active_[i], frag_bytes,
+    auto frag = decode_or_fail<GatherBody>(targets[j], frag_bytes,
                                            malformed_by_node_, failed_shard_);
     if (!frag.has_value() || frag->lengths.size() != N) {
-      failed_shard_ = active_[i];
+      failed_shard_ = targets[j];
       return std::nullopt;
     }
     std::size_t cursor = 0;
@@ -382,22 +426,23 @@ std::optional<std::vector<std::vector<double>>> Coordinator::gather_columns(
 
 bool Coordinator::collect_telemetry() {
   // The batched collect_weights pipelines kGetTelemetry into its frames; if
-  // that already covered every active shard this round, skip the extra RPC.
+  // that already covered every live shard this round, skip the extra RPC.
+  const std::vector<net::NodeId> targets = live_nodes();
   const bool collected =
-      !active_.empty() &&
-      std::all_of(active_.begin(), active_.end(), [&](net::NodeId shard) {
+      !targets.empty() &&
+      std::all_of(targets.begin(), targets.end(), [&](net::NodeId shard) {
         return telemetry_by_node_.contains(shard);
       });
   if (collected) return true;
-  auto replies = call_all(ShardOp::kGetTelemetry, active_,
+  auto replies = call_all(ShardOp::kGetTelemetry, targets,
                           [](std::size_t) { return std::vector<std::uint8_t>{}; });
   if (!replies.has_value()) return false;
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    auto body = decode_or_fail<TelemetryBody>(active_[i], (*replies)[i],
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    auto body = decode_or_fail<TelemetryBody>(targets[j], (*replies)[j],
                                               malformed_by_node_,
                                               failed_shard_);
     if (!body.has_value()) return false;
-    telemetry_by_node_[active_[i]] = *body;
+    telemetry_by_node_[targets[j]] = *body;
   }
   return true;
 }
@@ -409,7 +454,7 @@ std::optional<std::vector<double>> Coordinator::vote_scores_chain(
   // exactly where the previous shard stopped.
   VoteScoresBody body;
   body.scores.assign(config_.num_objects * num_labels, 0.0);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
+  for (std::size_t i : live_) {
     const net::NodeId shard = active_[i];
     auto reply = chain_call(shard, i, ShardOp::kVoteScores, body.encode(),
                             prefix_of);
@@ -428,6 +473,7 @@ std::optional<std::vector<double>> Coordinator::vote_scores_chain(
 }
 
 std::optional<std::vector<double>> Coordinator::collect_weights() {
+  const std::vector<net::NodeId> targets = live_nodes();
   std::vector<std::vector<std::uint8_t>> slices;
   if (config_.batch_collectives) {
     // Pipeline the two independent round-close collectives in one frame per
@@ -437,38 +483,40 @@ std::optional<std::vector<double>> Coordinator::collect_weights() {
     batch.items.push_back(BatchItem{ShardOp::kCollectWeights, {}});
     batch.items.push_back(BatchItem{ShardOp::kGetTelemetry, {}});
     const std::vector<std::uint8_t> encoded = batch.encode();
-    auto replies = call_all(ShardOp::kBatch, active_,
+    auto replies = call_all(ShardOp::kBatch, targets,
                             [&](std::size_t) { return encoded; });
     if (!replies.has_value()) return std::nullopt;
-    slices.resize(active_.size());
-    for (std::size_t i = 0; i < active_.size(); ++i) {
+    slices.resize(targets.size());
+    for (std::size_t j = 0; j < targets.size(); ++j) {
       auto reply = decode_or_fail<BatchReplyBody>(
-          active_[i], (*replies)[i], malformed_by_node_, failed_shard_);
+          targets[j], (*replies)[j], malformed_by_node_, failed_shard_);
       if (!reply.has_value() || reply->bodies.size() != 2) {
-        failed_shard_ = active_[i];
+        failed_shard_ = targets[j];
         return std::nullopt;
       }
       auto telemetry = decode_or_fail<TelemetryBody>(
-          active_[i], reply->bodies[1], malformed_by_node_, failed_shard_);
+          targets[j], reply->bodies[1], malformed_by_node_, failed_shard_);
       if (!telemetry.has_value()) return std::nullopt;
-      telemetry_by_node_[active_[i]] = *telemetry;
-      slices[i] = std::move(reply->bodies[0]);
+      telemetry_by_node_[targets[j]] = *telemetry;
+      slices[j] = std::move(reply->bodies[0]);
     }
   } else {
-    auto replies = call_all(ShardOp::kCollectWeights, active_,
+    auto replies = call_all(ShardOp::kCollectWeights, targets,
                             [](std::size_t) { return std::vector<std::uint8_t>{}; });
     if (!replies.has_value()) return std::nullopt;
     slices = std::move(*replies);
   }
+  // Surviving users only, concatenated ascending — on a degraded round this
+  // is exactly the weight vector of the in-process survivor reference.
   std::vector<double> weights;
-  weights.reserve(plan_.num_users);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    auto slice = decode_or_fail<WeightsBody>(active_[i], slices[i],
+  weights.reserve(live_num_users());
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    auto slice = decode_or_fail<WeightsBody>(targets[j], slices[j],
                                              malformed_by_node_,
                                              failed_shard_);
     if (!slice.has_value() ||
-        slice->weights.size() != plan_.shard_num_users(i)) {
-      failed_shard_ = active_[i];
+        slice->weights.size() != plan_.shard_num_users(live_[j])) {
+      failed_shard_ = targets[j];
       return std::nullopt;
     }
     weights.insert(weights.end(), slice->weights.begin(),
@@ -531,6 +579,10 @@ bool Coordinator::begin_round(std::uint64_t round,
       reports_routed_ = 0;
       reports_unroutable_ = 0;
       reports_undeliverable_ = 0;
+      live_.resize(plan_.num_shards);
+      for (std::size_t i = 0; i < plan_.num_shards; ++i) live_[i] = i;
+      routed_by_shard_.assign(plan_.num_shards, 0);
+      undeliverable_by_shard_.assign(plan_.num_shards, 0);
       return true;
     }
     // A shard failed setup: drop it and re-plan over the survivors. The
@@ -592,84 +644,130 @@ DistributedOutcome Coordinator::close_round() {
     round_planned_ = false;
     active_.clear();
   };
-  const auto fail = [&]() {
+  const auto abort_round = [&]() {
     out.completed = false;
+    out.aggregated = false;
     out.failed_shard = failed_shard_;
     if (failed_shard_.has_value()) remove_shard(*failed_shard_);
     finish();
     return out;
   };
 
-  // Close ingestion and collect coverage.
-  auto summaries =
-      call_all(ShardOp::kFinalizeIngest, active_,
-               [](std::size_t) { return std::vector<std::uint8_t>{}; });
-  if (!summaries.has_value()) return fail();
-  std::vector<std::uint64_t> coverage(config_.num_objects, 0);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    auto summary = decode_or_fail<IngestSummaryBody>(
-        active_[i], (*summaries)[i], malformed_by_node_, failed_shard_);
-    if (!summary.has_value() ||
-        summary->object_counts.size() != config_.num_objects) {
-      failed_shard_ = active_[i];
-      return fail();
+  // One close attempt over the current live set: finalize (idempotent on the
+  // shards, so a retried attempt re-serves summaries without re-ingesting),
+  // coverage, warm seed, method, telemetry.
+  enum class Attempt { kAggregated, kUncovered, kFailed };
+  const auto attempt = [&]() -> Attempt {
+    out.shard_stats.clear();
+    out.warm_started = false;
+    auto summaries =
+        call_all(ShardOp::kFinalizeIngest, live_nodes(),
+                 [](std::size_t) { return std::vector<std::uint8_t>{}; });
+    if (!summaries.has_value()) return Attempt::kFailed;
+    std::vector<std::uint64_t> coverage(config_.num_objects, 0);
+    for (std::size_t j = 0; j < live_.size(); ++j) {
+      const net::NodeId node = active_[live_[j]];
+      auto summary = decode_or_fail<IngestSummaryBody>(
+          node, (*summaries)[j], malformed_by_node_, failed_shard_);
+      if (!summary.has_value() ||
+          summary->object_counts.size() != config_.num_objects) {
+        failed_shard_ = node;
+        return Attempt::kFailed;
+      }
+      crowd::ShardIngestStats stats;
+      stats.reports_received =
+          static_cast<std::size_t>(summary->reports_received);
+      stats.duplicates_ignored =
+          static_cast<std::size_t>(summary->duplicates_ignored);
+      stats.malformed_reports =
+          static_cast<std::size_t>(summary->malformed_reports);
+      stats.rejected_reports =
+          static_cast<std::size_t>(summary->rejected_reports);
+      stats.invalid_labels = static_cast<std::size_t>(summary->invalid_labels);
+      out.shard_stats.push_back(stats);
+      for (std::size_t n = 0; n < coverage.size(); ++n) {
+        coverage[n] += summary->object_counts[n];
+      }
     }
-    crowd::ShardIngestStats stats;
-    stats.reports_received =
-        static_cast<std::size_t>(summary->reports_received);
-    stats.duplicates_ignored =
-        static_cast<std::size_t>(summary->duplicates_ignored);
-    stats.malformed_reports =
-        static_cast<std::size_t>(summary->malformed_reports);
-    stats.rejected_reports =
-        static_cast<std::size_t>(summary->rejected_reports);
-    stats.invalid_labels = static_cast<std::size_t>(summary->invalid_labels);
-    out.shard_stats.push_back(stats);
-    for (std::size_t n = 0; n < coverage.size(); ++n) {
-      coverage[n] += summary->object_counts[n];
+    for (std::uint64_t c : coverage) {
+      if (c == 0) {
+        // Uncovered objects: skip aggregation gracefully, exactly like the
+        // in-process servers. The warm state is left untouched.
+        DPTD_LOG_WARN << "round " << round_
+                      << ": uncovered objects, skipping aggregation";
+        if (!collect_telemetry()) return Attempt::kFailed;
+        return Attempt::kUncovered;
+      }
     }
-  }
-  for (std::uint64_t c : coverage) {
-    if (c == 0) {
-      // Uncovered objects: skip aggregation gracefully, exactly like the
-      // in-process servers. The warm state is left untouched.
-      DPTD_LOG_WARN << "round " << round_
-                    << ": uncovered objects, skipping aggregation";
-      if (!collect_telemetry()) return fail();
-      out.completed = true;
+
+    // Warm seed, mirroring crowd::aggregate_and_publish bit for bit. The
+    // seed stays global-sized; live shards slice it by plan index.
+    truth::WarmStart seed;
+    if (config_.warm_start && warm_.valid && method_.supports_warm_start()) {
+      seed.truths = warm_.result.truths;
+      seed.weights =
+          crowd::remap_warm_weights(warm_, participants_, plan_.num_users);
+      out.warm_started = true;
+    }
+    truth::validate_warm_start(plan_.num_users, config_.num_objects, seed);
+
+    auto result = run_method(seed);
+    if (!result.has_value()) return Attempt::kFailed;
+    // Shard-side robustness counters, collected after the method so the
+    // iterate-phase telemetry (mark_iterate_*) never includes these RPCs.
+    if (!collect_telemetry()) return Attempt::kFailed;
+    out.result = std::move(*result);
+    return Attempt::kAggregated;
+  };
+
+  for (;;) {
+    const Attempt a = attempt();
+    if (a == Attempt::kFailed) {
+      // Graceful degraded close: exclude the failed shard, account its
+      // routed reports as lost (exactly: routed minus already-counted
+      // undeliverable), and retry the close over the survivors. Each pass
+      // shrinks the live set, so this terminates.
+      if (!failed_shard_.has_value()) return abort_round();
+      const net::NodeId dead = *failed_shard_;
+      const auto it = std::find_if(
+          live_.begin(), live_.end(),
+          [&](std::size_t i) { return active_[i] == dead; });
+      if (it == live_.end()) return abort_round();
+      const std::size_t dead_index = *it;
+      live_.erase(it);
+      remove_shard(dead);
+      failed_shard_.reset();
+      if (live_.empty()) {
+        // No survivors to close over: the whole round aborts.
+        failed_shard_ = dead;
+        return abort_round();
+      }
+      out.degraded = true;
+      out.excluded_shards.push_back(dead);
+      out.reports_lost +=
+          routed_by_shard_[dead_index] - undeliverable_by_shard_[dead_index];
+      DPTD_LOG_WARN << "round " << round_ << ": shard " << dead
+                    << " excluded mid-round, closing degraded over "
+                    << live_.size() << " survivors";
+      continue;
+    }
+    out.completed = true;
+    if (a == Attempt::kUncovered) {
       out.aggregated = false;
       finish();
       return out;
     }
+    out.aggregated = true;
+    out.iteration_messages = iteration_messages_;
+    out.iteration_bytes = iteration_bytes_;
+    if (!out.degraded) {
+      warm_.result = out.result;
+      warm_.participants = participants_;
+      warm_.valid = true;
+    }
+    finish();
+    return out;
   }
-
-  // Warm seed, mirroring crowd::aggregate_and_publish bit for bit.
-  truth::WarmStart seed;
-  if (config_.warm_start && warm_.valid && method_.supports_warm_start()) {
-    seed.truths = warm_.result.truths;
-    seed.weights =
-        crowd::remap_warm_weights(warm_, participants_, plan_.num_users);
-    out.warm_started = true;
-  }
-  truth::validate_warm_start(plan_.num_users, config_.num_objects, seed);
-
-  auto result = run_method(seed);
-  if (!result.has_value()) return fail();
-  // Shard-side robustness counters, collected after the method so the
-  // iterate-phase telemetry (mark_iterate_*) never includes these RPCs.
-  if (!collect_telemetry()) return fail();
-  out.result = std::move(*result);
-  out.completed = true;
-  out.aggregated = true;
-  out.iteration_messages = iteration_messages_;
-  out.iteration_bytes = iteration_bytes_;
-
-  warm_.result = out.result;
-  warm_.participants = participants_;
-  warm_.valid = true;
-
-  finish();
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -764,7 +862,7 @@ std::optional<truth::Result> Coordinator::run_crh(
     // Loss chain: the running total threads through the shards, continuing
     // the canonical block-chained sum across the fleet.
     double total = 0.0;
-    for (net::NodeId shard : active_) {
+    for (net::NodeId shard : live_nodes()) {
       CrhLossBody req;
       req.truths = result.truths;
       req.total = total;
@@ -1039,7 +1137,7 @@ std::optional<truth::Result> Coordinator::run_mean() {
   if (!truths.has_value()) return std::nullopt;
   mark_iterate_end();
   result.truths = std::move(*truths);
-  result.weights.assign(plan_.num_users, 1.0);
+  result.weights.assign(live_num_users(), 1.0);
   result.iterations = 1;
   result.converged = true;
   return result;
@@ -1057,7 +1155,7 @@ std::optional<truth::Result> Coordinator::run_median() {
                  "Coordinator: object with no claims");
     result.truths[n] = median((*columns)[n]);
   }
-  result.weights.assign(plan_.num_users, 1.0);
+  result.weights.assign(live_num_users(), 1.0);
   result.iterations = 1;
   result.converged = true;
   return result;
@@ -1096,7 +1194,7 @@ std::optional<truth::Result> Coordinator::run_majority() {
   for (std::size_t n = 0; n < truths.size(); ++n) {
     result.truths[n] = static_cast<double>(truths[n]);
   }
-  result.weights.assign(plan_.num_users, 1.0);
+  result.weights.assign(live_num_users(), 1.0);
   result.iterations = 1;
   result.converged = true;
   return result;
@@ -1157,7 +1255,7 @@ std::optional<truth::Result> Coordinator::run_vote(
     // Disagreement chain: the running total threads through the shards,
     // continuing the canonical block-chained sum across the fleet.
     double total = 0.0;
-    for (net::NodeId shard : active_) {
+    for (net::NodeId shard : live_nodes()) {
       VoteDisagreeBody req;
       req.truths = truths;
       req.total = total;

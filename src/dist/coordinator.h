@@ -14,11 +14,20 @@
 // the SAME op id (shards execute exactly-once behind a monotonic op-id
 // watermark: equal ids replay the memoized response, older ids — delayed
 // duplicates, abandoned pre-re-plan requests — are dropped), so stragglers
-// and jitter reordering cost latency, never correctness. A shard that exhausts
-// max_resends is declared failed: the round aborts, the shard leaves the
-// roster, and the next begin_round re-plans over the surviving shards —
-// re-routing the dead shard's users — while the stable-id warm-start remap
-// (crowd::remap_warm_weights) keeps seeding from the last successful round.
+// and jitter reordering cost latency, never correctness. A shard that
+// exhausts max_resends mid-round is declared failed and the round closes
+// DEGRADED instead of aborting: the failed shard is excluded, its routed
+// reports are accounted as lost (exactly: routed minus already-counted
+// undeliverable), the close re-runs over the survivors — whose finalize is
+// idempotent, so retried phases re-serve summaries without re-ingesting —
+// and the outcome carries degraded/excluded_shards/reports_lost. The
+// degraded result is bitwise identical to an in-process run over the
+// survivors' concatenated sub-matrices (shard ranges stay block-aligned).
+// The excluded shard also leaves the roster, so the next begin_round
+// re-plans and re-routes its users; degraded rounds do not update the warm
+// state (the excluded users' weights are gone — the next full round seeds
+// from the last complete result via the stable-id remap). The round aborts
+// (completed=false) only when no shard survives.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "crowd/campaign.h"
 #include "crowd/protocol.h"
 #include "crowd/server.h"
 #include "data/sharding.h"
@@ -101,6 +111,15 @@ struct MethodSpec {
 /// The in-process twin of a MethodSpec (equivalence tests and fallbacks).
 std::unique_ptr<truth::TruthDiscovery> make_method(const MethodSpec& spec);
 
+struct DistributedOutcome;
+
+/// Projects a DistributedOutcome onto the campaign RoundRecord schema — the
+/// uniform per-round surface the eval/reporting layer consumes whether the
+/// round ran in-process or over the distributed protocol. Degradation
+/// telemetry (degraded/excluded_shards/reports_lost) carries through; the
+/// MAE fields are left NaN for the caller to fill against its ground truth.
+crowd::RoundRecord to_round_record(const DistributedOutcome& outcome);
+
 /// Per-shard robustness counters of one round, surfaced uniformly in
 /// DistributedOutcome (the same schema whether the shard is an in-process
 /// simulator node or a remote socket process).
@@ -120,14 +139,30 @@ struct NodeCounters {
 
 struct DistributedOutcome {
   std::uint64_t round = 0;
-  /// The protocol ran to the end (false = a shard failed mid-round; the
-  /// round must be retried after the automatic re-plan).
+  /// The protocol ran to the end (false = every shard failed mid-round; the
+  /// round must be retried after the automatic re-plan). A single shard
+  /// failure no longer clears this: the round closes degraded instead.
   bool completed = false;
   /// Coverage held and `result` is valid (false with completed=true means
   /// uncovered objects made the round skip aggregation, like the in-process
   /// servers do).
   bool aggregated = false;
+  /// Set only on a full abort (completed=false): the last shard whose
+  /// failure left no survivors to close over.
   std::optional<net::NodeId> failed_shard;
+  /// The round closed over a strict subset of its shards. `result` then
+  /// covers the surviving users only (bitwise equal to an in-process run
+  /// over the survivors' concatenated sub-matrices) and the warm state is
+  /// left untouched.
+  bool degraded = false;
+  /// Shards excluded mid-round (exhausted max_resends or went byzantine),
+  /// in exclusion order.
+  std::vector<net::NodeId> excluded_shards;
+  /// Reports routed to excluded shards that are in no other bucket: exactly
+  /// routed-to-shard minus already-counted-undeliverable, per exclusion.
+  /// These reports reached (or were bound for) a shard whose ingest summary
+  /// can no longer be collected — real, precisely-accounted loss.
+  std::size_t reports_lost = 0;
   bool warm_started = false;
   std::size_t reports_routed = 0;      ///< forwarded to owning shards
   std::size_t reports_unroutable = 0;  ///< unknown user / undecodable / late
@@ -137,7 +172,8 @@ struct DistributedOutcome {
   /// path, so a nonzero value here is real data loss — the no-churn
   /// equivalence suites assert zero.
   std::size_t reports_undeliverable = 0;
-  std::vector<crowd::ShardIngestStats> shard_stats;  ///< active-shard order
+  /// Surviving-shard order (== active-shard order when not degraded).
+  std::vector<crowd::ShardIngestStats> shard_stats;
   truth::Result result;
   net::NetworkStats network;  ///< whole-round traffic delta
   /// Protocol traffic of the iterate phase alone (divide by
@@ -232,7 +268,12 @@ class Coordinator final : public net::Node {
   std::vector<std::uint8_t> weights_slice_body(
       const std::vector<double>& global, std::size_t i) const;
 
-  // Statistics collectives over the active shards (ascending shard order).
+  /// Node ids of the live shards, in ascending plan-index order.
+  std::vector<net::NodeId> live_nodes() const;
+  /// Users owned by the live shards (== plan_.num_users when none excluded).
+  std::size_t live_num_users() const;
+
+  // Statistics collectives over the live shards (ascending plan order).
   bool set_weights_uniform();
   bool set_weights_explicit(const std::vector<double>& global);
   std::optional<truth::AggregateStats> aggregate_chain(
@@ -280,6 +321,14 @@ class Coordinator final : public net::Node {
   crowd::ParticipantIndex index_;
   data::ShardPlan plan_;
   std::vector<net::NodeId> active_;  ///< shard_index -> node id this round
+  /// Plan indices of the shards still in the round, ascending. Starts as
+  /// [0, num_shards); a degraded close removes failed shards from it and
+  /// every collective iterates it (plan index keeps the slice/fold order).
+  std::vector<std::size_t> live_;
+  /// Per-plan-index report routing counters, the exact-loss ledger of a
+  /// degraded close: lost(i) = routed_by_shard_[i] - undeliverable_by_shard_[i].
+  std::vector<std::size_t> routed_by_shard_;
+  std::vector<std::size_t> undeliverable_by_shard_;
   std::size_t reports_routed_ = 0;
   std::size_t reports_unroutable_ = 0;
   std::size_t reports_undeliverable_ = 0;

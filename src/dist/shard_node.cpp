@@ -281,18 +281,25 @@ std::vector<std::uint8_t> ShardNode::execute(
       return {};
     }
     case ShardOp::kFinalizeIngest: {
-      if (!builder_.has_value()) throw DecodeError("shard: no open round");
-      round_open_ = false;
-      const std::size_t local_users = builder_->num_users();
-      view_.reset();
-      label_view_.reset();
-      matrix_ = builder_->finalize();
-      view_.emplace(data::ShardedMatrix::single(*matrix_, block_size_));
-      weights_.assign(local_users, 1.0);
-      losses_.assign(local_users, 0.0);
-      quality_.assign(local_users, 1.0);
-      chi2_.assign(local_users, 0.0);
-      disagreement_.assign(local_users, 0.0);
+      // Idempotent: a degraded close retries the finalize phase over the
+      // surviving shards under fresh op ids after abandoning the first
+      // attempt, so a shard that already finalized must re-serve the summary
+      // from its finalized matrix — re-running builder_->finalize() would
+      // move the ingested rows out and destroy the round's data.
+      if (!matrix_.has_value()) {
+        if (!builder_.has_value()) throw DecodeError("shard: no open round");
+        round_open_ = false;
+        const std::size_t local_users = builder_->num_users();
+        view_.reset();
+        label_view_.reset();
+        matrix_ = builder_->finalize();
+        view_.emplace(data::ShardedMatrix::single(*matrix_, block_size_));
+        weights_.assign(local_users, 1.0);
+        losses_.assign(local_users, 0.0);
+        quality_.assign(local_users, 1.0);
+        chi2_.assign(local_users, 0.0);
+        disagreement_.assign(local_users, 0.0);
+      }
       IngestSummaryBody summary;
       summary.reports_received = ingest_stats_.reports_received;
       summary.duplicates_ignored = ingest_stats_.duplicates_ignored;

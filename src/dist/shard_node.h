@@ -74,6 +74,11 @@ class ShardNode final : public net::Node {
   /// executed op (delayed duplicates, abandoned pre-re-plan requests).
   std::size_t stale_requests() const { return stale_requests_; }
 
+  /// Exactly-once watermark: highest executed op id, if any. Monotonic for
+  /// the shard's lifetime (it survives fail()/rejoin()); the chaos suites
+  /// assert it never moves backward under any fault schedule.
+  std::optional<std::uint64_t> op_watermark() const { return last_op_id_; }
+
   /// Set by a crowd::MessageType::kShutdown message; serve_shard() returns
   /// once it is observed. Never set by the RPC path.
   bool shutdown_requested() const { return shutdown_requested_; }

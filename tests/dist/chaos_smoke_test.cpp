@@ -1,0 +1,30 @@
+// Tier-1 chaos smoke: one fixed seed per fault family over the in-process
+// simulator. Fast and fully deterministic (virtual time, seeded schedule) —
+// the broad randomized sweep lives in the slow-tier chaos soak; this row
+// keeps the four invariants continuously guarded in the fast suite.
+#include <gtest/gtest.h>
+
+#include "dist/chaos_harness.h"
+
+namespace dptd::dist {
+namespace {
+
+TEST(ChaosSmoke, TransientScheduleIsBitwiseInvisible) {
+  chaos::run_simulator_chaos(chaos::Family::kTransient, 11);
+  chaos::run_simulator_chaos(chaos::Family::kTransient, 12);
+}
+
+TEST(ChaosSmoke, LossyReportsConserveEveryReport) {
+  chaos::run_simulator_chaos(chaos::Family::kLossyReports, 21);
+}
+
+TEST(ChaosSmoke, TransientCrashWindowRecoversTheExactAnswer) {
+  chaos::run_simulator_chaos(chaos::Family::kTransientCrash, 31);
+}
+
+TEST(ChaosSmoke, PermanentCrashClosesDegradedWithExactLoss) {
+  chaos::run_simulator_chaos(chaos::Family::kPermanentCrash, 41);
+}
+
+}  // namespace
+}  // namespace dptd::dist

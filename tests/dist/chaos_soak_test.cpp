@@ -1,0 +1,61 @@
+// Slow-tier chaos soak: >= 50 seeded fault schedules across every fault
+// class (drop / delay / duplicate / reorder / corrupt-truncate / partition
+// window / crash), over both the in-process simulator and real forked-UDS
+// fleets, asserting the four invariants documented in chaos_harness.h.
+//
+// Any red schedule prints its seed; re-run exactly that schedule with
+//   DPTD_CHAOS_SEED=<seed> ctest -R ChaosSoak
+// (the env var narrows every sweep below to the one seed).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dist/chaos_harness.h"
+
+namespace dptd::dist {
+namespace {
+
+std::vector<std::uint64_t> seed_range(std::uint64_t first, std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(first + i);
+  return chaos::chaos_seeds(std::move(seeds));
+}
+
+TEST(ChaosSoak, SimulatorTransientSchedules) {
+  for (const std::uint64_t seed : seed_range(100, 10)) {
+    chaos::run_simulator_chaos(chaos::Family::kTransient, seed);
+  }
+}
+
+TEST(ChaosSoak, SimulatorLossyReportSchedules) {
+  for (const std::uint64_t seed : seed_range(200, 10)) {
+    chaos::run_simulator_chaos(chaos::Family::kLossyReports, seed);
+  }
+}
+
+TEST(ChaosSoak, SimulatorTransientCrashWindows) {
+  for (const std::uint64_t seed : seed_range(300, 10)) {
+    chaos::run_simulator_chaos(chaos::Family::kTransientCrash, seed);
+  }
+}
+
+TEST(ChaosSoak, SimulatorPermanentCrashes) {
+  for (const std::uint64_t seed : seed_range(400, 10)) {
+    chaos::run_simulator_chaos(chaos::Family::kPermanentCrash, seed);
+  }
+}
+
+TEST(ChaosSoak, UdsTransientSchedules) {
+  for (const std::uint64_t seed : seed_range(500, 8)) {
+    chaos::run_uds_chaos(chaos::Family::kTransient, seed);
+  }
+}
+
+TEST(ChaosSoak, UdsLossyReportSchedules) {
+  for (const std::uint64_t seed : seed_range(600, 4)) {
+    chaos::run_uds_chaos(chaos::Family::kLossyReports, seed);
+  }
+}
+
+}  // namespace
+}  // namespace dptd::dist

@@ -8,8 +8,10 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "data/builder.h"
 #include "data/sharding.h"
 #include "data/synthetic.h"
 #include "dist/coordinator.h"
@@ -173,23 +175,71 @@ TEST(DistributedProtocol, RepeatedStragglingNeverDoubleExecutes) {
   expect_bitwise_equal(reference, outcome.result, "double straggler");
 }
 
-TEST(DistributedProtocol, DeadShardAbortsTheRoundAndLeavesTheRoster) {
+/// Builds the renumbered sub-matrix of the given global user ranges — the
+/// in-process twin of what a degraded close aggregates over the survivors.
+data::ObservationMatrix submatrix_of_ranges(
+    const data::ObservationMatrix& obs,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
+  std::size_t users = 0;
+  for (const auto& [begin, end] : ranges) users += end - begin;
+  data::ObservationMatrixBuilder builder(users, obs.num_objects());
+  std::size_t local = 0;
+  for (const auto& [begin, end] : ranges) {
+    for (std::size_t s = begin; s < end; ++s, ++local) {
+      const auto entries = obs.user_entries(s);
+      if (entries.empty()) continue;
+      std::vector<std::uint64_t> objects;
+      std::vector<double> values;
+      for (const auto& entry : entries) {
+        objects.push_back(entry.object);
+        values.push_back(entry.value);
+      }
+      builder.add_row(local, objects, values);
+    }
+  }
+  return builder.finalize();
+}
+
+TEST(DistributedProtocol, DeadShardClosesDegradedOverSurvivors) {
+  // Before the degraded-close change this choreography aborted the whole
+  // round (completed=false, result scrubbed). Now the failed shard is
+  // excluded mid-round and the close re-runs over the survivors.
   const data::Dataset dataset = random_dataset(13, 48, 4, 0.3);
   Fleet fleet(3, crh_spec(), dataset.num_objects());
   ASSERT_TRUE(
       fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
   send_dataset(fleet, dataset, 1);
 
+  // Shard 1 owns users [16, 32): its delivered reports are the exact loss.
+  std::size_t expected_lost = 0;
+  for (std::size_t s = 16; s < 32; ++s) {
+    if (!dataset.observations.user_entries(s).empty()) ++expected_lost;
+  }
+
   fleet.shards[1]->fail();  // crash: state gone, never comes back
   const DistributedOutcome outcome = fleet.coordinator->close_round();
 
-  EXPECT_FALSE(outcome.completed);
-  EXPECT_FALSE(outcome.aggregated);
-  ASSERT_TRUE(outcome.failed_shard.has_value());
-  EXPECT_EQ(*outcome.failed_shard, kShardBase + 1);
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_TRUE(outcome.aggregated);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_FALSE(outcome.failed_shard.has_value());
+  ASSERT_EQ(outcome.excluded_shards.size(), 1u);
+  EXPECT_EQ(outcome.excluded_shards[0], kShardBase + 1);
+  EXPECT_EQ(outcome.reports_lost, expected_lost);
+  EXPECT_EQ(outcome.reports_undeliverable, 0u);
   EXPECT_GT(outcome.resends, 0u);
   ASSERT_EQ(fleet.coordinator->roster().size(), 2u);
+  // A degraded result never becomes a warm seed.
   EXPECT_FALSE(fleet.coordinator->warm().valid);
+
+  // The degraded result is bitwise identical to the in-process run over the
+  // survivors' concatenated sub-matrices at the surviving shard count.
+  const data::ObservationMatrix survivors =
+      submatrix_of_ranges(dataset.observations, {{0, 16}, {32, 48}});
+  const truth::Result degraded_reference =
+      make_method(crh_spec())->run_sharded(
+          data::ShardedMatrix::partition(survivors, 2, kTestBlock));
+  expect_bitwise_equal(degraded_reference, outcome.result, "degraded close");
 
   // The retry round re-plans over the survivors, re-routing the dead shard's
   // users, and must land on the canonical (K-invariant) result.
@@ -198,9 +248,37 @@ TEST(DistributedProtocol, DeadShardAbortsTheRoundAndLeavesTheRoster) {
   send_dataset(fleet, dataset, 2);
   const DistributedOutcome retry = fleet.coordinator->close_round();
   ASSERT_TRUE(retry.aggregated);
+  EXPECT_FALSE(retry.degraded);
   const truth::Result reference = make_method(crh_spec())->run_sharded(
       data::ShardedMatrix::partition(dataset.observations, 2, kTestBlock));
   expect_bitwise_equal(reference, retry.result, "post-failure retry");
+}
+
+TEST(DistributedProtocol, DegradedRoundRecordCarriesLossAccounting) {
+  // The campaign-facing projection: degraded/excluded/reports_lost flow
+  // through dist::to_round_record alongside the ingest totals.
+  const data::Dataset dataset = random_dataset(17, 32, 4, 0.2);
+  Fleet fleet(2, crh_spec(), dataset.num_objects());
+  ASSERT_TRUE(
+      fleet.coordinator->begin_round(1, participant_ids(dataset.num_users())));
+  const std::size_t sent = send_reports(fleet, dataset, 1);
+  fleet.sim.run();
+  fleet.shards[0]->fail();
+  const DistributedOutcome outcome = fleet.coordinator->close_round();
+  ASSERT_TRUE(outcome.degraded);
+
+  const crowd::RoundRecord record = to_round_record(outcome);
+  EXPECT_EQ(record.round, 1u);
+  EXPECT_TRUE(record.degraded);
+  ASSERT_EQ(record.excluded_shards.size(), 1u);
+  EXPECT_EQ(record.excluded_shards[0], kShardBase + 0);
+  EXPECT_EQ(record.reports_lost, outcome.reports_lost);
+  EXPECT_EQ(record.reports_expected, sent);
+  // Conservation in the record: every routed report is either in a surviving
+  // shard's received total or accounted lost.
+  EXPECT_EQ(record.reports_received + record.reports_lost, sent);
+  EXPECT_EQ(record.truths.size(), dataset.num_objects());
+  EXPECT_EQ(record.iterations, outcome.result.iterations);
 }
 
 TEST(DistributedProtocol, RejoinAndChurnReuseTheStableIdWarmRemap) {
@@ -215,12 +293,18 @@ TEST(DistributedProtocol, RejoinAndChurnReuseTheStableIdWarmRemap) {
   ASSERT_TRUE(fleet.coordinator->close_round().aggregated);
   ASSERT_TRUE(fleet.coordinator->warm().valid);
 
-  // Round 2 dies mid-protocol; the warm state from round 1 must survive.
+  // Round 2 loses a shard mid-protocol: it closes degraded over the
+  // survivors, and the warm state from round 1 must survive UNCHANGED (a
+  // degraded result never becomes a warm seed — the round-3 reference below
+  // would diverge bitwise if it did).
   ASSERT_TRUE(fleet.coordinator->begin_round(2, roster2));
   send_dataset(fleet, second, 2, /*first_id=*/8);
   fleet.shards[2]->fail();
-  const DistributedOutcome aborted = fleet.coordinator->close_round();
-  EXPECT_FALSE(aborted.completed);
+  const DistributedOutcome degraded = fleet.coordinator->close_round();
+  EXPECT_TRUE(degraded.completed);
+  EXPECT_TRUE(degraded.degraded);
+  ASSERT_EQ(degraded.excluded_shards.size(), 1u);
+  EXPECT_EQ(degraded.excluded_shards[0], kShardBase + 2);
   EXPECT_EQ(fleet.coordinator->roster().size(), 2u);
   EXPECT_TRUE(fleet.coordinator->warm().valid);
 

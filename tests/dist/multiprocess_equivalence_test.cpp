@@ -5,7 +5,8 @@
 // block size. The simulator reference runs UNBATCHED, so each comparison also
 // proves the batched socket protocol bit-identical to the unbatched one.
 // Plus the churn story: SIGKILL a shard mid-round and the coordinator
-// declares it failed after max_resends, re-plans over the survivors, and
+// excludes it after max_resends, closes the round DEGRADED over the
+// survivors with exact loss accounting, re-plans the next round, and
 // re-admits a restarted process on the same socket path — and the PR-9
 // regression: reports routed into a reconnect-backoff window park on the
 // peer link and flush on reconnect instead of silently dropping.
@@ -29,6 +30,7 @@
 
 #include "categorical/label_matrix.h"
 #include "categorical/synthetic.h"
+#include "data/builder.h"
 #include "data/sharding.h"
 #include "data/synthetic.h"
 #include "dist/coordinator.h"
@@ -113,6 +115,42 @@ Workload workload_for(const MethodSpec& spec, std::uint64_t seed,
     w.continuous = random_dataset(seed, users, objects, missing);
   }
   return w;
+}
+
+/// Survivor reference for degraded-close checks: the same workload truncated
+/// to its first `keep_users` rows (the surviving shard's user range when the
+/// dead shard owned the tail). Continuous methods only — the churn tests
+/// below all run numeric specs.
+Workload prefix_workload(const Workload& workload, std::size_t keep_users) {
+  const data::ObservationMatrix& obs = workload.continuous->observations;
+  data::ObservationMatrixBuilder builder(keep_users, obs.num_objects());
+  for (std::size_t s = 0; s < keep_users; ++s) {
+    const auto entries = obs.user_entries(s);
+    if (entries.empty()) continue;
+    std::vector<std::uint64_t> objects;
+    std::vector<double> values;
+    for (const auto& entry : entries) {
+      objects.push_back(entry.object);
+      values.push_back(entry.value);
+    }
+    builder.add_row(s, objects, values);
+  }
+  Workload survivor;
+  survivor.continuous = data::Dataset{};
+  survivor.continuous->observations = builder.finalize();
+  return survivor;
+}
+
+/// Number of users in [begin, end) that actually report (non-empty rows) —
+/// the exact count of routed reports a shard owning that range receives, and
+/// therefore the exact `reports_lost` when that shard dies mid-round.
+std::size_t reporting_users_in(const Workload& workload, std::size_t begin,
+                               std::size_t end) {
+  std::size_t count = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    if (!workload.continuous->observations.user_entries(s).empty()) ++count;
+  }
+  return count;
 }
 
 void expect_bitwise_equal(const truth::Result& a, const truth::Result& b,
@@ -376,21 +414,35 @@ TEST(MultiProcessChurn, KilledShardFailsRoundThenRestartRejoins) {
   expect_bitwise_equal(run_simulator_round(2, spec, dataset), round1.result,
                        "round1 K=2");
 
-  // Round 2: SIGKILL shard B after setup. The coordinator must burn through
+  // Round 2: SIGKILL shard B after setup. The coordinator burns through
   // max_resends against the dead process (connect refusals on the stale
-  // socket path) and declare the round failed with B as the culprit.
+  // socket path), excludes B mid-round, and closes DEGRADED over the
+  // survivor instead of aborting — with B's routed reports counted lost to
+  // the exact report. (Before the degraded-close change this asserted
+  // completed == false with failed_shard == B.)
   ASSERT_TRUE(coordinator.begin_round(2, participants));
   kill(pid_b, SIGKILL);
   int status = 0;
   waitpid(pid_b, &status, 0);
   inject_reports(coordinator, dataset, 2);
   const DistributedOutcome round2 = coordinator.close_round();
-  EXPECT_FALSE(round2.completed);
-  ASSERT_TRUE(round2.failed_shard.has_value());
-  EXPECT_EQ(*round2.failed_shard, kShardBase + 1);
+  EXPECT_TRUE(round2.completed);
+  ASSERT_TRUE(round2.aggregated);
+  EXPECT_TRUE(round2.degraded);
+  EXPECT_FALSE(round2.failed_shard.has_value());
+  ASSERT_EQ(round2.excluded_shards.size(), 1u);
+  EXPECT_EQ(round2.excluded_shards[0], kShardBase + 1);
+  // B owned users [16, 32); every one of its routed reports parked on the
+  // dead link (never transport-undeliverable) and is now unaccountable.
+  EXPECT_EQ(round2.reports_lost, reporting_users_in(dataset, 16, 32));
   EXPECT_GT(round2.resends, 0u);
   ASSERT_EQ(coordinator.roster().size(), 1u);  // B left the roster
   EXPECT_EQ(coordinator.roster()[0], kShardBase + 0);
+  // The degraded result is the canonical aggregation over the survivor's
+  // sub-matrix: bitwise identical to a one-shard fleet fed only A's users.
+  expect_bitwise_equal(
+      run_simulator_round(1, spec, prefix_workload(dataset, 16)),
+      round2.result, "round2 degraded over survivor");
 
   // Round 3: the automatic re-plan routes every user to the survivor; the
   // K=1 round completes and matches the K=1 simulator bits.
@@ -425,7 +477,7 @@ TEST(MultiProcessChurn, KilledShardFailsRoundThenRestartRejoins) {
 // connection, then refused/backed-off reconnects). Every report routed while
 // the link is down must park on the link and flush to the restarted process —
 // not silently drop. The restarted process lost its in-memory round state, so
-// the ROUND still fails and the re-plan evicts it (churn-by-design); the
+// the round closes DEGRADED without it (churn-by-design); the
 // transport-level claim is that not one routed frame vanished:
 // outcome.reports_undeliverable stays zero. The final section replays the
 // identical choreography with the backoff queue disabled
@@ -477,18 +529,31 @@ TEST(MultiProcessChurn, ReportsRoutedDuringBackoffWindowAreNeverLost) {
   pid_b = spawn_shard(kShardBase + 1, dir.sock(1));
   ASSERT_TRUE(wait_for_path(dir.sock(1)));
   const DistributedOutcome round1 = coordinator.close_round();
-  // The fresh process has no round-1 setup state, so finalize fails and the
-  // round fails — but nothing was silently dropped: every routed report was
-  // handed to a live process (which counts strays as rejected, an observable
-  // outcome, unlike a transport drop).
-  EXPECT_FALSE(round1.completed);
-  ASSERT_TRUE(round1.failed_shard.has_value());
-  EXPECT_EQ(*round1.failed_shard, kShardBase + 1);
+  // The fresh process has no round-1 setup state, so finalize fails against
+  // it and the round closes DEGRADED over shard A — but nothing was silently
+  // dropped at the transport: every routed report was handed to a live
+  // process (which counts strays as rejected, an observable outcome, unlike
+  // a transport drop), so reports_undeliverable stays zero while the
+  // excluded shard's 32 routed reports are counted lost — accounted, not
+  // vanished.
+  EXPECT_TRUE(round1.completed);
+  EXPECT_TRUE(round1.degraded);
+  EXPECT_FALSE(round1.failed_shard.has_value());
+  ASSERT_EQ(round1.excluded_shards.size(), 1u);
+  EXPECT_EQ(round1.excluded_shards[0], kShardBase + 1);
   EXPECT_EQ(round1.reports_unroutable, 0u);
   EXPECT_EQ(round1.reports_undeliverable, 0u);
+  EXPECT_EQ(round1.reports_lost, 32u);  // B's half: users 32..63, missing 0
+  // And the degraded aggregation is the canonical answer over the survivor's
+  // half of the fleet.
+  ASSERT_TRUE(round1.aggregated);
+  expect_bitwise_equal(
+      run_simulator_round(1, spec, prefix_workload(dataset, 32)),
+      round1.result, "round1 degraded over survivor");
 
-  // Re-admit the (alive, fresh) process: the K=2 fleet completes a clean
-  // round, bitwise identical to the unbatched simulator reference.
+  // Re-admit the (alive, fresh) process — the degraded close evicted it from
+  // the roster: the K=2 fleet completes a clean round, bitwise identical to
+  // the unbatched simulator reference.
   coordinator.add_shard(kShardBase + 1);
   ASSERT_TRUE(coordinator.begin_round(2, participants));
   inject_reports(coordinator, dataset, 2);
@@ -529,6 +594,13 @@ TEST(MultiProcessChurn, ReportsRoutedDuringBackoffWindowAreNeverLost) {
   ASSERT_TRUE(wait_for_path(ctrl_dir.sock(1)));
   const DistributedOutcome ctrl_round = ctrl.close_round();
   EXPECT_GT(ctrl_round.reports_undeliverable, 0u);
+  // The degraded close still accounts for every one of B's 32 routed
+  // reports: the dropped-on-the-wire ones show up undeliverable at routing
+  // time, the rest are charged to the excluded shard as lost. Conservation
+  // holds either way — the queue's value is moving loss from the transport
+  // column to the (recoverable-by-resend) shard column.
+  EXPECT_TRUE(ctrl_round.degraded);
+  EXPECT_EQ(ctrl_round.reports_undeliverable + ctrl_round.reports_lost, 32u);
   shutdown_shards(ctrl_transport, {kShardBase + 0, kShardBase + 1},
                   {ctrl_a, ctrl_b});
 }

@@ -16,6 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "crowd/protocol.h"
+#include "dist/shard_node.h"
+#include "dist/stats_wire.h"
+#include "net/fault_transport.h"
 #include "net/socket_transport.h"
 
 namespace dptd::net {
@@ -329,6 +333,50 @@ TEST(SocketTransportTest, BackoffQueueOverflowCountsUndeliverable) {
   EXPECT_EQ(dropper.undeliverable_to(2), 2u);
 }
 
+TEST(SocketTransportTest, BackoffQueueOverflowCountsEachFrameExactlyOnce) {
+  // The overflow ledger must be write-once per frame: frames rejected at the
+  // cap are counted undeliverable at send time and NEVER touched again, and
+  // the parked survivors flush on reconnect without re-walking the counter.
+  TempDir dir;
+  const std::string spec = "unix:" + dir.sock("once");
+  SocketTransportConfig client_cfg;
+  client_cfg.peers[2] = spec;
+  client_cfg.reconnect_backoff_seconds = 0.02;
+  client_cfg.reconnect_backoff_max_seconds = 0.05;
+  client_cfg.backoff_queue_max_frames = 3;
+  SocketTransport client(client_cfg);
+
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    client.send(make_msg(1, 2, 1, {i}));  // 3 park, 5 overflow
+  }
+  EXPECT_EQ(client.undeliverable_to(2), 5u);
+  EXPECT_EQ(client.stats().messages_undeliverable, 5u);
+
+  // Peer comes up: the 3 parked frames flush in order; the 5 overflow
+  // frames stay exactly where the ledger put them — counted once, not
+  // re-dropped, not resurrected.
+  SocketTransportConfig server_cfg;
+  server_cfg.listen = spec;
+  SocketTransport server(server_cfg);
+  CollectNode sink;
+  server.attach(2, sink);
+  ASSERT_TRUE(pump_until({&client, &server},
+                         [&] { return sink.received.size() == 3; }));
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink.received[i].payload, std::vector<std::uint8_t>{i});
+  }
+  EXPECT_EQ(client.undeliverable_to(2), 5u);
+  EXPECT_EQ(client.stats().messages_undeliverable, 5u);
+  EXPECT_EQ(client.stats().messages_sent, 8u);
+
+  // And the ledger keeps counting fresh losses from one: a healthy link
+  // delivers without disturbing the historical count.
+  client.send(make_msg(1, 2, 1, {9}));
+  ASSERT_TRUE(pump_until({&client, &server},
+                         [&] { return sink.received.size() == 4; }));
+  EXPECT_EQ(client.undeliverable_to(2), 5u);
+}
+
 TEST(SocketTransportTest, DyingConnectionRequeuesUnflushedFrames) {
   TempDir dir;
   const std::string spec = "unix:" + dir.sock("die");
@@ -572,6 +620,118 @@ TEST(SocketFramingFuzzTest, InsaneLengthPrefixClosesConnection) {
   // The server hung up on us: our next write eventually fails or the
   // connection count shows the close; either way no delivery happened.
   EXPECT_TRUE(sink.received.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption over real sockets: rotten payloads behind honest length
+// prefixes must be counted at the right layer (framing vs shard protocol)
+// without desyncing the byte stream or moving the shard's exactly-once
+// watermark.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> telemetry_request(std::uint64_t op_id) {
+  crowd::StatsEnvelope env;
+  env.op_id = op_id;
+  env.op = static_cast<std::uint8_t>(dist::ShardOp::kGetTelemetry);
+  return env.encode();
+}
+
+constexpr std::uint32_t kShardRequestType =
+    static_cast<std::uint32_t>(crowd::MessageType::kShardRequest);
+
+TEST(SocketShardHardeningTest, CorruptFramesAndStaleOpsNeverMoveTheWatermark) {
+  TempDir dir;
+  SocketTransportConfig cfg;
+  cfg.listen = "unix:" + dir.sock("shard");
+  SocketTransport server(cfg);
+  dist::ShardNode node(2, server);
+
+  RawClient client(dir.sock("shard"));
+  ASSERT_GE(client.fd, 0);
+
+  // A valid telemetry op establishes the watermark at 5.
+  const std::vector<std::uint8_t> op5 =
+      full_frame(make_msg(1, 2, kShardRequestType, telemetry_request(5)));
+  client.write_all(op5.data(), op5.size());
+  ASSERT_TRUE(pump_until({&server}, [&] { return node.op_watermark() == 5u; }));
+
+  // (a) Undecodable frame body behind an honest length prefix: counted at
+  // the framing layer; the shard protocol never sees it.
+  const std::uint8_t poison[5] = {0x01, 0x00, 0x00, 0x00, 0x80};
+  client.write_all(poison, sizeof(poison));
+  ASSERT_TRUE(
+      pump_until({&server}, [&] { return server.malformed_frames() == 1; }));
+
+  // (b) Honest frame whose shard-request payload is a rotten envelope: the
+  // framing layer routes it cleanly, the shard counts it malformed and does
+  // not execute.
+  const std::vector<std::uint8_t> garbage =
+      full_frame(make_msg(1, 2, kShardRequestType, {0xFF}));
+  client.write_all(garbage.data(), garbage.size());
+  ASSERT_TRUE(
+      pump_until({&server}, [&] { return node.malformed_messages() == 1; }));
+  EXPECT_EQ(server.malformed_frames(), 1u);
+
+  // (c) A delayed duplicate below the watermark: counted stale, not
+  // re-executed.
+  const std::vector<std::uint8_t> stale =
+      full_frame(make_msg(1, 2, kShardRequestType, telemetry_request(3)));
+  client.write_all(stale.data(), stale.size());
+  ASSERT_TRUE(
+      pump_until({&server}, [&] { return node.stale_requests() == 1; }));
+
+  // Nothing above moved the watermark, and the stream never desynced: the
+  // next valid op on the same connection executes normally.
+  EXPECT_EQ(node.op_watermark(), 5u);
+  const std::vector<std::uint8_t> op6 =
+      full_frame(make_msg(1, 2, kShardRequestType, telemetry_request(6)));
+  client.write_all(op6.data(), op6.size());
+  ASSERT_TRUE(pump_until({&server}, [&] { return node.op_watermark() == 6u; }));
+  EXPECT_EQ(node.malformed_messages(), 1u);
+  EXPECT_EQ(node.stale_requests(), 1u);
+}
+
+TEST(SocketShardHardeningTest, InjectedTruncationIsCountedWithoutDesyncing) {
+  // FaultInjectionTransport truncates the *payload* before the framing
+  // layer writes its honest length prefix — the frame itself stays valid, so
+  // the corruption must surface as a shard-level DecodeError (counted, no
+  // execution, no reply), never as a framing error or a stream desync.
+  TempDir dir;
+  const std::string spec = "unix:" + dir.sock("fault");
+  SocketTransportConfig server_cfg;
+  server_cfg.listen = spec;
+  SocketTransport server(server_cfg);
+  dist::ShardNode node(2, server);
+
+  SocketTransportConfig client_cfg;
+  client_cfg.peers[2] = spec;
+  SocketTransport client(client_cfg);
+  CollectNode replies;
+  client.attach(1, replies);
+
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.rpc.truncate_probability = 1.0;
+  FaultInjectionTransport faulty(client, schedule);
+
+  faulty.send(make_msg(1, 2, kShardRequestType, telemetry_request(5)));
+  ASSERT_TRUE(pump_until({&client, &server},
+                         [&] { return node.malformed_messages() == 1; }));
+  EXPECT_EQ(faulty.fault_stats().truncations, 1u);
+  EXPECT_EQ(server.malformed_frames(), 0u);  // honest prefix, rotten payload
+  EXPECT_EQ(client.malformed_frames(), 0u);
+  EXPECT_FALSE(node.op_watermark().has_value());
+  EXPECT_TRUE(replies.received.empty());
+
+  // The same op sent past the decorator executes and replies source-routed:
+  // the truncated frame left both byte streams perfectly in sync.
+  client.send(make_msg(1, 2, kShardRequestType, telemetry_request(6)));
+  ASSERT_TRUE(pump_until({&client, &server},
+                         [&] { return replies.received.size() == 1; }));
+  EXPECT_EQ(node.op_watermark(), 6u);
+  EXPECT_EQ(replies.received[0].type,
+            static_cast<std::uint32_t>(crowd::MessageType::kShardResponse));
+  EXPECT_EQ(node.malformed_messages(), 1u);
 }
 
 }  // namespace
